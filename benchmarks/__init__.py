@@ -1,0 +1,1 @@
+"""Benchmark harness: one module per table / figure of the paper."""

@@ -1,0 +1,47 @@
+"""Table VI — scalability on the large-scale AMiner collaboration network.
+
+The paper condenses AMiner (4.9M nodes) to 0.05–0.8% and shows FreeHGC is the
+only method that keeps improving with the ratio while GCond runs out of
+memory.  The synthetic AMiner keeps the same 3-type schema at a CPU-friendly
+size; the ratios are scaled so the per-class budgets match the paper's regime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import EPOCHS, HIDDEN, SEEDS, emit
+from repro.evaluation import ExperimentConfig, run_ratio_sweep
+
+RATIOS = (0.01, 0.02, 0.05)
+METHODS = ("herding-hg", "gcond", "hgcond", "freehgc")
+
+
+def run_table6() -> list[dict]:
+    config = ExperimentConfig(
+        dataset="aminer",
+        ratios=RATIOS,
+        methods=METHODS,
+        model="sehgnn",
+        scale=1.0,
+        seeds=SEEDS,
+        epochs=EPOCHS,
+        hidden_dim=HIDDEN,
+        max_hops=2,
+    )
+    return [evaluation.as_row() for evaluation in run_ratio_sweep(config)]
+
+
+def test_table6_aminer(benchmark):
+    rows = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    emit(
+        "Table VI — large-scale AMiner",
+        rows,
+        "table6_aminer.txt",
+        paper_note=(
+            "FreeHGC performs best at every ratio and its accuracy grows with the "
+            "ratio, while HGCond stays flat (Table VI of the paper)."
+        ),
+    )
+    freehgc_rows = [row for row in rows if row["method"] == "FreeHGC"]
+    assert len(freehgc_rows) == len(RATIOS)

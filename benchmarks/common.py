@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper.  The
+graphs are synthetic stand-ins for the public benchmarks (see DESIGN.md), so
+the absolute numbers differ from the paper; the harness therefore prints the
+regenerated rows/series next to the paper's values so the *shape* (method
+ordering, trends across ratios, speed-ups) can be compared directly.
+
+The knobs below keep a full ``pytest benchmarks/ --benchmark-only`` run in
+the minutes range on a laptop CPU.  Increase ``SCALE``, ``SEEDS`` and
+``EPOCHS`` for a higher-fidelity run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.evaluation import format_table, write_report
+
+#: node-count multiplier applied to every synthetic dataset
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+#: repeated condensation/training seeds per cell
+SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "1"))
+#: training epochs of the evaluation HGNNs
+EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "60"))
+#: hidden dimension of the evaluation HGNNs
+HIDDEN = int(os.environ.get("REPRO_BENCH_HIDDEN", "32"))
+#: where rendered reports are written
+REPORT_DIR = Path(os.environ.get("REPRO_BENCH_REPORTS", "benchmarks/reports"))
+
+
+def emit(title: str, rows: list[dict], filename: str, paper_note: str = "") -> str:
+    """Render ``rows`` as a table, print it and persist it under REPORT_DIR."""
+    text = format_table(rows, title=title)
+    if paper_note:
+        text = f"{text}\n\nPaper reference: {paper_note}"
+    print("\n" + text)
+    write_report(text, REPORT_DIR / filename)
+    return text

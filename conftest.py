@@ -1,0 +1,14 @@
+"""Test-session bootstrap.
+
+Makes the ``repro`` package importable directly from ``src/`` so that the
+test and benchmark suites run even when the package has not been installed
+(useful in offline environments where ``pip install -e .`` cannot download
+its build dependencies).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,76 @@
+"""Scenario: condensing a hierarchical academic network (DBLP-style).
+
+DBLP is the paper's "Structure 2" example (Fig. 5): authors (root) connect to
+papers (father type), papers connect to terms and venues (leaf types).  This
+example walks through the three FreeHGC stages explicitly — target selection,
+father selection, leaf synthesis — then saves the condensed graph to disk and
+shows it can be reloaded and used to train several different HGNNs (the
+generalisation property of Table IV).
+
+Run with: ``python examples/academic_network_condensation.py``
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core import FreeHGC, classify_node_types
+from repro.datasets import load_dblp
+from repro.evaluation import format_table
+from repro.hetero import compression_summary, load_graph, save_graph
+from repro.models import HAN, HGB, SeHGNN
+
+
+def main() -> None:
+    graph = load_dblp(scale=1.0, seed=0)
+    hierarchy = classify_node_types(graph.schema)
+    print(graph.summary())
+    print(
+        f"Topology (Fig. 5 structure {hierarchy.structure}): "
+        f"root={hierarchy.root}, fathers={hierarchy.fathers}, leaves={hierarchy.leaves}"
+    )
+
+    ratio = 0.05
+    condenser = FreeHGC(max_hops=4, max_paths=16)
+    condensed = condenser.condense(graph, ratio, seed=0)
+    print("\nCondensed graph:", condensed.summary())
+
+    selection = condenser.last_target_selection
+    print(
+        f"Target selection used {selection.diagnostics['num_metapaths']} meta-paths "
+        f"and per-class budgets {selection.diagnostics['class_budgets']}"
+    )
+
+    summary = compression_summary(graph, condensed)
+    print(
+        f"Storage: {summary['original_storage_mb']:.2f} MB -> "
+        f"{summary['condensed_storage_mb']:.2f} MB "
+        f"({summary['storage_reduction_pct']:.1f}% saved)"
+    )
+
+    # Persist and reload the condensed graph — the artefact a downstream team
+    # would actually ship instead of the full network.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "dblp_condensed.npz"
+        save_graph(condensed, path)
+        print(f"\nSaved condensed graph to {path.name} ({path.stat().st_size / 1e3:.0f} kB)")
+        reloaded = load_graph(path)
+
+    # Generalisation: train three different HGNN families on the same
+    # condensed graph and evaluate all of them on the full graph.
+    rows = []
+    for model_cls in (SeHGNN, HGB, HAN):
+        model = model_cls(hidden_dim=64, epochs=100, max_hops=2, seed=0)
+        model.fit(reloaded)
+        rows.append(
+            {
+                "HGNN": model_cls.name,
+                "accuracy on full DBLP": f"{100 * model.evaluate(graph):.2f}%",
+            }
+        )
+    print("\n" + format_table(rows, title="One condensed graph, many HGNNs (Table IV property)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Scenario: condensing your own heterogeneous graph.
+
+Shows the full "bring your own data" path: declare a schema, assemble a graph
+with :class:`~repro.hetero.builder.HeteroGraphBuilder` from plain NumPy edge
+lists (here: a small synthetic e-commerce network of users, products, brands
+and categories), condense it with FreeHGC and inspect what was kept.
+
+Run with: ``python examples/custom_dataset.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import FreeHGC, classify_node_types
+from repro.evaluation import format_table
+from repro.hetero import HeteroGraphBuilder, HeteroSchema, Relation
+from repro.models import SeHGNN
+
+
+def build_ecommerce_graph(seed: int = 0):
+    """A users/products/brands/categories graph with planted user segments."""
+    rng = np.random.default_rng(seed)
+    schema = HeteroSchema(
+        node_types=("user", "product", "brand", "category"),
+        relations=(
+            Relation("bought", "user", "product"),
+            Relation("made-by", "product", "brand"),
+            Relation("in-category", "product", "category"),
+        ),
+        target_type="user",
+        num_classes=3,
+        name="ecommerce",
+    )
+    n_users, n_products, n_brands, n_categories = 600, 900, 40, 12
+    segments = rng.integers(0, 3, size=n_users)
+    product_topics = rng.integers(0, 3, size=n_products)
+
+    builder = HeteroGraphBuilder(schema)
+    segment_means = rng.standard_normal((3, 16)) * 2.0
+    builder.add_nodes(
+        "user", n_users, segment_means[segments] + rng.standard_normal((n_users, 16))
+    )
+    topic_means = rng.standard_normal((3, 12)) * 2.0
+    builder.add_nodes(
+        "product",
+        n_products,
+        topic_means[product_topics] + 0.6 * rng.standard_normal((n_products, 12)),
+    )
+    builder.add_nodes("brand", n_brands)
+    builder.add_nodes("category", n_categories)
+
+    # Users mostly buy products of their own segment's topic.
+    src, dst = [], []
+    for user in range(n_users):
+        for _ in range(rng.poisson(4) + 1):
+            if rng.random() < 0.8:
+                pool = np.flatnonzero(product_topics == segments[user])
+            else:
+                pool = np.arange(n_products)
+            src.append(user)
+            dst.append(int(rng.choice(pool)))
+    builder.add_edges("bought", np.array(src), np.array(dst))
+    builder.add_edges(
+        "made-by", np.arange(n_products), rng.integers(0, n_brands, size=n_products)
+    )
+    builder.add_edges(
+        "in-category", np.arange(n_products), rng.integers(0, n_categories, size=n_products)
+    )
+
+    builder.set_labels(segments)
+    order = rng.permutation(n_users)
+    builder.set_splits(order[:150], order[150:200], order[200:])
+    builder.set_metadata(name="ecommerce")
+    return builder.build()
+
+
+def main() -> None:
+    graph = build_ecommerce_graph()
+    print(graph.summary())
+    hierarchy = classify_node_types(graph.schema)
+    print(f"root={hierarchy.root}, fathers={hierarchy.fathers}, leaves={hierarchy.leaves}\n")
+
+    condenser = FreeHGC(max_hops=3, max_paths=16)
+    condensed = condenser.condense(graph, 0.08, seed=0)
+    print("Condensed:", condensed.summary(), "\n")
+
+    rows = [
+        {
+            "node type": node_type,
+            "original": graph.num_nodes[node_type],
+            "condensed": condensed.num_nodes[node_type],
+            "role": hierarchy.role_of(node_type),
+        }
+        for node_type in graph.schema.node_types
+    ]
+    print(format_table(rows, title="Per-type condensation budget"))
+
+    model = SeHGNN(hidden_dim=64, epochs=100, max_hops=2, seed=0)
+    model.fit(condensed)
+    print(
+        f"\nSeHGNN trained on the condensed graph reaches "
+        f"{100 * model.evaluate(graph):.2f}% accuracy on the full user base."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Scenario: condensing an RDF knowledge graph (MUTAG-style) and comparing methods.
+
+Knowledge graphs have many relation types and no obvious expert meta-paths,
+which is exactly the setting FreeHGC's general meta-path generation targets
+(Table V of the paper).  This example compares FreeHGC with the coreset
+baselines and HGCond on the synthetic MUTAG graph, reporting accuracy,
+condensation time and storage for each method.
+
+Run with: ``python examples/knowledge_graph_condensation.py``
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load_mutag
+from repro.evaluation import (
+    evaluate_condenser,
+    format_table,
+    make_condenser,
+    make_model_factory,
+    whole_graph_reference,
+)
+
+
+def main() -> None:
+    graph = load_mutag(scale=1.0, seed=0)
+    print(graph.summary())
+    print(f"Relations: {len(graph.schema.relations)} typed edge sets\n")
+
+    ratio = 0.05
+    model_factory = make_model_factory("sehgnn", hidden_dim=64, epochs=100, max_hops=2)
+
+    rows = []
+    for method in ("random-hg", "herding-hg", "gcond", "hgcond", "freehgc"):
+        condenser = make_condenser(method, max_hops=2)
+        evaluation = evaluate_condenser(
+            graph, condenser, ratio, model_factory, seeds=2, dataset_name="mutag"
+        )
+        rows.append(
+            {
+                "method": evaluation.method,
+                "accuracy %": round(100 * evaluation.mean_accuracy, 2),
+                "± std": round(100 * evaluation.std_accuracy, 2),
+                "condense s": round(evaluation.condense_seconds, 2),
+                "storage kB": round(evaluation.storage / 1e3, 1),
+            }
+        )
+    whole = whole_graph_reference(graph, model_factory, seeds=1, dataset_name="mutag")
+    rows.append(
+        {
+            "method": whole.method,
+            "accuracy %": round(100 * whole.mean_accuracy, 2),
+            "± std": round(100 * whole.std_accuracy, 2),
+            "condense s": 0.0,
+            "storage kB": round(whole.storage / 1e3, 1),
+        }
+    )
+    print(format_table(rows, title=f"MUTAG knowledge graph, condensation ratio {ratio:.1%}"))
+    print(
+        "\nExpected shape (Table V of the paper): FreeHGC is the most accurate "
+        "condensation method and by far the fastest of the non-trivial ones."
+    )
+
+
+if __name__ == "__main__":
+    main()

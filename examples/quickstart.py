@@ -1,0 +1,70 @@
+"""Quickstart: condense ACM with FreeHGC and evaluate the condensed graph.
+
+Runs the paper's core protocol end-to-end in under a minute on a laptop CPU:
+
+1. generate the synthetic ACM heterogeneous graph,
+2. condense it to 5% of its nodes with FreeHGC (training-free),
+3. train SeHGNN on the condensed graph,
+4. evaluate on the full graph's test split and compare with whole-graph training.
+
+Run with: ``python examples/quickstart.py``
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import FreeHGC
+from repro.datasets import load_acm
+from repro.evaluation import format_table
+from repro.models import SeHGNN
+
+
+def main() -> None:
+    print("Loading the synthetic ACM heterogeneous graph ...")
+    graph = load_acm(scale=1.0, seed=0)
+    print(" ", graph.summary())
+
+    ratio = 0.05
+    print(f"\nCondensing with FreeHGC (training-free) at ratio {ratio:.1%} ...")
+    condenser = FreeHGC(max_hops=3, max_paths=16)
+    start = time.perf_counter()
+    condensed = condenser.condense(graph, ratio, seed=0)
+    condense_seconds = time.perf_counter() - start
+    print(" ", condensed.summary())
+    print(f"  condensation took {condense_seconds:.2f}s "
+          f"(storage {condensed.storage_bytes() / 1e3:.0f} kB "
+          f"vs {graph.storage_bytes() / 1e6:.1f} MB for the full graph)")
+
+    print("\nTraining SeHGNN on the condensed graph ...")
+    condensed_model = SeHGNN(hidden_dim=64, epochs=120, max_hops=2, seed=0)
+    condensed_model.fit(condensed)
+    condensed_accuracy = condensed_model.evaluate(graph)
+
+    print("Training SeHGNN on the whole graph (reference) ...")
+    whole_model = SeHGNN(hidden_dim=64, epochs=120, max_hops=2, seed=0)
+    whole_model.fit(graph)
+    whole_accuracy = whole_model.evaluate(graph)
+
+    rows = [
+        {
+            "training data": f"FreeHGC condensed ({ratio:.1%} of nodes)",
+            "test accuracy (full graph)": f"{100 * condensed_accuracy:.2f}%",
+            "nodes": condensed.total_nodes,
+        },
+        {
+            "training data": "whole graph",
+            "test accuracy (full graph)": f"{100 * whole_accuracy:.2f}%",
+            "nodes": graph.total_nodes,
+        },
+    ]
+    print("\n" + format_table(rows, title="FreeHGC quickstart result"))
+    print(
+        f"\nThe condensed graph retains "
+        f"{100 * condensed_accuracy / max(whole_accuracy, 1e-9):.1f}% of the "
+        "whole-graph accuracy while using a fraction of the data."
+    )
+
+
+if __name__ == "__main__":
+    main()

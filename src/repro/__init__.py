@@ -1,0 +1,50 @@
+"""FreeHGC reproduction: training-free heterogeneous graph condensation.
+
+A pure-Python (NumPy/SciPy) reproduction of *"Training-free Heterogeneous
+Graph Condensation via Data Selection"* (ICDE 2025), including the FreeHGC
+algorithm, every baseline it is compared against, the heterogeneous-graph
+and neural-network substrates it needs, and an evaluation pipeline that
+regenerates the paper's tables and figures.
+
+Typical usage::
+
+    from repro.datasets import load_acm
+    from repro.core import FreeHGC
+    from repro.models import SeHGNN
+
+    graph = load_acm(scale=0.5, seed=0)
+    condensed = FreeHGC(max_hops=3).condense(graph, ratio=0.024, seed=0)
+    model = SeHGNN(hidden_dim=64)
+    model.fit(condensed)
+    print("accuracy on the full graph:", model.evaluate(graph))
+"""
+
+from repro.core import FreeHGC
+from repro.errors import (
+    BudgetError,
+    CondensationError,
+    DatasetError,
+    GraphConstructionError,
+    ModelError,
+    ReproError,
+    SchemaError,
+)
+from repro.hetero import HeteroGraph, HeteroGraphBuilder, HeteroSchema, Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FreeHGC",
+    "HeteroGraph",
+    "HeteroGraphBuilder",
+    "HeteroSchema",
+    "Relation",
+    "ReproError",
+    "SchemaError",
+    "GraphConstructionError",
+    "BudgetError",
+    "CondensationError",
+    "DatasetError",
+    "ModelError",
+    "__version__",
+]

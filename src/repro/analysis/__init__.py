@@ -1,0 +1,6 @@
+"""Analysis utilities: embeddings and coverage statistics (Fig. 9)."""
+
+from repro.analysis.coverage import CoverageReport, captured_nodes, coverage_report
+from repro.analysis.embedding import pca, tsne
+
+__all__ = ["pca", "tsne", "CoverageReport", "captured_nodes", "coverage_report"]

@@ -1,0 +1,117 @@
+"""Low-dimensional embeddings for the interpretability analysis (Fig. 9).
+
+The paper visualises selected vs. captured vs. un-captured nodes with t-SNE.
+This module provides a NumPy PCA and a small exact t-SNE implementation
+(gradient descent on the KL divergence between Gaussian input affinities and
+Student-t output affinities) sufficient for the few hundred points the
+figure uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["pca", "tsne"]
+
+
+def pca(points: np.ndarray, dim: int = 2) -> np.ndarray:
+    """Project ``points`` onto their top ``dim`` principal components."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("pca expects a 2-D array")
+    dim = min(dim, points.shape[1])
+    centered = points - points.mean(axis=0, keepdims=True)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    return centered @ vt[:dim].T
+
+
+def _pairwise_squared_distances(points: np.ndarray) -> np.ndarray:
+    sq = (points**2).sum(axis=1)
+    distances = sq[:, None] + sq[None, :] - 2.0 * points @ points.T
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)
+
+
+def _conditional_probabilities(distances: np.ndarray, perplexity: float) -> np.ndarray:
+    """Binary-search per-point bandwidths to hit the requested perplexity."""
+    count = distances.shape[0]
+    probabilities = np.zeros((count, count), dtype=np.float64)
+    target_entropy = np.log(perplexity)
+    for i in range(count):
+        beta_low, beta_high = 1e-20, 1e20
+        beta = 1.0
+        row = distances[i].copy()
+        row[i] = np.inf
+        for _ in range(50):
+            exp_row = np.exp(-row * beta)
+            total = exp_row.sum()
+            if total <= 0:
+                beta /= 2.0
+                continue
+            p = exp_row / total
+            entropy = -(p[p > 0] * np.log(p[p > 0])).sum()
+            if abs(entropy - target_entropy) < 1e-4:
+                break
+            if entropy > target_entropy:
+                beta_low = beta
+                beta = beta * 2 if beta_high >= 1e20 else (beta + beta_high) / 2
+            else:
+                beta_high = beta
+                beta = beta / 2 if beta_low <= 1e-20 else (beta + beta_low) / 2
+        exp_row = np.exp(-row * beta)
+        total = exp_row.sum()
+        probabilities[i] = exp_row / total if total > 0 else 0.0
+        probabilities[i, i] = 0.0
+    return probabilities
+
+
+def tsne(
+    points: np.ndarray,
+    dim: int = 2,
+    *,
+    perplexity: float = 20.0,
+    iterations: int = 300,
+    learning_rate: float = 100.0,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Exact t-SNE embedding of ``points`` into ``dim`` dimensions.
+
+    Designed for the small point counts of the interpretability figure
+    (hundreds of nodes); initialised from PCA for stability.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    count = points.shape[0]
+    if count < 3:
+        return pca(points, dim)
+    rng = ensure_rng(seed)
+    perplexity = min(perplexity, max(2.0, (count - 1) / 3.0))
+
+    distances = _pairwise_squared_distances(points)
+    conditional = _conditional_probabilities(distances, perplexity)
+    joint = (conditional + conditional.T) / (2.0 * count)
+    joint = np.maximum(joint, 1e-12)
+
+    embedding = pca(points, dim)
+    if embedding.shape[1] < dim:
+        padding = rng.standard_normal((count, dim - embedding.shape[1])) * 1e-4
+        embedding = np.concatenate([embedding, padding], axis=1)
+    embedding = embedding / (embedding.std() + 1e-12) * 1e-2
+    velocity = np.zeros_like(embedding)
+
+    for iteration in range(iterations):
+        emb_distances = _pairwise_squared_distances(embedding)
+        inv = 1.0 / (1.0 + emb_distances)
+        np.fill_diagonal(inv, 0.0)
+        q = inv / max(inv.sum(), 1e-12)
+        q = np.maximum(q, 1e-12)
+        # Early exaggeration for the first quarter of the optimisation.
+        p_eff = joint * 4.0 if iteration < iterations // 4 else joint
+        pq = (p_eff - q) * inv
+        gradient = 4.0 * (np.diag(pq.sum(axis=1)) - pq) @ embedding
+        momentum = 0.5 if iteration < iterations // 4 else 0.8
+        velocity = momentum * velocity - learning_rate * gradient
+        embedding = embedding + velocity
+        embedding = embedding - embedding.mean(axis=0, keepdims=True)
+    return embedding

@@ -1,0 +1,53 @@
+"""Baseline graph-reduction methods the paper compares FreeHGC against."""
+
+from repro.baselines.base import (
+    CondensedFeatureSet,
+    GraphCondenser,
+    per_class_budgets,
+    per_type_budgets,
+)
+from repro.baselines.clustering import kmeans
+from repro.baselines.coarsening import CoarseningHG, heavy_edge_matching
+from repro.baselines.gcond import GCond
+from repro.baselines.herding import HerdingHG, herding_select
+from repro.baselines.hgcond import HGCond, orthogonal_parameter_sequence
+from repro.baselines.kcenter import KCenterHG, kcenter_select
+from repro.baselines.random_hg import RandomHG
+
+BASELINE_REGISTRY: dict[str, type[GraphCondenser]] = {
+    "random-hg": RandomHG,
+    "herding-hg": HerdingHG,
+    "k-center-hg": KCenterHG,
+    "coarsening-hg": CoarseningHG,
+    "gcond": GCond,
+    "hgcond": HGCond,
+}
+
+
+def get_baseline(name: str, **kwargs: object) -> GraphCondenser:
+    """Instantiate a registered baseline condenser by name (case-insensitive)."""
+    key = name.lower()
+    if key not in BASELINE_REGISTRY:
+        raise KeyError(f"unknown baseline {name!r}; available: {sorted(BASELINE_REGISTRY)}")
+    return BASELINE_REGISTRY[key](**kwargs)
+
+
+__all__ = [
+    "CondensedFeatureSet",
+    "GraphCondenser",
+    "per_class_budgets",
+    "per_type_budgets",
+    "RandomHG",
+    "HerdingHG",
+    "herding_select",
+    "KCenterHG",
+    "kcenter_select",
+    "CoarseningHG",
+    "heavy_edge_matching",
+    "GCond",
+    "HGCond",
+    "orthogonal_parameter_sequence",
+    "kmeans",
+    "BASELINE_REGISTRY",
+    "get_baseline",
+]

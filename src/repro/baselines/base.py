@@ -1,0 +1,159 @@
+"""Condenser interface shared by FreeHGC and every baseline.
+
+Two families of condensation output exist in the paper:
+
+* **Selection-based** methods (FreeHGC, Random-HG, Herding-HG, K-Center-HG,
+  Coarsening-HG) return a small :class:`~repro.hetero.graph.HeteroGraph` —
+  either an induced subgraph of the original or a synthesised graph with
+  hyper-nodes.
+* **Optimisation-based** methods (GCond, HGCond) learn synthetic node
+  attributes through gradient matching.  In this reproduction they operate in
+  the pre-computed meta-path feature space (the structure-free formulation,
+  see DESIGN.md) and return a :class:`CondensedFeatureSet` that HGNN models
+  can train on directly via
+  :meth:`repro.models.base.HGNNClassifier.fit_from_features`.
+
+Both outputs flow through the same evaluation pipeline
+(:mod:`repro.evaluation.pipeline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import BudgetError
+from repro.hetero.graph import HeteroGraph
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "CondensedFeatureSet",
+    "GraphCondenser",
+    "per_type_budgets",
+    "per_class_budgets",
+]
+
+
+@dataclass
+class CondensedFeatureSet:
+    """Synthetic condensed data expressed in meta-path feature space.
+
+    Attributes
+    ----------
+    features:
+        Mapping from meta-path key to a ``(num_synthetic_nodes, dim)`` array.
+    labels:
+        Class label of every synthetic node.
+    num_classes:
+        Number of target classes.
+    metadata:
+        Free-form provenance (method name, ratio, iterations, ...).
+    """
+
+    features: dict[str, np.ndarray]
+    labels: np.ndarray
+    num_classes: int
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        sizes = {key: block.shape[0] for key, block in self.features.items()}
+        if len(set(sizes.values())) > 1:
+            raise ValueError(f"feature blocks disagree on node count: {sizes}")
+        if self.labels.shape[0] != next(iter(sizes.values()), 0):
+            raise ValueError("labels must have one entry per synthetic node")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of synthetic target nodes."""
+        return int(self.labels.shape[0])
+
+    def storage_bytes(self) -> int:
+        """Approximate in-memory size of the synthetic data."""
+        return int(
+            sum(block.nbytes for block in self.features.values()) + self.labels.nbytes
+        )
+
+
+class GraphCondenser:
+    """Base class for all condensation / coreset / coarsening methods."""
+
+    name = "condenser"
+    #: Whether :meth:`condense` returns a :class:`CondensedFeatureSet`
+    #: instead of a :class:`HeteroGraph`.
+    produces_feature_set = False
+
+    def condense(
+        self,
+        graph: HeteroGraph,
+        ratio: float,
+        *,
+        seed: int | np.random.Generator | None = None,
+    ) -> HeteroGraph | CondensedFeatureSet:
+        """Condense ``graph`` down to roughly ``ratio`` of its nodes."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate_ratio(graph: HeteroGraph, ratio: float) -> float:
+        if not 0.0 < ratio < 1.0:
+            raise BudgetError(f"condensation ratio must be in (0, 1), got {ratio}")
+        return float(ratio)
+
+    @staticmethod
+    def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+        return ensure_rng(seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def per_type_budgets(graph: HeteroGraph, ratio: float) -> dict[str, int]:
+    """Per-node-type budgets ``B = max(1, round(r * N_type))`` (Section II-A)."""
+    if not 0.0 < ratio < 1.0:
+        raise BudgetError(f"condensation ratio must be in (0, 1), got {ratio}")
+    budgets: dict[str, int] = {}
+    for node_type, count in graph.num_nodes.items():
+        budgets[node_type] = int(min(count, max(1, round(ratio * count))))
+    return budgets
+
+
+def per_class_budgets(
+    graph: HeteroGraph, total_budget: int, *, pool: np.ndarray | None = None
+) -> dict[int, int]:
+    """Split a target-type budget across classes proportionally to the pool.
+
+    The paper keeps the class distribution of the condensed graph consistent
+    with the original graph (Section IV-B); every class with at least one
+    pool node receives at least one slot.
+    """
+    if total_budget < 1:
+        raise BudgetError(f"total budget must be >= 1, got {total_budget}")
+    pool = graph.splits.train if pool is None else np.asarray(pool, dtype=np.int64)
+    if pool.size == 0:
+        raise BudgetError("selection pool (train split) is empty")
+    labels = graph.labels[pool]
+    counts = np.bincount(labels[labels >= 0], minlength=graph.schema.num_classes)
+    present = np.flatnonzero(counts)
+    if present.size == 0:
+        raise BudgetError("selection pool contains no labeled nodes")
+    total_budget = min(total_budget, int(counts.sum()))
+    raw = counts[present] / counts[present].sum() * total_budget
+    allocation = np.maximum(1, np.floor(raw)).astype(int)
+    allocation = np.minimum(allocation, counts[present])
+    # Distribute any remaining slots to the classes with the largest remainder.
+    remaining = total_budget - int(allocation.sum())
+    if remaining > 0:
+        order = np.argsort(-(raw - allocation))
+        for index in order:
+            if remaining <= 0:
+                break
+            headroom = counts[present][index] - allocation[index]
+            if headroom > 0:
+                boost = min(headroom, remaining)
+                allocation[index] += boost
+                remaining -= boost
+    return {int(cls): int(allocation[i]) for i, cls in enumerate(present)}

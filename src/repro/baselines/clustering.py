@@ -1,0 +1,64 @@
+"""Lightweight k-means clustering used by HGCond's hyper-node initialisation.
+
+HGCond replaces the label information that homogeneous condensation relies on
+with clustering information (Section II-C of the paper); this module provides
+the Lloyd's-algorithm k-means it needs, implemented on NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["kmeans"]
+
+
+def kmeans(
+    points: np.ndarray,
+    num_clusters: int,
+    *,
+    iterations: int = 30,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster ``points`` into ``num_clusters`` groups.
+
+    Returns ``(centroids, assignment)`` where ``centroids`` has shape
+    ``(num_clusters, dim)`` and ``assignment`` maps every point to its
+    cluster.  Uses k-means++ style seeding (greedy farthest sampling) for
+    stability on small inputs.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    count = points.shape[0]
+    if count == 0:
+        raise ValueError("cannot cluster an empty point set")
+    num_clusters = int(min(max(1, num_clusters), count))
+    rng = ensure_rng(seed)
+
+    # k-means++ seeding.
+    centroids = np.empty((num_clusters, points.shape[1]), dtype=np.float64)
+    first = int(rng.integers(count))
+    centroids[0] = points[first]
+    closest = np.linalg.norm(points - centroids[0], axis=1) ** 2
+    for index in range(1, num_clusters):
+        total = closest.sum()
+        if total <= 0:
+            choice = int(rng.integers(count))
+        else:
+            choice = int(rng.choice(count, p=closest / total))
+        centroids[index] = points[choice]
+        distance = np.linalg.norm(points - centroids[index], axis=1) ** 2
+        closest = np.minimum(closest, distance)
+
+    assignment = np.zeros(count, dtype=np.int64)
+    for _ in range(iterations):
+        distances = np.linalg.norm(points[:, None, :] - centroids[None, :, :], axis=2)
+        new_assignment = distances.argmin(axis=1)
+        if np.array_equal(new_assignment, assignment) and _ > 0:
+            break
+        assignment = new_assignment
+        for cluster in range(num_clusters):
+            members = points[assignment == cluster]
+            if members.size:
+                centroids[cluster] = members.mean(axis=0)
+    return centroids, assignment

@@ -1,0 +1,357 @@
+"""HGCond — heterogeneous graph condensation (Gao et al., TKDE 2024).
+
+The state-of-the-art optimisation-based competitor the paper improves upon.
+HGCond learns a small *synthetic heterogeneous graph* (node attributes for
+every node type plus typed connections) through gradient matching against a
+relay model, with three signature ingredients reproduced here:
+
+* **clustering-based initialisation** — synthetic node attributes of every
+  type are initialised from k-means centroids (clustering information
+  substitutes for the labels that non-target types lack), and the synthetic
+  typed adjacency follows the *sparse connection scheme*: cluster-to-cluster
+  edge counts of the original graph;
+* **OPS (orthogonal parameter sequences)** — each outer iteration explores a
+  sequence of mutually-orthogonal relay parameter matrices (QR decomposition
+  of a random matrix) instead of independent random restarts;
+* a **nested bi-level loop** — an inner loop trains the relay on the
+  synthetic graph, an outer loop updates the synthetic attributes to match
+  the relay gradients computed on the real graph.  The relay is restricted to
+  the *simplest* heterogeneous model (HeteroSGC: mean semantic fusion of
+  one-hop aggregations), which is exactly the limitation FreeHGC removes.
+
+The output is a small :class:`~repro.hetero.graph.HeteroGraph`, so the
+evaluation pipeline treats HGCond and the selection-based methods
+identically (train the test HGNN on the condensed graph, evaluate on the
+full graph).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.base import GraphCondenser, per_class_budgets, per_type_budgets
+from repro.baselines.clustering import kmeans
+from repro.hetero.graph import HeteroGraph, NodeSplits
+from repro.hetero.sparse import boolean_csr, row_normalize
+from repro.nn.autograd import Tensor
+from repro.nn.optim import Adam
+from repro.utils.rng import ensure_rng
+
+__all__ = ["HGCond", "orthogonal_parameter_sequence"]
+
+
+def _one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    matrix = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    matrix[np.arange(labels.shape[0]), labels] = 1.0
+    return matrix
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def orthogonal_parameter_sequence(
+    dim: int, num_classes: int, length: int, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """OPS: a sequence of relay weight matrices with orthonormal columns.
+
+    A random Gaussian matrix of shape ``(dim, num_classes * length)`` is QR
+    decomposed; consecutive column blocks give mutually-orthogonal relay
+    parameters, the exploration strategy HGCond introduces to stabilise
+    optimisation on heterogeneous graphs.
+    """
+    columns = num_classes * length
+    gaussian = rng.standard_normal((dim, columns))
+    if dim >= columns:
+        q, _ = np.linalg.qr(gaussian)
+        basis = q[:, :columns]
+    else:  # fall back to scaled random matrices when dim is too small
+        basis = 0.1 * gaussian
+    return [
+        np.ascontiguousarray(basis[:, i * num_classes : (i + 1) * num_classes])
+        for i in range(length)
+    ]
+
+
+class HGCond(GraphCondenser):
+    """Optimisation-based heterogeneous graph condensation (graph-space)."""
+
+    name = "HGCond"
+
+    def __init__(
+        self,
+        *,
+        outer_iterations: int = 25,
+        inner_steps: int = 6,
+        ops_length: int = 4,
+        lr_features: float = 0.03,
+        relay_lr: float = 0.1,
+        cluster_iterations: int = 25,
+        connection_threshold: float = 0.0,
+    ) -> None:
+        self.outer_iterations = outer_iterations
+        self.inner_steps = inner_steps
+        self.ops_length = ops_length
+        self.lr_features = lr_features
+        self.relay_lr = relay_lr
+        self.cluster_iterations = cluster_iterations
+        self.connection_threshold = connection_threshold
+
+    # ------------------------------------------------------------------ #
+    def condense(
+        self,
+        graph: HeteroGraph,
+        ratio: float,
+        *,
+        seed: int | np.random.Generator | None = None,
+    ) -> HeteroGraph:
+        ratio = self._validate_ratio(graph, ratio)
+        rng = ensure_rng(seed)
+        target = graph.schema.target_type
+        num_classes = graph.schema.num_classes
+        budgets = per_type_budgets(graph, ratio)
+
+        # ------------------------------------------------------------------
+        # Clustering-based initialisation of synthetic node attributes.
+        # ------------------------------------------------------------------
+        class_budgets = per_class_budgets(graph, budgets[target])
+        train_idx = graph.splits.train
+        train_labels = graph.labels[train_idx]
+        syn_labels: list[int] = []
+        target_init: list[np.ndarray] = []
+        target_assignment = np.zeros(graph.num_nodes[target], dtype=np.int64)
+        offset = 0
+        for cls, budget in class_budgets.items():
+            members = train_idx[train_labels == cls]
+            centroids, assignment = kmeans(
+                graph.features[target][members],
+                budget,
+                iterations=self.cluster_iterations,
+                seed=rng,
+            )
+            if centroids.shape[0] < budget:
+                reps = int(np.ceil(budget / centroids.shape[0]))
+                centroids = np.tile(centroids, (reps, 1))[:budget]
+                assignment = assignment % budget
+            target_init.append(centroids)
+            target_assignment[members] = assignment + offset
+            syn_labels.extend([cls] * budget)
+            offset += budget
+        num_syn_target = offset
+        syn_labels_arr = np.asarray(syn_labels, dtype=np.int64)
+        # Unlabelled target nodes map to their nearest synthetic node overall.
+        unassigned = np.setdiff1d(np.arange(graph.num_nodes[target]), train_idx)
+        all_centroids = np.concatenate(target_init, axis=0)
+        if unassigned.size:
+            distances = np.linalg.norm(
+                graph.features[target][unassigned][:, None, :] - all_centroids[None, :, :],
+                axis=2,
+            )
+            target_assignment[unassigned] = distances.argmin(axis=1)
+
+        syn_features: dict[str, Tensor] = {
+            target: Tensor(all_centroids.copy(), requires_grad=True)
+        }
+        assignments: dict[str, np.ndarray] = {target: target_assignment}
+        syn_counts: dict[str, int] = {target: num_syn_target}
+        for node_type in graph.schema.other_types():
+            budget = budgets[node_type]
+            centroids, assignment = kmeans(
+                graph.features[node_type],
+                budget,
+                iterations=self.cluster_iterations,
+                seed=rng,
+            )
+            syn_features[node_type] = Tensor(centroids.copy(), requires_grad=True)
+            assignments[node_type] = assignment
+            syn_counts[node_type] = centroids.shape[0]
+
+        # ------------------------------------------------------------------
+        # Sparse connection scheme: cluster-to-cluster edge counts.
+        # ------------------------------------------------------------------
+        assign_matrices = {
+            node_type: sp.csr_matrix(
+                (
+                    np.ones(graph.num_nodes[node_type]),
+                    (np.arange(graph.num_nodes[node_type]), assignments[node_type]),
+                ),
+                shape=(graph.num_nodes[node_type], syn_counts[node_type]),
+            )
+            for node_type in graph.schema.node_types
+        }
+        syn_adjacency: dict[str, sp.csr_matrix] = {}
+        for name, matrix in graph.adjacency.items():
+            rel = graph.schema.relation(name)
+            block = (assign_matrices[rel.src].T @ matrix @ assign_matrices[rel.dst]).tocsr()
+            if self.connection_threshold > 0 and block.nnz:
+                block.data[block.data <= self.connection_threshold] = 0.0
+                block.eliminate_zeros()
+            syn_adjacency[name] = boolean_csr(block)
+
+        # ------------------------------------------------------------------
+        # Bi-level gradient matching with a HeteroSGC relay.
+        # ------------------------------------------------------------------
+        relations = self._relay_relations(graph)
+        real_aggregates = {
+            name: np.asarray(row_normalize(matrix) @ graph.features[dst][:, :])
+            for name, matrix, dst in relations
+        }
+        syn_norm_adjacency = {
+            name: row_normalize(
+                self._synthetic_relation(syn_adjacency, graph, name)
+            )
+            for name, _matrix, _dst in relations
+        }
+        real_one_hot = _one_hot(train_labels, num_classes)
+        syn_one_hot = _one_hot(syn_labels_arr, num_classes)
+        real_self = graph.features[target][train_idx]
+
+        optimizer = Adam(list(syn_features.values()), lr=self.lr_features)
+        feature_dims = {
+            name: graph.features[dst].shape[1] for name, _matrix, dst in relations
+        }
+        self_dim = graph.features[target].shape[1]
+
+        for _outer in range(self.outer_iterations):
+            sequences = {
+                name: orthogonal_parameter_sequence(dim, num_classes, self.ops_length, rng)
+                for name, dim in feature_dims.items()
+            }
+            self_sequence = orthogonal_parameter_sequence(
+                self_dim, num_classes, self.ops_length, rng
+            )
+            for step in range(self.ops_length):
+                weights = {name: sequences[name][step].copy() for name in feature_dims}
+                self_weight = self_sequence[step].copy()
+                num_terms = len(feature_dims) + 1
+                # Inner loop: train the relay on the synthetic graph.
+                for _inner in range(self.inner_steps):
+                    syn_aggregates = {
+                        name: syn_norm_adjacency[name] @ syn_features[dst].numpy()
+                        for name, _matrix, dst in relations
+                    }
+                    logits = syn_features[target].numpy() @ self_weight
+                    for name in feature_dims:
+                        logits = logits + syn_aggregates[name] @ weights[name]
+                    logits = logits / num_terms
+                    probs = _softmax(logits)
+                    residual = (probs - syn_one_hot) / max(num_syn_target, 1)
+                    self_weight -= self.relay_lr * (
+                        syn_features[target].numpy().T @ residual
+                    ) / num_terms
+                    for name, _matrix, dst in relations:
+                        grad = syn_aggregates[name].T @ residual / num_terms
+                        weights[name] -= self.relay_lr * grad
+                # Real-graph relay gradients (constants w.r.t. synthetic data).
+                real_logits = real_self @ self_weight
+                for name, _matrix, _dst in relations:
+                    real_logits = real_logits + real_aggregates[name][train_idx] @ weights[name]
+                real_logits = real_logits / num_terms
+                real_probs = _softmax(real_logits)
+                real_residual = (real_probs - real_one_hot) / max(train_idx.shape[0], 1)
+                real_grads = {
+                    name: real_aggregates[name][train_idx].T @ real_residual
+                    for name, _matrix, _dst in relations
+                }
+                real_self_grad = real_self.T @ real_residual
+                # Synthetic gradients as differentiable expressions.
+                logits_t = syn_features[target] @ Tensor(self_weight)
+                syn_agg_tensors = {}
+                for name, _matrix, dst in relations:
+                    aggregated = syn_features[dst].matmul_sparse(syn_norm_adjacency[name])
+                    syn_agg_tensors[name] = aggregated
+                    logits_t = logits_t + aggregated @ Tensor(weights[name])
+                logits_t = logits_t * (1.0 / num_terms)
+                probs_t = logits_t.softmax(axis=-1)
+                residual_t = (probs_t - Tensor(syn_one_hot)) * (1.0 / max(num_syn_target, 1))
+                loss = _cosine_matching_loss(
+                    syn_features[target].T @ residual_t, real_self_grad
+                )
+                for name in feature_dims:
+                    syn_grad = syn_agg_tensors[name].T @ residual_t
+                    loss = loss + _cosine_matching_loss(syn_grad, real_grads[name])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+
+        # ------------------------------------------------------------------
+        # Assemble the synthetic heterogeneous graph.
+        # ------------------------------------------------------------------
+        features_out = {
+            node_type: syn_features[node_type].numpy().copy()
+            for node_type in graph.schema.node_types
+        }
+        splits = NodeSplits(
+            train=np.arange(num_syn_target, dtype=np.int64),
+            val=np.empty(0, dtype=np.int64),
+            test=np.empty(0, dtype=np.int64),
+        )
+        return HeteroGraph(
+            schema=graph.schema,
+            num_nodes=syn_counts,
+            adjacency=syn_adjacency,
+            features=features_out,
+            labels=syn_labels_arr,
+            splits=splits,
+            metadata={
+                "method": self.name,
+                "ratio": ratio,
+                "outer_iterations": self.outer_iterations,
+                "inner_steps": self.inner_steps,
+                "ops_length": self.ops_length,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    def _relay_relations(
+        self, graph: HeteroGraph
+    ) -> list[tuple[str, sp.csr_matrix, str]]:
+        """One-hop (target → other) aggregation channels used by the relay."""
+        target = graph.schema.target_type
+        relations: list[tuple[str, sp.csr_matrix, str]] = []
+        for other in graph.schema.node_types:
+            if other == target:
+                continue
+            matrix = graph.typed_adjacency(target, other)
+            if matrix.nnz:
+                relations.append((f"{target}->{other}", matrix, other))
+        # Same-type links (e.g. paper-cite-paper) become a self-channel.
+        self_matrix = graph.typed_adjacency(target, target)
+        if self_matrix.nnz:
+            relations.append((f"{target}->{target}", self_matrix, target))
+        return relations
+
+    def _synthetic_relation(
+        self,
+        syn_adjacency: dict[str, sp.csr_matrix],
+        graph: HeteroGraph,
+        channel: str,
+    ) -> sp.csr_matrix:
+        """Synthetic-graph counterpart of a relay aggregation channel."""
+        src, dst = channel.split("->")
+        combined: sp.csr_matrix | None = None
+        for name, block in syn_adjacency.items():
+            rel = graph.schema.relation(name)
+            if rel.src == src and rel.dst == dst:
+                piece = block
+            elif rel.src == dst and rel.dst == src:
+                piece = block.T.tocsr()
+            else:
+                continue
+            combined = piece if combined is None else combined + piece
+        if combined is None:
+            raise ValueError(f"no synthetic adjacency found for channel {channel!r}")
+        return boolean_csr(combined)
+
+
+def _cosine_matching_loss(syn_grad: Tensor, real_grad: np.ndarray) -> Tensor:
+    """``1 - cosine`` distance between synthetic and real relay gradients."""
+    real_flat = real_grad.reshape(-1)
+    real_norm = float(np.linalg.norm(real_flat)) + 1e-10
+    syn_flat = syn_grad.reshape(-1)
+    syn_norm = ((syn_flat * syn_flat).sum() + 1e-10) ** 0.5
+    cosine = (syn_flat * Tensor(real_flat)).sum() / (syn_norm * real_norm)
+    return 1.0 - cosine

@@ -1,0 +1,54 @@
+"""Random-HG — uniform random selection baseline.
+
+Target-type nodes are sampled from the training pool class-by-class so the
+condensed class distribution matches the original; every other node type is
+sampled uniformly at random.  The result is the induced subgraph on the
+selected nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import GraphCondenser, per_class_budgets, per_type_budgets
+from repro.hetero.graph import HeteroGraph
+
+__all__ = ["RandomHG"]
+
+
+class RandomHG(GraphCondenser):
+    """Uniform random heterogeneous coreset."""
+
+    name = "Random-HG"
+
+    def condense(
+        self,
+        graph: HeteroGraph,
+        ratio: float,
+        *,
+        seed: int | np.random.Generator | None = None,
+    ) -> HeteroGraph:
+        ratio = self._validate_ratio(graph, ratio)
+        rng = self._rng(seed)
+        budgets = per_type_budgets(graph, ratio)
+        target = graph.schema.target_type
+
+        class_budgets = per_class_budgets(graph, budgets[target])
+        train_pool = graph.splits.train
+        train_labels = graph.labels[train_pool]
+        selected_target: list[np.ndarray] = []
+        for cls, budget in class_budgets.items():
+            members = train_pool[train_labels == cls]
+            take = min(budget, members.size)
+            if take:
+                selected_target.append(rng.choice(members, size=take, replace=False))
+        kept: dict[str, np.ndarray] = {
+            target: np.concatenate(selected_target) if selected_target else np.empty(0, int)
+        }
+        for node_type in graph.schema.other_types():
+            count = graph.num_nodes[node_type]
+            take = min(budgets[node_type], count)
+            kept[node_type] = rng.choice(count, size=take, replace=False)
+        condensed = graph.induced_subgraph(kept)
+        condensed.metadata.update({"method": self.name, "ratio": ratio})
+        return condensed

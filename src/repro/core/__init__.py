@@ -1,0 +1,51 @@
+"""FreeHGC core: the paper's training-free condensation algorithm."""
+
+from repro.core.condenser import FreeHGC, assemble_condensed_graph
+from repro.core.criterion import TargetNodeSelector, TargetSelectionResult
+from repro.core.metapaths import (
+    MetaPath,
+    enumerate_metapaths,
+    metapath_adjacency,
+    metapaths_to_type,
+)
+from repro.core.neighbor_influence import (
+    FatherSelectionResult,
+    NeighborInfluenceMaximizer,
+    personalized_pagerank,
+)
+from repro.core.receptive_field import (
+    CoverageResult,
+    greedy_max_coverage,
+    receptive_field_size,
+)
+from repro.core.similarity import (
+    jaccard_between_sets,
+    metapath_similarity_scores,
+    pairwise_jaccard,
+)
+from repro.core.synthesis import InformationLossMinimizer, SyntheticLeafNodes
+from repro.core.topology import TypeHierarchy, classify_node_types
+
+__all__ = [
+    "FreeHGC",
+    "assemble_condensed_graph",
+    "TargetNodeSelector",
+    "TargetSelectionResult",
+    "MetaPath",
+    "enumerate_metapaths",
+    "metapath_adjacency",
+    "metapaths_to_type",
+    "NeighborInfluenceMaximizer",
+    "FatherSelectionResult",
+    "personalized_pagerank",
+    "CoverageResult",
+    "greedy_max_coverage",
+    "receptive_field_size",
+    "pairwise_jaccard",
+    "metapath_similarity_scores",
+    "jaccard_between_sets",
+    "InformationLossMinimizer",
+    "SyntheticLeafNodes",
+    "TypeHierarchy",
+    "classify_node_types",
+]

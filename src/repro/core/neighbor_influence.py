@@ -1,0 +1,175 @@
+"""Neighbour-influence maximisation for father-type nodes (Eq. 10–13).
+
+Father types bridge the target type and the leaf types, so FreeHGC keeps the
+father nodes with the largest influence on the (condensed) target nodes.
+Influence is measured with personalised PageRank over the symmetric-
+normalised bipartite graph induced by every meta-path from the target type
+to the father type (Eq. 11), aggregated across meta-paths (Eq. 12), and the
+top-k father nodes by total received influence are selected (Eq. 13).
+
+The PPR matrix inverse of Eq. 11 is approximated with power iteration (the
+standard approximate-PPR technique the paper cites for scalability); degree
+centrality is available as the drop-in alternative mentioned in the paper
+("NIM can be replaced by other node importance evaluation algorithms").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.metapaths import MetaPath, metapaths_to_type
+from repro.errors import BudgetError
+from repro.hetero.graph import HeteroGraph
+from repro.hetero.sparse import symmetric_normalize
+from repro.core.metapaths import metapath_adjacency
+
+__all__ = ["FatherSelectionResult", "NeighborInfluenceMaximizer", "personalized_pagerank"]
+
+
+def personalized_pagerank(
+    adjacency: sp.csr_matrix,
+    restart: np.ndarray,
+    *,
+    alpha: float = 0.15,
+    iterations: int = 30,
+    tolerance: float = 1e-8,
+) -> np.ndarray:
+    """Approximate personalised PageRank on a symmetric-normalised graph.
+
+    Solves ``p = alpha * restart + (1 - alpha) * Â p`` by power iteration,
+    the approximation of ``alpha (I - (1 - alpha) Â)^{-1} restart`` (Eq. 11).
+
+    Parameters
+    ----------
+    adjacency:
+        Square adjacency matrix (it is symmetrically normalised internally).
+    restart:
+        Restart (personalisation) distribution; it is renormalised to sum
+        to one.
+    alpha:
+        Restart probability (``α`` in Eq. 11).
+    iterations / tolerance:
+        Power-iteration stopping criteria.
+    """
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError("personalised PageRank requires a square adjacency matrix")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    normalized = symmetric_normalize(adjacency)
+    restart = np.asarray(restart, dtype=np.float64)
+    total = restart.sum()
+    if total <= 0:
+        restart = np.full(adjacency.shape[0], 1.0 / adjacency.shape[0])
+    else:
+        restart = restart / total
+    scores = restart.copy()
+    for _ in range(iterations):
+        updated = alpha * restart + (1.0 - alpha) * (normalized @ scores)
+        if np.abs(updated - scores).sum() < tolerance:
+            scores = updated
+            break
+        scores = updated
+    return scores
+
+
+@dataclass
+class FatherSelectionResult:
+    """Outcome of father-type selection for one node type."""
+
+    node_type: str
+    selected: np.ndarray
+    influence: np.ndarray
+    metapaths: list[MetaPath]
+
+
+class NeighborInfluenceMaximizer:
+    """Selects father-type nodes by aggregated meta-path influence."""
+
+    def __init__(
+        self,
+        *,
+        max_hops: int = 2,
+        max_paths: int = 16,
+        alpha: float = 0.15,
+        iterations: int = 30,
+        importance: str = "ppr",
+    ) -> None:
+        if importance not in ("ppr", "degree"):
+            raise ValueError(f"importance must be 'ppr' or 'degree', got {importance!r}")
+        self.max_hops = max_hops
+        self.max_paths = max_paths
+        self.alpha = alpha
+        self.iterations = iterations
+        self.importance = importance
+
+    # ------------------------------------------------------------------ #
+    def select(
+        self,
+        graph: HeteroGraph,
+        node_type: str,
+        budget: int,
+        *,
+        anchor_nodes: np.ndarray | None = None,
+    ) -> FatherSelectionResult:
+        """Select ``budget`` nodes of father type ``node_type`` (Eq. 13).
+
+        ``anchor_nodes`` restricts the influence computation to the already
+        selected (condensed) target nodes, so the kept father nodes are the
+        ones most relevant to the condensed graph.
+        """
+        if budget < 1:
+            raise BudgetError(f"father budget must be >= 1, got {budget}")
+        target = graph.schema.target_type
+        if node_type == target:
+            raise ValueError("father selection does not apply to the target type")
+        n_father = graph.num_nodes[node_type]
+        budget = min(budget, n_father)
+
+        metapaths = metapaths_to_type(
+            graph.schema, target, node_type, self.max_hops, max_paths=self.max_paths
+        )
+        if not metapaths:
+            # Fall back to the direct typed adjacency even if the schema walk
+            # found no path (can happen with max_hops=1 on reverse-only links).
+            metapaths = [MetaPath((target, node_type))]
+
+        influence = np.zeros(n_father, dtype=np.float64)
+        n_target = graph.num_nodes[target]
+        if anchor_nodes is None:
+            anchor_mask = np.ones(n_target, dtype=np.float64)
+        else:
+            anchor_mask = np.zeros(n_target, dtype=np.float64)
+            anchor_mask[np.asarray(anchor_nodes, dtype=np.int64)] = 1.0
+
+        for metapath in metapaths:
+            adjacency = metapath_adjacency(graph, metapath, normalize=False)
+            if adjacency.nnz == 0:
+                continue
+            if self.importance == "degree":
+                weighted = adjacency.T @ anchor_mask
+                influence += np.asarray(weighted).ravel()
+                continue
+            bipartite = sp.bmat(
+                [
+                    [None, adjacency],
+                    [adjacency.T, None],
+                ],
+                format="csr",
+            )
+            restart = np.concatenate([anchor_mask, np.zeros(n_father)])
+            scores = personalized_pagerank(
+                bipartite, restart, alpha=self.alpha, iterations=self.iterations
+            )
+            influence += scores[n_target:]
+
+        order = np.argsort(-influence, kind="stable")
+        selected = order[:budget]
+        return FatherSelectionResult(
+            node_type=node_type,
+            selected=np.asarray(selected, dtype=np.int64),
+            influence=influence,
+            metapaths=metapaths,
+        )

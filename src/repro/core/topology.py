@@ -1,0 +1,69 @@
+"""Topology classification of node types (Fig. 5 of the paper).
+
+FreeHGC condenses non-target node types with two different strategies, chosen
+by the role the type plays in the schema's vertical hierarchy:
+
+* the **root type** is the target (labelled) type;
+* **father types** are directly connected to the root — they bridge the root
+  and everything else, so they are *selected* by neighbour-influence
+  maximisation;
+* **leaf types** are only reachable through father types — they are
+  *synthesised* by information-loss minimisation.
+
+ACM and IMDB have only fathers (Structure 1); DBLP and AMiner have a clean
+root → father → leaf chain (Structure 2); Freebase-style knowledge graphs mix
+both with extra cross links (Structure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hetero.schema import HeteroSchema
+
+__all__ = ["TypeHierarchy", "classify_node_types"]
+
+
+@dataclass(frozen=True)
+class TypeHierarchy:
+    """Partition of node types into root / father / leaf roles."""
+
+    root: str
+    fathers: tuple[str, ...]
+    leaves: tuple[str, ...]
+
+    @property
+    def structure(self) -> int:
+        """The Fig. 5 structure family: 1 (no leaves), 2 (chain), or 3 (mixed)."""
+        if not self.leaves:
+            return 1
+        if len(self.fathers) == 1:
+            return 2
+        return 3
+
+    def role_of(self, node_type: str) -> str:
+        """Return ``"root"``, ``"father"`` or ``"leaf"`` for ``node_type``."""
+        if node_type == self.root:
+            return "root"
+        if node_type in self.fathers:
+            return "father"
+        if node_type in self.leaves:
+            return "leaf"
+        raise KeyError(f"unknown node type {node_type!r}")
+
+
+def classify_node_types(schema: HeteroSchema) -> TypeHierarchy:
+    """Classify every node type of ``schema`` into root / father / leaf.
+
+    Father types are the types adjacent to the target type at the schema
+    level; every remaining type is a leaf.  Types that are completely
+    disconnected from the target (possible in pathological schemas) are also
+    treated as leaves so they still receive a condensation strategy.
+    """
+    root = schema.target_type
+    fathers = tuple(t for t in schema.neighbor_types(root) if t != root)
+    father_set = set(fathers)
+    leaves = tuple(
+        t for t in schema.node_types if t != root and t not in father_set
+    )
+    return TypeHierarchy(root=root, fathers=fathers, leaves=leaves)

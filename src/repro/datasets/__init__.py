@@ -1,0 +1,45 @@
+"""Synthetic heterogeneous-graph datasets mirroring the paper's benchmarks."""
+
+from repro.datasets.acm import acm_config, load_acm
+from repro.datasets.am import am_config, load_am
+from repro.datasets.aminer import aminer_config, load_aminer
+from repro.datasets.base import NodeTypeSpec, RelationSpec, SyntheticHINConfig
+from repro.datasets.dblp import dblp_config, load_dblp
+from repro.datasets.freebase import freebase_config, load_freebase
+from repro.datasets.generators import generate_hin, schema_from_config
+from repro.datasets.imdb import imdb_config, load_imdb
+from repro.datasets.mutag import load_mutag, mutag_config
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetEntry,
+    available_datasets,
+    dataset_config,
+    load_dataset,
+)
+
+__all__ = [
+    "NodeTypeSpec",
+    "RelationSpec",
+    "SyntheticHINConfig",
+    "generate_hin",
+    "schema_from_config",
+    "acm_config",
+    "load_acm",
+    "dblp_config",
+    "load_dblp",
+    "imdb_config",
+    "load_imdb",
+    "freebase_config",
+    "load_freebase",
+    "aminer_config",
+    "load_aminer",
+    "mutag_config",
+    "load_mutag",
+    "am_config",
+    "load_am",
+    "DATASETS",
+    "DatasetEntry",
+    "available_datasets",
+    "dataset_config",
+    "load_dataset",
+]

@@ -1,0 +1,202 @@
+"""Schema-driven synthetic heterogeneous-graph generator.
+
+Given a :class:`~repro.datasets.base.SyntheticHINConfig`, :func:`generate_hin`
+produces a :class:`~repro.hetero.graph.HeteroGraph` with:
+
+* **planted topics** — every node of every type carries a latent topic drawn
+  from the same ``num_classes`` topics; target-type topics *are* the labels;
+* **assortative, skewed edges** — each relation connects same-topic nodes
+  with probability ``affinity`` and destination popularity follows a Pareto
+  distribution, reproducing the power-law degree skew the paper's
+  receptive-field argument relies on (Section IV-B);
+* **class-conditional features** — each node type has per-topic Gaussian
+  feature means, so meta-path aggregated features are predictive of the
+  target label, as in real academic/knowledge graphs;
+* **HGB-style splits** — 24% / 6% / 70% train/val/test over target nodes by
+  default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import RelationSpec, SyntheticHINConfig
+from repro.hetero.builder import HeteroGraphBuilder
+from repro.hetero.schema import HeteroSchema, Relation
+from repro.utils.rng import ensure_rng
+
+__all__ = ["generate_hin", "schema_from_config"]
+
+
+def schema_from_config(config: SyntheticHINConfig) -> HeteroSchema:
+    """Build the :class:`HeteroSchema` described by ``config``."""
+    return HeteroSchema(
+        node_types=tuple(spec.name for spec in config.node_types),
+        relations=tuple(Relation(rel.name, rel.src, rel.dst) for rel in config.relations),
+        target_type=config.target_type,
+        num_classes=config.num_classes,
+        name=config.name,
+    )
+
+
+def _assign_topics(count: int, num_topics: int, rng: np.random.Generator) -> np.ndarray:
+    """Roughly balanced topic assignment for ``count`` nodes."""
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    base = np.tile(np.arange(num_topics), count // num_topics + 1)[:count]
+    rng.shuffle(base)
+    return base.astype(np.int64)
+
+
+def _popularity_weights(count: int, skew: float, rng: np.random.Generator) -> np.ndarray:
+    """Pareto-distributed popularity weights normalised to sum to one."""
+    if count == 0:
+        return np.empty(0, dtype=np.float64)
+    weights = rng.pareto(skew, size=count) + 1.0
+    return weights / weights.sum()
+
+
+def _sample_relation_edges(
+    rel: RelationSpec,
+    src_topics: np.ndarray,
+    dst_topics: np.ndarray,
+    num_topics: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample edge endpoints for one relation.
+
+    Every source node draws ``Poisson(avg_degree) + 1`` destinations.  With
+    probability ``affinity`` the destination is drawn from the same-topic
+    pool (weighted by popularity); otherwise from the full destination set.
+    """
+    n_src = src_topics.shape[0]
+    n_dst = dst_topics.shape[0]
+    if n_src == 0 or n_dst == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    popularity = _popularity_weights(n_dst, rel.degree_skew, rng)
+    all_dst = np.arange(n_dst)
+    per_topic_nodes: list[np.ndarray] = []
+    per_topic_probs: list[np.ndarray] = []
+    for topic in range(num_topics):
+        members = all_dst[dst_topics == topic]
+        per_topic_nodes.append(members)
+        if members.size:
+            probs = popularity[members]
+            per_topic_probs.append(probs / probs.sum())
+        else:
+            per_topic_probs.append(np.empty(0))
+
+    degrees = rng.poisson(rel.avg_degree, size=n_src) + 1
+    src_out: list[np.ndarray] = []
+    dst_out: list[np.ndarray] = []
+    for src_node in range(n_src):
+        deg = int(degrees[src_node])
+        topic = int(src_topics[src_node]) % num_topics
+        same_topic = rng.random(deg) < rel.affinity
+        n_same = int(same_topic.sum())
+        chosen = np.empty(deg, dtype=np.int64)
+        members = per_topic_nodes[topic]
+        if n_same and members.size:
+            chosen[:n_same] = rng.choice(members, size=n_same, p=per_topic_probs[topic])
+        else:
+            n_same = 0
+        n_rest = deg - n_same
+        if n_rest:
+            # Background (cross-topic) edges are uniform rather than
+            # popularity-weighted, so hub nodes stay topic-pure — the property
+            # of real academic/knowledge graphs that makes receptive-field
+            # maximisation a sensible selection signal.
+            chosen[n_same:] = rng.integers(0, n_dst, size=n_rest)
+        src_out.append(np.full(deg, src_node, dtype=np.int64))
+        dst_out.append(chosen)
+    return np.concatenate(src_out), np.concatenate(dst_out)
+
+
+def _topic_features(
+    topics: np.ndarray,
+    feature_dim: int,
+    noise: float,
+    signal: float,
+    num_topics: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Class-conditional Gaussian features: ``x = signal * mu_topic + noise``."""
+    means = rng.standard_normal((num_topics, feature_dim))
+    # Orthogonalise topic means so classes are separable but not trivially so.
+    q, _ = np.linalg.qr(means.T)
+    means = q.T[:num_topics] if q.shape[1] >= num_topics else means
+    features = signal * means[topics % num_topics]
+    features = features + noise * rng.standard_normal((topics.shape[0], feature_dim))
+    return features
+
+
+def generate_hin(
+    config: SyntheticHINConfig,
+    *,
+    scale: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+) -> "HeteroGraph":
+    """Generate a synthetic heterogeneous graph from ``config``.
+
+    Parameters
+    ----------
+    config:
+        Dataset description (node types, relations, class count, splits).
+    scale:
+        Multiplier applied to every node-type count; benchmarks use small
+        scales so the full pipeline runs in seconds.
+    seed:
+        Seed or generator for reproducibility.
+
+    Returns
+    -------
+    HeteroGraph
+        Graph with features, labels on the target type and HGB-style splits.
+    """
+    from repro.hetero.graph import HeteroGraph  # local import to avoid cycles
+
+    rng = ensure_rng(seed)
+    schema = schema_from_config(config)
+    counts = config.scaled_counts(scale)
+    num_topics = config.num_classes
+
+    topics: dict[str, np.ndarray] = {
+        spec.name: _assign_topics(counts[spec.name], num_topics, rng)
+        for spec in config.node_types
+    }
+
+    builder = HeteroGraphBuilder(schema)
+    for spec in config.node_types:
+        features = _topic_features(
+            topics[spec.name],
+            spec.feature_dim,
+            spec.feature_noise,
+            config.feature_signal,
+            num_topics,
+            rng,
+        )
+        builder.add_nodes(spec.name, counts[spec.name], features)
+
+    for rel in config.relations:
+        src, dst = _sample_relation_edges(
+            rel, topics[rel.src], topics[rel.dst], num_topics, rng
+        )
+        builder.add_edges(rel.name, src, dst)
+
+    target_topics = topics[config.target_type]
+    builder.set_labels(target_topics)
+
+    n_target = counts[config.target_type]
+    order = rng.permutation(n_target)
+    n_train = max(1, int(round(config.train_fraction * n_target)))
+    n_val = max(1, int(round(config.val_fraction * n_target)))
+    builder.set_splits(
+        train=order[:n_train],
+        val=order[n_train : n_train + n_val],
+        test=order[n_train + n_val :],
+    )
+    builder.set_metadata(name=config.name, scale=scale, **dict(config.metadata))
+
+    graph: HeteroGraph = builder.build()
+    return graph

@@ -1,0 +1,47 @@
+"""Synthetic IMDB movie network (HGB benchmark analogue).
+
+*Movie* is the target type (5 genre classes), directly connected to
+directors, actors and keywords — "Structure 1" of Fig. 5.  IMDB is the
+hardest HGB dataset (whole-graph accuracy ≈ 68% in the paper) because genre
+signal is noisy; the generator mirrors that by using larger feature noise and
+weaker edge affinity than ACM/DBLP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import NodeTypeSpec, RelationSpec, SyntheticHINConfig
+from repro.datasets.generators import generate_hin
+from repro.hetero.graph import HeteroGraph
+
+__all__ = ["imdb_config", "load_imdb"]
+
+
+def imdb_config() -> SyntheticHINConfig:
+    """Configuration of the synthetic IMDB dataset."""
+    return SyntheticHINConfig(
+        name="imdb",
+        target_type="movie",
+        num_classes=5,
+        node_types=(
+            NodeTypeSpec("movie", count=900, feature_dim=32, feature_noise=1.9),
+            NodeTypeSpec("director", count=400, feature_dim=24, feature_noise=1.6),
+            NodeTypeSpec("actor", count=1300, feature_dim=24, feature_noise=1.8),
+            NodeTypeSpec("keyword", count=500, feature_dim=16, feature_noise=1.5),
+        ),
+        relations=(
+            RelationSpec("movie-director", "movie", "director", avg_degree=1.0, affinity=0.78),
+            RelationSpec("movie-actor", "movie", "actor", avg_degree=3.0, affinity=0.55),
+            RelationSpec("movie-keyword", "movie", "keyword", avg_degree=4.0, affinity=0.5),
+        ),
+        feature_signal=1.5,
+        metadata={"structure": 1, "hgb": True},
+    )
+
+
+def load_imdb(
+    *, scale: float = 1.0, seed: int | np.random.Generator | None = 0
+) -> HeteroGraph:
+    """Generate the synthetic IMDB heterogeneous graph."""
+    return generate_hin(imdb_config(), scale=scale, seed=seed)

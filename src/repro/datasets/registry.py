@@ -1,0 +1,121 @@
+"""Dataset registry.
+
+Single lookup point mapping dataset names to loaders and their paper-aligned
+default condensation ratios.  The benchmark harness iterates over this
+registry instead of hard-coding dataset lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.acm import acm_config, load_acm
+from repro.datasets.am import am_config, load_am
+from repro.datasets.aminer import aminer_config, load_aminer
+from repro.datasets.base import SyntheticHINConfig
+from repro.datasets.dblp import dblp_config, load_dblp
+from repro.datasets.freebase import freebase_config, load_freebase
+from repro.datasets.imdb import imdb_config, load_imdb
+from repro.datasets.mutag import load_mutag, mutag_config
+from repro.errors import DatasetError
+from repro.hetero.graph import HeteroGraph
+
+__all__ = ["DatasetEntry", "DATASETS", "available_datasets", "load_dataset", "dataset_config"]
+
+Loader = Callable[..., HeteroGraph]
+
+
+@dataclass(frozen=True)
+class DatasetEntry:
+    """Registry record for one dataset."""
+
+    name: str
+    loader: Loader
+    config_factory: Callable[[], SyntheticHINConfig]
+    paper_ratios: tuple[float, ...]
+    max_hops: int
+    large_scale: bool = False
+    knowledge_graph: bool = False
+
+
+DATASETS: dict[str, DatasetEntry] = {
+    "acm": DatasetEntry(
+        name="acm",
+        loader=load_acm,
+        config_factory=acm_config,
+        paper_ratios=(0.012, 0.024, 0.048, 0.096),
+        max_hops=3,
+    ),
+    "dblp": DatasetEntry(
+        name="dblp",
+        loader=load_dblp,
+        config_factory=dblp_config,
+        paper_ratios=(0.012, 0.024, 0.048, 0.096),
+        max_hops=4,
+    ),
+    "imdb": DatasetEntry(
+        name="imdb",
+        loader=load_imdb,
+        config_factory=imdb_config,
+        paper_ratios=(0.012, 0.024, 0.048, 0.096),
+        max_hops=5,
+    ),
+    "freebase": DatasetEntry(
+        name="freebase",
+        loader=load_freebase,
+        config_factory=freebase_config,
+        paper_ratios=(0.012, 0.024, 0.048, 0.096),
+        max_hops=2,
+    ),
+    "aminer": DatasetEntry(
+        name="aminer",
+        loader=load_aminer,
+        config_factory=aminer_config,
+        paper_ratios=(0.0005, 0.002, 0.008),
+        max_hops=2,
+        large_scale=True,
+    ),
+    "mutag": DatasetEntry(
+        name="mutag",
+        loader=load_mutag,
+        config_factory=mutag_config,
+        paper_ratios=(0.005, 0.01, 0.02),
+        max_hops=1,
+        knowledge_graph=True,
+    ),
+    "am": DatasetEntry(
+        name="am",
+        loader=load_am,
+        config_factory=am_config,
+        paper_ratios=(0.002, 0.004, 0.008),
+        max_hops=1,
+        knowledge_graph=True,
+    ),
+}
+
+
+def available_datasets() -> tuple[str, ...]:
+    """Names of every registered dataset."""
+    return tuple(DATASETS)
+
+
+def dataset_config(name: str) -> SyntheticHINConfig:
+    """Return the generator config for dataset ``name``."""
+    return _entry(name).config_factory()
+
+
+def load_dataset(
+    name: str, *, scale: float = 1.0, seed: int | np.random.Generator | None = 0
+) -> HeteroGraph:
+    """Load dataset ``name`` at the requested ``scale``."""
+    return _entry(name).loader(scale=scale, seed=seed)
+
+
+def _entry(name: str) -> DatasetEntry:
+    key = name.lower()
+    if key not in DATASETS:
+        raise DatasetError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
+    return DATASETS[key]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so that callers
+can catch the whole family with a single ``except`` clause while still being
+able to distinguish schema problems from budget problems, etc.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "GraphConstructionError",
+    "BudgetError",
+    "CondensationError",
+    "DatasetError",
+    "ModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A heterogeneous-graph schema is malformed or inconsistent."""
+
+
+class GraphConstructionError(ReproError):
+    """Graph data (adjacency, features, labels) violates the schema."""
+
+
+class BudgetError(ReproError):
+    """A condensation budget / ratio is infeasible for the given graph."""
+
+
+class CondensationError(ReproError):
+    """A condensation method failed to produce a valid condensed graph."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator was configured inconsistently."""
+
+
+class ModelError(ReproError):
+    """A model was used before fitting or configured inconsistently."""

@@ -1,0 +1,50 @@
+"""Evaluation pipeline: the condense → train → test-on-full-graph protocol."""
+
+from repro.evaluation.pipeline import (
+    CONDENSER_NAMES,
+    ExperimentConfig,
+    make_condenser,
+    make_model_factory,
+    run_generalization_study,
+    run_ratio_sweep,
+)
+from repro.evaluation.protocol import (
+    MethodEvaluation,
+    evaluate_condenser,
+    train_on_condensed,
+    whole_graph_reference,
+)
+from repro.evaluation.reporting import (
+    format_markdown_table,
+    format_series,
+    format_table,
+    write_report,
+)
+from repro.evaluation.storage import (
+    storage_bytes,
+    storage_megabytes,
+    storage_reduction_percent,
+)
+from repro.evaluation.timing import Stopwatch, timed
+
+__all__ = [
+    "ExperimentConfig",
+    "CONDENSER_NAMES",
+    "make_condenser",
+    "make_model_factory",
+    "run_ratio_sweep",
+    "run_generalization_study",
+    "MethodEvaluation",
+    "evaluate_condenser",
+    "train_on_condensed",
+    "whole_graph_reference",
+    "format_table",
+    "format_markdown_table",
+    "format_series",
+    "write_report",
+    "storage_bytes",
+    "storage_megabytes",
+    "storage_reduction_percent",
+    "Stopwatch",
+    "timed",
+]

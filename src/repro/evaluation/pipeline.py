@@ -1,0 +1,242 @@
+"""High-level experiment driver used by the benchmark harness and examples.
+
+Wraps the low-level protocol (:mod:`repro.evaluation.protocol`) with the
+bookkeeping every table of the paper needs: dataset loading at a chosen
+scale, instantiating condensers and evaluation models by name with
+dataset-appropriate hyper-parameters, sweeping condensation ratios, and
+collecting report rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.baselines import (
+    CoarseningHG,
+    GCond,
+    GraphCondenser,
+    HerdingHG,
+    HGCond,
+    KCenterHG,
+    RandomHG,
+)
+from repro.core import FreeHGC
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.evaluation.protocol import (
+    MethodEvaluation,
+    evaluate_condenser,
+    whole_graph_reference,
+)
+from repro.hetero.graph import HeteroGraph
+from repro.models import MODEL_REGISTRY, HGNNClassifier
+
+__all__ = [
+    "ExperimentConfig",
+    "make_condenser",
+    "make_model_factory",
+    "run_ratio_sweep",
+    "run_generalization_study",
+    "CONDENSER_NAMES",
+]
+
+CONDENSER_NAMES = (
+    "random-hg",
+    "herding-hg",
+    "k-center-hg",
+    "coarsening-hg",
+    "gcond",
+    "hgcond",
+    "freehgc",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Configuration of one ratio-sweep experiment (a Table III-style block)."""
+
+    dataset: str
+    ratios: tuple[float, ...]
+    methods: tuple[str, ...] = ("random-hg", "herding-hg", "hgcond", "freehgc")
+    model: str = "sehgnn"
+    scale: float = 0.35
+    seeds: int = 2
+    base_seed: int = 0
+    hidden_dim: int = 32
+    epochs: int = 80
+    max_hops: int | None = None
+    include_whole: bool = True
+    fast_optimization: bool = True
+    extra_model_kwargs: dict[str, object] = field(default_factory=dict)
+
+    def resolved_max_hops(self) -> int:
+        """Meta-path hop limit: explicit value or the dataset's paper default."""
+        if self.max_hops is not None:
+            return self.max_hops
+        entry = DATASETS.get(self.dataset.lower())
+        return min(entry.max_hops, 3) if entry is not None else 2
+
+
+def make_condenser(
+    name: str, *, max_hops: int = 2, fast_optimization: bool = True, **overrides: object
+) -> GraphCondenser:
+    """Instantiate a condenser (FreeHGC or baseline) with sensible defaults.
+
+    ``fast_optimization`` shrinks the nested loops of the optimisation-based
+    baselines so benchmark runs finish quickly; the paper-scale loop sizes
+    are used when it is False.
+    """
+    key = name.lower()
+    if key == "freehgc":
+        return FreeHGC(max_hops=max_hops, **overrides)
+    if key == "random-hg":
+        return RandomHG(**overrides)
+    if key == "herding-hg":
+        return HerdingHG(max_hops=min(max_hops, 2), **overrides)
+    if key == "k-center-hg":
+        return KCenterHG(max_hops=min(max_hops, 2), **overrides)
+    if key == "coarsening-hg":
+        return CoarseningHG(max_hops=min(max_hops, 2), **overrides)
+    if key == "gcond":
+        iterations = {"outer_iterations": 15, "inner_steps": 3} if fast_optimization else {}
+        iterations.update(overrides)
+        return GCond(max_hops=min(max_hops, 2), **iterations)
+    if key == "hgcond":
+        iterations = (
+            {"outer_iterations": 10, "inner_steps": 3, "ops_length": 2}
+            if fast_optimization
+            else {}
+        )
+        iterations.update(overrides)
+        return HGCond(**iterations)
+    raise KeyError(f"unknown condenser {name!r}; available: {CONDENSER_NAMES}")
+
+
+def make_model_factory(
+    model: str,
+    *,
+    hidden_dim: int = 32,
+    epochs: int = 80,
+    max_hops: int = 2,
+    seed: int = 0,
+    **extra: object,
+) -> Callable[[], HGNNClassifier]:
+    """Return a zero-argument factory building the named evaluation HGNN."""
+    key = model.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {model!r}; available: {sorted(MODEL_REGISTRY)}")
+    model_cls = MODEL_REGISTRY[key]
+
+    def factory() -> HGNNClassifier:
+        return model_cls(
+            hidden_dim=hidden_dim,
+            epochs=epochs,
+            max_hops=min(max_hops, 2),
+            seed=seed,
+            **extra,
+        )
+
+    return factory
+
+
+def run_ratio_sweep(
+    config: ExperimentConfig, *, graph: HeteroGraph | None = None
+) -> list[MethodEvaluation]:
+    """Run every (method, ratio) cell of ``config`` and return all evaluations."""
+    graph = graph if graph is not None else load_dataset(
+        config.dataset, scale=config.scale, seed=config.base_seed
+    )
+    max_hops = config.resolved_max_hops()
+    model_factory = make_model_factory(
+        config.model,
+        hidden_dim=config.hidden_dim,
+        epochs=config.epochs,
+        max_hops=max_hops,
+        seed=config.base_seed,
+        **config.extra_model_kwargs,
+    )
+    results: list[MethodEvaluation] = []
+    for ratio in config.ratios:
+        for method in config.methods:
+            condenser = make_condenser(
+                method, max_hops=max_hops, fast_optimization=config.fast_optimization
+            )
+            results.append(
+                evaluate_condenser(
+                    graph,
+                    condenser,
+                    ratio,
+                    model_factory,
+                    seeds=config.seeds,
+                    base_seed=config.base_seed,
+                    dataset_name=config.dataset,
+                )
+            )
+    if config.include_whole:
+        results.append(
+            whole_graph_reference(
+                graph,
+                model_factory,
+                seeds=config.seeds,
+                base_seed=config.base_seed,
+                dataset_name=config.dataset,
+            )
+        )
+    return results
+
+
+def run_generalization_study(
+    dataset: str,
+    ratio: float,
+    *,
+    methods: Sequence[str] = ("herding-hg", "hgcond", "freehgc"),
+    models: Sequence[str] = ("hgb", "hgt", "han", "sehgnn"),
+    scale: float = 0.35,
+    seeds: int = 1,
+    base_seed: int = 0,
+    hidden_dim: int = 32,
+    epochs: int = 80,
+    graph: HeteroGraph | None = None,
+) -> list[dict[str, object]]:
+    """Table IV: evaluate every method's condensed graph on several HGNNs.
+
+    Returns one row per method with per-model accuracies, the condensed
+    average and the whole-graph average.
+    """
+    graph = graph if graph is not None else load_dataset(dataset, scale=scale, seed=base_seed)
+    entry = DATASETS.get(dataset.lower())
+    max_hops = min(entry.max_hops, 3) if entry is not None else 2
+
+    whole_per_model: dict[str, float] = {}
+    rows: list[dict[str, object]] = []
+    for method in methods:
+        condenser = make_condenser(method, max_hops=max_hops)
+        row: dict[str, object] = {"dataset": dataset, "method": condenser.name, "ratio": ratio}
+        per_model: list[float] = []
+        for model in models:
+            factory = make_model_factory(
+                model, hidden_dim=hidden_dim, epochs=epochs, max_hops=max_hops, seed=base_seed
+            )
+            evaluation = evaluate_condenser(
+                graph,
+                condenser,
+                ratio,
+                factory,
+                seeds=seeds,
+                base_seed=base_seed,
+                dataset_name=dataset,
+            )
+            accuracy = round(100.0 * evaluation.mean_accuracy, 2)
+            row[model.upper()] = accuracy
+            per_model.append(evaluation.mean_accuracy)
+            if model not in whole_per_model:
+                reference = whole_graph_reference(
+                    graph, factory, seeds=seeds, base_seed=base_seed, dataset_name=dataset
+                )
+                whole_per_model[model] = reference.mean_accuracy
+        row["Condensed Avg."] = round(100.0 * sum(per_model) / len(per_model), 2)
+        row["Whole Avg."] = round(
+            100.0 * sum(whole_per_model[m] for m in models) / len(models), 2
+        )
+        rows.append(row)
+    return rows

@@ -1,0 +1,85 @@
+"""Plain-text table rendering for the benchmark harness.
+
+All tables and figure series in the paper are re-generated as aligned text
+tables (and optionally Markdown) so they can be diffed against
+EXPERIMENTS.md without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_markdown_table", "write_report", "format_series"]
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` (dicts) as an aligned monospace table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [[_stringify(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(columns)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(width) for col, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render ``rows`` as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    lines = ["| " + " | ".join(columns) + " |", "| " + " | ".join("---" for _ in columns) + " |"]
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(row.get(col, "")) for col in columns) + " |")
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Iterable[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render figure data (one line per x value, one column per series)."""
+    x_values = list(x_values)
+    rows = []
+    for index, x in enumerate(x_values):
+        row: dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else ""
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def write_report(text: str, path: str | Path) -> Path:
+    """Write a rendered report to ``path`` (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,32 @@
+"""Storage accounting for Table VII (condensed vs. original graphs)."""
+
+from __future__ import annotations
+
+from repro.baselines.base import CondensedFeatureSet
+from repro.hetero.graph import HeteroGraph
+
+__all__ = ["storage_bytes", "storage_megabytes", "storage_reduction_percent"]
+
+
+def storage_bytes(data: HeteroGraph | CondensedFeatureSet) -> int:
+    """Approximate in-memory footprint of a condensed artefact."""
+    if isinstance(data, HeteroGraph):
+        return data.storage_bytes()
+    if isinstance(data, CondensedFeatureSet):
+        return data.storage_bytes()
+    raise TypeError(f"unsupported condensed artefact type {type(data)!r}")
+
+
+def storage_megabytes(data: HeteroGraph | CondensedFeatureSet) -> float:
+    """Footprint in megabytes."""
+    return storage_bytes(data) / 1e6
+
+
+def storage_reduction_percent(
+    original: HeteroGraph, condensed: HeteroGraph | CondensedFeatureSet
+) -> float:
+    """Percentage of storage saved by the condensed artefact."""
+    original_bytes = storage_bytes(original)
+    if original_bytes == 0:
+        return 0.0
+    return 100.0 * (1.0 - storage_bytes(condensed) / original_bytes)

@@ -1,0 +1,42 @@
+"""Timing helpers for the efficiency experiments (Fig. 2b, Fig. 8, Table VII)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Stopwatch", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock durations."""
+
+    durations: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager adding the elapsed time under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[name] = self.durations.get(name, 0.0) + elapsed
+
+    def get(self, name: str) -> float:
+        """Accumulated seconds recorded under ``name`` (0.0 if absent)."""
+        return self.durations.get(name, 0.0)
+
+
+@contextmanager
+def timed() -> Iterator[list[float]]:
+    """Context manager yielding a single-element list holding elapsed seconds."""
+    holder = [0.0]
+    start = time.perf_counter()
+    try:
+        yield holder
+    finally:
+        holder[0] = time.perf_counter() - start

@@ -1,0 +1,27 @@
+"""Heterogeneous-graph substrate: schema, graph container, sparse helpers."""
+
+from repro.hetero.builder import HeteroGraphBuilder
+from repro.hetero.graph import HeteroGraph, NodeSplits
+from repro.hetero.io import load_graph, save_graph, saved_size_bytes
+from repro.hetero.schema import HeteroSchema, Relation
+from repro.hetero.statistics import (
+    GraphStats,
+    compression_summary,
+    degree_statistics,
+    graph_stats,
+)
+
+__all__ = [
+    "HeteroGraph",
+    "HeteroGraphBuilder",
+    "HeteroSchema",
+    "NodeSplits",
+    "Relation",
+    "GraphStats",
+    "graph_stats",
+    "degree_statistics",
+    "compression_summary",
+    "save_graph",
+    "load_graph",
+    "saved_size_bytes",
+]

@@ -1,0 +1,344 @@
+"""The :class:`HeteroGraph` container.
+
+This is the central data structure of the library: a typed multi-relational
+graph with per-type feature matrices, labels on the target type, and
+train/validation/test splits.  All condensation methods consume and produce
+``HeteroGraph`` instances, so the class also implements induced subgraph
+extraction (the operation every selection-based reducer boils down to) and a
+homogeneous projection used by the GCond baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import GraphConstructionError
+from repro.hetero.schema import HeteroSchema, Relation
+from repro.hetero.sparse import boolean_csr, sparse_storage_bytes, to_csr
+
+__all__ = ["NodeSplits", "HeteroGraph"]
+
+
+@dataclass(frozen=True)
+class NodeSplits:
+    """Train/validation/test index arrays over the target node type."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("train", "val", "test"):
+            idx = np.asarray(getattr(self, name), dtype=np.int64)
+            object.__setattr__(self, name, idx)
+        overlap = (
+            set(self.train.tolist()) & set(self.val.tolist())
+            | set(self.train.tolist()) & set(self.test.tolist())
+            | set(self.val.tolist()) & set(self.test.tolist())
+        )
+        if overlap:
+            raise GraphConstructionError(f"splits overlap on {len(overlap)} nodes")
+
+    @property
+    def sizes(self) -> tuple[int, int, int]:
+        """Sizes of the train/val/test splits."""
+        return len(self.train), len(self.val), len(self.test)
+
+    def restricted_to(self, kept: np.ndarray, mapping: dict[int, int]) -> "NodeSplits":
+        """Remap splits after an induced subgraph keeps only ``kept`` nodes."""
+        kept_set = set(int(i) for i in kept)
+
+        def _remap(indices: np.ndarray) -> np.ndarray:
+            return np.array(
+                [mapping[int(i)] for i in indices if int(i) in kept_set], dtype=np.int64
+            )
+
+        return NodeSplits(_remap(self.train), _remap(self.val), _remap(self.test))
+
+
+@dataclass
+class HeteroGraph:
+    """A heterogeneous graph with features, labels and splits.
+
+    Attributes
+    ----------
+    schema:
+        The static type-level description of the graph.
+    num_nodes:
+        Number of nodes of each node type.
+    adjacency:
+        One CSR matrix per relation name; the matrix for relation
+        ``src -> dst`` has shape ``(num_nodes[src], num_nodes[dst])``.
+    features:
+        One dense feature matrix per node type (types may have different
+        feature dimensionality, as in the HGB benchmark).
+    labels:
+        Integer class labels of the target-type nodes.
+    splits:
+        Train/validation/test indices over the target type.
+    """
+
+    schema: HeteroSchema
+    num_nodes: dict[str, int]
+    adjacency: dict[str, sp.csr_matrix]
+    features: dict[str, np.ndarray]
+    labels: np.ndarray
+    splits: NodeSplits
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        self.adjacency = {name: to_csr(matrix) for name, matrix in self.adjacency.items()}
+        self.features = {
+            node_type: np.asarray(matrix, dtype=np.float64)
+            for node_type, matrix in self.features.items()
+        }
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check internal consistency against the schema; raise on violation."""
+        for node_type in self.schema.node_types:
+            if node_type not in self.num_nodes:
+                raise GraphConstructionError(f"missing node count for type {node_type!r}")
+            if self.num_nodes[node_type] < 0:
+                raise GraphConstructionError(f"negative node count for type {node_type!r}")
+            if node_type not in self.features:
+                raise GraphConstructionError(f"missing feature matrix for type {node_type!r}")
+            feats = self.features[node_type]
+            if feats.ndim != 2 or feats.shape[0] != self.num_nodes[node_type]:
+                raise GraphConstructionError(
+                    f"feature matrix for {node_type!r} has shape {feats.shape}, "
+                    f"expected ({self.num_nodes[node_type]}, d)"
+                )
+        known_relations = {rel.name for rel in self.schema.relations}
+        for name, matrix in self.adjacency.items():
+            if name not in known_relations:
+                raise GraphConstructionError(f"adjacency for unknown relation {name!r}")
+            rel = self.schema.relation(name)
+            expected = (self.num_nodes[rel.src], self.num_nodes[rel.dst])
+            if matrix.shape != expected:
+                raise GraphConstructionError(
+                    f"adjacency {name!r} has shape {matrix.shape}, expected {expected}"
+                )
+        target_count = self.num_nodes[self.schema.target_type]
+        if self.labels.shape != (target_count,):
+            raise GraphConstructionError(
+                f"labels have shape {self.labels.shape}, expected ({target_count},)"
+            )
+        labeled = self.labels[self.labels >= 0]
+        if labeled.size and labeled.max() >= self.schema.num_classes:
+            raise GraphConstructionError(
+                f"label {int(labeled.max())} out of range for {self.schema.num_classes} classes"
+            )
+        for split_name, idx in (
+            ("train", self.splits.train),
+            ("val", self.splits.val),
+            ("test", self.splits.test),
+        ):
+            if idx.size and (idx.min() < 0 or idx.max() >= target_count):
+                raise GraphConstructionError(f"{split_name} split indexes out of range")
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def target_type(self) -> str:
+        """Node type carrying the labels."""
+        return self.schema.target_type
+
+    @property
+    def num_classes(self) -> int:
+        """Number of target classes."""
+        return self.schema.num_classes
+
+    @property
+    def total_nodes(self) -> int:
+        """Total node count across all types."""
+        return int(sum(self.num_nodes.values()))
+
+    @property
+    def total_edges(self) -> int:
+        """Total edge count across all relations."""
+        return int(sum(matrix.nnz for matrix in self.adjacency.values()))
+
+    def relation_matrix(self, name: str) -> sp.csr_matrix:
+        """Adjacency matrix of relation ``name`` (zero matrix if absent)."""
+        if name in self.adjacency:
+            return self.adjacency[name]
+        rel = self.schema.relation(name)
+        return sp.csr_matrix((self.num_nodes[rel.src], self.num_nodes[rel.dst]))
+
+    def typed_adjacency(self, src: str, dst: str) -> sp.csr_matrix:
+        """Combined boolean adjacency from type ``src`` to type ``dst``.
+
+        Sums every relation (including stored reverse relations) connecting
+        the ordered pair and also transposes relations stored in the opposite
+        direction, so the result captures *any* connectivity between the two
+        types.
+        """
+        shape = (self.num_nodes[src], self.num_nodes[dst])
+        combined = sp.csr_matrix(shape)
+        for rel in self.schema.relations_between(src, dst):
+            if rel.name in self.adjacency:
+                combined = combined + self.adjacency[rel.name]
+        for rel in self.schema.relations_between(dst, src):
+            if rel.name in self.adjacency:
+                combined = combined + self.adjacency[rel.name].T.tocsr()
+        return boolean_csr(combined)
+
+    def connected_type_pairs(self) -> list[tuple[str, str]]:
+        """Ordered type pairs with at least one edge between them."""
+        pairs: set[tuple[str, str]] = set()
+        for name, matrix in self.adjacency.items():
+            if matrix.nnz == 0:
+                continue
+            rel = self.schema.relation(name)
+            pairs.add((rel.src, rel.dst))
+            pairs.add((rel.dst, rel.src))
+        return sorted(pairs)
+
+    def class_distribution(self, indices: np.ndarray | None = None) -> np.ndarray:
+        """Class histogram of the target labels (optionally restricted)."""
+        labels = self.labels if indices is None else self.labels[np.asarray(indices, dtype=int)]
+        labels = labels[labels >= 0]
+        return np.bincount(labels, minlength=self.schema.num_classes)
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def induced_subgraph(self, kept_nodes: dict[str, np.ndarray]) -> "HeteroGraph":
+        """Return the subgraph induced by keeping ``kept_nodes`` per type.
+
+        Types missing from ``kept_nodes`` keep all of their nodes.  The
+        target-type splits are remapped: selected nodes keep their original
+        split membership, dropped nodes simply disappear.
+        """
+        keep: dict[str, np.ndarray] = {}
+        for node_type in self.schema.node_types:
+            if node_type in kept_nodes:
+                idx = np.unique(np.asarray(kept_nodes[node_type], dtype=np.int64))
+                if idx.size and (idx.min() < 0 or idx.max() >= self.num_nodes[node_type]):
+                    raise GraphConstructionError(
+                        f"kept nodes for type {node_type!r} out of range"
+                    )
+                keep[node_type] = idx
+            else:
+                keep[node_type] = np.arange(self.num_nodes[node_type], dtype=np.int64)
+
+        mappings = {
+            node_type: {int(old): new for new, old in enumerate(keep[node_type])}
+            for node_type in self.schema.node_types
+        }
+        new_counts = {node_type: len(keep[node_type]) for node_type in self.schema.node_types}
+        new_features = {
+            node_type: self.features[node_type][keep[node_type]]
+            for node_type in self.schema.node_types
+        }
+        new_adjacency: dict[str, sp.csr_matrix] = {}
+        for name, matrix in self.adjacency.items():
+            rel = self.schema.relation(name)
+            sub = matrix[keep[rel.src], :][:, keep[rel.dst]]
+            new_adjacency[name] = sub.tocsr()
+
+        target = self.schema.target_type
+        new_labels = self.labels[keep[target]]
+        new_splits = self.splits.restricted_to(keep[target], mappings[target])
+        return HeteroGraph(
+            schema=self.schema,
+            num_nodes=new_counts,
+            adjacency=new_adjacency,
+            features=new_features,
+            labels=new_labels,
+            splits=new_splits,
+            metadata=dict(self.metadata),
+        )
+
+    def to_homogeneous(self) -> tuple[sp.csr_matrix, np.ndarray, np.ndarray]:
+        """Project the graph onto a single homogeneous graph.
+
+        Node features of each type are zero-padded to a common dimension and
+        stacked in schema order; adjacency blocks are placed at the
+        corresponding offsets.  Returns ``(adjacency, features, labels)``
+        where non-target nodes receive label ``-1``.  This is the input
+        format of the GCond baseline.
+        """
+        offsets: dict[str, int] = {}
+        cursor = 0
+        for node_type in self.schema.node_types:
+            offsets[node_type] = cursor
+            cursor += self.num_nodes[node_type]
+        total = cursor
+        max_dim = max(f.shape[1] for f in self.features.values())
+        features = np.zeros((total, max_dim), dtype=np.float64)
+        for node_type in self.schema.node_types:
+            block = self.features[node_type]
+            start = offsets[node_type]
+            features[start : start + block.shape[0], : block.shape[1]] = block
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        for name, matrix in self.adjacency.items():
+            rel = self.schema.relation(name)
+            coo = matrix.tocoo()
+            rows.append(coo.row + offsets[rel.src])
+            cols.append(coo.col + offsets[rel.dst])
+        if rows:
+            row = np.concatenate(rows)
+            col = np.concatenate(cols)
+            data = np.ones(row.shape[0], dtype=np.float64)
+            adjacency = sp.coo_matrix((data, (row, col)), shape=(total, total)).tocsr()
+            adjacency = boolean_csr(adjacency + adjacency.T)
+        else:
+            adjacency = sp.csr_matrix((total, total))
+        labels = np.full(total, -1, dtype=np.int64)
+        t_start = offsets[self.schema.target_type]
+        labels[t_start : t_start + self.labels.shape[0]] = self.labels
+        return adjacency, features, labels
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+    def storage_bytes(self) -> int:
+        """Approximate in-memory size of features + adjacency + labels."""
+        total = int(self.labels.nbytes)
+        total += sum(int(f.nbytes) for f in self.features.values())
+        total += sum(sparse_storage_bytes(m) for m in self.adjacency.values())
+        return total
+
+    def copy(self) -> "HeteroGraph":
+        """Deep copy of the graph."""
+        return HeteroGraph(
+            schema=self.schema,
+            num_nodes=dict(self.num_nodes),
+            adjacency={name: matrix.copy() for name, matrix in self.adjacency.items()},
+            features={node_type: feats.copy() for node_type, feats in self.features.items()},
+            labels=self.labels.copy(),
+            splits=NodeSplits(
+                self.splits.train.copy(), self.splits.val.copy(), self.splits.test.copy()
+            ),
+            metadata=dict(self.metadata),
+        )
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph description of the graph."""
+        counts = ", ".join(f"{t}={self.num_nodes[t]}" for t in self.schema.node_types)
+        return (
+            f"{self.schema.name}: {self.total_nodes} nodes ({counts}), "
+            f"{self.total_edges} edges over {len(self.adjacency)} relations, "
+            f"target={self.schema.target_type} with {self.schema.num_classes} classes"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HeteroGraph({self.summary()})"
+
+
+def relation_or_reverse(schema: HeteroSchema, src: str, dst: str) -> list[Relation]:
+    """Relations usable to walk from ``src`` to ``dst`` (forward or reverse)."""
+    usable = list(schema.relations_between(src, dst))
+    usable.extend(rel.reversed() for rel in schema.relations_between(dst, src))
+    return usable

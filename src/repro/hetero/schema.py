@@ -1,0 +1,155 @@
+"""Heterogeneous-graph schema objects.
+
+A heterogeneous graph is described by a :class:`HeteroSchema`: the set of
+node types, the set of typed relations between them, which node type carries
+the prediction labels (the *target type* in the paper's terminology) and how
+many classes that target type has.
+
+The schema is deliberately a plain, immutable value object.  Everything else
+in the library (dataset generators, meta-path enumeration, condensers)
+consumes the schema rather than re-deriving structural facts from raw
+adjacency dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+__all__ = ["Relation", "HeteroSchema"]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A typed, directed relation ``src --name--> dst``.
+
+    Attributes
+    ----------
+    name:
+        Unique relation identifier, e.g. ``"paper-author"``.
+    src:
+        Source node type.
+    dst:
+        Destination node type.
+    """
+
+    name: str
+    src: str
+    dst: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if not self.src or not self.dst:
+            raise SchemaError(f"relation {self.name!r} must name both endpoint types")
+
+    @property
+    def reversed_name(self) -> str:
+        """Canonical name of the reverse relation."""
+        return f"{self.name}__rev"
+
+    def reversed(self) -> "Relation":
+        """Return the reverse relation (``dst --> src``)."""
+        return Relation(self.reversed_name, self.dst, self.src)
+
+
+@dataclass(frozen=True)
+class HeteroSchema:
+    """Static description of a heterogeneous graph.
+
+    Attributes
+    ----------
+    node_types:
+        All node types in the graph.
+    relations:
+        All directed relations.  Multiple relations between the same ordered
+        pair of node types are allowed (knowledge graphs such as Freebase and
+        AM use this heavily).
+    target_type:
+        The node type that carries labels and drives the downstream task.
+    num_classes:
+        Number of classes of the target type.
+    """
+
+    node_types: tuple[str, ...]
+    relations: tuple[Relation, ...]
+    target_type: str
+    num_classes: int
+    name: str = field(default="hetero-graph")
+
+    def __post_init__(self) -> None:
+        if len(set(self.node_types)) != len(self.node_types):
+            raise SchemaError("node types must be unique")
+        if not self.node_types:
+            raise SchemaError("schema must declare at least one node type")
+        if self.target_type not in self.node_types:
+            raise SchemaError(
+                f"target type {self.target_type!r} is not among node types {self.node_types}"
+            )
+        if self.num_classes < 2:
+            raise SchemaError(f"num_classes must be >= 2, got {self.num_classes}")
+        names = [r.name for r in self.relations]
+        if len(set(names)) != len(names):
+            raise SchemaError("relation names must be unique")
+        known = set(self.node_types)
+        for rel in self.relations:
+            if rel.src not in known or rel.dst not in known:
+                raise SchemaError(
+                    f"relation {rel.name!r} references unknown node type "
+                    f"({rel.src!r} -> {rel.dst!r})"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Lookup helpers
+    # ------------------------------------------------------------------ #
+    def relation(self, name: str) -> Relation:
+        """Return the relation named ``name``."""
+        for rel in self.relations:
+            if rel.name == name:
+                return rel
+        raise SchemaError(f"unknown relation {name!r}")
+
+    def relations_from(self, src: str) -> tuple[Relation, ...]:
+        """All relations whose source type is ``src``."""
+        return tuple(r for r in self.relations if r.src == src)
+
+    def relations_between(self, src: str, dst: str) -> tuple[Relation, ...]:
+        """All relations from ``src`` to ``dst``."""
+        return tuple(r for r in self.relations if r.src == src and r.dst == dst)
+
+    def neighbor_types(self, node_type: str) -> tuple[str, ...]:
+        """Node types directly connected to ``node_type`` in either direction."""
+        out = {r.dst for r in self.relations if r.src == node_type}
+        out |= {r.src for r in self.relations if r.dst == node_type}
+        out.discard(node_type)
+        return tuple(sorted(out))
+
+    def other_types(self) -> tuple[str, ...]:
+        """All node types except the target type."""
+        return tuple(t for t in self.node_types if t != self.target_type)
+
+    def is_homogeneous(self) -> bool:
+        """A graph with a single node type and a single relation is homogeneous."""
+        return len(self.node_types) == 1 and len(self.relations) <= 1
+
+    def with_reverse_relations(self) -> "HeteroSchema":
+        """Return a schema augmented with a reverse relation for every relation.
+
+        The generators build graphs with explicit forward relations only; the
+        meta-path machinery needs to walk edges in both directions, which is
+        simpler when reverse relations are first-class schema members.
+        """
+        existing_pairs = {(r.src, r.dst, r.name) for r in self.relations}
+        extra: list[Relation] = []
+        for rel in self.relations:
+            rev = rel.reversed()
+            if (rev.src, rev.dst, rev.name) not in existing_pairs:
+                extra.append(rev)
+        return HeteroSchema(
+            node_types=self.node_types,
+            relations=self.relations + tuple(extra),
+            target_type=self.target_type,
+            num_classes=self.num_classes,
+            name=self.name,
+        )

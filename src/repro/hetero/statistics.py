@@ -1,0 +1,94 @@
+"""Descriptive statistics of heterogeneous graphs.
+
+Used by the reporting layer (Table II-style dataset overviews and the
+storage-cost rows of Table VII) and by tests that assert structural
+invariants of generated datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hetero.graph import HeteroGraph
+from repro.hetero.sparse import degree_vector
+
+__all__ = ["GraphStats", "graph_stats", "degree_statistics", "compression_summary"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Aggregate structural statistics of one :class:`HeteroGraph`."""
+
+    name: str
+    total_nodes: int
+    total_edges: int
+    num_node_types: int
+    num_edge_types: int
+    target_type: str
+    num_classes: int
+    nodes_per_type: dict[str, int]
+    edges_per_relation: dict[str, int]
+    storage_bytes: int
+
+    def as_row(self) -> dict[str, object]:
+        """Flatten into a report row (Table II layout)."""
+        return {
+            "dataset": self.name,
+            "#Nodes": self.total_nodes,
+            "#Node types": self.num_node_types,
+            "#Edges": self.total_edges,
+            "#Edge types": self.num_edge_types,
+            "Target": self.target_type,
+            "#Classes": self.num_classes,
+        }
+
+
+def graph_stats(graph: HeteroGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    return GraphStats(
+        name=str(graph.metadata.get("name", graph.schema.name)),
+        total_nodes=graph.total_nodes,
+        total_edges=graph.total_edges,
+        num_node_types=len(graph.schema.node_types),
+        num_edge_types=len(graph.adjacency),
+        target_type=graph.schema.target_type,
+        num_classes=graph.schema.num_classes,
+        nodes_per_type=dict(graph.num_nodes),
+        edges_per_relation={name: int(m.nnz) for name, m in graph.adjacency.items()},
+        storage_bytes=graph.storage_bytes(),
+    )
+
+
+def degree_statistics(graph: HeteroGraph, node_type: str) -> dict[str, float]:
+    """Degree summary (over all incident relations) for one node type."""
+    degrees = np.zeros(graph.num_nodes[node_type], dtype=np.float64)
+    for name, matrix in graph.adjacency.items():
+        rel = graph.schema.relation(name)
+        if rel.src == node_type:
+            degrees += degree_vector(matrix, axis=1)
+        if rel.dst == node_type:
+            degrees += degree_vector(matrix, axis=0)
+    if degrees.size == 0:
+        return {"mean": 0.0, "max": 0.0, "min": 0.0, "std": 0.0}
+    return {
+        "mean": float(degrees.mean()),
+        "max": float(degrees.max()),
+        "min": float(degrees.min()),
+        "std": float(degrees.std()),
+    }
+
+
+def compression_summary(original: HeteroGraph, condensed: HeteroGraph) -> dict[str, float]:
+    """Node/edge/storage reduction achieved by a condensed graph."""
+    orig_storage = original.storage_bytes()
+    cond_storage = condensed.storage_bytes()
+    return {
+        "node_ratio": condensed.total_nodes / max(original.total_nodes, 1),
+        "edge_ratio": condensed.total_edges / max(original.total_edges, 1),
+        "storage_ratio": cond_storage / max(orig_storage, 1),
+        "storage_reduction_pct": 100.0 * (1.0 - cond_storage / max(orig_storage, 1)),
+        "original_storage_mb": orig_storage / 1e6,
+        "condensed_storage_mb": cond_storage / 1e6,
+    }

@@ -1,0 +1,54 @@
+"""Heterogeneous graph neural networks used to evaluate condensed graphs."""
+
+from repro.models.base import HGNNClassifier, HGNNConfig
+from repro.models.han import HAN, HANModule
+from repro.models.hetero_sgc import HeteroSGC, HeteroSGCModule
+from repro.models.hgb import HGB, HGBModule
+from repro.models.hgt import HGT, HGTModule
+from repro.models.propagation import (
+    SELF_FEATURE_KEY,
+    propagate_metapath_features,
+    standardize_features,
+)
+from repro.models.rgcn import RGCN, RGCNModule
+from repro.models.sehgnn import SeHGNN, SeHGNNModule
+
+MODEL_REGISTRY: dict[str, type[HGNNClassifier]] = {
+    "heterosgc": HeteroSGC,
+    "sehgnn": SeHGNN,
+    "han": HAN,
+    "hgt": HGT,
+    "hgb": HGB,
+    "rgcn": RGCN,
+}
+
+
+def get_model(name: str, **kwargs: object) -> HGNNClassifier:
+    """Instantiate a registered HGNN by name (case-insensitive)."""
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[key](**kwargs)
+
+
+__all__ = [
+    "HGNNClassifier",
+    "HGNNConfig",
+    "HeteroSGC",
+    "HeteroSGCModule",
+    "SeHGNN",
+    "SeHGNNModule",
+    "HAN",
+    "HANModule",
+    "HGT",
+    "HGTModule",
+    "HGB",
+    "HGBModule",
+    "RGCN",
+    "RGCNModule",
+    "MODEL_REGISTRY",
+    "get_model",
+    "SELF_FEATURE_KEY",
+    "propagate_metapath_features",
+    "standardize_features",
+]

@@ -1,0 +1,230 @@
+"""Shared HGNN classifier interface.
+
+Every HGNN in this package follows the evaluation protocol of the paper:
+
+1. ``fit(condensed_graph)`` — pre-compute meta-path features on the training
+   graph and train the architecture-specific semantic-fusion module;
+2. ``predict(full_graph)`` / ``evaluate(full_graph)`` — pre-compute the same
+   meta-path features on the evaluation graph (typically the original,
+   uncondensed graph) and report test-split accuracy.
+
+Subclasses only implement :meth:`HGNNClassifier._build_module`, which returns
+a :class:`~repro.nn.module.Module` mapping the dict of per-meta-path feature
+tensors to class logits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.hetero.graph import HeteroGraph
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.metrics import accuracy, macro_f1, micro_f1
+from repro.nn.module import Module
+from repro.nn.trainer import TrainConfig, Trainer, TrainResult
+from repro.models.propagation import propagate_metapath_features, row_normalize_features
+from repro.utils.rng import ensure_rng
+
+__all__ = ["HGNNConfig", "HGNNClassifier"]
+
+
+@dataclass(frozen=True)
+class HGNNConfig:
+    """Hyper-parameters shared by every HGNN classifier.
+
+    Defaults follow Section V-B of the paper: learning rate ``0.001``,
+    dropout ``0.5``, hidden dimension ``128`` (scaled down to 64 by most
+    benchmark scripts for speed).
+    """
+
+    hidden_dim: int = 64
+    dropout: float = 0.5
+    lr: float = 0.01
+    weight_decay: float = 5e-4
+    epochs: int = 150
+    patience: int = 25
+    max_hops: int = 2
+    max_paths: int = 16
+    seed: int = 0
+
+
+class HGNNClassifier:
+    """Base class implementing the fit / predict / evaluate protocol."""
+
+    name = "hgnn"
+
+    def __init__(self, config: HGNNConfig | None = None, **overrides: object) -> None:
+        base = config or HGNNConfig()
+        if overrides:
+            base = HGNNConfig(**{**base.__dict__, **overrides})
+        self.config = base
+        self._module: Module | None = None
+        self._trainer: Trainer | None = None
+        self._feature_keys: list[str] | None = None
+        self._feature_dims: dict[str, int] | None = None
+        self._num_classes: int | None = None
+        self.train_result: TrainResult | None = None
+
+    # ------------------------------------------------------------------ #
+    # Subclass hook
+    # ------------------------------------------------------------------ #
+    def _build_module(
+        self, feature_dims: dict[str, int], num_classes: int, rng: np.random.Generator
+    ) -> Module:
+        raise NotImplementedError
+
+    def _select_feature_keys(self, all_keys: list[str]) -> list[str]:
+        """Which meta-path feature blocks this architecture consumes.
+
+        The default keeps everything; meta-path-free architectures (HGB,
+        RGCN) override this to restrict themselves to short paths.
+        """
+        return all_keys
+
+    # ------------------------------------------------------------------ #
+    # Public protocol
+    # ------------------------------------------------------------------ #
+    def fit(self, graph: HeteroGraph) -> TrainResult:
+        """Train on ``graph`` (usually a condensed graph) and return the result."""
+        if graph.splits.train.size == 0:
+            raise ModelError("training graph has an empty train split")
+        rng = ensure_rng(self.config.seed)
+        features = self._prepare_features(graph)
+        self._feature_keys = self._select_feature_keys(sorted(features))
+        if not self._feature_keys:
+            raise ModelError("no meta-path features available for this architecture")
+        self._feature_dims = {key: features[key].shape[1] for key in self._feature_keys}
+        self._num_classes = graph.schema.num_classes
+        self._module = self._build_module(self._feature_dims, self._num_classes, rng)
+        self._trainer = Trainer(
+            self._module,
+            TrainConfig(
+                lr=self.config.lr,
+                weight_decay=self.config.weight_decay,
+                epochs=self.config.epochs,
+                patience=self.config.patience,
+            ),
+        )
+        inputs = self._to_tensors(features)
+        self.train_result = self._trainer.fit(
+            inputs, graph.labels, graph.splits.train, graph.splits.val
+        )
+        return self.train_result
+
+    def fit_from_features(
+        self,
+        features: dict[str, np.ndarray],
+        labels: np.ndarray,
+        num_classes: int,
+        *,
+        train_idx: np.ndarray | None = None,
+        val_idx: np.ndarray | None = None,
+    ) -> TrainResult:
+        """Train directly on pre-computed meta-path features.
+
+        Used by the optimisation-based condensers (GCond, HGCond), whose
+        output is a synthetic :class:`~repro.baselines.base.CondensedFeatureSet`
+        rather than a graph.  The feature keys must match what
+        :func:`~repro.models.propagation.propagate_metapath_features` produces
+        on the evaluation graph, so that :meth:`predict` works unchanged.
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        if not features:
+            raise ModelError("fit_from_features requires at least one feature block")
+        rng = ensure_rng(self.config.seed)
+        self._feature_keys = self._select_feature_keys(sorted(features))
+        if not self._feature_keys:
+            raise ModelError("no feature blocks usable by this architecture")
+        self._feature_dims = {key: features[key].shape[1] for key in self._feature_keys}
+        self._num_classes = int(num_classes)
+        self._module = self._build_module(self._feature_dims, self._num_classes, rng)
+        self._trainer = Trainer(
+            self._module,
+            TrainConfig(
+                lr=self.config.lr,
+                weight_decay=self.config.weight_decay,
+                epochs=self.config.epochs,
+                patience=self.config.patience,
+            ),
+        )
+        if train_idx is None:
+            train_idx = np.arange(labels.shape[0], dtype=np.int64)
+        inputs = self._to_tensors(features)
+        self.train_result = self._trainer.fit(inputs, labels, train_idx, val_idx)
+        return self.train_result
+
+    def predict(self, graph: HeteroGraph) -> np.ndarray:
+        """Predict a class for every target-type node of ``graph``."""
+        module = self._require_fitted()
+        features = self._prepare_features(graph)
+        inputs = self._to_tensors(features)
+        module.eval()
+        with no_grad():
+            logits = module(inputs)
+        return np.argmax(logits.numpy(), axis=-1)
+
+    def evaluate(self, graph: HeteroGraph, indices: np.ndarray | None = None) -> float:
+        """Accuracy on ``graph`` (test split by default)."""
+        indices = graph.splits.test if indices is None else np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            raise ModelError("evaluation split is empty")
+        predictions = self.predict(graph)
+        return accuracy(predictions[indices], graph.labels[indices])
+
+    def evaluate_metrics(
+        self, graph: HeteroGraph, indices: np.ndarray | None = None
+    ) -> dict[str, float]:
+        """Accuracy, micro-F1 and macro-F1 on ``graph``."""
+        indices = graph.splits.test if indices is None else np.asarray(indices, dtype=np.int64)
+        predictions = self.predict(graph)
+        labels = graph.labels[indices]
+        preds = predictions[indices]
+        classes = graph.schema.num_classes
+        return {
+            "accuracy": accuracy(preds, labels),
+            "micro_f1": micro_f1(preds, labels, classes),
+            "macro_f1": macro_f1(preds, labels, classes),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _prepare_features(self, graph: HeteroGraph) -> dict[str, np.ndarray]:
+        features = propagate_metapath_features(
+            graph, max_hops=self.config.max_hops, max_paths=self.config.max_paths
+        )
+        return row_normalize_features(features)
+
+    def _to_tensors(self, features: dict[str, np.ndarray]) -> dict[str, Tensor]:
+        assert self._feature_keys is not None and self._feature_dims is not None
+        inputs: dict[str, Tensor] = {}
+        for key in self._feature_keys:
+            if key not in features:
+                raise ModelError(
+                    f"feature block {key!r} missing on evaluation graph; "
+                    "train and evaluation graphs must share a schema"
+                )
+            block = features[key]
+            if block.shape[1] != self._feature_dims[key]:
+                raise ModelError(
+                    f"feature block {key!r} has dimension {block.shape[1]}, "
+                    f"expected {self._feature_dims[key]}"
+                )
+            inputs[key] = Tensor(block)
+        return inputs
+
+    def _require_fitted(self) -> Module:
+        if self._module is None:
+            raise ModelError(f"{type(self).__name__} must be fitted before prediction")
+        return self._module
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of trainable parameters (0 before fitting)."""
+        return self._module.num_parameters() if self._module is not None else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(hidden={self.config.hidden_dim})"

@@ -1,0 +1,70 @@
+"""HAN — Heterogeneous graph Attention Network (Wang et al., WWW 2019).
+
+A meta-path-based HGNN with *semantic-level attention*: every meta-path
+feature block is projected and the model learns one global attention weight
+per meta-path via a small scoring network, then fuses semantics as the
+attention-weighted sum.  (Node-level attention is replaced by the mean
+aggregator per the SeHGNN observation the paper relies on — see DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import HGNNClassifier
+from repro.nn.autograd import Tensor, concat, stack
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+
+__all__ = ["HANModule", "HAN"]
+
+
+class HANModule(Module):
+    """Semantic attention fusion over per-meta-path projections."""
+
+    def __init__(
+        self,
+        feature_dims: dict[str, int],
+        hidden_dim: int,
+        num_classes: int,
+        dropout: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.keys = sorted(feature_dims)
+        self._projections: dict[str, Linear] = {}
+        for key in self.keys:
+            layer = Linear(feature_dims[key], hidden_dim, rng=rng)
+            self.register_module(f"proj_{key}", layer)
+            self._projections[key] = layer
+        self.attention_hidden = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.attention_vector = Linear(hidden_dim, 1, bias=False, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.classifier = Linear(hidden_dim, num_classes, rng=rng)
+
+    def forward(self, inputs: dict[str, Tensor]) -> Tensor:
+        projected = [self._projections[key](inputs[key]).tanh() for key in self.keys]
+        # Semantic attention: one scalar score per meta-path, shared by all nodes.
+        scores = [
+            self.attention_vector(self.attention_hidden(block).tanh()).mean(axis=0)
+            for block in projected
+        ]
+        weights = concat(scores, axis=-1).softmax(axis=-1)
+        stacked = stack(projected, axis=0)  # (L, N, H)
+        weighted = stacked * weights.reshape(len(self.keys), 1, 1)
+        fused = weighted.sum(axis=0)
+        fused = self.dropout(fused)
+        return self.classifier(fused)
+
+
+class HAN(HGNNClassifier):
+    """Classifier wrapper around :class:`HANModule`."""
+
+    name = "HAN"
+
+    def _build_module(
+        self, feature_dims: dict[str, int], num_classes: int, rng: np.random.Generator
+    ) -> Module:
+        return HANModule(
+            feature_dims, self.config.hidden_dim, num_classes, self.config.dropout, rng
+        )

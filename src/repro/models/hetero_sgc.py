@@ -1,0 +1,51 @@
+"""HeteroSGC — the simplest heterogeneous relay model.
+
+This is the model HGCond is forced to use as its relay (Section III of the
+paper): a *linear* model that projects every meta-path feature block into a
+shared space, averages the semantics with equal weights, and applies a single
+linear classifier.  No non-linearity, no attention — which is precisely why
+graphs condensed against it generalise poorly to richer HGNNs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import HGNNClassifier
+from repro.nn.autograd import Tensor, stack
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+
+__all__ = ["HeteroSGCModule", "HeteroSGC"]
+
+
+class HeteroSGCModule(Module):
+    """Mean semantic fusion of linearly projected meta-path features."""
+
+    def __init__(
+        self, feature_dims: dict[str, int], hidden_dim: int, num_classes: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.keys = sorted(feature_dims)
+        self._projections: dict[str, Linear] = {}
+        for key in self.keys:
+            layer = Linear(feature_dims[key], hidden_dim, rng=rng)
+            self.register_module(f"proj_{key}", layer)
+            self._projections[key] = layer
+        self.classifier = Linear(hidden_dim, num_classes, rng=rng)
+
+    def forward(self, inputs: dict[str, Tensor]) -> Tensor:
+        projected = [self._projections[key](inputs[key]) for key in self.keys]
+        fused = stack(projected, axis=0).mean(axis=0)
+        return self.classifier(fused)
+
+
+class HeteroSGC(HGNNClassifier):
+    """Classifier wrapper around :class:`HeteroSGCModule`."""
+
+    name = "HeteroSGC"
+
+    def _build_module(
+        self, feature_dims: dict[str, int], num_classes: int, rng: np.random.Generator
+    ) -> Module:
+        return HeteroSGCModule(feature_dims, self.config.hidden_dim, num_classes, rng)

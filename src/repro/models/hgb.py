@@ -1,0 +1,94 @@
+"""HGB — the Simple-HGN baseline of Lv et al. (KDD 2021), simplified.
+
+A meta-path-free architecture: it only consumes the raw target features and
+the *one-hop* relation aggregations (no long meta-paths), adds a learnable
+edge-type embedding to each relation's message, and fuses messages with a
+gated sum followed by an MLP head with a residual connection — mirroring the
+multi-layer GAT backbone + learnable edge-type embedding design of HGB.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import HGNNClassifier
+from repro.models.propagation import SELF_FEATURE_KEY
+from repro.nn.autograd import Tensor, concat, stack
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+
+__all__ = ["HGBModule", "HGB"]
+
+
+class HGBModule(Module):
+    """Gated one-hop relation fusion with edge-type embeddings."""
+
+    def __init__(
+        self,
+        feature_dims: dict[str, int],
+        hidden_dim: int,
+        num_classes: int,
+        dropout: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.keys = sorted(feature_dims)
+        self._projections: dict[str, Linear] = {}
+        self._gates: dict[str, Linear] = {}
+        for key in self.keys:
+            proj = Linear(feature_dims[key], hidden_dim, rng=rng)
+            gate = Linear(feature_dims[key], 1, rng=rng)
+            self.register_module(f"proj_{key}", proj)
+            self.register_module(f"gate_{key}", gate)
+            self._projections[key] = proj
+            self._gates[key] = gate
+        self.edge_type_embedding = self.register_parameter(
+            "edge_type_embedding", 0.01 * rng.standard_normal((len(self.keys), hidden_dim))
+        )
+        self.dropout = Dropout(dropout, rng=rng)
+        self.hidden = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.output = Linear(hidden_dim, num_classes, rng=rng)
+        self_dim = feature_dims.get(SELF_FEATURE_KEY, feature_dims[self.keys[0]])
+        self._self_key = SELF_FEATURE_KEY if SELF_FEATURE_KEY in feature_dims else self.keys[0]
+        self.residual = Linear(self_dim, num_classes, rng=rng)
+
+    def forward(self, inputs: dict[str, Tensor]) -> Tensor:
+        messages = []
+        gates = []
+        for index, key in enumerate(self.keys):
+            message = self._projections[key](inputs[key])
+            message = message + self.edge_type_embedding.take_rows(np.array([index]))
+            messages.append(message.leaky_relu())
+            gates.append(self._gates[key](inputs[key]))
+        attention = concat(gates, axis=-1).softmax(axis=-1)  # (N, L)
+        stacked = stack(messages, axis=1)  # (N, L, H)
+        weights = attention.reshape(attention.shape[0], len(self.keys), 1)
+        fused = (stacked * weights).sum(axis=1)
+        fused = self.dropout(fused)
+        hidden = self.hidden(fused).relu()
+        hidden = self.dropout(hidden)
+        return self.output(hidden) + self.residual(inputs[self._self_key])
+
+    # ------------------------------------------------------------------ #
+
+
+class HGB(HGNNClassifier):
+    """Classifier wrapper around :class:`HGBModule` (one-hop semantics only)."""
+
+    name = "HGB"
+
+    def _select_feature_keys(self, all_keys: list[str]) -> list[str]:
+        """HGB is meta-path-free: keep the self block and one-hop relations."""
+        short = [
+            key
+            for key in all_keys
+            if key == SELF_FEATURE_KEY or key.count("-") <= 1
+        ]
+        return short or all_keys
+
+    def _build_module(
+        self, feature_dims: dict[str, int], num_classes: int, rng: np.random.Generator
+    ) -> Module:
+        return HGBModule(
+            feature_dims, self.config.hidden_dim, num_classes, self.config.dropout, rng
+        )

@@ -1,0 +1,81 @@
+"""HGT — Heterogeneous Graph Transformer (Hu et al., WWW 2020), simplified.
+
+A meta-path-free transformer-style HGNN.  In this pre-computed-feature
+formulation each semantic (meta-path feature block) plays the role of a
+relation-specific message; the model computes *per-node* attention over the
+semantics using learned query/key projections (a scaled dot-product between a
+node-specific query derived from the raw features and a per-semantic key),
+which distinguishes it from HAN's global semantic attention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import HGNNClassifier
+from repro.models.propagation import SELF_FEATURE_KEY
+from repro.nn.autograd import Tensor, concat, stack
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+
+__all__ = ["HGTModule", "HGT"]
+
+
+class HGTModule(Module):
+    """Per-node scaled dot-product attention over semantics."""
+
+    def __init__(
+        self,
+        feature_dims: dict[str, int],
+        hidden_dim: int,
+        num_classes: int,
+        dropout: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.keys = sorted(feature_dims)
+        self.hidden_dim = hidden_dim
+        self._value_proj: dict[str, Linear] = {}
+        self._key_proj: dict[str, Linear] = {}
+        for key in self.keys:
+            value_layer = Linear(feature_dims[key], hidden_dim, rng=rng)
+            key_layer = Linear(feature_dims[key], hidden_dim, rng=rng)
+            self.register_module(f"value_{key}", value_layer)
+            self.register_module(f"key_{key}", key_layer)
+            self._value_proj[key] = value_layer
+            self._key_proj[key] = key_layer
+        query_dim = feature_dims.get(SELF_FEATURE_KEY, feature_dims[self.keys[0]])
+        self._query_key = SELF_FEATURE_KEY if SELF_FEATURE_KEY in feature_dims else self.keys[0]
+        self.query_proj = Linear(query_dim, hidden_dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.output = Linear(hidden_dim, num_classes, rng=rng)
+        self.residual = Linear(query_dim, num_classes, rng=rng)
+
+    def forward(self, inputs: dict[str, Tensor]) -> Tensor:
+        query = self.query_proj(inputs[self._query_key])  # (N, H)
+        values = [self._value_proj[key](inputs[key]).relu() for key in self.keys]
+        keys_proj = [self._key_proj[key](inputs[key]) for key in self.keys]
+        scale = 1.0 / np.sqrt(self.hidden_dim)
+        scores = [
+            ((query * key_block).sum(axis=-1, keepdims=True) * scale)
+            for key_block in keys_proj
+        ]  # each (N, 1)
+        attention = concat(scores, axis=-1).softmax(axis=-1)  # (N, L)
+        stacked = stack(values, axis=1)  # (N, L, H)
+        weights = attention.reshape(attention.shape[0], len(self.keys), 1)
+        fused = (stacked * weights).sum(axis=1)  # (N, H)
+        fused = self.dropout(fused.relu())
+        return self.output(fused) + self.residual(inputs[self._query_key])
+
+
+class HGT(HGNNClassifier):
+    """Classifier wrapper around :class:`HGTModule`."""
+
+    name = "HGT"
+
+    def _build_module(
+        self, feature_dims: dict[str, int], num_classes: int, rng: np.random.Generator
+    ) -> Module:
+        return HGTModule(
+            feature_dims, self.config.hidden_dim, num_classes, self.config.dropout, rng
+        )

@@ -1,0 +1,79 @@
+"""RGCN — Relational GCN (Schlichtkrull et al., ESWC 2018), simplified.
+
+A meta-path-free relational model: one weight matrix per relation (here, per
+one-hop semantic block), messages summed with a normalising 1/L factor, plus
+a self-loop transform — the classic RGCN layer expressed over pre-computed
+per-relation mean aggregations.  A second dense layer provides the usual
+two-layer depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import HGNNClassifier
+from repro.models.propagation import SELF_FEATURE_KEY
+from repro.nn.autograd import Tensor, stack
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+
+__all__ = ["RGCNModule", "RGCN"]
+
+
+class RGCNModule(Module):
+    """Per-relation weight matrices with summed messages and a self-loop."""
+
+    def __init__(
+        self,
+        feature_dims: dict[str, int],
+        hidden_dim: int,
+        num_classes: int,
+        dropout: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.keys = sorted(k for k in feature_dims if k != SELF_FEATURE_KEY)
+        self._relation_weights: dict[str, Linear] = {}
+        for key in self.keys:
+            layer = Linear(feature_dims[key], hidden_dim, bias=False, rng=rng)
+            self.register_module(f"rel_{key}", layer)
+            self._relation_weights[key] = layer
+        self_dim = feature_dims.get(SELF_FEATURE_KEY)
+        self._self_key = SELF_FEATURE_KEY if self_dim is not None else None
+        if self_dim is None:
+            self_dim = feature_dims[self.keys[0]]
+            self._self_key = self.keys[0]
+        self.self_loop = Linear(self_dim, hidden_dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.output = Linear(hidden_dim, num_classes, rng=rng)
+
+    def forward(self, inputs: dict[str, Tensor]) -> Tensor:
+        messages = [self._relation_weights[key](inputs[key]) for key in self.keys]
+        if messages:
+            summed = stack(messages, axis=0).sum(axis=0)
+            hidden = summed + self.self_loop(inputs[self._self_key])
+        else:
+            hidden = self.self_loop(inputs[self._self_key])
+        hidden = self.dropout(hidden.relu())
+        return self.output(hidden)
+
+
+class RGCN(HGNNClassifier):
+    """Classifier wrapper around :class:`RGCNModule` (one-hop relations only)."""
+
+    name = "RGCN"
+
+    def _select_feature_keys(self, all_keys: list[str]) -> list[str]:
+        short = [
+            key
+            for key in all_keys
+            if key == SELF_FEATURE_KEY or key.count("-") <= 1
+        ]
+        return short or all_keys
+
+    def _build_module(
+        self, feature_dims: dict[str, int], num_classes: int, rng: np.random.Generator
+    ) -> Module:
+        return RGCNModule(
+            feature_dims, self.config.hidden_dim, num_classes, self.config.dropout, rng
+        )

@@ -1,0 +1,42 @@
+"""Minimal NumPy neural-network substrate (autograd, layers, optimisers)."""
+
+from repro.nn.autograd import Tensor, concat, is_grad_enabled, no_grad, stack
+from repro.nn.init import kaiming_uniform, xavier_normal, xavier_uniform, zeros
+from repro.nn.layers import MLP, Dropout, LayerNorm, Linear, ReLU
+from repro.nn.losses import cross_entropy, gradient_matching_distance, mse_loss
+from repro.nn.metrics import accuracy, confusion_matrix, macro_f1, micro_f1
+from repro.nn.module import Module, Sequential
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.trainer import TrainConfig, Trainer, TrainResult
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Sequential",
+    "Linear",
+    "ReLU",
+    "Dropout",
+    "LayerNorm",
+    "MLP",
+    "cross_entropy",
+    "mse_loss",
+    "gradient_matching_distance",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "accuracy",
+    "micro_f1",
+    "macro_f1",
+    "confusion_matrix",
+    "TrainConfig",
+    "Trainer",
+    "TrainResult",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "zeros",
+]

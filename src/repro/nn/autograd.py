@@ -1,0 +1,433 @@
+"""A small reverse-mode automatic-differentiation engine on NumPy arrays.
+
+The HGNN evaluation models (and the gradient-matching baselines GCond /
+HGCond) need trainable neural networks, but no deep-learning framework is
+available offline.  This module provides a deliberately small but correct
+autograd: a :class:`Tensor` wrapping a ``numpy.ndarray`` plus the operations
+required by the models in :mod:`repro.models` — matrix multiplication,
+broadcasting arithmetic, ReLU/tanh/sigmoid/exp/log, reductions, softmax,
+concatenation/stacking and dropout.
+
+Gradients are accumulated by topologically sorting the computation graph and
+calling each node's locally-stored backward closure, exactly like the classic
+micrograd design but vectorised over arrays.  Numerical-gradient checks in
+``tests/nn/test_autograd.py`` validate every operation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "concat", "stack", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (used for inference)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Whether new operations record gradient information."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading broadcast dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array with reverse-mode gradient tracking."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __array_priority__ = 100  # so ndarray op Tensor defers to Tensor
+
+    def __init__(
+        self,
+        data: np.ndarray | float | int | Sequence,
+        requires_grad: bool = False,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[], None] | None = None
+        self._parents: tuple["Tensor", ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the scalar value of a 0-d / 1-element tensor."""
+        return float(self.data.reshape(-1)[0])
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset accumulated gradient."""
+        self.grad = None
+
+    @staticmethod
+    def _ensure(value: "Tensor | np.ndarray | float | int") -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[["Tensor"], None] | None,
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=False)
+        out.requires_grad = requires
+        if requires and backward is not None:
+            out._parents = parents
+            out._backward = lambda: backward(out)
+        return out
+
+    @staticmethod
+    def _accumulate(tensor: "Tensor", grad: np.ndarray) -> None:
+        if not tensor.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), tensor.data.shape)
+        if tensor.grad is None:
+            tensor.grad = grad.copy()
+        else:
+            tensor.grad = tensor.grad + grad
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "Tensor | np.ndarray | float") -> "Tensor":
+        other = self._ensure(other)
+
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            self._accumulate(self, out.grad)
+            self._accumulate(other, out.grad)
+
+        return self._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            self._accumulate(self, -out.grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: "Tensor | np.ndarray | float") -> "Tensor":
+        return self + (-self._ensure(other))
+
+    def __rsub__(self, other: "Tensor | np.ndarray | float") -> "Tensor":
+        return self._ensure(other) + (-self)
+
+    def __mul__(self, other: "Tensor | np.ndarray | float") -> "Tensor":
+        other = self._ensure(other)
+
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            self._accumulate(self, out.grad * other.data)
+            self._accumulate(other, out.grad * self.data)
+
+        return self._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Tensor | np.ndarray | float") -> "Tensor":
+        other = self._ensure(other)
+
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            self._accumulate(self, out.grad / other.data)
+            self._accumulate(other, -out.grad * self.data / (other.data**2))
+
+        return self._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other: "Tensor | np.ndarray | float") -> "Tensor":
+        return self._ensure(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        exponent = float(exponent)
+
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            self._accumulate(self, out.grad * exponent * np.power(self.data, exponent - 1))
+
+        return self._make(np.power(self.data, exponent), (self,), backward)
+
+    def __matmul__(self, other: "Tensor | np.ndarray") -> "Tensor":
+        other = self._ensure(other)
+
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            if self.requires_grad:
+                self._accumulate(self, out.grad @ other.data.T)
+            if other.requires_grad:
+                self._accumulate(other, self.data.T @ out.grad)
+
+        return self._make(self.data @ other.data, (self, other), backward)
+
+    def matmul_sparse(self, matrix) -> "Tensor":
+        """Left-multiply by a (fixed) SciPy sparse matrix: ``matrix @ self``."""
+
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            self._accumulate(self, matrix.T @ out.grad)
+
+        return self._make(matrix @ self.data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Non-linearities
+    # ------------------------------------------------------------------ #
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            self._accumulate(self, out.grad * mask)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        value = np.tanh(self.data)
+
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            self._accumulate(self, out.grad * (1.0 - value**2))
+
+        return self._make(value, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        value = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            self._accumulate(self, out.grad * value * (1.0 - value))
+
+        return self._make(value, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        value = np.exp(self.data)
+
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            self._accumulate(self, out.grad * value)
+
+        return self._make(value, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            self._accumulate(self, out.grad / self.data)
+
+        return self._make(np.log(self.data), (self,), backward)
+
+    def leaky_relu(self, slope: float = 0.2) -> "Tensor":
+        mask = self.data > 0
+        factor = np.where(mask, 1.0, slope)
+
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            self._accumulate(self, out.grad * factor)
+
+        return self._make(self.data * factor, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions / reshaping
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(self, np.broadcast_to(grad, self.data.shape))
+
+        return self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        original = self.data.shape
+
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            self._accumulate(self, out.grad.reshape(original))
+
+        return self._make(self.data.reshape(*shape), (self,), backward)
+
+    def transpose(self) -> "Tensor":
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            self._accumulate(self, out.grad.T)
+
+        return self._make(self.data.T, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":  # noqa: N802 - mirror numpy naming
+        return self.transpose()
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Row-gather: ``out[i] = self[indices[i]]`` with scatter-add backward."""
+        indices = np.asarray(indices, dtype=np.int64)
+
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, indices, out.grad)
+            self._accumulate(self, grad)
+
+        return self._make(self.data[indices], (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        value = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            dot = (out.grad * value).sum(axis=axis, keepdims=True)
+            self._accumulate(self, value * (out.grad - dot))
+
+        return self._make(value, (self,), backward)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        value = shifted - log_norm
+        softmax = np.exp(value)
+
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            total = out.grad.sum(axis=axis, keepdims=True)
+            self._accumulate(self, out.grad - softmax * total)
+
+        return self._make(value, (self,), backward)
+
+    def dropout(self, rate: float, rng: np.random.Generator, training: bool = True) -> "Tensor":
+        """Inverted dropout; identity when ``training`` is False or rate is 0."""
+        if not training or rate <= 0.0:
+            return self
+        if rate >= 1.0:
+            raise ValueError("dropout rate must be < 1")
+        mask = (rng.random(self.data.shape) >= rate) / (1.0 - rate)
+
+        def backward(out: "Tensor") -> None:
+            assert out.grad is not None
+            self._accumulate(self, out.grad * mask)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Backpropagation
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without gradient requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        self.grad = np.asarray(grad, dtype=np.float64).reshape(self.data.shape)
+
+        ordered: list[Tensor] = []
+        visited: set[int] = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, iter(node._parents))]
+            seen_on_stack = {id(node)}
+            while stack:
+                current, parents = stack[-1]
+                advanced = False
+                for parent in parents:
+                    if id(parent) not in visited and id(parent) not in seen_on_stack:
+                        stack.append((parent, iter(parent._parents)))
+                        seen_on_stack.add(id(parent))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    seen_on_stack.discard(id(current))
+                    if id(current) not in visited:
+                        visited.add(id(current))
+                        ordered.append(current)
+
+        visit(self)
+        for node in reversed(ordered):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad})"
+
+
+def concat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("concat requires at least one tensor")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(out: Tensor) -> None:
+        assert out.grad is not None
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * out.grad.ndim
+            slicer[axis] = slice(int(start), int(stop))
+            Tensor._accumulate(tensor, out.grad[tuple(slicer)])
+
+    return tensors[0]._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("stack requires at least one tensor")
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(out: Tensor) -> None:
+        assert out.grad is not None
+        for index, tensor in enumerate(tensors):
+            Tensor._accumulate(tensor, np.take(out.grad, index, axis=axis))
+
+    return tensors[0]._make(data, tuple(tensors), backward)

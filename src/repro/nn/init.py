@@ -1,0 +1,41 @@
+"""Parameter initialisers for the NumPy NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["xavier_uniform", "xavier_normal", "zeros", "kaiming_uniform"]
+
+
+def xavier_uniform(
+    fan_in: int, fan_out: int, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a ``(fan_in, fan_out)`` matrix."""
+    rng = ensure_rng(rng)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def xavier_normal(
+    fan_in: int, fan_out: int, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Glorot/Xavier normal initialisation for a ``(fan_in, fan_out)`` matrix."""
+    rng = ensure_rng(rng)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def kaiming_uniform(
+    fan_in: int, fan_out: int, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """He/Kaiming uniform initialisation (suited to ReLU networks)."""
+    rng = ensure_rng(rng)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """All-zero array of the given shape."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,116 @@
+"""Standard layers built on the autograd substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.init import xavier_uniform, zeros
+from repro.nn.module import Module
+from repro.utils.rng import ensure_rng
+
+__all__ = ["Linear", "ReLU", "Dropout", "LayerNorm", "MLP"]
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        bias: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = self.register_parameter(
+            "weight", xavier_uniform(in_features, out_features, ensure_rng(rng))
+        )
+        self.bias = self.register_parameter("bias", zeros(out_features)) if bias else None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs @ self.weight
+        if self.bias is not None:
+            output = output + self.bias
+        return output
+
+
+class ReLU(Module):
+    """Element-wise rectified linear unit."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.relu()
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, rate: float = 0.5, *, rng: int | np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = ensure_rng(rng)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.dropout(self.rate, self._rng, training=self.training)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, *, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.gain = self.register_parameter("gain", np.ones(dim))
+        self.shift = self.register_parameter("shift", np.zeros(dim))
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        mean = inputs.mean(axis=-1, keepdims=True)
+        centered = inputs - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / ((variance + self.eps) ** 0.5)
+        return normalised * self.gain + self.shift
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations and dropout."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        out_features: int,
+        *,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("MLP needs at least one layer")
+        rng = ensure_rng(rng)
+        self._layers: list[Module] = []
+        dims = (
+            [in_features]
+            + [hidden_features] * (num_layers - 1)
+            + [out_features]
+        )
+        for index in range(num_layers):
+            layer = Linear(dims[index], dims[index + 1], rng=rng)
+            self.register_module(f"linear_{index}", layer)
+            self._layers.append(layer)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.num_layers = num_layers
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs
+        for index, layer in enumerate(self._layers):
+            output = layer(output)
+            if index < self.num_layers - 1:
+                output = output.relu()
+                output = self.dropout(output)
+        return output

@@ -1,0 +1,55 @@
+"""Loss functions for the NumPy NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+__all__ = ["cross_entropy", "mse_loss", "gradient_matching_distance"]
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy between ``logits`` and integer ``labels``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"logits have {logits.shape[0]} rows but labels have {labels.shape[0]} entries"
+        )
+    log_probs = logits.log_softmax(axis=-1)
+    one_hot = np.zeros(logits.shape, dtype=np.float64)
+    one_hot[np.arange(labels.shape[0]), labels] = 1.0
+    picked = log_probs * Tensor(one_hot)
+    return -(picked.sum() * (1.0 / labels.shape[0]))
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error."""
+    target_tensor = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target_tensor
+    return (diff * diff).mean()
+
+
+def gradient_matching_distance(
+    grads_real: list[np.ndarray], grads_syn: list[Tensor | np.ndarray]
+) -> Tensor:
+    """Gradient-matching distance used by GCond/HGCond.
+
+    Sum over parameters of ``1 - cosine`` between the real-graph gradient and
+    the synthetic-graph gradient.  Synthetic gradients may be tensors (so the
+    distance stays differentiable w.r.t. synthetic data) or plain arrays.
+    """
+    if len(grads_real) != len(grads_syn):
+        raise ValueError("gradient lists must have equal length")
+    total: Tensor | None = None
+    for real, syn in zip(grads_real, grads_syn):
+        syn_tensor = syn if isinstance(syn, Tensor) else Tensor(syn)
+        real_flat = np.asarray(real, dtype=np.float64).reshape(-1)
+        syn_flat = syn_tensor.reshape(-1)
+        real_norm = float(np.linalg.norm(real_flat)) + 1e-10
+        syn_norm = ((syn_flat * syn_flat).sum() + 1e-10) ** 0.5
+        cosine = (syn_flat * Tensor(real_flat)).sum() / (syn_norm * real_norm)
+        term = 1.0 - cosine
+        total = term if total is None else total + term
+    assert total is not None
+    return total

@@ -1,0 +1,60 @@
+"""Classification metrics used throughout the evaluation pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "micro_f1", "macro_f1", "confusion_matrix"]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of exact matches between ``predictions`` and ``labels``."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if labels.size == 0:
+        return 0.0
+    return float((predictions == labels).mean())
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """``num_classes x num_classes`` confusion matrix (rows = true class)."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def micro_f1(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> float:
+    """Micro-averaged F1 (equals accuracy for single-label classification)."""
+    matrix = confusion_matrix(predictions, labels, num_classes)
+    true_positive = np.trace(matrix)
+    total = matrix.sum()
+    if total == 0:
+        return 0.0
+    return float(true_positive / total)
+
+
+def macro_f1(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> float:
+    """Macro-averaged F1: unweighted mean of per-class F1 scores."""
+    matrix = confusion_matrix(predictions, labels, num_classes)
+    f1_scores = []
+    for cls in range(num_classes):
+        tp = matrix[cls, cls]
+        fp = matrix[:, cls].sum() - tp
+        fn = matrix[cls, :].sum() - tp
+        if tp + fp + fn == 0:
+            continue
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        if precision + recall == 0:
+            f1_scores.append(0.0)
+        else:
+            f1_scores.append(2 * precision * recall / (precision + recall))
+    if not f1_scores:
+        return 0.0
+    return float(np.mean(f1_scores))

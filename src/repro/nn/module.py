@@ -1,0 +1,134 @@
+"""Module base class and container for the NumPy NN substrate.
+
+Mirrors the familiar ``torch.nn.Module`` contract at a much smaller scale:
+modules own named :class:`~repro.nn.autograd.Tensor` parameters, can contain
+sub-modules, and expose :meth:`Module.parameters` for the optimisers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+__all__ = ["Module", "Sequential"]
+
+
+class Module:
+    """Base class for trainable components."""
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Tensor] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register_parameter(self, name: str, value: np.ndarray) -> Tensor:
+        """Register ``value`` as a trainable parameter called ``name``."""
+        tensor = Tensor(value, requires_grad=True)
+        self._parameters[name] = tensor
+        return tensor
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        """Register a sub-module called ``name``."""
+        self._modules[name] = module
+        return module
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Module) and name not in ("_modules",):
+            object.__setattr__(self, name, value)
+            if hasattr(self, "_modules"):
+                self._modules[name] = value
+            return
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> list[Tensor]:
+        """All trainable parameters of this module and its children."""
+        return [tensor for _, tensor in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        """Yield ``(name, tensor)`` pairs recursively."""
+        for name, tensor in self._parameters.items():
+            yield f"{prefix}{name}", tensor
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return int(sum(p.data.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # Train / eval and gradient management
+    # ------------------------------------------------------------------ #
+    def train(self) -> "Module":
+        """Switch this module (and children) into training mode."""
+        self.training = True
+        for child in self._modules.values():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module (and children) into inference mode."""
+        self.training = False
+        for child in self._modules.values():
+            child.eval()
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear every parameter gradient."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter value keyed by its dotted name."""
+        return {name: tensor.data.copy() for name, tensor in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values previously produced by :meth:`state_dict`."""
+        for name, tensor in self.named_parameters():
+            if name not in state:
+                raise KeyError(f"missing parameter {name!r} in state dict")
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != tensor.data.shape:
+                raise ValueError(
+                    f"parameter {name!r} has shape {tensor.data.shape}, "
+                    f"state provides {value.shape}"
+                )
+            tensor.data = value.copy()
+
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Apply a list of modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._ordered: list[Module] = []
+        for index, module in enumerate(modules):
+            self.register_module(f"layer_{index}", module)
+            self._ordered.append(module)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs
+        for module in self._ordered:
+            output = module(output)
+        return output
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)

@@ -1,0 +1,18 @@
+"""Shared utilities: random-number handling, validation helpers, logging."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability_matrix,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability_matrix",
+]

@@ -1,0 +1,35 @@
+"""Library-wide logging configuration.
+
+The library never configures the root logger; callers opt in through
+:func:`enable_verbose_logging` (used by the example scripts and the benchmark
+harness) while library modules simply request a child of the ``repro``
+logger.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "enable_verbose_logging"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace."""
+    if name is None or name == _ROOT_NAME:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(f"{_ROOT_NAME}."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_verbose_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger (idempotent)."""
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("[%(levelname)s] %(name)s: %(message)s"))
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,45 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None``.  Funnelling that flexibility
+through :func:`ensure_rng` keeps the rest of the code free of seed-handling
+boilerplate and guarantees reproducibility when a seed is supplied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for a nondeterministic generator, an ``int`` for a seeded
+        generator, or an existing generator which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"seed must be None, int, or numpy Generator, got {type(seed)!r}")
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from a single seed.
+
+    Used by repeated-trial experiment drivers so that each trial is
+    reproducible yet statistically independent from the others.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = ensure_rng(seed)
+    return [np.random.default_rng(s) for s in root.integers(0, 2**63 - 1, size=count)]

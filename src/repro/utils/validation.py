@@ -1,0 +1,44 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_fraction",
+    "check_positive",
+    "check_non_negative",
+    "check_probability_matrix",
+]
+
+
+def check_fraction(value: float, name: str, *, inclusive_low: bool = False) -> float:
+    """Validate that ``value`` lies in ``(0, 1]`` (or ``[0, 1]``)."""
+    value = float(value)
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    if not (low_ok and value <= 1.0):
+        bound = "[0, 1]" if inclusive_low else "(0, 1]"
+        raise ValueError(f"{name} must be in {bound}, got {value}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is not negative."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_probability_matrix(matrix: np.ndarray, name: str) -> np.ndarray:
+    """Validate that all entries of ``matrix`` are probabilities."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.size and (matrix.min() < 0.0 or matrix.max() > 1.0):
+        raise ValueError(f"{name} entries must lie in [0, 1]")
+    return matrix

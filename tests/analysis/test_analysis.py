@@ -1,0 +1,83 @@
+"""Tests for the embedding and coverage analysis utilities (Fig. 9)."""
+
+import numpy as np
+
+from repro.analysis import captured_nodes, coverage_report, pca, tsne
+from repro.core import FreeHGC
+
+
+class TestPCA:
+    def test_shape(self):
+        points = np.random.default_rng(0).standard_normal((30, 10))
+        assert pca(points, 2).shape == (30, 2)
+
+    def test_dim_clamped(self):
+        points = np.random.default_rng(0).standard_normal((10, 3))
+        assert pca(points, 5).shape == (10, 3)
+
+    def test_captures_variance_direction(self):
+        rng = np.random.default_rng(0)
+        direction = np.array([1.0, 0.0, 0.0])
+        points = np.outer(rng.standard_normal(50) * 10, direction)
+        points += 0.01 * rng.standard_normal(points.shape)
+        embedded = pca(points, 1)
+        assert np.std(embedded) > 5.0
+
+
+class TestTSNE:
+    def test_shape(self):
+        points = np.random.default_rng(0).standard_normal((40, 8))
+        embedding = tsne(points, 2, iterations=50, seed=0)
+        assert embedding.shape == (40, 2)
+        assert np.isfinite(embedding).all()
+
+    def test_tiny_input_falls_back(self):
+        points = np.random.default_rng(0).standard_normal((2, 4))
+        assert tsne(points, 2).shape == (2, 2)
+
+    def test_separates_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((20, 5))
+        b = rng.standard_normal((20, 5)) + 30.0
+        embedding = tsne(np.vstack([a, b]), 2, iterations=120, seed=0)
+        dist_within = np.linalg.norm(embedding[:20] - embedding[:20].mean(0), axis=1).mean()
+        dist_between = np.linalg.norm(embedding[:20].mean(0) - embedding[20:].mean(0))
+        assert dist_between > dist_within
+
+
+class TestCoverage:
+    def test_captured_nodes_include_selection(self, toy_graph):
+        selected = toy_graph.splits.train[:5]
+        captured = captured_nodes(toy_graph, selected, max_hops=2, max_paths=8)
+        assert set(selected.tolist()) <= set(captured["paper"].tolist())
+
+    def test_captured_nodes_every_type_present(self, toy_graph):
+        captured = captured_nodes(toy_graph, toy_graph.splits.train[:5], max_hops=2)
+        assert set(captured) == set(toy_graph.schema.node_types)
+
+    def test_empty_selection(self, toy_graph):
+        captured = captured_nodes(toy_graph, np.array([], dtype=int), max_hops=2)
+        assert all(nodes.size == 0 for nodes in captured.values())
+
+    def test_coverage_report_fields(self, toy_graph):
+        report = coverage_report(
+            toy_graph, toy_graph.splits.train[:5], method="demo", max_hops=2
+        )
+        assert report.method == "demo"
+        assert report.num_selected == 5
+        assert 0.0 <= report.coverage_fraction <= 1.0
+        assert report.dispersion >= 0.0
+        row = report.as_row()
+        assert {"method", "selected", "captured", "coverage_%"} <= set(row)
+
+    def test_freehgc_covers_more_than_random(self, toy_graph):
+        """The Fig. 9 claim: FreeHGC's criterion activates more nodes."""
+        rng = np.random.default_rng(0)
+        budget = 6
+        condenser = FreeHGC(max_hops=2, max_paths=8)
+        condenser.condense(toy_graph, budget / toy_graph.num_nodes["paper"], seed=0)
+        freehgc_selected = condenser.last_target_selection.selected
+        random_selected = rng.choice(toy_graph.splits.train, size=budget, replace=False)
+        freehgc_report = coverage_report(toy_graph, freehgc_selected, max_hops=2)
+        random_report = coverage_report(toy_graph, random_selected, max_hops=2)
+        assert freehgc_report.total_captured >= random_report.total_captured

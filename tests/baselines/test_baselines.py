@@ -1,0 +1,260 @@
+"""Tests for every baseline reducer (coreset, coarsening, GCond, HGCond)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINE_REGISTRY,
+    CoarseningHG,
+    CondensedFeatureSet,
+    GCond,
+    HerdingHG,
+    HGCond,
+    KCenterHG,
+    RandomHG,
+    get_baseline,
+    heavy_edge_matching,
+    herding_select,
+    kcenter_select,
+    kmeans,
+    orthogonal_parameter_sequence,
+    per_class_budgets,
+)
+from repro.errors import BudgetError
+import scipy.sparse as sp
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(BASELINE_REGISTRY) == {
+            "random-hg",
+            "herding-hg",
+            "k-center-hg",
+            "coarsening-hg",
+            "gcond",
+            "hgcond",
+        }
+
+    def test_get_baseline(self):
+        assert isinstance(get_baseline("Random-HG"), RandomHG)
+
+    def test_unknown_baseline(self):
+        with pytest.raises(KeyError):
+            get_baseline("magic")
+
+
+class TestPerClassBudgets:
+    def test_sums_close_to_total(self, toy_graph):
+        budgets = per_class_budgets(toy_graph, 8)
+        assert sum(budgets.values()) <= 8 + toy_graph.num_classes
+        assert all(v >= 1 for v in budgets.values())
+
+    def test_every_present_class_gets_a_slot(self, toy_graph):
+        budgets = per_class_budgets(toy_graph, 4)
+        labels = set(toy_graph.labels[toy_graph.splits.train].tolist())
+        assert set(budgets) == labels
+
+    def test_budget_capped_by_pool(self, toy_graph):
+        pool = toy_graph.splits.train[:3]
+        budgets = per_class_budgets(toy_graph, 50, pool=pool)
+        assert sum(budgets.values()) <= 3
+
+    def test_invalid_budget(self, toy_graph):
+        with pytest.raises(BudgetError):
+            per_class_budgets(toy_graph, 0)
+
+
+class TestSelectionPrimitives:
+    def test_herding_select_prefers_mean(self):
+        rng = np.random.default_rng(0)
+        cluster = rng.standard_normal((50, 4))
+        outlier = cluster.mean(axis=0) + 50.0
+        points = np.vstack([cluster, outlier])
+        chosen = herding_select(points, 5)
+        assert 50 not in chosen  # the outlier is never herded first
+
+    def test_herding_select_budget(self):
+        points = np.random.default_rng(0).standard_normal((20, 3))
+        assert herding_select(points, 7).shape == (7,)
+        assert herding_select(points, 100).shape == (20,)
+        assert herding_select(points, 0).shape == (0,)
+
+    def test_herding_no_duplicates(self):
+        points = np.random.default_rng(0).standard_normal((30, 3))
+        chosen = herding_select(points, 10)
+        assert len(set(chosen.tolist())) == 10
+
+    def test_kcenter_spreads_out(self):
+        rng = np.random.default_rng(0)
+        clusters = np.vstack(
+            [rng.standard_normal((20, 2)) + offset for offset in (0.0, 10.0, 20.0)]
+        )
+        chosen = kcenter_select(clusters, 3, rng)
+        groups = {int(index) // 20 for index in chosen}
+        assert len(groups) == 3
+
+    def test_kcenter_budget(self):
+        points = np.random.default_rng(0).standard_normal((15, 2))
+        assert kcenter_select(points, 4, np.random.default_rng(1)).shape == (4,)
+
+    def test_kmeans_basic(self):
+        rng = np.random.default_rng(0)
+        points = np.vstack(
+            [rng.standard_normal((30, 2)), rng.standard_normal((30, 2)) + 20.0]
+        )
+        centroids, assignment = kmeans(points, 2, seed=0)
+        assert centroids.shape == (2, 2)
+        assert set(np.unique(assignment)) == {0, 1}
+        # the two centroids are far apart
+        assert np.linalg.norm(centroids[0] - centroids[1]) > 5.0
+
+    def test_kmeans_clamps_k(self):
+        points = np.random.default_rng(0).standard_normal((3, 2))
+        centroids, _ = kmeans(points, 10, seed=0)
+        assert centroids.shape[0] == 3
+
+    def test_kmeans_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 3)), 2)
+
+    def test_heavy_edge_matching_budget(self):
+        similarity = sp.csr_matrix(np.ones((10, 10)) - np.eye(10))
+        clusters = heavy_edge_matching(similarity, 3, np.random.default_rng(0))
+        assert clusters.shape == (10,)
+        assert len(np.unique(clusters)) <= 3
+
+    def test_heavy_edge_matching_trivial_budget(self):
+        similarity = sp.csr_matrix((5, 5))
+        clusters = heavy_edge_matching(similarity, 10, np.random.default_rng(0))
+        assert np.array_equal(clusters, np.arange(5))
+
+    def test_orthogonal_parameter_sequence(self):
+        sequence = orthogonal_parameter_sequence(32, 3, 4, np.random.default_rng(0))
+        assert len(sequence) == 4
+        assert all(w.shape == (32, 3) for w in sequence)
+        # blocks are mutually orthogonal
+        inner = sequence[0].T @ sequence[1]
+        assert np.abs(inner).max() < 1e-8
+
+
+@pytest.mark.parametrize(
+    "condenser_cls", [RandomHG, HerdingHG, KCenterHG, CoarseningHG]
+)
+class TestSelectionBaselines:
+    def test_budget_and_validity(self, toy_graph, condenser_cls):
+        condenser = condenser_cls()
+        condensed = condenser.condense(toy_graph, 0.25, seed=0)
+        condensed.validate()
+        assert condensed.num_nodes["paper"] <= max(1, round(0.25 * 40)) + 1
+        assert condensed.total_nodes < toy_graph.total_nodes
+
+    def test_trainable_output(self, toy_graph, condenser_cls):
+        from repro.models import HeteroSGC
+
+        condensed = condenser_cls().condense(toy_graph, 0.3, seed=0)
+        model = HeteroSGC(hidden_dim=16, epochs=40, max_hops=2, max_paths=8)
+        model.fit(condensed)
+        assert 0.0 <= model.evaluate(toy_graph) <= 1.0
+
+    def test_invalid_ratio(self, toy_graph, condenser_cls):
+        with pytest.raises(BudgetError):
+            condenser_cls().condense(toy_graph, 0.0)
+
+    def test_metadata(self, toy_graph, condenser_cls):
+        condensed = condenser_cls().condense(toy_graph, 0.25, seed=0)
+        assert condensed.metadata["method"] == condenser_cls.name
+
+
+class TestCondensedFeatureSet:
+    def test_consistency_checks(self):
+        with pytest.raises(ValueError):
+            CondensedFeatureSet(
+                features={"a": np.zeros((3, 2)), "b": np.zeros((4, 2))},
+                labels=np.zeros(3, int),
+                num_classes=2,
+            )
+        with pytest.raises(ValueError):
+            CondensedFeatureSet(
+                features={"a": np.zeros((3, 2))}, labels=np.zeros(4, int), num_classes=2
+            )
+
+    def test_storage_and_size(self):
+        fs = CondensedFeatureSet(
+            features={"a": np.zeros((3, 2))}, labels=np.zeros(3, int), num_classes=2
+        )
+        assert fs.num_nodes == 3
+        assert fs.storage_bytes() > 0
+
+
+class TestGCond:
+    def test_produces_feature_set(self, toy_graph):
+        condenser = GCond(outer_iterations=3, inner_steps=2, relay_samples=1, max_hops=2)
+        result = condenser.condense(toy_graph, 0.2, seed=0)
+        assert isinstance(result, CondensedFeatureSet)
+        assert result.num_nodes >= toy_graph.num_classes
+        assert result.metadata["method"] == "GCond"
+
+    def test_feature_keys_match_propagation(self, toy_graph):
+        from repro.models.propagation import propagate_metapath_features
+
+        condenser = GCond(outer_iterations=2, inner_steps=1, relay_samples=1, max_hops=2)
+        result = condenser.condense(toy_graph, 0.2, seed=0)
+        expected = set(propagate_metapath_features(toy_graph, max_hops=2, max_paths=16))
+        assert set(result.features) == expected
+
+    def test_trainable_output(self, toy_graph):
+        from repro.models import SeHGNN
+
+        condenser = GCond(outer_iterations=3, inner_steps=2, relay_samples=1, max_hops=2)
+        result = condenser.condense(toy_graph, 0.25, seed=0)
+        model = SeHGNN(hidden_dim=16, epochs=40, max_hops=2)
+        model.fit_from_features(result.features, result.labels, result.num_classes)
+        assert model.evaluate(toy_graph) > 0.5
+
+
+class TestHGCond:
+    def test_produces_hetero_graph(self, toy_graph):
+        condenser = HGCond(outer_iterations=2, inner_steps=2, ops_length=2)
+        condensed = condenser.condense(toy_graph, 0.2, seed=0)
+        condensed.validate()
+        assert condensed.metadata["method"] == "HGCond"
+        assert condensed.num_nodes["paper"] <= max(1, round(0.2 * 40)) + 2
+
+    def test_every_type_has_synthetic_nodes(self, toy_graph):
+        condensed = HGCond(outer_iterations=1, inner_steps=1, ops_length=1).condense(
+            toy_graph, 0.2, seed=0
+        )
+        assert all(count >= 1 for count in condensed.num_nodes.values())
+
+    def test_all_synthetic_targets_are_training_nodes(self, toy_graph):
+        condensed = HGCond(outer_iterations=1, inner_steps=1, ops_length=1).condense(
+            toy_graph, 0.2, seed=0
+        )
+        assert condensed.splits.train.size == condensed.num_nodes["paper"]
+        assert np.all(condensed.labels >= 0)
+
+    def test_trainable_output(self, toy_graph):
+        from repro.models import SeHGNN
+
+        condensed = HGCond(outer_iterations=2, inner_steps=2, ops_length=2).condense(
+            toy_graph, 0.3, seed=0
+        )
+        model = SeHGNN(hidden_dim=16, epochs=40, max_hops=2)
+        model.fit(condensed)
+        assert model.evaluate(toy_graph) > 0.5
+
+    def test_takes_longer_than_freehgc(self, tiny_acm):
+        """The bi-level optimisation must be slower than training-free selection."""
+        import time
+
+        from repro.core import FreeHGC
+
+        start = time.perf_counter()
+        FreeHGC(max_hops=2, max_paths=8).condense(tiny_acm, 0.1, seed=0)
+        free_time = time.perf_counter() - start
+        start = time.perf_counter()
+        HGCond(outer_iterations=20, inner_steps=6, ops_length=4).condense(
+            tiny_acm, 0.1, seed=0
+        )
+        hgcond_time = time.perf_counter() - start
+        assert hgcond_time > free_time

@@ -1,0 +1,153 @@
+"""Tests for the FreeHGC condenser facade and condensed-graph assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core import FreeHGC, assemble_condensed_graph, classify_node_types
+from repro.core.synthesis import InformationLossMinimizer
+from repro.errors import BudgetError, CondensationError
+
+
+class TestFreeHGCOnToyGraph:
+    def test_condensed_counts_respect_ratio(self, toy_graph):
+        condensed = FreeHGC(max_hops=2, max_paths=8).condense(toy_graph, 0.2, seed=0)
+        for node_type, count in condensed.num_nodes.items():
+            original = toy_graph.num_nodes[node_type]
+            assert count <= max(1, round(0.2 * original)) + 1
+
+    def test_condensed_graph_valid(self, toy_graph):
+        condensed = FreeHGC(max_hops=2, max_paths=8).condense(toy_graph, 0.25, seed=0)
+        condensed.validate()
+        assert condensed.schema is toy_graph.schema
+
+    def test_target_nodes_from_train_pool(self, toy_graph):
+        condenser = FreeHGC(max_hops=2, max_paths=8)
+        condensed = condenser.condense(toy_graph, 0.2, seed=0)
+        assert condensed.splits.train.size == condensed.num_nodes["paper"]
+        selected = condenser.last_target_selection.selected
+        assert set(selected.tolist()) <= set(toy_graph.splits.train.tolist())
+
+    def test_all_classes_present(self, toy_graph):
+        condensed = FreeHGC(max_hops=2, max_paths=8).condense(toy_graph, 0.25, seed=0)
+        assert set(np.unique(condensed.labels)) == {0, 1}
+
+    def test_metadata_records_method(self, toy_graph):
+        condensed = FreeHGC(max_hops=2, max_paths=8).condense(toy_graph, 0.2, seed=0)
+        assert condensed.metadata["method"] == "FreeHGC"
+        assert condensed.metadata["ratio"] == 0.2
+
+    def test_invalid_ratio_rejected(self, toy_graph):
+        with pytest.raises(BudgetError):
+            FreeHGC().condense(toy_graph, 0.0)
+
+    def test_deterministic_given_seed(self, toy_graph):
+        a = FreeHGC(max_hops=2, max_paths=8).condense(toy_graph, 0.2, seed=3)
+        b = FreeHGC(max_hops=2, max_paths=8).condense(toy_graph, 0.2, seed=3)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.total_edges == b.total_edges
+
+
+class TestFreeHGCStrategies:
+    @pytest.mark.parametrize("target_strategy", ["criterion", "herding"])
+    @pytest.mark.parametrize("father_strategy", ["nim", "herding", "ilm"])
+    def test_strategy_combinations_produce_valid_graphs(
+        self, tiny_dblp, target_strategy, father_strategy
+    ):
+        condenser = FreeHGC(
+            max_hops=2,
+            max_paths=8,
+            target_strategy=target_strategy,
+            father_strategy=father_strategy,
+        )
+        condensed = condenser.condense(tiny_dblp, 0.15, seed=0)
+        condensed.validate()
+        assert condensed.num_nodes[tiny_dblp.schema.target_type] >= 1
+
+    @pytest.mark.parametrize("leaf_strategy", ["ilm", "herding", "nim"])
+    def test_leaf_strategies(self, tiny_dblp, leaf_strategy):
+        condenser = FreeHGC(max_hops=2, max_paths=8, leaf_strategy=leaf_strategy)
+        condensed = condenser.condense(tiny_dblp, 0.15, seed=0)
+        condensed.validate()
+        # DBLP has leaf types term and venue; they must exist in the output
+        assert condensed.num_nodes["term"] >= 1
+        assert condensed.num_nodes["venue"] >= 1
+
+    def test_invalid_strategy_names(self):
+        with pytest.raises(ValueError):
+            FreeHGC(target_strategy="magic")
+        with pytest.raises(ValueError):
+            FreeHGC(father_strategy="magic")
+        with pytest.raises(ValueError):
+            FreeHGC(leaf_strategy="magic")
+
+    def test_degree_importance_variant(self, toy_graph):
+        condensed = FreeHGC(max_hops=2, max_paths=8, importance="degree").condense(
+            toy_graph, 0.2, seed=0
+        )
+        condensed.validate()
+
+    def test_leaf_types_synthesised_on_structure2(self, tiny_dblp):
+        hierarchy = classify_node_types(tiny_dblp.schema)
+        assert set(hierarchy.leaves) == {"term", "venue"}
+        condensed = FreeHGC(max_hops=2, max_paths=8).condense(tiny_dblp, 0.15, seed=0)
+        # synthesised leaf nodes connect to selected father (paper) nodes
+        rel = tiny_dblp.schema.relations_between("paper", "term")[0]
+        assert condensed.adjacency[rel.name].nnz > 0
+
+
+class TestAssembly:
+    def test_overlapping_types_rejected(self, toy_graph):
+        synthetic = InformationLossMinimizer().synthesize(
+            toy_graph, "term", 3, {"paper": np.arange(5)}
+        )
+        with pytest.raises(CondensationError):
+            assemble_condensed_graph(
+                toy_graph,
+                {"paper": np.arange(5), "term": np.arange(3), "author": np.arange(3),
+                 "venue": np.arange(2)},
+                {"term": synthetic},
+            )
+
+    def test_target_must_be_selected(self, toy_graph):
+        synthetic = InformationLossMinimizer().synthesize(
+            toy_graph, "paper", 3, {"author": np.arange(5)}
+        )
+        with pytest.raises(CondensationError):
+            assemble_condensed_graph(
+                toy_graph,
+                {"author": np.arange(5), "venue": np.arange(2), "term": np.arange(2)},
+                {"paper": synthetic},
+            )
+
+    def test_missing_type_rejected(self, toy_graph):
+        with pytest.raises(CondensationError):
+            assemble_condensed_graph(toy_graph, {"paper": np.arange(5)}, {})
+
+    def test_selected_only_assembly(self, toy_graph):
+        selected = {
+            node_type: np.arange(min(5, toy_graph.num_nodes[node_type]))
+            for node_type in toy_graph.schema.node_types
+        }
+        condensed = assemble_condensed_graph(toy_graph, selected, {})
+        condensed.validate()
+        assert condensed.num_nodes["paper"] == 5
+
+    def test_synthetic_leaf_assembly(self, toy_graph):
+        selected = {
+            "paper": toy_graph.splits.train[:8],
+            "author": np.arange(6),
+            "venue": np.arange(3),
+        }
+        synthetic = {
+            "term": InformationLossMinimizer().synthesize(
+                toy_graph, "term", 4, {"paper": selected["paper"]}
+            )
+        }
+        condensed = assemble_condensed_graph(toy_graph, selected, synthetic)
+        condensed.validate()
+        assert condensed.num_nodes["term"] == synthetic["term"].num_nodes
+        # the paper-term relation must carry the synthesised edges
+        assert condensed.adjacency["mentions"].shape == (
+            len(np.unique(selected["paper"])),
+            synthetic["term"].num_nodes,
+        )

@@ -1,0 +1,179 @@
+"""Tests for the evaluation protocol, pipeline, reporting, storage, timing."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomHG
+from repro.core import FreeHGC
+from repro.evaluation import (
+    ExperimentConfig,
+    Stopwatch,
+    evaluate_condenser,
+    format_markdown_table,
+    format_series,
+    format_table,
+    make_condenser,
+    make_model_factory,
+    run_generalization_study,
+    run_ratio_sweep,
+    storage_bytes,
+    storage_megabytes,
+    storage_reduction_percent,
+    timed,
+    train_on_condensed,
+    whole_graph_reference,
+    write_report,
+)
+from repro.baselines.base import CondensedFeatureSet
+
+FAST_MODEL = dict(hidden_dim=16, epochs=30, max_hops=2)
+
+
+class TestProtocol:
+    def test_evaluate_condenser_fields(self, toy_graph):
+        factory = make_model_factory("heterosgc", **FAST_MODEL)
+        evaluation = evaluate_condenser(
+            toy_graph, RandomHG(), 0.25, factory, seeds=2, dataset_name="toy"
+        )
+        assert evaluation.dataset == "toy"
+        assert evaluation.method == "Random-HG"
+        assert len(evaluation.accuracies) == 2
+        assert 0.0 <= evaluation.mean_accuracy <= 1.0
+        assert evaluation.std_accuracy >= 0.0
+        assert evaluation.condense_seconds >= 0.0
+        assert evaluation.storage > 0
+        assert evaluation.condensed_nodes > 0
+
+    def test_as_row_keys(self, toy_graph):
+        factory = make_model_factory("heterosgc", **FAST_MODEL)
+        row = evaluate_condenser(toy_graph, RandomHG(), 0.25, factory, seeds=1).as_row()
+        assert {"dataset", "method", "ratio", "accuracy_mean", "condense_s"} <= set(row)
+
+    def test_whole_graph_reference(self, toy_graph):
+        factory = make_model_factory("heterosgc", **FAST_MODEL)
+        reference = whole_graph_reference(toy_graph, factory, seeds=1)
+        assert reference.method == "Whole Dataset"
+        assert reference.ratio == 1.0
+        assert reference.mean_accuracy > 0.5
+
+    def test_train_on_condensed_graph(self, toy_graph):
+        condensed = RandomHG().condense(toy_graph, 0.3, seed=0)
+        factory = make_model_factory("heterosgc", **FAST_MODEL)
+        model, seconds = train_on_condensed(condensed, factory, toy_graph)
+        assert seconds > 0
+        assert model.evaluate(toy_graph) >= 0.0
+
+    def test_train_on_feature_set(self, toy_graph):
+        features = {"self": toy_graph.features["paper"]}
+        feature_set = CondensedFeatureSet(
+            features=features, labels=toy_graph.labels, num_classes=2
+        )
+        factory = make_model_factory("heterosgc", **FAST_MODEL)
+        model, _ = train_on_condensed(feature_set, factory, toy_graph)
+        assert model.evaluate(toy_graph) >= 0.0
+
+
+class TestPipeline:
+    def test_make_condenser_names(self):
+        for name in ("random-hg", "herding-hg", "k-center-hg", "coarsening-hg",
+                     "gcond", "hgcond", "freehgc"):
+            condenser = make_condenser(name, max_hops=2)
+            assert condenser is not None
+
+    def test_make_condenser_freehgc_type(self):
+        assert isinstance(make_condenser("freehgc", max_hops=3), FreeHGC)
+
+    def test_make_condenser_unknown(self):
+        with pytest.raises(KeyError):
+            make_condenser("magic")
+
+    def test_make_model_factory_unknown(self):
+        with pytest.raises(KeyError):
+            make_model_factory("magic")
+
+    def test_experiment_config_default_hops(self):
+        config = ExperimentConfig(dataset="acm", ratios=(0.05,))
+        assert config.resolved_max_hops() == 3
+        explicit = ExperimentConfig(dataset="acm", ratios=(0.05,), max_hops=1)
+        assert explicit.resolved_max_hops() == 1
+
+    def test_run_ratio_sweep(self, toy_graph):
+        config = ExperimentConfig(
+            dataset="acm",
+            ratios=(0.2,),
+            methods=("random-hg", "freehgc"),
+            model="heterosgc",
+            seeds=1,
+            epochs=25,
+            hidden_dim=16,
+            max_hops=2,
+        )
+        results = run_ratio_sweep(config, graph=toy_graph)
+        methods = {r.method for r in results}
+        assert {"Random-HG", "FreeHGC", "Whole Dataset"} <= methods
+
+    def test_run_generalization_study(self, toy_graph):
+        rows = run_generalization_study(
+            "acm",
+            0.2,
+            methods=("random-hg", "freehgc"),
+            models=("heterosgc", "sehgnn"),
+            seeds=1,
+            epochs=25,
+            hidden_dim=16,
+            graph=toy_graph,
+        )
+        assert len(rows) == 2
+        assert {"HETEROSGC", "SEHGNN", "Condensed Avg.", "Whole Avg."} <= set(rows[0])
+
+
+class TestReporting:
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.1}]
+        text = format_table(rows, title="demo")
+        assert "demo" in text and "a" in text and "10" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_markdown_table(self):
+        text = format_markdown_table([{"x": 1}])
+        assert text.startswith("| x |")
+
+    def test_format_series(self):
+        text = format_series("ratio", [0.1, 0.2], {"acc": [1.0, 2.0]})
+        assert "ratio" in text and "acc" in text
+
+    def test_write_report(self, tmp_path):
+        path = write_report("hello", tmp_path / "sub" / "report.txt")
+        assert path.read_text().strip() == "hello"
+
+
+class TestStorageAndTiming:
+    def test_storage_bytes_graph(self, toy_graph):
+        assert storage_bytes(toy_graph) == toy_graph.storage_bytes()
+
+    def test_storage_megabytes(self, toy_graph):
+        assert storage_megabytes(toy_graph) == pytest.approx(
+            toy_graph.storage_bytes() / 1e6
+        )
+
+    def test_storage_reduction(self, toy_graph):
+        condensed = RandomHG().condense(toy_graph, 0.2, seed=0)
+        assert storage_reduction_percent(toy_graph, condensed) > 0
+
+    def test_storage_bad_type(self):
+        with pytest.raises(TypeError):
+            storage_bytes("not a graph")
+
+    def test_stopwatch(self):
+        watch = Stopwatch()
+        with watch.measure("step"):
+            sum(range(1000))
+        assert watch.get("step") > 0
+        assert watch.get("missing") == 0.0
+
+    def test_timed(self):
+        with timed() as holder:
+            sum(range(1000))
+        assert holder[0] > 0

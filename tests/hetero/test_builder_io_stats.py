@@ -1,0 +1,146 @@
+"""Tests for the graph builder, (de)serialisation and statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.hetero import (
+    HeteroGraphBuilder,
+    compression_summary,
+    degree_statistics,
+    graph_stats,
+    load_graph,
+    save_graph,
+    saved_size_bytes,
+)
+from tests.conftest import build_toy_schema
+
+
+class TestBuilder:
+    def test_minimal_build(self):
+        builder = HeteroGraphBuilder(build_toy_schema())
+        builder.add_nodes("paper", 5)
+        builder.add_nodes("author", 3)
+        builder.add_nodes("venue", 2)
+        builder.add_nodes("term", 2)
+        graph = builder.build()
+        assert graph.num_nodes["paper"] == 5
+        # default features are generated for every type
+        assert graph.features["author"].shape[0] == 3
+
+    def test_unknown_node_type_rejected(self):
+        builder = HeteroGraphBuilder(build_toy_schema())
+        with pytest.raises(GraphConstructionError):
+            builder.add_nodes("alien", 3)
+
+    def test_negative_count_rejected(self):
+        builder = HeteroGraphBuilder(build_toy_schema())
+        with pytest.raises(GraphConstructionError):
+            builder.add_nodes("paper", -1)
+
+    def test_feature_row_mismatch_rejected(self):
+        builder = HeteroGraphBuilder(build_toy_schema())
+        with pytest.raises(GraphConstructionError):
+            builder.add_nodes("paper", 5, features=np.zeros((4, 3)))
+
+    def test_set_features_requires_nodes(self):
+        builder = HeteroGraphBuilder(build_toy_schema())
+        with pytest.raises(GraphConstructionError):
+            builder.set_features("paper", np.zeros((5, 3)))
+
+    def test_edge_out_of_range_rejected(self):
+        builder = HeteroGraphBuilder(build_toy_schema())
+        builder.add_nodes("paper", 2)
+        builder.add_nodes("author", 2)
+        builder.add_nodes("venue", 1)
+        builder.add_nodes("term", 1)
+        builder.add_edges("writes", np.array([0]), np.array([99]))
+        with pytest.raises(GraphConstructionError):
+            builder.build()
+
+    def test_unknown_relation_rejected(self):
+        builder = HeteroGraphBuilder(build_toy_schema())
+        builder.add_nodes("paper", 2)
+        with pytest.raises(Exception):
+            builder.add_edges("nope", np.array([0]), np.array([0]))
+
+    def test_incremental_edges_accumulate(self):
+        builder = HeteroGraphBuilder(build_toy_schema())
+        builder.add_nodes("paper", 3)
+        builder.add_nodes("author", 3)
+        builder.add_nodes("venue", 1)
+        builder.add_nodes("term", 1)
+        builder.add_edges("writes", np.array([0]), np.array([0]))
+        builder.add_edges("writes", np.array([1]), np.array([1]))
+        graph = builder.build()
+        assert graph.adjacency["writes"].nnz == 2
+
+    def test_metadata_kept(self):
+        builder = HeteroGraphBuilder(build_toy_schema())
+        builder.add_nodes("paper", 2)
+        builder.add_nodes("author", 1)
+        builder.add_nodes("venue", 1)
+        builder.add_nodes("term", 1)
+        builder.set_metadata(name="custom", scale=0.5)
+        graph = builder.build()
+        assert graph.metadata["name"] == "custom"
+
+    def test_labels_default_to_unlabeled(self):
+        builder = HeteroGraphBuilder(build_toy_schema())
+        builder.add_nodes("paper", 4)
+        builder.add_nodes("author", 1)
+        builder.add_nodes("venue", 1)
+        builder.add_nodes("term", 1)
+        graph = builder.build()
+        assert np.all(graph.labels == -1)
+
+
+class TestIO:
+    def test_roundtrip(self, toy_graph, tmp_path):
+        path = tmp_path / "toy.npz"
+        save_graph(toy_graph, path)
+        loaded = load_graph(path)
+        assert loaded.total_nodes == toy_graph.total_nodes
+        assert loaded.total_edges == toy_graph.total_edges
+        assert np.array_equal(loaded.labels, toy_graph.labels)
+        assert loaded.schema.target_type == toy_graph.schema.target_type
+
+    def test_roundtrip_features(self, toy_graph, tmp_path):
+        loaded = load_graph(save_graph(toy_graph, tmp_path / "g.npz"))
+        assert np.allclose(loaded.features["paper"], toy_graph.features["paper"])
+
+    def test_roundtrip_splits(self, toy_graph, tmp_path):
+        loaded = load_graph(save_graph(toy_graph, tmp_path / "g.npz"))
+        assert np.array_equal(loaded.splits.train, toy_graph.splits.train)
+
+    def test_saved_size_positive(self, toy_graph, tmp_path):
+        assert saved_size_bytes(toy_graph, tmp_path / "g.npz") > 0
+
+    def test_condensed_file_smaller(self, toy_graph, tmp_path):
+        sub = toy_graph.induced_subgraph({"paper": np.arange(5), "author": np.arange(3)})
+        full_size = saved_size_bytes(toy_graph, tmp_path / "full.npz")
+        small_size = saved_size_bytes(sub, tmp_path / "small.npz")
+        assert small_size < full_size
+
+
+class TestStatistics:
+    def test_graph_stats_fields(self, toy_graph):
+        stats = graph_stats(toy_graph)
+        assert stats.total_nodes == toy_graph.total_nodes
+        assert stats.num_node_types == 4
+        assert stats.target_type == "paper"
+
+    def test_graph_stats_row(self, toy_graph):
+        row = graph_stats(toy_graph).as_row()
+        assert row["#Nodes"] == toy_graph.total_nodes
+        assert row["Target"] == "paper"
+
+    def test_degree_statistics(self, toy_graph):
+        stats = degree_statistics(toy_graph, "paper")
+        assert stats["max"] >= stats["mean"] >= stats["min"] >= 0
+
+    def test_compression_summary(self, toy_graph):
+        sub = toy_graph.induced_subgraph({"paper": np.arange(5)})
+        summary = compression_summary(toy_graph, sub)
+        assert 0 < summary["node_ratio"] < 1
+        assert summary["storage_reduction_pct"] > 0

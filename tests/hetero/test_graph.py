@@ -1,0 +1,153 @@
+"""Tests for repro.hetero.graph (HeteroGraph container)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.hetero.graph import HeteroGraph, NodeSplits
+
+
+class TestNodeSplits:
+    def test_sizes(self):
+        splits = NodeSplits(np.array([0, 1]), np.array([2]), np.array([3, 4, 5]))
+        assert splits.sizes == (2, 1, 3)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            NodeSplits(np.array([0, 1]), np.array([1]), np.array([2]))
+
+    def test_empty_ok(self):
+        splits = NodeSplits(np.empty(0, int), np.empty(0, int), np.empty(0, int))
+        assert splits.sizes == (0, 0, 0)
+
+
+class TestHeteroGraphValidation:
+    def test_toy_graph_valid(self, toy_graph):
+        toy_graph.validate()
+
+    def test_counts_and_edges(self, toy_graph):
+        assert toy_graph.total_nodes == sum(toy_graph.num_nodes.values())
+        assert toy_graph.total_edges == sum(m.nnz for m in toy_graph.adjacency.values())
+
+    def test_bad_feature_rows_rejected(self, toy_graph):
+        broken = toy_graph.copy()
+        broken.features["paper"] = broken.features["paper"][:-1]
+        with pytest.raises(GraphConstructionError):
+            broken.validate()
+
+    def test_bad_label_length_rejected(self, toy_graph):
+        broken = toy_graph.copy()
+        broken.labels = broken.labels[:-1]
+        with pytest.raises(GraphConstructionError):
+            broken.validate()
+
+    def test_label_out_of_range_rejected(self, toy_graph):
+        broken = toy_graph.copy()
+        broken.labels = broken.labels.copy()
+        broken.labels[0] = 99
+        with pytest.raises(GraphConstructionError):
+            broken.validate()
+
+
+class TestAccessors:
+    def test_target_type(self, toy_graph):
+        assert toy_graph.target_type == "paper"
+
+    def test_relation_matrix_shape(self, toy_graph):
+        matrix = toy_graph.relation_matrix("writes")
+        assert matrix.shape == (toy_graph.num_nodes["author"], toy_graph.num_nodes["paper"])
+
+    def test_typed_adjacency_includes_reverse(self, toy_graph):
+        forward = toy_graph.typed_adjacency("author", "paper")
+        backward = toy_graph.typed_adjacency("paper", "author")
+        assert forward.nnz == backward.nnz
+
+    def test_typed_adjacency_boolean(self, toy_graph):
+        matrix = toy_graph.typed_adjacency("paper", "term")
+        assert set(np.unique(matrix.data)) <= {1.0}
+
+    def test_connected_type_pairs_symmetric(self, toy_graph):
+        pairs = set(toy_graph.connected_type_pairs())
+        assert ("paper", "author") in pairs and ("author", "paper") in pairs
+
+    def test_class_distribution_total(self, toy_graph):
+        dist = toy_graph.class_distribution()
+        assert dist.sum() == toy_graph.num_nodes["paper"]
+        assert dist.shape == (toy_graph.num_classes,)
+
+    def test_class_distribution_subset(self, toy_graph):
+        dist = toy_graph.class_distribution(toy_graph.splits.train)
+        assert dist.sum() == len(toy_graph.splits.train)
+
+    def test_summary_mentions_name(self, toy_graph):
+        assert "toy" in toy_graph.summary()
+
+    def test_storage_positive(self, toy_graph):
+        assert toy_graph.storage_bytes() > 0
+
+    def test_copy_is_deep(self, toy_graph):
+        clone = toy_graph.copy()
+        clone.features["paper"][0, 0] = 1e9
+        assert toy_graph.features["paper"][0, 0] != 1e9
+
+
+class TestInducedSubgraph:
+    def test_counts_reduced(self, toy_graph):
+        kept = {"paper": np.arange(10), "author": np.arange(5)}
+        sub = toy_graph.induced_subgraph(kept)
+        assert sub.num_nodes["paper"] == 10
+        assert sub.num_nodes["author"] == 5
+        # types not mentioned keep everything
+        assert sub.num_nodes["venue"] == toy_graph.num_nodes["venue"]
+
+    def test_labels_follow_selection(self, toy_graph):
+        kept_papers = np.array([3, 7, 11])
+        sub = toy_graph.induced_subgraph({"paper": kept_papers})
+        assert np.array_equal(sub.labels, toy_graph.labels[kept_papers])
+
+    def test_edges_subset(self, toy_graph):
+        sub = toy_graph.induced_subgraph({"paper": np.arange(10)})
+        assert sub.total_edges <= toy_graph.total_edges
+
+    def test_splits_remapped_within_range(self, toy_graph):
+        sub = toy_graph.induced_subgraph({"paper": np.arange(15)})
+        for split in (sub.splits.train, sub.splits.val, sub.splits.test):
+            if split.size:
+                assert split.max() < 15
+
+    def test_out_of_range_rejected(self, toy_graph):
+        with pytest.raises(GraphConstructionError):
+            toy_graph.induced_subgraph({"paper": np.array([10**6])})
+
+    def test_full_selection_is_identity(self, toy_graph):
+        kept = {t: np.arange(toy_graph.num_nodes[t]) for t in toy_graph.schema.node_types}
+        sub = toy_graph.induced_subgraph(kept)
+        assert sub.total_nodes == toy_graph.total_nodes
+        assert sub.total_edges == toy_graph.total_edges
+
+
+class TestToHomogeneous:
+    def test_shapes(self, toy_graph):
+        adjacency, features, labels = toy_graph.to_homogeneous()
+        total = toy_graph.total_nodes
+        assert adjacency.shape == (total, total)
+        assert features.shape[0] == total
+        assert labels.shape == (total,)
+
+    def test_labels_only_on_target(self, toy_graph):
+        _, _, labels = toy_graph.to_homogeneous()
+        labeled = (labels >= 0).sum()
+        assert labeled == toy_graph.num_nodes["paper"]
+
+    def test_adjacency_symmetric(self, toy_graph):
+        adjacency, _, _ = toy_graph.to_homogeneous()
+        assert (adjacency != adjacency.T).nnz == 0
+
+    def test_feature_padding(self, toy_graph):
+        _, features, _ = toy_graph.to_homogeneous()
+        max_dim = max(f.shape[1] for f in toy_graph.features.values())
+        assert features.shape[1] == max_dim
+
+
+def test_graph_repr_is_string(toy_graph):
+    assert isinstance(repr(toy_graph), str)

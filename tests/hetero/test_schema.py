@@ -1,0 +1,112 @@
+"""Tests for repro.hetero.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.hetero.schema import HeteroSchema, Relation
+
+
+def make_schema() -> HeteroSchema:
+    return HeteroSchema(
+        node_types=("paper", "author", "venue"),
+        relations=(
+            Relation("writes", "author", "paper"),
+            Relation("published", "paper", "venue"),
+            Relation("cites", "paper", "paper"),
+        ),
+        target_type="paper",
+        num_classes=3,
+    )
+
+
+class TestRelation:
+    def test_reversed(self):
+        rel = Relation("writes", "author", "paper")
+        rev = rel.reversed()
+        assert rev.src == "paper" and rev.dst == "author"
+        assert rev.name == "writes__rev"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("", "a", "b")
+
+    def test_missing_endpoint_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("r", "", "b")
+
+
+class TestHeteroSchema:
+    def test_valid_schema(self):
+        schema = make_schema()
+        assert schema.target_type == "paper"
+        assert len(schema.relations) == 3
+
+    def test_duplicate_node_types_rejected(self):
+        with pytest.raises(SchemaError):
+            HeteroSchema(("a", "a"), (), "a", 2)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SchemaError):
+            HeteroSchema(("a",), (), "b", 2)
+
+    def test_too_few_classes_rejected(self):
+        with pytest.raises(SchemaError):
+            HeteroSchema(("a",), (), "a", 1)
+
+    def test_duplicate_relation_names_rejected(self):
+        with pytest.raises(SchemaError):
+            HeteroSchema(
+                ("a", "b"),
+                (Relation("r", "a", "b"), Relation("r", "b", "a")),
+                "a",
+                2,
+            )
+
+    def test_relation_with_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            HeteroSchema(("a",), (Relation("r", "a", "zzz"),), "a", 2)
+
+    def test_relation_lookup(self):
+        schema = make_schema()
+        assert schema.relation("writes").src == "author"
+
+    def test_unknown_relation_lookup(self):
+        with pytest.raises(SchemaError):
+            make_schema().relation("nope")
+
+    def test_relations_from(self):
+        schema = make_schema()
+        names = {r.name for r in schema.relations_from("paper")}
+        assert names == {"published", "cites"}
+
+    def test_relations_between(self):
+        schema = make_schema()
+        assert [r.name for r in schema.relations_between("author", "paper")] == ["writes"]
+
+    def test_neighbor_types_undirected(self):
+        schema = make_schema()
+        assert set(schema.neighbor_types("paper")) == {"author", "venue"}
+
+    def test_neighbor_types_excludes_self(self):
+        schema = make_schema()
+        assert "paper" not in schema.neighbor_types("paper")
+
+    def test_other_types(self):
+        schema = make_schema()
+        assert set(schema.other_types()) == {"author", "venue"}
+
+    def test_is_homogeneous_false(self):
+        assert not make_schema().is_homogeneous()
+
+    def test_is_homogeneous_true(self):
+        schema = HeteroSchema(("n",), (Relation("e", "n", "n"),), "n", 2)
+        assert schema.is_homogeneous()
+
+    def test_with_reverse_relations_adds_reverses(self):
+        schema = make_schema().with_reverse_relations()
+        names = {r.name for r in schema.relations}
+        assert "writes__rev" in names and "published__rev" in names
+
+    def test_with_reverse_relations_preserves_target(self):
+        schema = make_schema().with_reverse_relations()
+        assert schema.target_type == "paper"

@@ -1,0 +1,151 @@
+"""Tests for the HGNN classifiers (shared API + every architecture)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models import (
+    HAN,
+    HGB,
+    HGT,
+    MODEL_REGISTRY,
+    RGCN,
+    HeteroSGC,
+    SeHGNN,
+    get_model,
+)
+from repro.models.base import HGNNConfig
+from repro.models.propagation import propagate_metapath_features, row_normalize_features
+
+FAST = dict(hidden_dim=16, epochs=40, patience=10, max_hops=2, max_paths=8)
+
+
+class TestRegistry:
+    def test_all_models_registered(self):
+        assert set(MODEL_REGISTRY) == {"heterosgc", "sehgnn", "han", "hgt", "hgb", "rgcn"}
+
+    def test_get_model_case_insensitive(self):
+        assert isinstance(get_model("SeHGNN"), SeHGNN)
+
+    def test_get_model_unknown(self):
+        with pytest.raises(KeyError):
+            get_model("gpt")
+
+    def test_config_overrides(self):
+        model = SeHGNN(hidden_dim=7)
+        assert model.config.hidden_dim == 7
+
+    def test_config_object(self):
+        model = SeHGNN(HGNNConfig(hidden_dim=5), epochs=3)
+        assert model.config.hidden_dim == 5 and model.config.epochs == 3
+
+
+@pytest.mark.parametrize("model_cls", [HeteroSGC, SeHGNN, HAN, HGT, HGB, RGCN])
+class TestEveryArchitecture:
+    def test_fit_predict_evaluate(self, toy_graph, model_cls):
+        model = model_cls(**FAST)
+        result = model.fit(toy_graph)
+        assert result.epochs_run >= 1
+        predictions = model.predict(toy_graph)
+        assert predictions.shape == (toy_graph.num_nodes["paper"],)
+        accuracy = model.evaluate(toy_graph)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_learns_better_than_chance(self, toy_graph, model_cls):
+        model = model_cls(**{**FAST, "epochs": 100, "patience": 30})
+        model.fit(toy_graph)
+        # toy graph has 2 balanced classes and strong signal
+        assert model.evaluate(toy_graph) > 0.6
+
+    def test_has_parameters_after_fit(self, toy_graph, model_cls):
+        model = model_cls(**FAST)
+        assert model.num_parameters == 0
+        model.fit(toy_graph)
+        assert model.num_parameters > 0
+
+    def test_predict_before_fit_raises(self, toy_graph, model_cls):
+        with pytest.raises(ModelError):
+            model_cls(**FAST).predict(toy_graph)
+
+
+class TestCrossGraphProtocol:
+    def test_train_on_subgraph_evaluate_on_full(self, toy_graph):
+        sub = toy_graph.induced_subgraph(
+            {"paper": toy_graph.splits.train, "author": np.arange(15)}
+        )
+        model = SeHGNN(**FAST)
+        model.fit(sub)
+        accuracy = model.evaluate(toy_graph)
+        assert accuracy > 0.5
+
+    def test_evaluate_metrics_keys(self, toy_graph):
+        model = HeteroSGC(**FAST)
+        model.fit(toy_graph)
+        metrics = model.evaluate_metrics(toy_graph)
+        assert {"accuracy", "micro_f1", "macro_f1"} <= set(metrics)
+        assert metrics["micro_f1"] == pytest.approx(metrics["accuracy"])
+
+    def test_evaluate_custom_indices(self, toy_graph):
+        model = HeteroSGC(**FAST)
+        model.fit(toy_graph)
+        accuracy = model.evaluate(toy_graph, indices=toy_graph.splits.train)
+        assert accuracy > 0.5
+
+    def test_empty_evaluation_split_rejected(self, toy_graph):
+        model = HeteroSGC(**FAST)
+        model.fit(toy_graph)
+        with pytest.raises(ModelError):
+            model.evaluate(toy_graph, indices=np.array([], dtype=int))
+
+    def test_empty_train_split_rejected(self, toy_graph):
+        broken = toy_graph.induced_subgraph({"paper": toy_graph.splits.test[:5]})
+        # all kept papers are test nodes, so the train split is empty
+        model = HeteroSGC(**FAST)
+        with pytest.raises(ModelError):
+            model.fit(broken)
+
+
+class TestFitFromFeatures:
+    def _features(self, toy_graph):
+        return row_normalize_features(
+            propagate_metapath_features(toy_graph, max_hops=2, max_paths=8)
+        )
+
+    def test_roundtrip(self, toy_graph):
+        features = self._features(toy_graph)
+        labels = toy_graph.labels
+        model = SeHGNN(**FAST)
+        model.fit_from_features(features, labels, 2, train_idx=toy_graph.splits.train)
+        accuracy = model.evaluate(toy_graph)
+        assert accuracy > 0.6
+
+    def test_empty_features_rejected(self, toy_graph):
+        with pytest.raises(ModelError):
+            SeHGNN(**FAST).fit_from_features({}, np.zeros(3, int), 2)
+
+    def test_dimension_mismatch_at_predict(self, toy_graph):
+        features = self._features(toy_graph)
+        bad = {key: block[:, :2] for key, block in features.items()}
+        model = SeHGNN(**FAST)
+        model.fit_from_features(bad, toy_graph.labels, 2)
+        with pytest.raises(ModelError):
+            model.predict(toy_graph)
+
+
+class TestArchitectureDifferences:
+    def test_hgb_uses_only_short_paths(self, toy_graph):
+        model = HGB(**FAST)
+        model.fit(toy_graph)
+        assert all(key.count("-") <= 1 for key in model._feature_keys)
+
+    def test_sehgnn_uses_long_paths(self, toy_graph):
+        model = SeHGNN(**FAST)
+        model.fit(toy_graph)
+        assert any(key.count("-") > 1 for key in model._feature_keys)
+
+    def test_models_give_different_predictions(self, toy_graph):
+        simple = HeteroSGC(**FAST)
+        strong = SeHGNN(**FAST)
+        simple.fit(toy_graph)
+        strong.fit(toy_graph)
+        assert simple.num_parameters != strong.num_parameters

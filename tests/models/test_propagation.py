@@ -1,0 +1,85 @@
+"""Tests for meta-path feature propagation and normalisation."""
+
+import numpy as np
+
+from repro.models.propagation import (
+    SELF_FEATURE_KEY,
+    propagate_metapath_features,
+    row_normalize_features,
+    standardize_features,
+)
+
+
+class TestPropagation:
+    def test_contains_self_block(self, toy_graph):
+        features = propagate_metapath_features(toy_graph, max_hops=2)
+        assert SELF_FEATURE_KEY in features
+        np.testing.assert_allclose(
+            features[SELF_FEATURE_KEY], toy_graph.features["paper"]
+        )
+
+    def test_rows_match_target_count(self, toy_graph):
+        features = propagate_metapath_features(toy_graph, max_hops=2)
+        for block in features.values():
+            assert block.shape[0] == toy_graph.num_nodes["paper"]
+
+    def test_columns_match_source_type_dim(self, toy_graph):
+        features = propagate_metapath_features(toy_graph, max_hops=1)
+        assert features["paper-author"].shape[1] == toy_graph.features["author"].shape[1]
+        assert features["paper-venue"].shape[1] == toy_graph.features["venue"].shape[1]
+
+    def test_more_hops_more_blocks(self, toy_graph):
+        one = propagate_metapath_features(toy_graph, max_hops=1)
+        two = propagate_metapath_features(toy_graph, max_hops=2, max_paths=64)
+        assert len(two) > len(one)
+
+    def test_keys_depend_only_on_schema(self, toy_graph):
+        sub = toy_graph.induced_subgraph({"paper": np.arange(10)})
+        full_keys = set(propagate_metapath_features(toy_graph, max_hops=2))
+        sub_keys = set(propagate_metapath_features(sub, max_hops=2))
+        assert full_keys == sub_keys
+
+    def test_exclude_self(self, toy_graph):
+        features = propagate_metapath_features(toy_graph, max_hops=1, include_self=False)
+        assert SELF_FEATURE_KEY not in features
+
+    def test_aggregation_is_convex_combination(self, toy_graph):
+        """Row-normalised 1-hop aggregation stays within the source value range."""
+        features = propagate_metapath_features(toy_graph, max_hops=1)
+        block = features["paper-venue"]
+        source = toy_graph.features["venue"]
+        assert block.max() <= source.max() + 1e-9
+        assert block.min() >= source.min() - 1e-9
+
+
+class TestNormalization:
+    def test_standardize_zero_mean(self, toy_graph):
+        features = standardize_features(propagate_metapath_features(toy_graph, max_hops=1))
+        for block in features.values():
+            np.testing.assert_allclose(block.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_standardize_handles_constant_columns(self):
+        features = {"x": np.ones((5, 3))}
+        result = standardize_features(features)
+        assert np.isfinite(result["x"]).all()
+
+    def test_row_normalize_unit_norm(self, toy_graph):
+        features = row_normalize_features(propagate_metapath_features(toy_graph, max_hops=1))
+        for block in features.values():
+            norms = np.linalg.norm(block, axis=1)
+            nonzero = norms > 1e-9
+            np.testing.assert_allclose(norms[nonzero], 1.0)
+
+    def test_row_normalize_keeps_zero_rows(self):
+        result = row_normalize_features({"x": np.zeros((3, 4))})
+        np.testing.assert_allclose(result["x"], 0.0)
+
+    def test_row_normalize_graph_size_invariant(self, toy_graph):
+        """The same node gets the same normalised self-features regardless of
+        which other nodes are present — the key transferability property."""
+        sub = toy_graph.induced_subgraph(
+            {t: np.arange(toy_graph.num_nodes[t]) for t in toy_graph.schema.node_types}
+        )
+        full = row_normalize_features(propagate_metapath_features(toy_graph, max_hops=1))
+        again = row_normalize_features(propagate_metapath_features(sub, max_hops=1))
+        np.testing.assert_allclose(full[SELF_FEATURE_KEY], again[SELF_FEATURE_KEY])

@@ -1,0 +1,231 @@
+"""Gradient-correctness tests for the autograd engine.
+
+Every operation is checked against a central-difference numerical gradient.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor, concat, is_grad_enabled, no_grad, stack
+
+
+def numerical_gradient(func, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``func`` at ``value``."""
+    grad = np.zeros_like(value)
+    flat = value.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func(value)
+        flat[i] = original - eps
+        minus = func(value)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, shape, seed=0, atol=1e-4):
+    rng = np.random.default_rng(seed)
+    value = rng.standard_normal(shape)
+    tensor = Tensor(value.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+    analytic = tensor.grad
+
+    def scalar(v):
+        return build_loss(Tensor(v)).item()
+
+    numeric = numerical_gradient(scalar, value.copy())
+    assert analytic is not None
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-3)
+
+
+class TestElementwiseGradients:
+    def test_add(self):
+        check_gradient(lambda t: (t + 3.0).sum(), (3, 4))
+
+    def test_mul(self):
+        other = np.arange(12).reshape(3, 4) * 0.1
+        check_gradient(lambda t: (t * other).sum(), (3, 4))
+
+    def test_sub_and_neg(self):
+        check_gradient(lambda t: (5.0 - t).sum(), (2, 3))
+
+    def test_div(self):
+        other = np.arange(1, 7).reshape(2, 3).astype(float)
+        check_gradient(lambda t: (t / other).sum(), (2, 3))
+
+    def test_pow(self):
+        check_gradient(lambda t: (t**3).sum(), (2, 2))
+
+    def test_relu(self):
+        check_gradient(lambda t: t.relu().sum(), (4, 4), seed=3)
+
+    def test_leaky_relu(self):
+        check_gradient(lambda t: t.leaky_relu(0.1).sum(), (4, 4), seed=3)
+
+    def test_tanh(self):
+        check_gradient(lambda t: (t.tanh() * t.tanh()).sum(), (3, 3))
+
+    def test_sigmoid(self):
+        check_gradient(lambda t: t.sigmoid().sum(), (3, 3))
+
+    def test_exp(self):
+        check_gradient(lambda t: t.exp().sum(), (2, 3))
+
+    def test_log(self):
+        rng = np.random.default_rng(0)
+        value = rng.random((3, 3)) + 0.5
+        tensor = Tensor(value.copy(), requires_grad=True)
+        tensor_loss = tensor.log().sum()
+        tensor_loss.backward()
+        np.testing.assert_allclose(tensor.grad, 1.0 / value, atol=1e-8)
+
+
+class TestMatmulAndReductions:
+    def test_matmul_left(self):
+        other = np.random.default_rng(1).standard_normal((4, 2))
+        check_gradient(lambda t: (t @ other).sum(), (3, 4))
+
+    def test_matmul_right(self):
+        other = np.random.default_rng(1).standard_normal((5, 3))
+        check_gradient(lambda t: (Tensor(other) @ t).sum(), (3, 2))
+
+    def test_matmul_sparse(self):
+        import scipy.sparse as sp
+
+        matrix = sp.random(4, 3, density=0.5, random_state=0, format="csr")
+        check_gradient(lambda t: t.matmul_sparse(matrix).sum(), (3, 2))
+
+    def test_sum_axis(self):
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(), (3, 4))
+
+    def test_sum_keepdims(self):
+        check_gradient(lambda t: (t.sum(axis=1, keepdims=True) * t).sum(), (3, 4))
+
+    def test_mean(self):
+        check_gradient(lambda t: (t.mean(axis=1) ** 2).sum(), (3, 4))
+
+    def test_reshape(self):
+        check_gradient(lambda t: (t.reshape(6) ** 2).sum(), (2, 3))
+
+    def test_transpose(self):
+        other = np.random.default_rng(2).standard_normal((2, 3))
+        check_gradient(lambda t: (t.T * other).sum(), (3, 2))
+
+    def test_take_rows(self):
+        indices = np.array([0, 2, 2, 1])
+        check_gradient(lambda t: (t.take_rows(indices) ** 2).sum(), (3, 4))
+
+
+class TestSoftmaxFamily:
+    def test_softmax_gradient(self):
+        weights = np.random.default_rng(0).standard_normal((3, 4))
+        check_gradient(lambda t: (t.softmax(axis=-1) * weights).sum(), (3, 4))
+
+    def test_log_softmax_gradient(self):
+        weights = np.random.default_rng(0).standard_normal((3, 4))
+        check_gradient(lambda t: (t.log_softmax(axis=-1) * weights).sum(), (3, 4))
+
+    def test_softmax_rows_sum_to_one(self):
+        probs = Tensor(np.random.default_rng(0).standard_normal((5, 3))).softmax()
+        np.testing.assert_allclose(probs.numpy().sum(axis=1), 1.0)
+
+
+class TestStructuralOps:
+    def test_concat_gradient(self):
+        rng = np.random.default_rng(0)
+        a_val, b_val = rng.standard_normal((3, 2)), rng.standard_normal((3, 4))
+        a = Tensor(a_val.copy(), requires_grad=True)
+        b = Tensor(b_val.copy(), requires_grad=True)
+        loss = (concat([a, b], axis=-1) ** 2).sum()
+        loss.backward()
+        np.testing.assert_allclose(a.grad, 2 * a_val, atol=1e-8)
+        np.testing.assert_allclose(b.grad, 2 * b_val, atol=1e-8)
+
+    def test_stack_gradient(self):
+        rng = np.random.default_rng(0)
+        a_val, b_val = rng.standard_normal((3, 2)), rng.standard_normal((3, 2))
+        a = Tensor(a_val.copy(), requires_grad=True)
+        b = Tensor(b_val.copy(), requires_grad=True)
+        loss = stack([a, b], axis=0).mean(axis=0).sum()
+        loss.backward()
+        np.testing.assert_allclose(a.grad, 0.5 * np.ones_like(a_val))
+        np.testing.assert_allclose(b.grad, 0.5 * np.ones_like(b_val))
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat([])
+
+    def test_stack_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stack([])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        tensor = Tensor(np.ones((4, 4)))
+        out = tensor.dropout(0.5, np.random.default_rng(0), training=False)
+        np.testing.assert_allclose(out.numpy(), 1.0)
+
+    def test_training_scales_surviving_entries(self):
+        tensor = Tensor(np.ones((100, 100)))
+        out = tensor.dropout(0.5, np.random.default_rng(0), training=True).numpy()
+        assert set(np.unique(out)) <= {0.0, 2.0}
+
+    def test_rate_one_rejected(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones(3)).dropout(1.0, np.random.default_rng(0))
+
+
+class TestGraphMechanics:
+    def test_backward_requires_scalar(self):
+        tensor = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (tensor * 2).backward()
+
+    def test_gradient_accumulates_over_reuse(self):
+        tensor = Tensor(np.array([2.0]), requires_grad=True)
+        loss = (tensor * 3.0 + tensor * 4.0).sum()
+        loss.backward()
+        np.testing.assert_allclose(tensor.grad, [7.0])
+
+    def test_detach_stops_gradient(self):
+        tensor = Tensor(np.ones(3), requires_grad=True)
+        loss = (tensor.detach() * 5.0).sum()
+        assert not loss.requires_grad
+
+    def test_no_grad_context(self):
+        tensor = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            result = (tensor * 2).sum()
+        assert is_grad_enabled()
+        assert not result.requires_grad
+
+    def test_zero_grad(self):
+        tensor = Tensor(np.ones(3), requires_grad=True)
+        (tensor * 2).sum().backward()
+        tensor.zero_grad()
+        assert tensor.grad is None
+
+    def test_broadcast_bias_gradient(self):
+        bias = Tensor(np.zeros(4), requires_grad=True)
+        data = Tensor(np.ones((5, 4)))
+        loss = (data + bias).sum()
+        loss.backward()
+        np.testing.assert_allclose(bias.grad, 5.0 * np.ones(4))
+
+    def test_item_and_shape(self):
+        tensor = Tensor(np.ones((2, 3)))
+        assert tensor.shape == (2, 3)
+        assert Tensor(np.array(2.5)).item() == 2.5
+
+    def test_deep_chain_backward(self):
+        tensor = Tensor(np.ones((2, 2)) * 0.01, requires_grad=True)
+        out = tensor
+        for _ in range(200):
+            out = out + tensor * 0.001
+        out.sum().backward()
+        assert tensor.grad is not None and np.isfinite(tensor.grad).all()

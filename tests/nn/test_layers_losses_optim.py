@@ -1,0 +1,263 @@
+"""Tests for layers, losses, optimisers, metrics and the Module container."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    SGD,
+    Adam,
+    Dropout,
+    LayerNorm,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Tensor,
+    accuracy,
+    confusion_matrix,
+    cross_entropy,
+    gradient_matching_distance,
+    macro_f1,
+    micro_f1,
+    mse_loss,
+)
+from repro.nn.init import kaiming_uniform, xavier_normal, xavier_uniform, zeros
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 3, rng=0)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_parameters_registered(self):
+        layer = Linear(4, 3, rng=0)
+        assert len(layer.parameters()) == 2
+
+    def test_gradient_flow(self):
+        layer = Linear(4, 2, rng=0)
+        out = layer(Tensor(np.ones((3, 4)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestOtherLayers:
+    def test_relu_module(self):
+        out = ReLU()(Tensor(np.array([[-1.0, 2.0]])))
+        np.testing.assert_allclose(out.numpy(), [[0.0, 2.0]])
+
+    def test_dropout_eval_identity(self):
+        drop = Dropout(0.9, rng=0)
+        drop.eval()
+        data = np.ones((10, 10))
+        np.testing.assert_allclose(drop(Tensor(data)).numpy(), data)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_layernorm_normalises(self):
+        norm = LayerNorm(8)
+        out = norm(Tensor(np.random.default_rng(0).standard_normal((4, 8)) * 10))
+        values = out.numpy()
+        np.testing.assert_allclose(values.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(values.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_mlp_shape(self):
+        mlp = MLP(6, 8, 3, num_layers=2, dropout=0.0, rng=0)
+        assert mlp(Tensor(np.ones((5, 6)))).shape == (5, 3)
+
+    def test_mlp_single_layer(self):
+        mlp = MLP(6, 8, 3, num_layers=1, dropout=0.0, rng=0)
+        assert mlp(Tensor(np.ones((2, 6)))).shape == (2, 3)
+
+    def test_mlp_invalid_layers(self):
+        with pytest.raises(ValueError):
+            MLP(4, 4, 2, num_layers=0)
+
+    def test_sequential(self):
+        model = Sequential(Linear(4, 8, rng=0), ReLU(), Linear(8, 2, rng=1))
+        assert model(Tensor(np.ones((3, 4)))).shape == (3, 2)
+        assert len(model) == 3
+
+
+class TestModuleContainer:
+    def test_named_parameters_recursive(self):
+        model = Sequential(Linear(2, 2, rng=0), Linear(2, 2, rng=1))
+        names = [name for name, _ in model.named_parameters()]
+        assert any("layer_0" in n for n in names)
+        assert any("layer_1" in n for n in names)
+
+    def test_num_parameters(self):
+        layer = Linear(3, 4, rng=0)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_state_dict_roundtrip(self):
+        layer = Linear(3, 4, rng=0)
+        state = layer.state_dict()
+        layer.weight.data[:] = 0.0
+        layer.load_state_dict(state)
+        assert not np.allclose(layer.weight.data, 0.0)
+
+    def test_load_state_dict_missing_key(self):
+        layer = Linear(3, 4, rng=0)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({})
+
+    def test_load_state_dict_shape_mismatch(self):
+        layer = Linear(3, 4, rng=0)
+        state = {name: np.zeros((1, 1)) for name, _ in layer.named_parameters()}
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Dropout(0.5))
+        model.eval()
+        assert all(not child.training for child in model)
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2, rng=0)
+        layer(Tensor(np.ones((1, 2)))).sum().backward()
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(None)
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self):
+        logits = np.array([[2.0, 0.0], [0.0, 2.0]])
+        labels = np.array([0, 1])
+        loss = cross_entropy(Tensor(logits), labels).item()
+        manual = -np.log(np.exp(2) / (np.exp(2) + 1))
+        assert abs(loss - manual) < 1e-8
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = Tensor(np.zeros((2, 3)), requires_grad=True)
+        loss = cross_entropy(logits, np.array([0, 1]))
+        loss.backward()
+        # gradient should be negative at the true class entries
+        assert logits.grad[0, 0] < 0 and logits.grad[1, 1] < 0
+
+    def test_cross_entropy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+    def test_mse_loss(self):
+        loss = mse_loss(Tensor(np.array([1.0, 3.0])), np.array([1.0, 1.0]))
+        assert abs(loss.item() - 2.0) < 1e-10
+
+    def test_gradient_matching_distance_zero_for_identical(self):
+        grads = [np.ones((2, 2)), np.ones(3)]
+        distance = gradient_matching_distance(grads, [g.copy() for g in grads]).item()
+        assert abs(distance) < 1e-6
+
+    def test_gradient_matching_distance_positive_for_opposite(self):
+        distance = gradient_matching_distance([np.ones(4)], [-np.ones(4)]).item()
+        assert distance > 1.9
+
+    def test_gradient_matching_length_mismatch(self):
+        with pytest.raises(ValueError):
+            gradient_matching_distance([np.ones(2)], [])
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([3.0, -2.0])
+        param = Tensor(np.zeros(2), requires_grad=True)
+        return target, param
+
+    def test_sgd_converges(self):
+        target, param = self._quadratic_problem()
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = ((param - target) * (param - target)).sum()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        target, param = self._quadratic_problem()
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = ((param - target) * (param - target)).sum()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_sgd_momentum_and_weight_decay_run(self):
+        param = Tensor(np.ones(3), requires_grad=True)
+        optimizer = SGD([param], lr=0.01, momentum=0.9, weight_decay=0.1)
+        (param * param).sum().backward()
+        optimizer.step()
+        assert np.all(param.data < 1.0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor(np.ones(1), requires_grad=True)], lr=0.0)
+
+    def test_step_skips_params_without_grad(self):
+        param = Tensor(np.ones(2), requires_grad=True)
+        before = param.data.copy()
+        Adam([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, before)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty(self):
+        assert accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 1, 1]), np.array([0, 0, 1]), 2)
+        assert matrix[0, 0] == 1 and matrix[0, 1] == 1 and matrix[1, 1] == 1
+
+    def test_micro_f1_equals_accuracy(self):
+        preds = np.array([0, 1, 2, 2])
+        labels = np.array([0, 1, 1, 2])
+        assert micro_f1(preds, labels, 3) == pytest.approx(accuracy(preds, labels))
+
+    def test_macro_f1_perfect(self):
+        preds = np.array([0, 1, 2])
+        assert macro_f1(preds, preds, 3) == pytest.approx(1.0)
+
+    def test_macro_f1_range(self):
+        preds = np.array([0, 0, 0, 0])
+        labels = np.array([0, 1, 0, 1])
+        assert 0.0 <= macro_f1(preds, labels, 2) <= 1.0
+
+
+class TestInitializers:
+    def test_xavier_uniform_bounds(self):
+        weights = xavier_uniform(10, 10, 0)
+        limit = np.sqrt(6.0 / 20)
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_xavier_normal_shape(self):
+        assert xavier_normal(4, 6, 0).shape == (4, 6)
+
+    def test_kaiming_shape(self):
+        assert kaiming_uniform(4, 6, 0).shape == (4, 6)
+
+    def test_zeros(self):
+        assert np.all(zeros(3, 2) == 0.0)
+
+    def test_deterministic_with_seed(self):
+        np.testing.assert_allclose(xavier_uniform(3, 3, 7), xavier_uniform(3, 3, 7))

@@ -1,0 +1,102 @@
+"""Tests for the full-batch trainer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Tensor, TrainConfig, Trainer
+from repro.nn.module import Module
+from repro.nn.layers import Linear
+
+
+class DictInputModel(Module):
+    """Minimal model consuming a dict of tensors (like the HGNN modules)."""
+
+    def __init__(self, dim: int, classes: int) -> None:
+        super().__init__()
+        self.linear = Linear(dim, classes, rng=0)
+
+    def forward(self, inputs):
+        return self.linear(inputs["x"])
+
+
+def make_problem(n=60, dim=5, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, classes, size=n)
+    centers = rng.standard_normal((classes, dim)) * 3
+    features = centers[labels] + 0.3 * rng.standard_normal((n, dim))
+    return features, labels
+
+
+class TestTrainer:
+    def test_learns_separable_problem(self):
+        features, labels = make_problem()
+        model = DictInputModel(5, 3)
+        trainer = Trainer(model, TrainConfig(epochs=100, patience=20, lr=0.05))
+        idx = np.arange(len(labels))
+        result = trainer.fit({"x": Tensor(features)}, labels, idx[:40], idx[40:])
+        assert result.best_val_accuracy > 0.8
+
+    def test_early_stopping_bounded_epochs(self):
+        features, labels = make_problem()
+        model = DictInputModel(5, 3)
+        trainer = Trainer(model, TrainConfig(epochs=500, patience=5, lr=0.05))
+        idx = np.arange(len(labels))
+        result = trainer.fit({"x": Tensor(features)}, labels, idx[:40], idx[40:])
+        assert result.epochs_run <= 500
+        assert result.best_epoch <= result.epochs_run
+
+    def test_no_validation_split_keeps_training(self):
+        """Without a validation split the monitor is the loss, so the best
+        model is not the epoch-1 snapshot (regression test)."""
+        features, labels = make_problem()
+        model = DictInputModel(5, 3)
+        trainer = Trainer(model, TrainConfig(epochs=60, patience=15, lr=0.05))
+        idx = np.arange(len(labels))
+        result = trainer.fit({"x": Tensor(features)}, labels, idx, None)
+        assert result.best_epoch > 1
+
+    def test_empty_train_split_rejected(self):
+        model = DictInputModel(5, 3)
+        trainer = Trainer(model)
+        with pytest.raises(ValueError):
+            trainer.fit({"x": Tensor(np.zeros((3, 5)))}, np.zeros(3, int), np.array([]), None)
+
+    def test_predict_shape(self):
+        features, labels = make_problem()
+        model = DictInputModel(5, 3)
+        trainer = Trainer(model, TrainConfig(epochs=30))
+        trainer.fit({"x": Tensor(features)}, labels, np.arange(40), None)
+        predictions = trainer.predict({"x": Tensor(features)})
+        assert predictions.shape == (60,)
+        assert predictions.min() >= 0 and predictions.max() < 3
+
+    def test_history_recorded(self):
+        features, labels = make_problem()
+        model = DictInputModel(5, 3)
+        trainer = Trainer(model, TrainConfig(epochs=10, patience=10))
+        result = trainer.fit({"x": Tensor(features)}, labels, np.arange(40), np.arange(40, 60))
+        assert len(result.history) == result.epochs_run
+        assert {"epoch", "loss", "val_accuracy"} <= set(result.history[0])
+
+    def test_train_seconds_positive(self):
+        features, labels = make_problem()
+        model = DictInputModel(5, 3)
+        result = Trainer(model, TrainConfig(epochs=5)).fit(
+            {"x": Tensor(features)}, labels, np.arange(40), None
+        )
+        assert result.train_seconds > 0
+
+    def test_works_with_mlp_on_plain_tensor(self):
+        features, labels = make_problem()
+
+        class PlainModel(Module):
+            def __init__(self):
+                super().__init__()
+                self.mlp = MLP(5, 16, 3, dropout=0.1, rng=0)
+
+            def forward(self, inputs):
+                return self.mlp(inputs)
+
+        trainer = Trainer(PlainModel(), TrainConfig(epochs=80, lr=0.05))
+        result = trainer.fit(Tensor(features), labels, np.arange(40), np.arange(40, 60))
+        assert result.best_val_accuracy > 0.7

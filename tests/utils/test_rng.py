@@ -1,0 +1,57 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, size=5)
+        b = ensure_rng(7).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9)
+        b = ensure_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(3)
+        assert ensure_rng(rng) is rng
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")  # type: ignore[arg-type]
+
+    def test_numpy_integer_seed_accepted(self):
+        assert isinstance(ensure_rng(np.int64(5)), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_deterministic(self):
+        first = [g.integers(0, 10**9) for g in spawn_rngs(5, 3)]
+        second = [g.integers(0, 10**9) for g in spawn_rngs(5, 3)]
+        assert first == second
+
+    def test_children_independent(self):
+        values = [g.integers(0, 10**9) for g in spawn_rngs(5, 3)]
+        assert len(set(values)) == 3

@@ -1,0 +1,83 @@
+"""Tests for repro.utils.validation and repro.utils.logging."""
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import enable_verbose_logging, get_logger
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability_matrix,
+)
+
+
+class TestCheckFraction:
+    def test_valid(self):
+        assert check_fraction(0.5, "x") == 0.5
+
+    def test_one_is_valid(self):
+        assert check_fraction(1.0, "x") == 1.0
+
+    def test_zero_rejected_by_default(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "x")
+
+    def test_zero_allowed_when_inclusive(self):
+        assert check_fraction(0.0, "x", inclusive_low=True) == 0.0
+
+    def test_above_one_rejected(self):
+        with pytest.raises(ValueError, match="x"):
+            check_fraction(1.5, "x")
+
+
+class TestCheckPositive:
+    def test_valid(self):
+        assert check_positive(3, "n") == 3
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive(0, "n")
+
+
+class TestCheckNonNegative:
+    def test_zero_valid(self):
+        assert check_non_negative(0, "n") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-1, "n")
+
+
+class TestCheckProbabilityMatrix:
+    def test_valid(self):
+        matrix = np.array([[0.0, 0.5], [1.0, 0.25]])
+        assert check_probability_matrix(matrix, "p").shape == (2, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_probability_matrix(np.array([[-0.1]]), "p")
+
+    def test_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            check_probability_matrix(np.array([[1.1]]), "p")
+
+    def test_empty_ok(self):
+        assert check_probability_matrix(np.empty((0, 2)), "p").size == 0
+
+
+class TestLogging:
+    def test_get_logger_namespaced(self):
+        assert get_logger("core").name == "repro.core"
+
+    def test_get_logger_root(self):
+        assert get_logger().name == "repro"
+
+    def test_get_logger_already_namespaced(self):
+        assert get_logger("repro.core").name == "repro.core"
+
+    def test_enable_verbose_idempotent(self):
+        first = enable_verbose_logging()
+        count = len(first.handlers)
+        second = enable_verbose_logging()
+        assert len(second.handlers) == count
