@@ -1,0 +1,71 @@
+"""Strategy plug-ins: extend FreeHGC through the unified registry.
+
+Demonstrates the composable condensation API:
+
+1. ``repro.condense`` — the one-call facade over the registry,
+2. sweeping built-in stage strategies (the Table VIII ablation axes)
+   without touching ``FreeHGC`` internals,
+3. registering a *custom* other-type stage and driving ``FreeHGC`` with it
+   by name, exactly like a built-in.
+
+Run with: ``python examples/strategy_plugins.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro import registry
+from repro.core import ConfigurableStage, StageResult
+from repro.evaluation import format_table
+
+
+@registry.other_stages.register("degree-topk")
+class DegreeTopKStage(ConfigurableStage):
+    """Toy custom stage: keep the ``budget`` highest-degree nodes of a type.
+
+    Stages receive the shared :class:`~repro.core.CondensationContext`, so
+    they can reuse memoized meta-path products; this one only needs the raw
+    graph.
+    """
+
+    name = "degree-topk"
+
+    def condense_type(self, context, node_type, budget, *, anchor=None, providers=None):
+        graph = context.graph
+        degrees = np.zeros(graph.num_nodes[node_type], dtype=np.float64)
+        for name, matrix in graph.adjacency.items():
+            rel = graph.schema.relation(name)
+            if rel.src == node_type:
+                degrees += np.asarray(matrix.sum(axis=1)).ravel()
+            if rel.dst == node_type:
+                degrees += np.asarray(matrix.sum(axis=0)).ravel()
+        order = np.argsort(-degrees, kind="stable")
+        return StageResult(node_type, selected=order[:budget])
+
+
+def main() -> None:
+    ratio = 0.05
+    print("Condensing ACM with every father-stage strategy ...")
+    rows = []
+    for strategy in (*registry.other_stages.names(),):
+        condensed = repro.condense(
+            "acm", ratio, scale=0.35, seed=0, max_hops=2, father_strategy=strategy
+        )
+        rows.append(
+            {
+                "father_strategy": strategy,
+                "nodes": condensed.total_nodes,
+                "edges": condensed.total_edges,
+            }
+        )
+    print(format_table(rows, title=f"ACM @ {ratio:.1%} per father strategy"))
+    print(
+        "\nThe custom 'degree-topk' stage above was registered with one "
+        "decorator and swept exactly like the built-ins."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -6,7 +6,13 @@ algorithm, every baseline it is compared against, the heterogeneous-graph
 and neural-network substrates it needs, and an evaluation pipeline that
 regenerates the paper's tables and figures.
 
-Typical usage::
+Typical usage — the one-call facade::
+
+    import repro
+
+    condensed = repro.condense("acm", ratio=0.024, max_hops=3)
+
+or the explicit pipeline::
 
     from repro.datasets import load_acm
     from repro.core import FreeHGC
@@ -17,24 +23,33 @@ Typical usage::
     model = SeHGNN(hidden_dim=64)
     model.fit(condensed)
     print("accuracy on the full graph:", model.evaluate(graph))
+
+Every pluggable component (condensers, stage strategies, models, datasets)
+is resolvable by name through :mod:`repro.registry`.
 """
 
-from repro.core import FreeHGC
+from repro import registry
+from repro.api import condense
+from repro.core import CondensationContext, FreeHGC
 from repro.errors import (
     BudgetError,
     CondensationError,
     DatasetError,
     GraphConstructionError,
     ModelError,
+    RegistryError,
     ReproError,
     SchemaError,
 )
 from repro.hetero import HeteroGraph, HeteroGraphBuilder, HeteroSchema, Relation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "condense",
+    "registry",
     "FreeHGC",
+    "CondensationContext",
     "HeteroGraph",
     "HeteroGraphBuilder",
     "HeteroSchema",
@@ -46,5 +61,6 @@ __all__ = [
     "CondensationError",
     "DatasetError",
     "ModelError",
+    "RegistryError",
     "__version__",
 ]

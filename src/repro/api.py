@@ -1,0 +1,85 @@
+"""Ergonomic top-level entry points.
+
+``repro.condense`` is the one-call facade over the registry: it accepts a
+loaded :class:`~repro.hetero.graph.HeteroGraph` *or* a registered dataset
+name, resolves the condenser through :data:`repro.registry.condensers`, and
+returns the condensed output::
+
+    import repro
+
+    condensed = repro.condense("acm", ratio=0.05)                    # by name
+    condensed = repro.condense(graph, 0.05, method="herding-hg")     # by graph
+    condensed = repro.condense(
+        "dblp", 0.05, target_strategy="herding", father_strategy="ilm"
+    )                                                                # ablations
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import CondensedFeatureSet
+from repro.hetero.graph import HeteroGraph
+from repro.registry import condensers, datasets
+
+__all__ = ["condense"]
+
+
+def condense(
+    graph_or_dataset: "HeteroGraph | str",
+    ratio: float,
+    method: str = "freehgc",
+    *,
+    seed: int | np.random.Generator | None = 0,
+    scale: float = 1.0,
+    max_hops: int | None = None,
+    fast_optimization: bool = True,
+    **overrides: object,
+) -> "HeteroGraph | CondensedFeatureSet":
+    """Condense a heterogeneous graph with any registered method.
+
+    Parameters
+    ----------
+    graph_or_dataset:
+        A loaded :class:`~repro.hetero.graph.HeteroGraph`, or the name of a
+        dataset registered in :data:`repro.registry.datasets` (``"acm"``,
+        ``"dblp"``, ...), loaded at ``scale``.
+    ratio:
+        Condensation ratio ``r`` in ``(0, 1)``.
+    method:
+        Name (or alias) of a condenser registered in
+        :data:`repro.registry.condensers`; defaults to ``"freehgc"``.
+    seed:
+        Random seed for the dataset generator and the condenser.
+    scale:
+        Node-count multiplier applied when loading a dataset by name.
+    max_hops:
+        Meta-path hop limit ``K``.  Defaults to the dataset's paper value
+        (capped at 3) when loading by name, otherwise 2.
+    fast_optimization:
+        Shrinks the loops of the optimisation-based baselines (GCond,
+        HGCond) so interactive runs finish quickly.
+    **overrides:
+        Extra keyword arguments forwarded to the condenser constructor,
+        e.g. ``target_strategy="herding"`` or ``alpha=0.1``.
+
+    Returns
+    -------
+    The condensed :class:`~repro.hetero.graph.HeteroGraph` (selection-based
+    methods) or :class:`~repro.baselines.base.CondensedFeatureSet`
+    (optimisation-based baselines).
+    """
+    if isinstance(graph_or_dataset, str):
+        entry = datasets.get(graph_or_dataset)
+        graph = entry.loader(scale=scale, seed=seed if seed is not None else 0)
+        if max_hops is None:
+            max_hops = min(entry.max_hops, 3)
+    else:
+        graph = graph_or_dataset
+        if max_hops is None:
+            max_hops = 2
+    factory = condensers.get(method)
+    condenser = factory(
+        max_hops=max_hops, fast_optimization=fast_optimization, **overrides
+    )
+    return condenser.condense(graph, ratio, seed=seed)

@@ -97,6 +97,22 @@ class GraphCondenser:
     # ------------------------------------------------------------------ #
     # Shared helpers
     # ------------------------------------------------------------------ #
+    def make_context(self, graph: HeteroGraph) -> "CondensationContext":
+        """Build a :class:`~repro.core.context.CondensationContext` for ``graph``.
+
+        The context memoizes meta-path enumeration, meta-path adjacencies
+        and embeddings across the stages of one ``condense()`` call; its
+        hop settings follow the condenser's own ``max_hops``/``max_paths``
+        attributes (with the library defaults when a method has neither).
+        """
+        from repro.core.context import CondensationContext
+
+        return CondensationContext(
+            graph,
+            max_hops=int(getattr(self, "max_hops", 2)),
+            max_paths=int(getattr(self, "max_paths", 16)),
+        )
+
     @staticmethod
     def _validate_ratio(graph: HeteroGraph, ratio: float) -> float:
         if not 0.0 < ratio < 1.0:

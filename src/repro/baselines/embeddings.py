@@ -7,22 +7,38 @@ features — the same representation the SeHGNN evaluation model consumes —
 concatenated across meta-paths, which captures exactly the semantic
 information an HGNN would embed while staying training-free for the
 baselines themselves.
+
+Both helpers accept an optional
+:class:`~repro.core.context.CondensationContext`: when one built for the
+same graph (with matching hop settings) is supplied, the expensive
+meta-path products are served from its memo instead of recomputed.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.hetero.graph import HeteroGraph
 from repro.models.propagation import propagate_metapath_features, standardize_features
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.context import CondensationContext
+
 __all__ = ["target_embeddings", "other_type_embeddings"]
 
 
 def target_embeddings(
-    graph: HeteroGraph, *, max_hops: int = 2, max_paths: int = 16
+    graph: HeteroGraph,
+    *,
+    max_hops: int = 2,
+    max_paths: int = 16,
+    context: "CondensationContext | None" = None,
 ) -> np.ndarray:
     """Concatenated meta-path feature embedding of every target-type node."""
+    if context is not None and context.matches(graph, max_hops=max_hops, max_paths=max_paths):
+        return context.target_embeddings()
     features = standardize_features(
         propagate_metapath_features(graph, max_hops=max_hops, max_paths=max_paths)
     )
@@ -30,13 +46,20 @@ def target_embeddings(
     return np.concatenate(blocks, axis=1)
 
 
-def other_type_embeddings(graph: HeteroGraph, node_type: str) -> np.ndarray:
+def other_type_embeddings(
+    graph: HeteroGraph,
+    node_type: str,
+    *,
+    context: "CondensationContext | None" = None,
+) -> np.ndarray:
     """Embedding of non-target nodes: raw features plus normalised degree.
 
     Non-target types carry no labels, so the coreset baselines operate on the
     feature geometry augmented with a degree column (popular nodes matter
     more for preserving connectivity).
     """
+    if context is not None and context.matches(graph):
+        return context.other_type_embeddings(node_type)
     features = graph.features[node_type]
     degrees = np.zeros(graph.num_nodes[node_type], dtype=np.float64)
     for name, matrix in graph.adjacency.items():

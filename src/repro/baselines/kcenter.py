@@ -57,7 +57,10 @@ class KCenterHG(GraphCondenser):
         budgets = per_type_budgets(graph, ratio)
         target = graph.schema.target_type
 
-        embeddings = target_embeddings(graph, max_hops=self.max_hops, max_paths=self.max_paths)
+        context = self.make_context(graph)
+        embeddings = target_embeddings(
+            graph, max_hops=self.max_hops, max_paths=self.max_paths, context=context
+        )
         class_budgets = per_class_budgets(graph, budgets[target])
         train_pool = graph.splits.train
         train_labels = graph.labels[train_pool]
@@ -72,7 +75,7 @@ class KCenterHG(GraphCondenser):
             target: np.concatenate(selected_target) if selected_target else np.empty(0, int)
         }
         for node_type in graph.schema.other_types():
-            type_embeddings = other_type_embeddings(graph, node_type)
+            type_embeddings = other_type_embeddings(graph, node_type, context=context)
             kept[node_type] = kcenter_select(type_embeddings, budgets[node_type], rng)
         condensed = graph.induced_subgraph(kept)
         condensed.metadata.update({"method": self.name, "ratio": ratio})

@@ -1,6 +1,7 @@
 """FreeHGC core: the paper's training-free condensation algorithm."""
 
 from repro.core.condenser import FreeHGC, assemble_condensed_graph
+from repro.core.context import CondensationContext
 from repro.core.criterion import TargetNodeSelector, TargetSelectionResult
 from repro.core.metapaths import (
     MetaPath,
@@ -23,12 +24,33 @@ from repro.core.similarity import (
     metapath_similarity_scores,
     pairwise_jaccard,
 )
+from repro.core.stages import (
+    ConfigurableStage,
+    CriterionTargetStage,
+    HerdingOtherStage,
+    HerdingTargetStage,
+    NeighborInfluenceStage,
+    OtherTypeStage,
+    StageResult,
+    SynthesisStage,
+    TargetStage,
+)
 from repro.core.synthesis import InformationLossMinimizer, SyntheticLeafNodes
 from repro.core.topology import TypeHierarchy, classify_node_types
 
 __all__ = [
     "FreeHGC",
     "assemble_condensed_graph",
+    "CondensationContext",
+    "TargetStage",
+    "OtherTypeStage",
+    "StageResult",
+    "ConfigurableStage",
+    "CriterionTargetStage",
+    "HerdingTargetStage",
+    "NeighborInfluenceStage",
+    "SynthesisStage",
+    "HerdingOtherStage",
     "TargetNodeSelector",
     "TargetSelectionResult",
     "MetaPath",

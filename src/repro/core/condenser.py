@@ -14,8 +14,12 @@ The condensed pieces are assembled into a new
 :class:`~repro.hetero.graph.HeteroGraph` that any HGNN can train on — the
 whole procedure is training-free and model-agnostic.
 
-Every stage is switchable to an alternative strategy so the ablation study
-of Table VIII (Variants #1–#6) can be reproduced from the same class.
+Every stage is a pluggable strategy resolved through
+:mod:`repro.registry` (``target_stages`` / ``other_stages``), so the
+ablation study of Table VIII (Variants #1–#6) — and any third-party
+strategy — can be driven from the same class.  All stages share one
+:class:`~repro.core.context.CondensationContext`, so expensive meta-path
+products are computed at most once per :meth:`FreeHGC.condense` call.
 """
 
 from __future__ import annotations
@@ -24,21 +28,16 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.baselines.base import GraphCondenser, per_type_budgets
-from repro.baselines.embeddings import other_type_embeddings
-from repro.baselines.herding import herding_select
-from repro.core.criterion import TargetNodeSelector, TargetSelectionResult
-from repro.core.neighbor_influence import NeighborInfluenceMaximizer
-from repro.core.synthesis import InformationLossMinimizer, SyntheticLeafNodes
-from repro.core.topology import classify_node_types
+from repro.core.context import CondensationContext
+from repro.core.criterion import TargetSelectionResult
+from repro.core.stages import OtherTypeStage, Providers, TargetStage
+from repro.core.synthesis import SyntheticLeafNodes
 from repro.errors import CondensationError
 from repro.hetero.graph import HeteroGraph, NodeSplits
 from repro.hetero.sparse import boolean_csr
+from repro.registry import other_stages, target_stages
 
 __all__ = ["FreeHGC", "assemble_condensed_graph"]
-
-_TARGET_STRATEGIES = ("criterion", "herding")
-_FATHER_STRATEGIES = ("nim", "ilm", "herding")
-_LEAF_STRATEGIES = ("ilm", "nim", "herding")
 
 
 class FreeHGC(GraphCondenser):
@@ -55,9 +54,11 @@ class FreeHGC(GraphCondenser):
         Toggles for the two terms of the unified criterion (ablation
         Variants #1 and #2).
     target_strategy:
-        ``"criterion"`` (default) or ``"herding"`` (Variant #3).
+        ``"criterion"`` (default) or ``"herding"`` (Variant #3) — any name
+        registered in :data:`repro.registry.target_stages`.
     father_strategy:
-        ``"nim"`` (default), ``"ilm"`` or ``"herding"`` (Variants #4–#6).
+        ``"nim"`` (default), ``"ilm"`` or ``"herding"`` (Variants #4–#6) —
+        any name registered in :data:`repro.registry.other_stages`.
     leaf_strategy:
         ``"ilm"`` (default), ``"nim"`` or ``"herding"`` (Variants #4–#6).
     importance:
@@ -88,25 +89,44 @@ class FreeHGC(GraphCondenser):
         anchor_on_selected: bool = True,
         add_reverse_edges: bool = True,
     ) -> None:
-        if target_strategy not in _TARGET_STRATEGIES:
-            raise ValueError(f"target_strategy must be one of {_TARGET_STRATEGIES}")
-        if father_strategy not in _FATHER_STRATEGIES:
-            raise ValueError(f"father_strategy must be one of {_FATHER_STRATEGIES}")
-        if leaf_strategy not in _LEAF_STRATEGIES:
-            raise ValueError(f"leaf_strategy must be one of {_LEAF_STRATEGIES}")
+        # Registry resolution doubles as validation: unknown strategy names
+        # raise RegistryError, which is a ValueError.
+        self.target_strategy = target_stages.canonical(target_strategy)
+        self.father_strategy = other_stages.canonical(father_strategy)
+        self.leaf_strategy = other_stages.canonical(leaf_strategy)
+        if importance not in ("ppr", "degree"):
+            raise ValueError(f"importance must be 'ppr' or 'degree', got {importance!r}")
         self.max_hops = max_hops
         self.max_paths = max_paths
         self.use_receptive_field = use_receptive_field
         self.use_similarity = use_similarity
-        self.target_strategy = target_strategy
-        self.father_strategy = father_strategy
-        self.leaf_strategy = leaf_strategy
         self.importance = importance
         self.alpha = alpha
         self.anchor_on_selected = anchor_on_selected
         self.add_reverse_edges = add_reverse_edges
         #: diagnostics of the most recent :meth:`condense` call
         self.last_target_selection: TargetSelectionResult | None = None
+        #: shared context of the most recent :meth:`condense` call
+        self.last_context: CondensationContext | None = None
+
+    # ------------------------------------------------------------------ #
+    def stage_options(self) -> dict[str, object]:
+        """The flat option bag every stage draws its constructor kwargs from."""
+        return {
+            "use_receptive_field": self.use_receptive_field,
+            "use_similarity": self.use_similarity,
+            "alpha": self.alpha,
+            "importance": self.importance,
+            "add_reverse_edges": self.add_reverse_edges,
+        }
+
+    def build_stages(self) -> tuple[TargetStage, OtherTypeStage, OtherTypeStage]:
+        """Instantiate the configured (target, father, leaf) stage triple."""
+        options = self.stage_options()
+        target_stage = target_stages.get(self.target_strategy).from_options(options)
+        father_stage = other_stages.get(self.father_strategy).from_options(options)
+        leaf_stage = other_stages.get(self.leaf_strategy).from_options(options)
+        return target_stage, father_stage, leaf_stage
 
     # ------------------------------------------------------------------ #
     def condense(
@@ -115,11 +135,23 @@ class FreeHGC(GraphCondenser):
         ratio: float,
         *,
         seed: int | np.random.Generator | None = None,
+        context: CondensationContext | None = None,
     ) -> HeteroGraph:
         ratio = self._validate_ratio(graph, ratio)
         budgets = per_type_budgets(graph, ratio)
-        hierarchy = classify_node_types(graph.schema)
+        if context is None:
+            context = CondensationContext(
+                graph, max_hops=self.max_hops, max_paths=self.max_paths
+            )
+        elif not context.matches(graph, max_hops=self.max_hops, max_paths=self.max_paths):
+            raise CondensationError(
+                "the supplied CondensationContext was built for a different "
+                "graph or with different hop settings"
+            )
+        self.last_context = context
+        hierarchy = context.hierarchy
         target = hierarchy.root
+        target_stage, father_stage, leaf_stage = self.build_stages()
 
         selected: dict[str, np.ndarray] = {}
         synthetic: dict[str, SyntheticLeafNodes] = {}
@@ -127,33 +159,43 @@ class FreeHGC(GraphCondenser):
         # ------------------------------------------------------------------
         # Stage 1: target-type nodes.
         # ------------------------------------------------------------------
-        selected[target] = self._condense_target(graph, budgets[target])
+        outcome = target_stage.select_target(context, budgets[target])
+        if isinstance(outcome, TargetSelectionResult):
+            self.last_target_selection = outcome
+            selected[target] = outcome.selected
+        else:
+            self.last_target_selection = None
+            selected[target] = np.asarray(outcome, dtype=np.int64)
+        if selected[target].size == 0:
+            raise CondensationError("target selection produced no nodes")
         anchor = selected[target] if self.anchor_on_selected else None
 
         # ------------------------------------------------------------------
         # Stage 2: father-type nodes.
         # ------------------------------------------------------------------
+        target_providers: Providers = {target: selected[target]}
         for father in hierarchy.fathers:
-            budget = budgets[father]
-            if self.father_strategy == "nim":
-                selected[father] = self._select_by_influence(graph, father, budget, anchor)
-            elif self.father_strategy == "herding":
-                selected[father] = herding_select(
-                    other_type_embeddings(graph, father), budget
-                )
-            else:  # "ilm": synthesise fathers from the selected target nodes
-                synthesizer = InformationLossMinimizer(
-                    add_reverse_edges=self.add_reverse_edges
-                )
-                synthetic[father] = synthesizer.synthesize(
-                    graph, father, budget, {target: selected[target]}
-                )
+            result = father_stage.condense_type(
+                context,
+                father,
+                budgets[father],
+                anchor=anchor,
+                providers=target_providers,
+            )
+            if result.synthetic is not None:
+                synthetic[father] = result.synthetic
+            else:
+                selected[father] = result.selected
 
-        father_providers = {
-            father: selected[father]
-            for father in hierarchy.fathers
-            if father in selected
-        }
+        # Leaf synthesis draws its providers from every condensed father —
+        # selected or synthesised alike (synthesised father hyper-nodes seed
+        # the synthesis through their merged member sets).
+        father_providers: dict[str, np.ndarray | SyntheticLeafNodes] = {}
+        for father in hierarchy.fathers:
+            if father in selected:
+                father_providers[father] = selected[father]
+            else:
+                father_providers[father] = synthetic[father]
         if not father_providers:
             father_providers = {target: selected[target]}
 
@@ -161,18 +203,17 @@ class FreeHGC(GraphCondenser):
         # Stage 3: leaf-type nodes.
         # ------------------------------------------------------------------
         for leaf in hierarchy.leaves:
-            budget = budgets[leaf]
-            if self.leaf_strategy == "ilm":
-                synthesizer = InformationLossMinimizer(
-                    add_reverse_edges=self.add_reverse_edges
-                )
-                synthetic[leaf] = synthesizer.synthesize(
-                    graph, leaf, budget, father_providers
-                )
-            elif self.leaf_strategy == "nim":
-                selected[leaf] = self._select_by_influence(graph, leaf, budget, anchor)
-            else:  # "herding"
-                selected[leaf] = herding_select(other_type_embeddings(graph, leaf), budget)
+            result = leaf_stage.condense_type(
+                context,
+                leaf,
+                budgets[leaf],
+                anchor=anchor,
+                providers=father_providers,
+            )
+            if result.synthetic is not None:
+                synthetic[leaf] = result.synthetic
+            else:
+                selected[leaf] = result.selected
 
         condensed = assemble_condensed_graph(
             graph,
@@ -188,58 +229,6 @@ class FreeHGC(GraphCondenser):
             },
         )
         return condensed
-
-    # ------------------------------------------------------------------ #
-    # Stage helpers
-    # ------------------------------------------------------------------ #
-    def _condense_target(self, graph: HeteroGraph, budget: int) -> np.ndarray:
-        if self.target_strategy == "herding":
-            from repro.baselines.base import per_class_budgets
-            from repro.baselines.embeddings import target_embeddings
-
-            embeddings = target_embeddings(
-                graph, max_hops=self.max_hops, max_paths=self.max_paths
-            )
-            pool = graph.splits.train
-            labels = graph.labels[pool]
-            chosen: list[np.ndarray] = []
-            for cls, cls_budget in per_class_budgets(graph, budget).items():
-                members = pool[labels == cls]
-                if members.size == 0:
-                    continue
-                local = herding_select(embeddings[members], cls_budget)
-                chosen.append(members[local])
-            if not chosen:
-                raise CondensationError("herding target selection produced no nodes")
-            return np.concatenate(chosen)
-
-        selector = TargetNodeSelector(
-            max_hops=self.max_hops,
-            max_paths=self.max_paths,
-            use_receptive_field=self.use_receptive_field,
-            use_similarity=self.use_similarity,
-        )
-        result = selector.select(graph, budget)
-        self.last_target_selection = result
-        if result.selected.size == 0:
-            raise CondensationError("target selection produced no nodes")
-        return result.selected
-
-    def _select_by_influence(
-        self,
-        graph: HeteroGraph,
-        node_type: str,
-        budget: int,
-        anchor: np.ndarray | None,
-    ) -> np.ndarray:
-        maximizer = NeighborInfluenceMaximizer(
-            max_hops=self.max_hops,
-            max_paths=self.max_paths,
-            alpha=self.alpha,
-            importance=self.importance,
-        )
-        result = maximizer.select(graph, node_type, budget, anchor_nodes=anchor)
-        return result.selected
 
 
 # ---------------------------------------------------------------------- #
@@ -302,19 +291,33 @@ def assemble_condensed_graph(
             block = matrix[kept[rel.src], :][:, kept[rel.dst]]
             adjacency[name] = boolean_csr(block)
         elif rel.src in kept and rel.dst in synthetic:
-            adjacency[name] = _edges_to_matrix(
-                synthetic[rel.dst].edges.get(rel.src, []), mappings[rel.src], shape, transpose=False
-            )
+            pairs = synthetic[rel.dst].edges.get(rel.src, [])
+            if pairs:
+                adjacency[name] = _edges_to_matrix(
+                    pairs, mappings[rel.src], shape, transpose=False
+                )
+            else:
+                # No recorded edges (rel.src was not a provider): recover the
+                # connectivity by projecting the hyper-nodes' member sets
+                # onto the original relation.
+                adjacency[name] = _member_projection_matrix(
+                    matrix, synthetic[rel.dst].members, kept[rel.src], synthetic_on_rows=False
+                )
         elif rel.src in synthetic and rel.dst in kept:
-            adjacency[name] = _edges_to_matrix(
-                synthetic[rel.src].edges.get(rel.dst, []), mappings[rel.dst], shape, transpose=True
-            )
+            pairs = synthetic[rel.src].edges.get(rel.dst, [])
+            if pairs:
+                adjacency[name] = _edges_to_matrix(
+                    pairs, mappings[rel.dst], shape, transpose=True
+                )
+            else:
+                adjacency[name] = _member_projection_matrix(
+                    matrix, synthetic[rel.src].members, kept[rel.dst], synthetic_on_rows=True
+                )
         else:
-            # Both endpoints synthesised: connectivity between two synthetic
-            # types is dropped (documented simplification; such relations are
-            # leaf-leaf links that no meta-path from the target traverses
-            # within the configured hop limit).
-            adjacency[name] = sp.csr_matrix(shape)
+            # Both endpoints synthesised (father_strategy="ilm" with leaf
+            # synthesis): the leaf-side hyper-nodes record their father
+            # connections directly in hyper-node index space.
+            adjacency[name] = _hyper_pair_matrix(synthetic, rel.src, rel.dst, shape)
 
     labels = graph.labels[kept[target]]
     train_mask = np.zeros(graph.num_nodes[target], dtype=bool)
@@ -345,22 +348,31 @@ def assemble_condensed_graph(
 
 def _edges_to_matrix(
     edges: list[tuple[int, int]],
-    selected_mapping: dict[int, int],
+    selected_mapping: dict[int, int] | None,
     shape: tuple[int, int],
     *,
     transpose: bool,
 ) -> sp.csr_matrix:
-    """Build a relation block from (father_original, hyper_index) edge pairs.
+    """Build a relation block from (father_index, hyper_index) edge pairs.
 
-    When ``transpose`` is False the selected type is the source (rows);
-    otherwise it is the destination (columns).
+    ``selected_mapping`` maps original father indices to condensed ones;
+    pass None when the father indices are already in condensed (hyper-node)
+    space.  When ``transpose`` is False the father type is the source
+    (rows); otherwise it is the destination (columns).  Edges whose father
+    index cannot be mapped (or is out of range) are dropped.
     """
     rows: list[int] = []
     cols: list[int] = []
-    for father_original, hyper_index in edges:
-        mapped = selected_mapping.get(int(father_original))
-        if mapped is None:
-            continue
+    father_bound = shape[1] if transpose else shape[0]
+    for father_index, hyper_index in edges:
+        if selected_mapping is None:
+            mapped = int(father_index)
+            if not 0 <= mapped < father_bound:
+                continue
+        else:
+            mapped = selected_mapping.get(int(father_index))
+            if mapped is None:
+                continue
         if transpose:
             rows.append(int(hyper_index))
             cols.append(mapped)
@@ -371,3 +383,63 @@ def _edges_to_matrix(
         return sp.csr_matrix(shape)
     data = np.ones(len(rows), dtype=np.float64)
     return sp.coo_matrix((data, (rows, cols)), shape=shape).tocsr()
+
+
+def _member_projection_matrix(
+    matrix: sp.spmatrix,
+    members: list[np.ndarray],
+    kept_indices: np.ndarray,
+    *,
+    synthetic_on_rows: bool,
+) -> sp.csr_matrix:
+    """Project an original relation onto (hyper-node, kept-node) space.
+
+    A hyper-node connects to a kept node iff any of its original members
+    did.  ``synthetic_on_rows`` says which side of ``matrix`` the
+    synthesised type sits on (rows when it is the relation's source).
+    """
+    original_count = matrix.shape[0] if synthetic_on_rows else matrix.shape[1]
+    sizes = [np.asarray(block).size for block in members]
+    if sum(sizes) == 0:
+        n_hyper = len(members)
+        shape = (
+            (n_hyper, kept_indices.size) if synthetic_on_rows else (kept_indices.size, n_hyper)
+        )
+        return sp.csr_matrix(shape)
+    hyper_ids = np.concatenate(
+        [np.full(size, index, dtype=np.int64) for index, size in enumerate(sizes)]
+    )
+    member_ids = np.concatenate([np.asarray(block, dtype=np.int64) for block in members])
+    indicator = sp.coo_matrix(
+        (np.ones(member_ids.size), (hyper_ids, member_ids)),
+        shape=(len(members), original_count),
+    ).tocsr()
+    if synthetic_on_rows:
+        block = indicator @ matrix.tocsr()[:, kept_indices]
+    else:
+        block = matrix.tocsr()[kept_indices, :] @ indicator.T
+    return boolean_csr(block.tocsr())
+
+
+def _hyper_pair_matrix(
+    synthetic: dict[str, SyntheticLeafNodes],
+    src: str,
+    dst: str,
+    shape: tuple[int, int],
+) -> sp.csr_matrix:
+    """Relation block between two synthesised types.
+
+    The later-synthesised side (the leaf) records edges keyed by the other
+    type; they are only usable when that other type was a *hyper* provider
+    (``hyper_provider_types``), i.e. both endpoints are hyper-node indices.
+    Original-index edges against a type that was nevertheless synthesised
+    cannot be mapped and yield an empty block (the seed behaviour for
+    synthetic–synthetic relations).
+    """
+    if src in synthetic[dst].hyper_provider_types:
+        pairs, transpose = synthetic[dst].edges.get(src, []), False
+    elif dst in synthetic[src].hyper_provider_types:
+        pairs, transpose = synthetic[src].edges.get(dst, []), True
+    else:
+        return sp.csr_matrix(shape)
+    return _edges_to_matrix(pairs, None, shape, transpose=transpose)

@@ -1,0 +1,246 @@
+"""Shared condensation context: lazily computed, memoized per-graph artifacts.
+
+Every stage of FreeHGC — the unified target criterion, neighbour-influence
+maximisation for father types, the synthesis stage, and the coreset-style
+embedding helpers — consumes the same expensive intermediate products:
+
+* the enumerated meta-paths anchored at the target type,
+* the composed meta-path adjacency matrices (boolean reachability for
+  receptive fields / Jaccard similarity, row-normalised for feature
+  propagation),
+* the receptive-field sets those boolean adjacencies encode,
+* the root / father / leaf type hierarchy,
+* the propagated meta-path feature blocks and the derived embeddings.
+
+Before this module existed each stage recomputed those products from
+scratch, so a single ``FreeHGC.condense`` call could compose the same
+meta-path adjacency several times.  A :class:`CondensationContext` is
+created once per ``condense()`` call (or shared explicitly across calls on
+the same graph) and hands every stage the memoized artifact instead.
+
+The context is keyed by ``(graph, max_hops, max_paths)``: all artifacts are
+deterministic functions of those three inputs, so cached and uncached
+results are identical — ``cache=False`` exists purely to measure the
+speedup and to double-check that invariant in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.metapaths import MetaPath, enumerate_metapaths, metapath_adjacency
+from repro.core.topology import TypeHierarchy, classify_node_types
+from repro.hetero.graph import HeteroGraph
+from repro.models.propagation import SELF_FEATURE_KEY, standardize_features
+
+__all__ = ["CondensationContext"]
+
+
+class CondensationContext:
+    """Memoized per-``(graph, max_hops, max_paths)`` condensation artifacts.
+
+    Parameters
+    ----------
+    graph:
+        The heterogeneous graph being condensed.
+    max_hops:
+        Maximum meta-path length ``K`` shared by every stage.
+    max_paths:
+        Cap on the number of enumerated meta-paths.
+    cache:
+        When False every accessor recomputes from scratch (used by the
+        efficiency benchmark and the cache-equivalence tests).
+
+    Attributes
+    ----------
+    stats:
+        Counters of cache behaviour: ``metapath_enumerations``,
+        ``adjacency_builds``, ``adjacency_hits``, ``embedding_builds`` and
+        ``embedding_hits``.  Useful in tests and benchmarks.
+    """
+
+    def __init__(
+        self,
+        graph: HeteroGraph,
+        *,
+        max_hops: int = 2,
+        max_paths: int = 16,
+        cache: bool = True,
+    ) -> None:
+        if max_hops < 1:
+            raise ValueError(f"max_hops must be >= 1, got {max_hops}")
+        if max_paths < 1:
+            raise ValueError(f"max_paths must be >= 1, got {max_paths}")
+        self.graph = graph
+        self.max_hops = int(max_hops)
+        self.max_paths = int(max_paths)
+        self.cache_enabled = bool(cache)
+        self.stats: dict[str, int] = {
+            "metapath_enumerations": 0,
+            "adjacency_builds": 0,
+            "adjacency_hits": 0,
+            "embedding_builds": 0,
+            "embedding_hits": 0,
+        }
+        self._hierarchy: TypeHierarchy | None = None
+        self._metapaths: list[MetaPath] | None = None
+        self._metapaths_to: dict[str, list[MetaPath]] = {}
+        self._adjacencies: dict[tuple[tuple[str, ...], bool], sp.csr_matrix] = {}
+        self._feature_blocks: dict[str, np.ndarray] | None = None
+        self._target_embeddings: np.ndarray | None = None
+        self._other_embeddings: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Schema-level artifacts
+    # ------------------------------------------------------------------ #
+    @property
+    def target_type(self) -> str:
+        """The labelled node type the condensation is anchored on."""
+        return self.graph.schema.target_type
+
+    @property
+    def hierarchy(self) -> TypeHierarchy:
+        """Root / father / leaf classification of the schema (Fig. 5)."""
+        if self._hierarchy is None or not self.cache_enabled:
+            self._hierarchy = classify_node_types(self.graph.schema)
+        return self._hierarchy
+
+    def metapaths(self) -> list[MetaPath]:
+        """All meta-paths anchored at the target type (memoized)."""
+        if self._metapaths is None or not self.cache_enabled:
+            self.stats["metapath_enumerations"] += 1
+            self._metapaths = enumerate_metapaths(
+                self.graph.schema,
+                self.target_type,
+                self.max_hops,
+                max_paths=self.max_paths,
+            )
+        return self._metapaths
+
+    def metapaths_to(self, end_type: str) -> list[MetaPath]:
+        """Meta-paths from the target type that terminate at ``end_type``."""
+        cached = self._metapaths_to.get(end_type)
+        if cached is None or not self.cache_enabled:
+            cached = [path for path in self.metapaths() if path.end == end_type]
+            self._metapaths_to[end_type] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # Graph-level artifacts
+    # ------------------------------------------------------------------ #
+    def adjacency(self, metapath: MetaPath, *, normalize: bool = False) -> sp.csr_matrix:
+        """Composed adjacency of ``metapath`` (Eq. 1), memoized per form.
+
+        ``normalize=False`` yields the boolean reachability product whose
+        rows are the per-node *receptive-field sets* used by the coverage
+        and similarity terms; ``normalize=True`` yields the row-normalised
+        product used for feature propagation.
+        """
+        key = (metapath.node_types, bool(normalize))
+        cached = self._adjacencies.get(key)
+        if cached is None or not self.cache_enabled:
+            self.stats["adjacency_builds"] += 1
+            cached = metapath_adjacency(self.graph, metapath, normalize=normalize)
+            self._adjacencies[key] = cached
+        else:
+            self.stats["adjacency_hits"] += 1
+        return cached
+
+    def receptive_field(self, metapath: MetaPath) -> sp.csr_matrix:
+        """Boolean reachability matrix: row ``i`` is node ``i``'s receptive field."""
+        return self.adjacency(metapath, normalize=False)
+
+    # ------------------------------------------------------------------ #
+    # Feature / embedding artifacts
+    # ------------------------------------------------------------------ #
+    def target_feature_blocks(self) -> dict[str, np.ndarray]:
+        """Propagated meta-path feature blocks of every target-type node.
+
+        Equivalent to
+        :func:`repro.models.propagation.propagate_metapath_features` with
+        ``include_self=True``, but routed through the memoized normalised
+        adjacencies.  The returned mapping is the live cache: the arrays
+        are marked read-only — copy before mutating.
+        """
+        if self._feature_blocks is None or not self.cache_enabled:
+            self.stats["embedding_builds"] += 1
+            blocks: dict[str, np.ndarray] = {
+                SELF_FEATURE_KEY: self.graph.features[self.target_type].copy()
+            }
+            for path in self.metapaths():
+                propagated = self.adjacency(path, normalize=True) @ self.graph.features[path.end]
+                blocks[str(path)] = np.asarray(propagated)
+            for block in blocks.values():
+                block.setflags(write=False)
+            self._feature_blocks = blocks
+        else:
+            self.stats["embedding_hits"] += 1
+        return self._feature_blocks
+
+    def target_embeddings(self) -> np.ndarray:
+        """Standardised, concatenated meta-path embedding of target nodes."""
+        if self._target_embeddings is None or not self.cache_enabled:
+            features = standardize_features(self.target_feature_blocks())
+            blocks = [features[key] for key in sorted(features)]
+            self._target_embeddings = np.concatenate(blocks, axis=1)
+            self._target_embeddings.setflags(write=False)
+        return self._target_embeddings
+
+    def other_type_embeddings(self, node_type: str) -> np.ndarray:
+        """Feature + normalised-degree embedding of a non-target type."""
+        cached = self._other_embeddings.get(node_type)
+        if cached is None or not self.cache_enabled:
+            # Local import: baselines.embeddings is higher in the layering.
+            from repro.baselines.embeddings import other_type_embeddings
+
+            self.stats["embedding_builds"] += 1
+            cached = other_type_embeddings(self.graph, node_type)
+            cached.setflags(write=False)
+            self._other_embeddings[node_type] = cached
+        else:
+            self.stats["embedding_hits"] += 1
+        return cached
+
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        """Drop every memoized artifact (keeps the stats counters)."""
+        self._hierarchy = None
+        self._metapaths = None
+        self._metapaths_to.clear()
+        self._adjacencies.clear()
+        self._feature_blocks = None
+        self._target_embeddings = None
+        self._other_embeddings.clear()
+
+    def compatible_with(self, *, max_hops: int, max_paths: int) -> bool:
+        """Whether this context's artifacts match the given hop settings."""
+        return self.max_hops == int(max_hops) and self.max_paths == int(max_paths)
+
+    def matches(
+        self,
+        graph: HeteroGraph,
+        *,
+        max_hops: int | None = None,
+        max_paths: int | None = None,
+    ) -> bool:
+        """Whether this context can serve artifacts for ``graph``.
+
+        The single compatibility predicate every context-aware helper uses:
+        the context must have been built for the *same* graph object and,
+        when hop settings are given, with the same ``max_hops``/``max_paths``.
+        """
+        if self.graph is not graph:
+            return False
+        if max_hops is not None and self.max_hops != int(max_hops):
+            return False
+        if max_paths is not None and self.max_paths != int(max_paths):
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CondensationContext(graph={self.graph.schema.name!r}, "
+            f"max_hops={self.max_hops}, max_paths={self.max_paths}, "
+            f"cached_adjacencies={len(self._adjacencies)})"
+        )

@@ -15,9 +15,13 @@ of the original training pool are preserved.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse as sp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.context import CondensationContext
 
 from repro.baselines.base import per_class_budgets
 from repro.core.metapaths import MetaPath, enumerate_metapaths, metapath_adjacency
@@ -77,8 +81,15 @@ class TargetNodeSelector:
         budget: int,
         *,
         pool: np.ndarray | None = None,
+        context: "CondensationContext | None" = None,
     ) -> TargetSelectionResult:
-        """Select ``budget`` target-type nodes from the training pool."""
+        """Select ``budget`` target-type nodes from the training pool.
+
+        When a :class:`~repro.core.context.CondensationContext` built for
+        ``graph`` with matching hop settings is supplied, meta-path
+        enumeration and adjacency composition are served from its cache
+        instead of being recomputed.
+        """
         if budget < 1:
             raise BudgetError(f"target budget must be >= 1, got {budget}")
         target = graph.schema.target_type
@@ -86,14 +97,23 @@ class TargetNodeSelector:
         if pool.size == 0:
             raise BudgetError("target selection pool is empty")
 
-        metapaths = enumerate_metapaths(
-            graph.schema, target, self.max_hops, max_paths=self.max_paths
+        use_context = context is not None and context.matches(
+            graph, max_hops=self.max_hops, max_paths=self.max_paths
         )
+        if use_context:
+            metapaths = context.metapaths()
+        else:
+            metapaths = enumerate_metapaths(
+                graph.schema, target, self.max_hops, max_paths=self.max_paths
+            )
         if not metapaths:
             raise BudgetError("schema exposes no meta-paths from the target type")
-        adjacencies = [
-            metapath_adjacency(graph, path, normalize=False) for path in metapaths
-        ]
+        if use_context:
+            adjacencies = [context.adjacency(path, normalize=False) for path in metapaths]
+        else:
+            adjacencies = [
+                metapath_adjacency(graph, path, normalize=False) for path in metapaths
+            ]
 
         similarity = self._similarity_matrix(metapaths, adjacencies, graph)
         class_budgets = per_class_budgets(graph, budget, pool=pool)

@@ -16,11 +16,15 @@ centrality is available as the drop-in alternative mentioned in the paper
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.core.metapaths import MetaPath, metapaths_to_type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.context import CondensationContext
 from repro.errors import BudgetError
 from repro.hetero.graph import HeteroGraph
 from repro.hetero.sparse import symmetric_normalize
@@ -113,12 +117,15 @@ class NeighborInfluenceMaximizer:
         budget: int,
         *,
         anchor_nodes: np.ndarray | None = None,
+        context: "CondensationContext | None" = None,
     ) -> FatherSelectionResult:
         """Select ``budget`` nodes of father type ``node_type`` (Eq. 13).
 
         ``anchor_nodes`` restricts the influence computation to the already
         selected (condensed) target nodes, so the kept father nodes are the
-        ones most relevant to the condensed graph.
+        ones most relevant to the condensed graph.  A matching
+        :class:`~repro.core.context.CondensationContext` serves the
+        meta-path enumeration and adjacencies from its cache.
         """
         if budget < 1:
             raise BudgetError(f"father budget must be >= 1, got {budget}")
@@ -128,9 +135,15 @@ class NeighborInfluenceMaximizer:
         n_father = graph.num_nodes[node_type]
         budget = min(budget, n_father)
 
-        metapaths = metapaths_to_type(
-            graph.schema, target, node_type, self.max_hops, max_paths=self.max_paths
+        use_context = context is not None and context.matches(
+            graph, max_hops=self.max_hops, max_paths=self.max_paths
         )
+        if use_context:
+            metapaths = context.metapaths_to(node_type)
+        else:
+            metapaths = metapaths_to_type(
+                graph.schema, target, node_type, self.max_hops, max_paths=self.max_paths
+            )
         if not metapaths:
             # Fall back to the direct typed adjacency even if the schema walk
             # found no path (can happen with max_hops=1 on reverse-only links).
@@ -145,7 +158,10 @@ class NeighborInfluenceMaximizer:
             anchor_mask[np.asarray(anchor_nodes, dtype=np.int64)] = 1.0
 
         for metapath in metapaths:
-            adjacency = metapath_adjacency(graph, metapath, normalize=False)
+            if use_context:
+                adjacency = context.adjacency(metapath, normalize=False)
+            else:
+                adjacency = metapath_adjacency(graph, metapath, normalize=False)
             if adjacency.nnz == 0:
                 continue
             if self.importance == "degree":

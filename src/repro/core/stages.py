@@ -1,0 +1,273 @@
+"""First-class condensation stages (the pluggable pieces of FreeHGC).
+
+The paper's method is explicitly modular: a *target* stage condenses the
+labelled node type, and an *other-type* stage condenses each father/leaf
+type (Fig. 3).  Table VIII's ablation variants are exactly the cross
+product of stage strategies, so this module turns each strategy into a
+registered class:
+
+========  =======================  =====================================
+registry  name (aliases)           implementation
+========  =======================  =====================================
+target    ``criterion``            unified criterion, Algorithm 1
+          (``unified``)
+target    ``herding``              per-class herding on embeddings (#3)
+other     ``nim`` (``ppr``,        neighbour-influence maximisation,
+          ``influence``)           Eq. 10–13
+other     ``ilm`` (``synthesis``)  information-loss-minimising synthesis,
+                                   Eq. 14–16
+other     ``herding``              herding on feature+degree embeddings
+========  =======================  =====================================
+
+Every stage consumes a shared :class:`~repro.core.context.CondensationContext`
+so expensive meta-path products are computed once per ``condense()`` call no
+matter how many stages need them.  Third-party strategies plug in by
+registering a class with the same protocol in
+:mod:`repro.registry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro import registry
+from repro.core.context import CondensationContext
+from repro.core.criterion import TargetNodeSelector, TargetSelectionResult
+from repro.core.neighbor_influence import NeighborInfluenceMaximizer
+from repro.core.synthesis import InformationLossMinimizer, SyntheticLeafNodes
+from repro.errors import CondensationError
+
+__all__ = [
+    "Providers",
+    "StageResult",
+    "TargetStage",
+    "OtherTypeStage",
+    "ConfigurableStage",
+    "CriterionTargetStage",
+    "HerdingTargetStage",
+    "NeighborInfluenceStage",
+    "SynthesisStage",
+    "HerdingOtherStage",
+]
+
+#: Provider nodes for the synthesis stage: per father type, either the
+#: original indices of *selected* father nodes or the synthesised father
+#: hyper-nodes themselves (when ``father_strategy="ilm"``).
+Providers = Mapping[str, "np.ndarray | SyntheticLeafNodes"]
+
+
+@dataclass
+class StageResult:
+    """Outcome of condensing one non-target node type.
+
+    Exactly one of ``selected`` (original node indices kept) or
+    ``synthetic`` (synthesised hyper-nodes) is set.
+    """
+
+    node_type: str
+    selected: np.ndarray | None = None
+    synthetic: SyntheticLeafNodes | None = None
+
+    def __post_init__(self) -> None:
+        if (self.selected is None) == (self.synthetic is None):
+            raise CondensationError(
+                f"stage result for {self.node_type!r} must set exactly one of "
+                "'selected' or 'synthetic'"
+            )
+        if self.selected is not None:
+            self.selected = np.asarray(self.selected, dtype=np.int64)
+
+
+@runtime_checkable
+class TargetStage(Protocol):
+    """Condenses the target (labelled) node type."""
+
+    name: str
+
+    def select_target(
+        self, context: CondensationContext, budget: int
+    ) -> TargetSelectionResult | np.ndarray:
+        """Select ``budget`` target nodes; rich results carry diagnostics."""
+        ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
+class OtherTypeStage(Protocol):
+    """Condenses one father or leaf node type."""
+
+    name: str
+
+    def condense_type(
+        self,
+        context: CondensationContext,
+        node_type: str,
+        budget: int,
+        *,
+        anchor: np.ndarray | None = None,
+        providers: Providers | None = None,
+    ) -> StageResult:
+        """Condense ``node_type`` down to at most ``budget`` nodes."""
+        ...  # pragma: no cover - protocol
+
+
+class ConfigurableStage:
+    """Mixin: build a stage from the condenser's flat option dict.
+
+    ``consumes`` names the constructor keywords the stage understands;
+    :meth:`from_options` filters the shared option dict down to them, so
+    :class:`~repro.core.condenser.FreeHGC` can hand every stage the same
+    option bag without knowing which stage needs what.
+    """
+
+    consumes: tuple[str, ...] = ()
+
+    @classmethod
+    def from_options(cls, options: Mapping[str, object]):
+        return cls(**{key: options[key] for key in cls.consumes if key in options})
+
+
+# ---------------------------------------------------------------------- #
+# Target-type stages
+# ---------------------------------------------------------------------- #
+@registry.target_stages.register("criterion", aliases=("unified",))
+class CriterionTargetStage(ConfigurableStage):
+    """Unified data-selection criterion (Algorithm 1, Eq. 8–9)."""
+
+    name = "criterion"
+    consumes = ("use_receptive_field", "use_similarity")
+
+    def __init__(self, *, use_receptive_field: bool = True, use_similarity: bool = True) -> None:
+        self.use_receptive_field = use_receptive_field
+        self.use_similarity = use_similarity
+
+    def select_target(
+        self, context: CondensationContext, budget: int
+    ) -> TargetSelectionResult:
+        selector = TargetNodeSelector(
+            max_hops=context.max_hops,
+            max_paths=context.max_paths,
+            use_receptive_field=self.use_receptive_field,
+            use_similarity=self.use_similarity,
+        )
+        return selector.select(context.graph, budget, context=context)
+
+
+@registry.target_stages.register("herding")
+class HerdingTargetStage(ConfigurableStage):
+    """Per-class herding on meta-path embeddings (ablation Variant #3)."""
+
+    name = "herding"
+
+    def select_target(self, context: CondensationContext, budget: int) -> np.ndarray:
+        from repro.baselines.base import per_class_budgets
+        from repro.baselines.herding import herding_select
+
+        graph = context.graph
+        embeddings = context.target_embeddings()
+        pool = graph.splits.train
+        labels = graph.labels[pool]
+        chosen: list[np.ndarray] = []
+        for cls, cls_budget in per_class_budgets(graph, budget).items():
+            members = pool[labels == cls]
+            if members.size == 0:
+                continue
+            local = herding_select(embeddings[members], cls_budget)
+            chosen.append(members[local])
+        if not chosen:
+            raise CondensationError("herding target selection produced no nodes")
+        return np.concatenate(chosen)
+
+
+# ---------------------------------------------------------------------- #
+# Father / leaf stages
+# ---------------------------------------------------------------------- #
+@registry.other_stages.register("nim", aliases=("ppr", "influence"))
+class NeighborInfluenceStage(ConfigurableStage):
+    """Neighbour-influence maximisation (Eq. 10–13)."""
+
+    name = "nim"
+    consumes = ("alpha", "importance", "iterations")
+
+    def __init__(
+        self, *, alpha: float = 0.15, importance: str = "ppr", iterations: int = 30
+    ) -> None:
+        self.alpha = alpha
+        self.importance = importance
+        self.iterations = iterations
+
+    def condense_type(
+        self,
+        context: CondensationContext,
+        node_type: str,
+        budget: int,
+        *,
+        anchor: np.ndarray | None = None,
+        providers: Providers | None = None,
+    ) -> StageResult:
+        maximizer = NeighborInfluenceMaximizer(
+            max_hops=context.max_hops,
+            max_paths=context.max_paths,
+            alpha=self.alpha,
+            iterations=self.iterations,
+            importance=self.importance,
+        )
+        result = maximizer.select(
+            context.graph, node_type, budget, anchor_nodes=anchor, context=context
+        )
+        return StageResult(node_type, selected=result.selected)
+
+
+@registry.other_stages.register("ilm", aliases=("synthesis",))
+class SynthesisStage(ConfigurableStage):
+    """Information-loss-minimising hyper-node synthesis (Eq. 14–16)."""
+
+    name = "ilm"
+    consumes = ("aggregator", "add_reverse_edges")
+
+    def __init__(self, *, aggregator: str = "mean", add_reverse_edges: bool = True) -> None:
+        self.aggregator = aggregator
+        self.add_reverse_edges = add_reverse_edges
+
+    def condense_type(
+        self,
+        context: CondensationContext,
+        node_type: str,
+        budget: int,
+        *,
+        anchor: np.ndarray | None = None,
+        providers: Providers | None = None,
+    ) -> StageResult:
+        if not providers:
+            raise CondensationError(
+                f"synthesis of {node_type!r} requires provider nodes "
+                "(selected or synthesised father types)"
+            )
+        synthesizer = InformationLossMinimizer(
+            aggregator=self.aggregator, add_reverse_edges=self.add_reverse_edges
+        )
+        synthetic = synthesizer.synthesize(context.graph, node_type, budget, dict(providers))
+        return StageResult(node_type, synthetic=synthetic)
+
+
+@registry.other_stages.register("herding")
+class HerdingOtherStage(ConfigurableStage):
+    """Herding coreset over feature + normalised-degree embeddings."""
+
+    name = "herding"
+
+    def condense_type(
+        self,
+        context: CondensationContext,
+        node_type: str,
+        budget: int,
+        *,
+        anchor: np.ndarray | None = None,
+        providers: Providers | None = None,
+    ) -> StageResult:
+        from repro.baselines.herding import herding_select
+
+        selected = herding_select(context.other_type_embeddings(node_type), budget)
+        return StageResult(node_type, selected=selected)

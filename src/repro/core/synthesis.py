@@ -9,6 +9,13 @@ models would have used.  Reverse edges to the other father nodes touching the
 same leaf neighbourhood restore the 2-hop father–father connectivity that
 naive synthesis would break (Eq. 15).  Hyper-nodes with the lowest degree are
 merged further until the leaf-type budget is met (Eq. 16).
+
+Providers may themselves be synthesised: when ``father_strategy="ilm"`` the
+condensed father type is a set of hyper-nodes, each merging several original
+father nodes.  Such a provider contributes one synthesis seed per father
+hyper-node whose leaf neighbourhood is the union over its members, and the
+recorded edges then reference the father *hyper-node* index (condensed
+space) instead of an original index.
 """
 
 from __future__ import annotations
@@ -34,22 +41,46 @@ class SyntheticLeafNodes:
     features:
         ``(num_hyper_nodes, feature_dim)`` aggregated features.
     edges:
-        Mapping ``father_type -> [(father_original_index, hyper_node_index)]``
-        giving the father–leaf connections of the condensed graph.
+        Mapping ``father_type -> [(father_index, hyper_node_index)]`` giving
+        the father–leaf connections of the condensed graph.  ``father_index``
+        is an *original* node index when the provider was a selection, and a
+        father *hyper-node* index when the provider was itself synthesised
+        (see ``hyper_provider_types``).
     members:
         Original leaf-node indices merged into each hyper-node (diagnostics
         and tests).
+    hyper_provider_types:
+        Father types whose edge indices live in condensed hyper-node space.
     """
 
     node_type: str
     features: np.ndarray
     edges: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
     members: list[np.ndarray] = field(default_factory=list)
+    hyper_provider_types: frozenset[str] = frozenset()
 
     @property
     def num_nodes(self) -> int:
         """Number of synthesised hyper-nodes."""
         return int(self.features.shape[0])
+
+
+def _provider_seeds(
+    provider: "np.ndarray | SyntheticLeafNodes",
+) -> list[tuple[int, np.ndarray]]:
+    """Normalise a provider into ``(provider_index, member_original_indices)`` seeds.
+
+    Selected providers contribute one seed per original node (its own
+    singleton member set); synthesised providers contribute one seed per
+    hyper-node with the hyper-node's merged member set.
+    """
+    if isinstance(provider, SyntheticLeafNodes):
+        return [
+            (index, np.asarray(members, dtype=np.int64))
+            for index, members in enumerate(provider.members)
+        ]
+    nodes = np.asarray(provider, dtype=np.int64)
+    return [(int(node), np.asarray([node], dtype=np.int64)) for node in nodes]
 
 
 class InformationLossMinimizer:
@@ -67,7 +98,7 @@ class InformationLossMinimizer:
         graph: HeteroGraph,
         leaf_type: str,
         budget: int,
-        selected_fathers: dict[str, np.ndarray],
+        selected_fathers: "dict[str, np.ndarray | SyntheticLeafNodes]",
     ) -> SyntheticLeafNodes:
         """Create at most ``budget`` hyper-nodes of ``leaf_type`` (Eq. 16).
 
@@ -80,12 +111,20 @@ class InformationLossMinimizer:
         budget:
             Condensation budget ``B`` for this type.
         selected_fathers:
-            Already-condensed father nodes per father type (original indices).
+            Already-condensed father nodes per father type: either original
+            indices (selection strategies) or the synthesised father
+            hyper-nodes (``father_strategy="ilm"``).
         """
         if budget < 1:
             raise BudgetError(f"leaf budget must be >= 1, got {budget}")
         feature_dim = graph.features[leaf_type].shape[1]
         leaf_features = graph.features[leaf_type]
+
+        hyper_providers = frozenset(
+            father
+            for father, provider in selected_fathers.items()
+            if isinstance(provider, SyntheticLeafNodes)
+        )
 
         # Father types actually connected to this leaf type.
         connected_fathers = [
@@ -105,26 +144,43 @@ class InformationLossMinimizer:
             father: graph.typed_adjacency(father, leaf_type).tocsr()
             for father in connected_fathers
         }
-        # Hyper-node records: (creator father type, creator father index,
+        seeds = {
+            father: _provider_seeds(selected_fathers[father])
+            for father in connected_fathers
+        }
+        # Hyper-node records: (creator father type, creator provider index,
         # member leaf indices, extra father connections).
         records: list[dict[str, object]] = []
         for father in connected_fathers:
             matrix = adjacency[father]
-            for father_node in np.asarray(selected_fathers[father], dtype=np.int64):
-                start, stop = matrix.indptr[father_node], matrix.indptr[father_node + 1]
-                members = matrix.indices[start:stop]
+            for provider_index, provider_members in seeds[father]:
+                neighbor_blocks = [
+                    matrix.indices[matrix.indptr[node] : matrix.indptr[node + 1]]
+                    for node in provider_members
+                ]
+                members = (
+                    np.unique(np.concatenate(neighbor_blocks))
+                    if neighbor_blocks
+                    else np.empty(0, dtype=np.int64)
+                )
                 if members.size == 0:
                     continue
                 records.append(
                     {
                         "father_type": father,
-                        "father_node": int(father_node),
-                        "members": members.copy(),
+                        "father_node": int(provider_index),
+                        "members": members,
                     }
                 )
         if not records:
             mean = leaf_features.mean(axis=0, keepdims=True)
-            return SyntheticLeafNodes(leaf_type, mean, {}, [np.arange(leaf_features.shape[0])])
+            return SyntheticLeafNodes(
+                leaf_type,
+                mean,
+                {},
+                [np.arange(leaf_features.shape[0])],
+                hyper_provider_types=hyper_providers,
+            )
 
         # Merge lowest-degree hyper-nodes until the budget is met (Eq. 16).
         while len(records) > budget:
@@ -158,22 +214,39 @@ class InformationLossMinimizer:
             for extra_type, extra_node in record.get("extra_creators", []):
                 edges[str(extra_type)].append((int(extra_node), hyper_index))
             if self.add_reverse_edges:
-                # Eq. 15: connect the hyper-node to every *other* selected
-                # father node that touches the same leaf neighbourhood, so
+                # Eq. 15: connect the hyper-node to every *other* condensed
+                # father node whose leaf neighbourhood overlaps this one, so
                 # father-father 2-hop paths through the leaf survive.
                 for father in connected_fathers:
                     matrix = adjacency[father]
                     touching = np.unique(matrix[:, members].nonzero()[0])
-                    selected_set = np.asarray(selected_fathers[father], dtype=np.int64)
-                    relevant = np.intersect1d(touching, selected_set, assume_unique=False)
-                    for father_node in relevant:
-                        if father == creator_type and int(father_node) == int(
-                            record["father_node"]
-                        ):
-                            continue
-                        edges[father].append((int(father_node), hyper_index))
+                    if father in hyper_providers:
+                        for provider_index, provider_members in seeds[father]:
+                            if father == creator_type and int(provider_index) == int(
+                                record["father_node"]
+                            ):
+                                continue
+                            if np.intersect1d(touching, provider_members).size:
+                                edges[father].append((int(provider_index), hyper_index))
+                    else:
+                        # Selection provider: one vectorized intersect over
+                        # all selected father nodes (the common, hot case).
+                        selected_set = np.asarray(selected_fathers[father], dtype=np.int64)
+                        relevant = np.intersect1d(touching, selected_set)
+                        for father_node in relevant:
+                            if father == creator_type and int(father_node) == int(
+                                record["father_node"]
+                            ):
+                                continue
+                            edges[father].append((int(father_node), hyper_index))
 
         # Deduplicate edge lists.
         for father in edges:
             edges[father] = sorted(set(edges[father]))
-        return SyntheticLeafNodes(leaf_type, features, edges, members_out)
+        return SyntheticLeafNodes(
+            leaf_type,
+            features,
+            edges,
+            members_out,
+            hyper_provider_types=hyper_providers,
+        )

@@ -15,6 +15,7 @@ __all__ = [
     "CondensationError",
     "DatasetError",
     "ModelError",
+    "RegistryError",
 ]
 
 
@@ -44,3 +45,16 @@ class DatasetError(ReproError):
 
 class ModelError(ReproError):
     """A model was used before fitting or configured inconsistently."""
+
+
+class RegistryError(ReproError, KeyError, ValueError):
+    """A registry lookup failed (unknown name, duplicate registration, ...).
+
+    Derives from both :class:`KeyError` and :class:`ValueError` so that
+    callers written against the pre-registry factories (``make_condenser``
+    raised ``KeyError``, strategy validation raised ``ValueError``) keep
+    working unchanged.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return Exception.__str__(self)

@@ -12,16 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.baselines import (
-    CoarseningHG,
-    GCond,
-    GraphCondenser,
-    HerdingHG,
-    HGCond,
-    KCenterHG,
-    RandomHG,
-)
-from repro.core import FreeHGC
+from repro import registry
+from repro.baselines import GraphCondenser
 from repro.datasets.registry import DATASETS, load_dataset
 from repro.evaluation.protocol import (
     MethodEvaluation,
@@ -29,7 +21,7 @@ from repro.evaluation.protocol import (
     whole_graph_reference,
 )
 from repro.hetero.graph import HeteroGraph
-from repro.models import MODEL_REGISTRY, HGNNClassifier
+from repro.models import HGNNClassifier
 
 __all__ = [
     "ExperimentConfig",
@@ -40,6 +32,9 @@ __all__ = [
     "CONDENSER_NAMES",
 ]
 
+#: Canonical condenser names, in the paper's comparison order.  The single
+#: source of truth is :data:`repro.registry.condensers`; this tuple is kept
+#: for backwards compatibility with older callers.
 CONDENSER_NAMES = (
     "random-hg",
     "herding-hg",
@@ -82,34 +77,13 @@ def make_condenser(
 ) -> GraphCondenser:
     """Instantiate a condenser (FreeHGC or baseline) with sensible defaults.
 
-    ``fast_optimization`` shrinks the nested loops of the optimisation-based
-    baselines so benchmark runs finish quickly; the paper-scale loop sizes
-    are used when it is False.
+    Thin wrapper over :data:`repro.registry.condensers`; ``name`` may be any
+    registered name or alias.  ``fast_optimization`` shrinks the nested
+    loops of the optimisation-based baselines so benchmark runs finish
+    quickly; the paper-scale loop sizes are used when it is False.
     """
-    key = name.lower()
-    if key == "freehgc":
-        return FreeHGC(max_hops=max_hops, **overrides)
-    if key == "random-hg":
-        return RandomHG(**overrides)
-    if key == "herding-hg":
-        return HerdingHG(max_hops=min(max_hops, 2), **overrides)
-    if key == "k-center-hg":
-        return KCenterHG(max_hops=min(max_hops, 2), **overrides)
-    if key == "coarsening-hg":
-        return CoarseningHG(max_hops=min(max_hops, 2), **overrides)
-    if key == "gcond":
-        iterations = {"outer_iterations": 15, "inner_steps": 3} if fast_optimization else {}
-        iterations.update(overrides)
-        return GCond(max_hops=min(max_hops, 2), **iterations)
-    if key == "hgcond":
-        iterations = (
-            {"outer_iterations": 10, "inner_steps": 3, "ops_length": 2}
-            if fast_optimization
-            else {}
-        )
-        iterations.update(overrides)
-        return HGCond(**iterations)
-    raise KeyError(f"unknown condenser {name!r}; available: {CONDENSER_NAMES}")
+    factory = registry.condensers.get(name)
+    return factory(max_hops=max_hops, fast_optimization=fast_optimization, **overrides)
 
 
 def make_model_factory(
@@ -121,11 +95,12 @@ def make_model_factory(
     seed: int = 0,
     **extra: object,
 ) -> Callable[[], HGNNClassifier]:
-    """Return a zero-argument factory building the named evaluation HGNN."""
-    key = model.lower()
-    if key not in MODEL_REGISTRY:
-        raise KeyError(f"unknown model {model!r}; available: {sorted(MODEL_REGISTRY)}")
-    model_cls = MODEL_REGISTRY[key]
+    """Return a zero-argument factory building the named evaluation HGNN.
+
+    ``model`` may be any name or alias registered in
+    :data:`repro.registry.models`.
+    """
+    model_cls = registry.models.get(model)
 
     def factory() -> HGNNClassifier:
         return model_cls(

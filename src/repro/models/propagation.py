@@ -15,10 +15,15 @@ split the paper exploits: *semantic* fusion differs per architecture while
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.metapaths import MetaPath, enumerate_metapaths, metapath_adjacency
 from repro.hetero.graph import HeteroGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.context import CondensationContext
 
 __all__ = [
     "SELF_FEATURE_KEY",
@@ -36,6 +41,7 @@ def propagate_metapath_features(
     max_hops: int = 2,
     max_paths: int = 16,
     include_self: bool = True,
+    context: "CondensationContext | None" = None,
 ) -> dict[str, np.ndarray]:
     """Compute meta-path aggregated features for every target-type node.
 
@@ -45,7 +51,20 @@ def propagate_metapath_features(
     ``max_hops``, so features computed on a condensed graph and on the full
     graph are directly comparable — which is what lets a model trained on the
     condensed graph be evaluated on the original graph.
+
+    A matching :class:`~repro.core.context.CondensationContext` short-cuts
+    the computation with its memoized feature blocks.
     """
+    if context is not None and context.matches(graph, max_hops=max_hops, max_paths=max_paths):
+        # Copies, not the cached arrays: callers may mutate the returned
+        # blocks in place (the non-context path below also returns fresh
+        # arrays), which must never poison the shared context memo.
+        blocks = {
+            key: block.copy()
+            for key, block in context.target_feature_blocks().items()
+            if include_self or key != SELF_FEATURE_KEY
+        }
+        return blocks
     target = graph.schema.target_type
     features: dict[str, np.ndarray] = {}
     if include_self:

@@ -1,0 +1,293 @@
+"""Unified name registry for condensers, stage strategies, models and datasets.
+
+Every pluggable component of the library is reachable through one of the
+module-level :class:`Registry` instances below:
+
+``condensers``
+    Factory callables ``(*, max_hops=2, fast_optimization=True, **overrides)``
+    returning a :class:`~repro.baselines.base.GraphCondenser` (FreeHGC and
+    every baseline of the paper's comparison).
+``target_stages``
+    Stage classes condensing the *target* (labelled) node type — the first
+    stage of FreeHGC and the knob behind ablation Variants #1–#3.
+``other_stages``
+    Stage classes condensing father/leaf node types (NIM, ILM synthesis,
+    herding — Variants #4–#6).
+``models``
+    Evaluation HGNN classifier classes.
+``datasets``
+    :class:`~repro.datasets.registry.DatasetEntry` records.
+
+All lookups are case-insensitive, support aliases, and raise
+:class:`~repro.errors.RegistryError` whose message lists the valid names.
+Built-in components self-register lazily on first lookup so that importing
+this module stays cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, TypeVar
+
+from repro.errors import RegistryError
+
+__all__ = [
+    "Registry",
+    "condensers",
+    "target_stages",
+    "other_stages",
+    "models",
+    "datasets",
+]
+
+T = TypeVar("T")
+
+
+class Registry:
+    """Case-insensitive name → object mapping with aliases.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable component kind used in error messages
+        (``"condenser"``, ``"model"``, ...).
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, object] = {}
+        self._aliases: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        name: str,
+        obj: T | None = None,
+        *,
+        aliases: tuple[str, ...] = (),
+    ) -> T | Callable[[T], T]:
+        """Register ``obj`` under ``name`` (plus ``aliases``).
+
+        Can be used directly (``registry.register("nim", NIMStage)``) or as
+        a class decorator (``@registry.register("nim", aliases=("ppr",))``).
+        Re-registering an existing name or alias raises
+        :class:`RegistryError` — shadowing a built-in silently is never what
+        the caller wants.
+        """
+        if obj is None:
+
+            def decorator(decorated: T) -> T:
+                self.register(name, decorated, aliases=aliases)
+                return decorated
+
+            return decorator
+
+        key = self._normalize(name)
+        if key in self._entries or key in self._aliases:
+            raise RegistryError(f"{self.kind} {name!r} is already registered")
+        self._entries[key] = obj
+        for alias in aliases:
+            alias_key = self._normalize(alias)
+            if alias_key in self._entries or alias_key in self._aliases:
+                raise RegistryError(
+                    f"alias {alias!r} for {self.kind} {name!r} is already registered"
+                )
+            self._aliases[alias_key] = key
+        return obj
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def canonical(self, name: str) -> str:
+        """Resolve ``name`` (or an alias) to its canonical registered name."""
+        _ensure_builtins()
+        key = self._normalize(name)
+        if key in self._entries:
+            return key
+        if key in self._aliases:
+            return self._aliases[key]
+        raise RegistryError(
+            f"unknown {self.kind} {name!r}; available: {', '.join(self.names())}"
+        )
+
+    def get(self, name: str) -> object:
+        """Return the object registered under ``name`` or one of its aliases."""
+        return self._entries[self.canonical(name)]
+
+    def create(self, name: str, **kwargs: object) -> object:
+        """Call the registered factory/class ``name`` with ``kwargs``."""
+        factory = self.get(name)
+        return factory(**kwargs)  # type: ignore[operator]
+
+    def names(self) -> tuple[str, ...]:
+        """Sorted canonical names of every registered component."""
+        _ensure_builtins()
+        return tuple(sorted(self._entries))
+
+    def aliases_of(self, name: str) -> tuple[str, ...]:
+        """Sorted aliases resolving to ``name``."""
+        canonical = self.canonical(name)
+        return tuple(
+            sorted(alias for alias, target in self._aliases.items() if target == canonical)
+        )
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.canonical(name)
+        except RegistryError:
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        _ensure_builtins()
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry(kind={self.kind!r}, entries={len(self._entries)})"
+
+    @staticmethod
+    def _normalize(name: str) -> str:
+        if not isinstance(name, str) or not name.strip():
+            raise RegistryError(f"registry names must be non-empty strings, got {name!r}")
+        return name.strip().lower()
+
+
+#: Condenser factories (FreeHGC + every baseline).
+condensers = Registry("condenser")
+#: Target-type condensation stages (ablation Variants #1–#3).
+target_stages = Registry("target stage")
+#: Father/leaf condensation stages (ablation Variants #4–#6).
+other_stages = Registry("stage")
+#: Evaluation HGNN classifiers.
+models = Registry("model")
+#: Dataset entries (loader + paper hyper-parameters).
+datasets = Registry("dataset")
+
+
+# ---------------------------------------------------------------------- #
+# Lazy built-in population
+# ---------------------------------------------------------------------- #
+#: sections that completed registration; a section that raised (e.g. an
+#: ImportError on a broken install) is retried on the next lookup without
+#: re-running completed ones.
+_LOADED_SECTIONS: set[str] = set()
+
+
+_POPULATING = False
+
+
+def _ensure_builtins() -> None:
+    """Populate the registries with the library's built-ins exactly once."""
+    global _POPULATING
+    if _POPULATING:
+        return
+    sections = (
+        ("stages", _register_stage_builtins),
+        ("condensers", _register_condenser_builtins),
+        ("models", _register_model_builtins),
+        ("datasets", _register_dataset_builtins),
+    )
+    _POPULATING = True
+    try:
+        for name, populate in sections:
+            if name in _LOADED_SECTIONS:
+                continue
+            populate()
+            _LOADED_SECTIONS.add(name)
+    finally:
+        _POPULATING = False
+
+
+def _register_builtin(
+    registry: Registry, name: str, obj: object, *, aliases: tuple[str, ...] = ()
+) -> None:
+    """Register a built-in, yielding to names already taken.
+
+    A caller may register a component under a built-in name *before* the
+    first lookup triggers population; built-ins must neither clobber that
+    registration nor wedge the whole registry on the collision — the
+    earlier registration simply shadows the built-in.
+    """
+    key = Registry._normalize(name)
+    if key not in registry._entries and key not in registry._aliases:
+        registry._entries[key] = obj
+    if key not in registry._entries:
+        return  # name shadowed by a user alias: nothing to alias against
+    for alias in aliases:
+        alias_key = Registry._normalize(alias)
+        if alias_key not in registry._entries and alias_key not in registry._aliases:
+            registry._aliases[alias_key] = key
+
+
+def _register_stage_builtins() -> None:
+    # Importing the module runs its @register decorators.
+    import repro.core.stages  # noqa: F401
+
+
+def _register_condenser_builtins() -> None:
+    from repro.baselines import CoarseningHG, GCond, HerdingHG, HGCond, KCenterHG, RandomHG
+    from repro.core.condenser import FreeHGC
+
+    def freehgc(*, max_hops: int = 2, fast_optimization: bool = True, **overrides: object):
+        return FreeHGC(max_hops=max_hops, **overrides)
+
+    def random_hg(*, max_hops: int = 2, fast_optimization: bool = True, **overrides: object):
+        return RandomHG(**overrides)
+
+    def herding_hg(*, max_hops: int = 2, fast_optimization: bool = True, **overrides: object):
+        return HerdingHG(max_hops=min(max_hops, 2), **overrides)
+
+    def kcenter_hg(*, max_hops: int = 2, fast_optimization: bool = True, **overrides: object):
+        return KCenterHG(max_hops=min(max_hops, 2), **overrides)
+
+    def coarsening_hg(*, max_hops: int = 2, fast_optimization: bool = True, **overrides: object):
+        return CoarseningHG(max_hops=min(max_hops, 2), **overrides)
+
+    def gcond(*, max_hops: int = 2, fast_optimization: bool = True, **overrides: object):
+        iterations: dict[str, object] = (
+            {"outer_iterations": 15, "inner_steps": 3} if fast_optimization else {}
+        )
+        iterations.update(overrides)
+        return GCond(max_hops=min(max_hops, 2), **iterations)
+
+    def hgcond(*, max_hops: int = 2, fast_optimization: bool = True, **overrides: object):
+        iterations: dict[str, object] = (
+            {"outer_iterations": 10, "inner_steps": 3, "ops_length": 2}
+            if fast_optimization
+            else {}
+        )
+        iterations.update(overrides)
+        return HGCond(**iterations)
+
+    _register_builtin(condensers, "freehgc", freehgc, aliases=("free-hgc",))
+    _register_builtin(condensers, "random-hg", random_hg, aliases=("random",))
+    _register_builtin(condensers, "herding-hg", herding_hg, aliases=("herding",))
+    _register_builtin(condensers, "k-center-hg", kcenter_hg, aliases=("kcenter", "k-center"))
+    _register_builtin(condensers, "coarsening-hg", coarsening_hg, aliases=("coarsening",))
+    _register_builtin(condensers, "gcond", gcond)
+    _register_builtin(condensers, "hgcond", hgcond)
+
+
+def _register_model_builtins() -> None:
+    from repro.models import MODEL_REGISTRY
+
+    aliases = {
+        "heterosgc": ("hetero-sgc", "sgc"),
+        "sehgnn": ("se-hgnn",),
+    }
+    for name, model_cls in MODEL_REGISTRY.items():
+        _register_builtin(models, name, model_cls, aliases=aliases.get(name, ()))
+
+
+def _register_dataset_builtins() -> None:
+    from repro.datasets.registry import DATASETS
+
+    aliases = {
+        "freebase": ("fb",),
+    }
+    for name, entry in DATASETS.items():
+        _register_builtin(datasets, name, entry, aliases=aliases.get(name, ()))

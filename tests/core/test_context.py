@@ -1,0 +1,166 @@
+"""Tests for the shared :class:`~repro.core.context.CondensationContext`."""
+
+import numpy as np
+import pytest
+
+import repro.core.context as context_module
+import repro.core.criterion as criterion_module
+import repro.core.neighbor_influence as nim_module
+from repro.core import CondensationContext, FreeHGC
+from repro.core.criterion import TargetNodeSelector
+from repro.core.metapaths import enumerate_metapaths, metapath_adjacency
+from repro.core.neighbor_influence import NeighborInfluenceMaximizer
+
+
+def _install_adjacency_spy(monkeypatch, calls):
+    """Count every real meta-path adjacency composition, cached or not."""
+
+    def spy(graph, metapath, *, normalize=True):
+        calls.append((metapath.node_types, bool(normalize)))
+        return metapath_adjacency(graph, metapath, normalize=normalize)
+
+    for module in (context_module, criterion_module, nim_module):
+        monkeypatch.setattr(module, "metapath_adjacency", spy)
+
+
+def _install_enumeration_spy(monkeypatch, calls):
+    def spy(schema, start_type, max_hops, **kwargs):
+        calls.append((start_type, max_hops))
+        return enumerate_metapaths(schema, start_type, max_hops, **kwargs)
+
+    monkeypatch.setattr(context_module, "enumerate_metapaths", spy)
+    monkeypatch.setattr(criterion_module, "enumerate_metapaths", spy)
+
+
+class TestMemoization:
+    def test_adjacency_computed_once(self, toy_graph):
+        ctx = CondensationContext(toy_graph, max_hops=2, max_paths=8)
+        path = ctx.metapaths()[0]
+        first = ctx.adjacency(path)
+        second = ctx.adjacency(path)
+        assert first is second
+        assert ctx.stats["adjacency_builds"] == 1
+        assert ctx.stats["adjacency_hits"] == 1
+
+    def test_normalized_and_boolean_cached_separately(self, toy_graph):
+        ctx = CondensationContext(toy_graph, max_hops=2, max_paths=8)
+        path = ctx.metapaths()[0]
+        boolean = ctx.adjacency(path, normalize=False)
+        normalized = ctx.adjacency(path, normalize=True)
+        assert boolean is not normalized
+        assert ctx.stats["adjacency_builds"] == 2
+
+    def test_enumeration_memoized(self, toy_graph):
+        ctx = CondensationContext(toy_graph, max_hops=2, max_paths=8)
+        assert ctx.metapaths() is ctx.metapaths()
+        assert ctx.stats["metapath_enumerations"] == 1
+
+    def test_metapaths_to_filters_enumeration(self, toy_graph):
+        ctx = CondensationContext(toy_graph, max_hops=2, max_paths=16)
+        for path in ctx.metapaths_to("author"):
+            assert path.end == "author"
+        assert ctx.stats["metapath_enumerations"] == 1
+
+    def test_embeddings_memoized(self, toy_graph):
+        ctx = CondensationContext(toy_graph, max_hops=2, max_paths=8)
+        assert ctx.target_embeddings() is ctx.target_embeddings()
+        assert ctx.other_type_embeddings("author") is ctx.other_type_embeddings("author")
+
+    def test_clear_resets_memo(self, toy_graph):
+        ctx = CondensationContext(toy_graph, max_hops=2, max_paths=8)
+        path = ctx.metapaths()[0]
+        ctx.adjacency(path)
+        ctx.clear()
+        ctx.adjacency(path)
+        assert ctx.stats["adjacency_builds"] == 2
+
+    def test_invalid_settings_rejected(self, toy_graph):
+        with pytest.raises(ValueError):
+            CondensationContext(toy_graph, max_hops=0)
+        with pytest.raises(ValueError):
+            CondensationContext(toy_graph, max_paths=0)
+
+
+class TestCondenseBuildsEachArtifactOnce:
+    def test_adjacency_built_at_most_once_per_condense(self, monkeypatch, toy_graph):
+        calls: list[tuple] = []
+        _install_adjacency_spy(monkeypatch, calls)
+        FreeHGC(max_hops=2, max_paths=8).condense(toy_graph, 0.2, seed=0)
+        assert calls, "condense() must compose meta-path adjacencies"
+        assert len(calls) == len(set(calls)), (
+            "each (metapath, normalize) adjacency must be composed at most once "
+            f"per condense() call, got duplicates in {calls}"
+        )
+
+    def test_enumeration_runs_once_per_condense(self, monkeypatch, toy_graph):
+        calls: list[tuple] = []
+        _install_enumeration_spy(monkeypatch, calls)
+        FreeHGC(max_hops=2, max_paths=8).condense(toy_graph, 0.2, seed=0)
+        assert len(calls) == 1
+
+    def test_adjacency_built_once_across_all_strategies(self, monkeypatch, tiny_dblp):
+        calls: list[tuple] = []
+        _install_adjacency_spy(monkeypatch, calls)
+        FreeHGC(
+            max_hops=2,
+            max_paths=8,
+            target_strategy="herding",
+            father_strategy="nim",
+            leaf_strategy="herding",
+        ).condense(tiny_dblp, 0.15, seed=0)
+        assert len(calls) == len(set(calls))
+
+    def test_condense_shares_context_across_stages(self, toy_graph):
+        condenser = FreeHGC(max_hops=2, max_paths=8)
+        condenser.condense(toy_graph, 0.2, seed=0)
+        stats = condenser.last_context.stats
+        assert stats["metapath_enumerations"] == 1
+        assert stats["adjacency_hits"] > 0, "stages must share cached adjacencies"
+
+
+class TestCachedResultsIdentical:
+    def test_condense_identical_with_and_without_cache(self, toy_graph):
+        condenser = FreeHGC(max_hops=2, max_paths=8)
+        cached = condenser.condense(toy_graph, 0.2, seed=0)
+        cold = condenser.condense(
+            toy_graph,
+            0.2,
+            seed=0,
+            context=CondensationContext(toy_graph, max_hops=2, max_paths=8, cache=False),
+        )
+        assert np.array_equal(cached.labels, cold.labels)
+        assert cached.num_nodes == cold.num_nodes
+        for name in cached.adjacency:
+            assert (cached.adjacency[name] != cold.adjacency[name]).nnz == 0
+
+    def test_selector_identical_with_and_without_context(self, toy_graph):
+        ctx = CondensationContext(toy_graph, max_hops=2, max_paths=8)
+        selector = TargetNodeSelector(max_hops=2, max_paths=8)
+        with_ctx = selector.select(toy_graph, 6, context=ctx)
+        without_ctx = selector.select(toy_graph, 6)
+        assert np.array_equal(with_ctx.selected, without_ctx.selected)
+        assert np.allclose(with_ctx.scores, without_ctx.scores)
+
+    def test_nim_identical_with_and_without_context(self, toy_graph):
+        ctx = CondensationContext(toy_graph, max_hops=2, max_paths=8)
+        maximizer = NeighborInfluenceMaximizer(max_hops=2, max_paths=8)
+        with_ctx = maximizer.select(toy_graph, "author", 5, context=ctx)
+        without_ctx = maximizer.select(toy_graph, "author", 5)
+        assert np.array_equal(with_ctx.selected, without_ctx.selected)
+        assert np.allclose(with_ctx.influence, without_ctx.influence)
+
+    def test_mismatched_context_ignored_by_selector(self, toy_graph):
+        # A context with different hop settings must not poison the result.
+        ctx = CondensationContext(toy_graph, max_hops=1, max_paths=4)
+        selector = TargetNodeSelector(max_hops=2, max_paths=8)
+        with_bad_ctx = selector.select(toy_graph, 6, context=ctx)
+        reference = selector.select(toy_graph, 6)
+        assert np.array_equal(with_bad_ctx.selected, reference.selected)
+
+    def test_condense_rejects_foreign_context(self, toy_graph, tiny_acm):
+        from repro.errors import CondensationError
+
+        condenser = FreeHGC(max_hops=2, max_paths=8)
+        foreign = CondensationContext(tiny_acm, max_hops=2, max_paths=8)
+        with pytest.raises(CondensationError):
+            condenser.condense(toy_graph, 0.2, seed=0, context=foreign)

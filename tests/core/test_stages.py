@@ -1,0 +1,107 @@
+"""Tests for the first-class stage API (protocols, plug-ins, results)."""
+
+import numpy as np
+import pytest
+
+from repro import registry
+from repro.core import (
+    CondensationContext,
+    ConfigurableStage,
+    CriterionTargetStage,
+    FreeHGC,
+    HerdingOtherStage,
+    HerdingTargetStage,
+    NeighborInfluenceStage,
+    OtherTypeStage,
+    StageResult,
+    SynthesisStage,
+    TargetStage,
+)
+from repro.core.criterion import TargetSelectionResult
+from repro.errors import CondensationError
+
+
+class TestStageProtocols:
+    def test_builtin_stages_satisfy_protocols(self):
+        assert isinstance(CriterionTargetStage(), TargetStage)
+        assert isinstance(HerdingTargetStage(), TargetStage)
+        for stage_cls in (NeighborInfluenceStage, SynthesisStage, HerdingOtherStage):
+            assert isinstance(stage_cls(), OtherTypeStage)
+
+    def test_stage_result_requires_exactly_one_payload(self):
+        with pytest.raises(CondensationError):
+            StageResult("author")
+        with pytest.raises(CondensationError):
+            StageResult(
+                "author",
+                selected=np.arange(3),
+                synthetic=object(),  # type: ignore[arg-type]
+            )
+        result = StageResult("author", selected=[2, 0, 1])
+        assert result.selected.dtype == np.int64
+
+    def test_from_options_filters_to_consumed_keys(self):
+        stage = NeighborInfluenceStage.from_options(
+            {"alpha": 0.3, "importance": "degree", "use_similarity": False, "junk": 1}
+        )
+        assert stage.alpha == 0.3
+        assert stage.importance == "degree"
+        stage = SynthesisStage.from_options({"add_reverse_edges": False, "alpha": 0.3})
+        assert stage.add_reverse_edges is False
+
+    def test_synthesis_requires_providers(self, toy_graph):
+        ctx = CondensationContext(toy_graph, max_hops=2, max_paths=8)
+        with pytest.raises(CondensationError):
+            SynthesisStage().condense_type(ctx, "term", 3, providers=None)
+
+
+class TestStageExecution:
+    def test_criterion_stage_returns_rich_result(self, toy_graph):
+        ctx = CondensationContext(toy_graph, max_hops=2, max_paths=8)
+        outcome = CriterionTargetStage().select_target(ctx, 6)
+        assert isinstance(outcome, TargetSelectionResult)
+        assert outcome.selected.size > 0
+
+    def test_herding_stage_respects_train_pool(self, toy_graph):
+        ctx = CondensationContext(toy_graph, max_hops=2, max_paths=8)
+        selected = HerdingTargetStage().select_target(ctx, 6)
+        assert set(selected.tolist()) <= set(toy_graph.splits.train.tolist())
+
+    def test_nim_stage_selects_within_type(self, toy_graph):
+        ctx = CondensationContext(toy_graph, max_hops=2, max_paths=8)
+        result = NeighborInfluenceStage().condense_type(ctx, "author", 5)
+        assert result.selected.size == 5
+        assert result.selected.max() < toy_graph.num_nodes["author"]
+
+    def test_synthesis_stage_builds_hyper_nodes(self, toy_graph):
+        ctx = CondensationContext(toy_graph, max_hops=2, max_paths=8)
+        providers = {"paper": toy_graph.splits.train[:8]}
+        result = SynthesisStage().condense_type(ctx, "term", 4, providers=providers)
+        assert result.synthetic is not None
+        assert result.synthetic.num_nodes <= 4
+
+
+class TestCustomStagePlugin:
+    def test_registered_custom_stage_drives_freehgc(self, toy_graph):
+        name = "test-first-k"
+        if name not in registry.other_stages:
+
+            @registry.other_stages.register(name)
+            class FirstKStage(ConfigurableStage):
+                """Toy plug-in: keep the first ``budget`` nodes of the type."""
+
+                name = "test-first-k"
+
+                def condense_type(
+                    self, context, node_type, budget, *, anchor=None, providers=None
+                ):
+                    return StageResult(node_type, selected=np.arange(budget))
+
+        condenser = FreeHGC(max_hops=2, max_paths=8, father_strategy=name)
+        assert condenser.father_strategy == name
+        condensed = condenser.condense(toy_graph, 0.25, seed=0)
+        condensed.validate()
+        assert condensed.metadata["father_strategy"] == name
+        # the plug-in keeps exactly the first author nodes
+        expected = max(1, round(0.25 * toy_graph.num_nodes["author"]))
+        assert condensed.num_nodes["author"] == expected

@@ -1,0 +1,237 @@
+"""Tests for the unified component registry and the ``repro.condense`` facade."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import registry
+from repro.baselines import BASELINE_REGISTRY
+from repro.baselines.base import CondensedFeatureSet, GraphCondenser
+from repro.core import FreeHGC
+from repro.datasets.registry import DATASETS, DatasetEntry
+from repro.errors import RegistryError, ReproError
+from repro.evaluation.pipeline import CONDENSER_NAMES
+from repro.hetero.graph import HeteroGraph
+from repro.models import MODEL_REGISTRY, HGNNClassifier
+from repro.registry import Registry
+
+
+class TestRegistryMechanics:
+    def test_register_and_get(self):
+        reg = Registry("widget")
+        reg.register("foo", object)
+        assert reg.get("foo") is object
+        assert reg.get("FOO") is object  # case-insensitive
+
+    def test_alias_resolution(self):
+        reg = Registry("widget")
+        reg.register("foo", object, aliases=("bar", "Baz"))
+        assert reg.canonical("bar") == "foo"
+        assert reg.canonical("BAZ") == "foo"
+        assert reg.aliases_of("foo") == ("bar", "baz")
+
+    def test_decorator_registration(self):
+        reg = Registry("widget")
+
+        @reg.register("thing", aliases=("t",))
+        class Thing:
+            pass
+
+        assert reg.get("t") is Thing
+
+    def test_duplicate_rejected(self):
+        reg = Registry("widget")
+        reg.register("foo", object)
+        with pytest.raises(RegistryError):
+            reg.register("foo", int)
+        with pytest.raises(RegistryError):
+            reg.register("other", int, aliases=("foo",))
+
+    def test_unknown_name_lists_options(self):
+        reg = Registry("widget")
+        reg.register("alpha", object)
+        reg.register("beta", object)
+        with pytest.raises(RegistryError, match="available: alpha, beta"):
+            reg.get("gamma")
+
+    def test_error_is_keyerror_and_valueerror(self):
+        reg = Registry("widget")
+        with pytest.raises(KeyError):
+            reg.get("nope")
+        with pytest.raises(ValueError):
+            reg.get("nope")
+        with pytest.raises(ReproError):
+            reg.get("nope")
+
+    def test_contains_iter_len(self):
+        reg = Registry("widget")
+        reg.register("foo", object, aliases=("f",))
+        assert "foo" in reg and "f" in reg and "nope" not in reg
+        assert list(reg) == ["foo"]
+        assert len(reg) == 1
+
+    def test_invalid_names_rejected(self):
+        reg = Registry("widget")
+        with pytest.raises(RegistryError):
+            reg.register("", object)
+        with pytest.raises(RegistryError):
+            reg.canonical("   ")
+
+    def test_builtin_population_yields_to_existing_names(self):
+        # A user registration made before the first lookup must shadow the
+        # built-in instead of wedging the registry on the collision.
+        from repro.registry import _register_builtin
+
+        reg = Registry("widget")
+        user_factory = object()
+        reg.register("gcond", user_factory)
+        _register_builtin(reg, "gcond", int, aliases=("g-cond",))
+        assert reg._entries["gcond"] is user_factory
+        _register_builtin(reg, "other", int, aliases=("gcond",))  # alias collision
+        assert reg._entries["gcond"] is user_factory
+        assert reg.get("other") is int
+
+
+class TestBuiltinCondensers:
+    def test_every_builtin_name_resolves(self):
+        assert set(registry.condensers.names()) == set(CONDENSER_NAMES)
+        for name in CONDENSER_NAMES:
+            condenser = registry.condensers.get(name)(max_hops=2)
+            assert isinstance(condenser, GraphCondenser)
+
+    @pytest.mark.parametrize(
+        "alias, canonical",
+        [
+            ("free-hgc", "freehgc"),
+            ("random", "random-hg"),
+            ("herding", "herding-hg"),
+            ("kcenter", "k-center-hg"),
+            ("k-center", "k-center-hg"),
+            ("coarsening", "coarsening-hg"),
+        ],
+    )
+    def test_condenser_aliases(self, alias, canonical):
+        assert registry.condensers.canonical(alias) == canonical
+
+    def test_freehgc_factory_type(self):
+        assert isinstance(registry.condensers.get("FreeHGC")(max_hops=3), FreeHGC)
+
+    def test_unknown_condenser_message(self):
+        with pytest.raises(RegistryError, match="unknown condenser 'magic'"):
+            registry.condensers.get("magic")
+
+
+class TestBuiltinModels:
+    def test_every_builtin_name_resolves(self):
+        assert set(registry.models.names()) == set(MODEL_REGISTRY)
+        for name in registry.models.names():
+            model_cls = registry.models.get(name)
+            assert issubclass(model_cls, HGNNClassifier)
+
+    @pytest.mark.parametrize(
+        "alias, canonical",
+        [("hetero-sgc", "heterosgc"), ("sgc", "heterosgc"), ("se-hgnn", "sehgnn")],
+    )
+    def test_model_aliases(self, alias, canonical):
+        assert registry.models.canonical(alias) == canonical
+
+    def test_unknown_model_lists_options(self):
+        with pytest.raises(RegistryError, match="available: .*sehgnn"):
+            registry.models.get("gpt")
+
+
+class TestBuiltinDatasets:
+    def test_every_builtin_name_resolves(self):
+        assert set(registry.datasets.names()) == set(DATASETS)
+        for name in registry.datasets.names():
+            entry = registry.datasets.get(name)
+            assert isinstance(entry, DatasetEntry)
+            assert entry.name == name
+
+    def test_dataset_alias(self):
+        assert registry.datasets.canonical("fb") == "freebase"
+
+    def test_unknown_dataset_lists_options(self):
+        with pytest.raises(RegistryError, match="unknown dataset 'cora'; available: acm"):
+            registry.datasets.get("cora")
+
+
+class TestBuiltinStages:
+    def test_stage_names(self):
+        # Subset, not equality: other tests may register plug-in stages.
+        assert {"criterion", "herding"} <= set(registry.target_stages.names())
+        assert {"nim", "ilm", "herding"} <= set(registry.other_stages.names())
+
+    @pytest.mark.parametrize(
+        "alias, canonical",
+        [("unified", "criterion"), ("ppr", "nim"), ("influence", "nim"), ("synthesis", "ilm")],
+    )
+    def test_stage_aliases(self, alias, canonical):
+        reg = (
+            registry.target_stages
+            if canonical in registry.target_stages.names()
+            else registry.other_stages
+        )
+        assert reg.canonical(alias) == canonical
+
+    def test_baseline_registry_consistency(self):
+        # Every legacy baseline is also reachable through the unified registry.
+        for name in BASELINE_REGISTRY:
+            assert name in registry.condensers
+
+
+class TestCondenseFacade:
+    def test_condense_graph(self, toy_graph):
+        condensed = repro.condense(toy_graph, 0.2, seed=0)
+        assert isinstance(condensed, HeteroGraph)
+        condensed.validate()
+        assert condensed.metadata["method"] == "FreeHGC"
+
+    def test_condense_matches_explicit_freehgc(self, toy_graph):
+        facade = repro.condense(toy_graph, 0.2, seed=0, max_hops=2, max_paths=8)
+        explicit = FreeHGC(max_hops=2, max_paths=8).condense(toy_graph, 0.2, seed=0)
+        assert np.array_equal(facade.labels, explicit.labels)
+        assert facade.total_edges == explicit.total_edges
+
+    def test_condense_dataset_by_name(self):
+        condensed = repro.condense("acm", 0.1, scale=0.2, seed=1)
+        assert isinstance(condensed, HeteroGraph)
+        condensed.validate()
+
+    def test_condense_method_alias_and_overrides(self, toy_graph):
+        condensed = repro.condense(
+            toy_graph, 0.25, method="herding", max_hops=2
+        )
+        assert condensed.metadata["method"] == "Herding-HG"
+
+    def test_condense_strategy_overrides(self, tiny_dblp):
+        condensed = repro.condense(
+            tiny_dblp, 0.15, max_hops=2, max_paths=8, target_strategy="herding"
+        )
+        assert condensed.metadata["target_strategy"] == "herding"
+
+    def test_condense_feature_set_method(self, toy_graph):
+        result = repro.condense(toy_graph, 0.2, method="gcond", seed=0)
+        assert isinstance(result, CondensedFeatureSet)
+
+    def test_condense_unknown_method(self, toy_graph):
+        with pytest.raises(RegistryError):
+            repro.condense(toy_graph, 0.2, method="magic")
+
+    def test_condense_unknown_dataset(self):
+        with pytest.raises(RegistryError):
+            repro.condense("cora", 0.2)
+
+    def test_condense_generator_seed_reaches_loader(self):
+        # A Generator seed must flow through to the dataset generator, not
+        # be silently replaced by 0.
+        a = repro.condense("acm", 0.1, scale=0.2, seed=np.random.default_rng(1))
+        b = repro.condense("acm", 0.1, scale=0.2, seed=np.random.default_rng(1))
+        c = repro.condense("acm", 0.1, scale=0.2, seed=0)
+        assert np.array_equal(a.labels, b.labels)
+        features_equal = all(
+            np.array_equal(a.features[t], c.features[t])
+            for t in a.features
+            if a.features[t].shape == c.features[t].shape
+        ) and a.num_nodes == c.num_nodes
+        assert not features_equal, "Generator seed must not collapse to seed=0"
