@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import EPOCHS, HIDDEN, SCALE, SEEDS, emit
+from benchmarks.common import EPOCHS, HIDDEN, SCALE, SEEDS, WORKERS, emit
 from repro.evaluation import ExperimentConfig, run_ratio_sweep
 
 DATASETS = ("acm", "dblp", "imdb", "freebase")
@@ -30,7 +30,7 @@ def run_table3(dataset: str) -> list[dict]:
         epochs=EPOCHS,
         hidden_dim=HIDDEN,
     )
-    return [evaluation.as_row() for evaluation in run_ratio_sweep(config)]
+    return [evaluation.as_row() for evaluation in run_ratio_sweep(config, workers=WORKERS)]
 
 
 @pytest.mark.parametrize("dataset", DATASETS)

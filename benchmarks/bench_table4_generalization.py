@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import EPOCHS, HIDDEN, SCALE, SEEDS, emit
+from benchmarks.common import EPOCHS, HIDDEN, SCALE, SEEDS, WORKERS, emit
 from repro.evaluation import run_generalization_study
 
 DATASETS = ("acm",)
@@ -28,6 +28,7 @@ def run_table4(dataset: str) -> list[dict]:
         seeds=SEEDS,
         epochs=EPOCHS,
         hidden_dim=HIDDEN,
+        workers=WORKERS,
     )
 
 

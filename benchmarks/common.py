@@ -26,6 +26,9 @@ SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "1"))
 EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "60"))
 #: hidden dimension of the evaluation HGNNs
 HIDDEN = int(os.environ.get("REPRO_BENCH_HIDDEN", "32"))
+#: worker processes for the runner-backed table benchmarks (1 = serial;
+#: results are identical either way, see repro.runner.executor)
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 #: where rendered reports are written
 REPORT_DIR = Path(os.environ.get("REPRO_BENCH_REPORTS", "benchmarks/reports"))
 

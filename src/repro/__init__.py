@@ -25,7 +25,20 @@ or the explicit pipeline::
     print("accuracy on the full graph:", model.evaluate(graph))
 
 Every pluggable component (condensers, stage strategies, models, datasets)
-is resolvable by name through :mod:`repro.registry`.
+is resolvable by name through :mod:`repro.registry`, and the paper's tables
+are reproduced with the parallel, resumable experiment runner::
+
+    python -m repro sweep --dataset acm --ratios 0.01,0.05 --workers 4
+
+(see :mod:`repro.runner` and ``docs/reproduce.md``).
+
+Examples
+--------
+>>> import repro
+>>> isinstance(repro.__version__, str)
+True
+>>> "freehgc" in repro.registry.condensers
+True
 """
 
 from repro import registry
@@ -34,6 +47,7 @@ from repro.core import CondensationContext, FreeHGC
 from repro.errors import (
     BudgetError,
     CondensationError,
+    ConfigurationError,
     DatasetError,
     GraphConstructionError,
     ModelError,
@@ -43,7 +57,7 @@ from repro.errors import (
 )
 from repro.hetero import HeteroGraph, HeteroGraphBuilder, HeteroSchema, Relation
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "condense",
@@ -59,6 +73,7 @@ __all__ = [
     "GraphConstructionError",
     "BudgetError",
     "CondensationError",
+    "ConfigurationError",
     "DatasetError",
     "ModelError",
     "RegistryError",

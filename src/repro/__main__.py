@@ -1,0 +1,10 @@
+"""``python -m repro`` — the parallel, resumable experiment runner CLI.
+
+See :mod:`repro.runner.cli` for the subcommands (``sweep``, ``generalize``,
+``report``, ``list``) and ``docs/reproduce.md`` for per-table recipes.
+"""
+
+from repro.runner.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -68,6 +68,16 @@ def condense(
     The condensed :class:`~repro.hetero.graph.HeteroGraph` (selection-based
     methods) or :class:`~repro.baselines.base.CondensedFeatureSet`
     (optimisation-based baselines).
+
+    Examples
+    --------
+    >>> import repro
+    >>> condensed = repro.condense("acm", ratio=0.1, method="random-hg",
+    ...                            scale=0.1, seed=0)
+    >>> 0 < condensed.total_nodes
+    True
+    >>> condensed.schema.target_type
+    'paper'
     """
     if isinstance(graph_or_dataset, str):
         entry = datasets.get(graph_or_dataset)

@@ -70,6 +70,15 @@ class FreeHGC(GraphCondenser):
         than on all target nodes.
     add_reverse_edges:
         Keep the Eq. 15 reverse edges when synthesising hyper-nodes.
+
+    Examples
+    --------
+    >>> from repro.core import FreeHGC
+    >>> from repro.datasets import load_acm
+    >>> graph = load_acm(scale=0.1, seed=0)
+    >>> condensed = FreeHGC(max_hops=2).condense(graph, ratio=0.2, seed=0)
+    >>> condensed.total_nodes < graph.total_nodes
+    True
     """
 
     name = "FreeHGC"

@@ -58,6 +58,17 @@ class CondensationContext:
         Counters of cache behaviour: ``metapath_enumerations``,
         ``adjacency_builds``, ``adjacency_hits``, ``embedding_builds`` and
         ``embedding_hits``.  Useful in tests and benchmarks.
+
+    Examples
+    --------
+    >>> from repro.core import CondensationContext
+    >>> from repro.datasets import load_acm
+    >>> context = CondensationContext(load_acm(scale=0.1, seed=0), max_hops=2)
+    >>> paths = context.metapaths()
+    >>> paths is context.metapaths()        # enumerated once, memoized
+    True
+    >>> context.stats["metapath_enumerations"]
+    1
     """
 
     def __init__(

@@ -13,6 +13,7 @@ __all__ = [
     "GraphConstructionError",
     "BudgetError",
     "CondensationError",
+    "ConfigurationError",
     "DatasetError",
     "ModelError",
     "RegistryError",
@@ -20,7 +21,17 @@ __all__ = [
 
 
 class ReproError(Exception):
-    """Base class for every error raised by the library."""
+    """Base class for every error raised by the library.
+
+    Examples
+    --------
+    >>> import repro
+    >>> try:
+    ...     repro.condense("no-such-dataset", ratio=0.1)
+    ... except repro.ReproError as exc:
+    ...     print(type(exc).__name__)
+    RegistryError
+    """
 
 
 class SchemaError(ReproError):
@@ -37,6 +48,15 @@ class BudgetError(ReproError):
 
 class CondensationError(ReproError):
     """A condensation method failed to produce a valid condensed graph."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration value is outside its supported range.
+
+    Derives from :class:`ValueError` so callers validating hyper-parameters
+    the plain-Python way keep working, while the CLI's ``except ReproError``
+    handler still turns it into a clean exit.
+    """
 
 
 class DatasetError(ReproError):

@@ -15,9 +15,12 @@ from repro.evaluation.protocol import (
     whole_graph_reference,
 )
 from repro.evaluation.reporting import (
+    SWEEP_COLUMNS,
+    TIMING_COLUMNS,
     format_markdown_table,
     format_series,
     format_table,
+    sweep_columns,
     write_report,
 )
 from repro.evaluation.storage import (
@@ -42,6 +45,9 @@ __all__ = [
     "format_markdown_table",
     "format_series",
     "write_report",
+    "SWEEP_COLUMNS",
+    "TIMING_COLUMNS",
+    "sweep_columns",
     "storage_bytes",
     "storage_megabytes",
     "storage_reduction_percent",

@@ -5,6 +5,12 @@ bookkeeping every table of the paper needs: dataset loading at a chosen
 scale, instantiating condensers and evaluation models by name with
 dataset-appropriate hyper-parameters, sweeping condensation ratios, and
 collecting report rows.
+
+Since the runner subsystem landed, :func:`run_ratio_sweep` and
+:func:`run_generalization_study` are thin facades over
+:mod:`repro.runner` — the same plans the ``python -m repro`` CLI executes —
+gaining parallel workers and store-backed resumability while keeping their
+historical signatures and serial result ordering.
 """
 
 from __future__ import annotations
@@ -14,14 +20,11 @@ from typing import Callable, Sequence
 
 from repro import registry
 from repro.baselines import GraphCondenser
-from repro.datasets.registry import DATASETS, load_dataset
-from repro.evaluation.protocol import (
-    MethodEvaluation,
-    evaluate_condenser,
-    whole_graph_reference,
-)
+from repro.datasets.registry import DATASETS
+from repro.evaluation.protocol import MethodEvaluation
 from repro.hetero.graph import HeteroGraph
 from repro.models import HGNNClassifier
+from repro.utils.validation import check_max_hops
 
 __all__ = [
     "ExperimentConfig",
@@ -99,14 +102,22 @@ def make_model_factory(
 
     ``model`` may be any name or alias registered in
     :data:`repro.registry.models`.
+
+    ``max_hops`` is honoured as given (it used to be silently clamped to 2).
+    The supported range is ``1 <= max_hops <= 5``, matching the paper's
+    per-dataset hop limits; the number of meta-paths grows quickly with the
+    hop count but is bounded by the models' ``max_paths`` cap (16 by
+    default), so hop counts above 2 trade training time for longer-range
+    semantics rather than exploding memory.
     """
     model_cls = registry.models.get(model)
+    max_hops = check_max_hops(max_hops)
 
     def factory() -> HGNNClassifier:
         return model_cls(
             hidden_dim=hidden_dim,
             epochs=epochs,
-            max_hops=min(max_hops, 2),
+            max_hops=max_hops,
             seed=seed,
             **extra,
         )
@@ -115,49 +126,50 @@ def make_model_factory(
 
 
 def run_ratio_sweep(
-    config: ExperimentConfig, *, graph: HeteroGraph | None = None
+    config: ExperimentConfig,
+    *,
+    graph: HeteroGraph | None = None,
+    workers: int = 1,
+    store: object = None,
+    force: bool = False,
 ) -> list[MethodEvaluation]:
-    """Run every (method, ratio) cell of ``config`` and return all evaluations."""
-    graph = graph if graph is not None else load_dataset(
-        config.dataset, scale=config.scale, seed=config.base_seed
-    )
-    max_hops = config.resolved_max_hops()
-    model_factory = make_model_factory(
-        config.model,
-        hidden_dim=config.hidden_dim,
-        epochs=config.epochs,
-        max_hops=max_hops,
-        seed=config.base_seed,
-        **config.extra_model_kwargs,
-    )
-    results: list[MethodEvaluation] = []
-    for ratio in config.ratios:
-        for method in config.methods:
-            condenser = make_condenser(
-                method, max_hops=max_hops, fast_optimization=config.fast_optimization
-            )
-            results.append(
-                evaluate_condenser(
-                    graph,
-                    condenser,
-                    ratio,
-                    model_factory,
-                    seeds=config.seeds,
-                    base_seed=config.base_seed,
-                    dataset_name=config.dataset,
-                )
-            )
-    if config.include_whole:
-        results.append(
-            whole_graph_reference(
-                graph,
-                model_factory,
-                seeds=config.seeds,
-                base_seed=config.base_seed,
-                dataset_name=config.dataset,
-            )
-        )
-    return results
+    """Run every (method, ratio) cell of ``config`` and return all evaluations.
+
+    Thin facade over the experiment runner: the config is expanded into
+    independent cells (:func:`repro.runner.plan.plan_ratio_sweep`) which are
+    executed serially or in parallel (:func:`repro.runner.executor.execute_plan`).
+
+    Parameters
+    ----------
+    config:
+        The sweep definition.
+    graph:
+        Pre-loaded graph override (skips dataset loading; incompatible with
+        ``store`` and parallel workers).
+    workers:
+        Worker processes; ``1`` (default) keeps the historical serial,
+        in-process behaviour.
+    store:
+        Optional :class:`~repro.runner.cache.ArtifactStore` (or directory
+        path) — completed cells found in it are skipped, fresh ones appended.
+    force:
+        Re-run cells even when ``store`` already has their results.
+
+    Returns
+    -------
+    list of MethodEvaluation
+        One per (ratio, method) cell in ratio-major order, plus the
+        whole-graph reference when ``config.include_whole`` is set — the
+        exact order the pre-runner serial implementation produced.
+    """
+    from repro.runner.executor import execute_plan
+    from repro.runner.plan import plan_ratio_sweep
+
+    # With an injected graph the dataset string is a pure label (historical
+    # behaviour) — don't require it to name a registered dataset.
+    plan = plan_ratio_sweep(config, validate_dataset=graph is None)
+    outcomes = execute_plan(plan, graph=graph, workers=workers, store=store, force=force)
+    return [outcome.evaluation for outcome in outcomes]
 
 
 def run_generalization_study(
@@ -172,46 +184,41 @@ def run_generalization_study(
     hidden_dim: int = 32,
     epochs: int = 80,
     graph: HeteroGraph | None = None,
+    workers: int = 1,
+    store: object = None,
+    force: bool = False,
 ) -> list[dict[str, object]]:
     """Table IV: evaluate every method's condensed graph on several HGNNs.
+
+    Facade over the experiment runner
+    (:func:`repro.runner.plan.plan_generalization` +
+    :func:`repro.runner.executor.execute_plan`): each (method, model) pair is
+    an independent cell, and the models of one method row share a single
+    condensation per trial instead of re-condensing per model.  ``workers``,
+    ``store`` and ``force`` behave as in :func:`run_ratio_sweep`.
 
     Returns one row per method with per-model accuracies, the condensed
     average and the whole-graph average.
     """
-    graph = graph if graph is not None else load_dataset(dataset, scale=scale, seed=base_seed)
-    entry = DATASETS.get(dataset.lower())
-    max_hops = min(entry.max_hops, 3) if entry is not None else 2
+    from repro.runner.executor import execute_plan
+    from repro.runner.plan import (
+        GeneralizationConfig,
+        assemble_generalization_rows,
+        plan_generalization,
+    )
 
-    whole_per_model: dict[str, float] = {}
-    rows: list[dict[str, object]] = []
-    for method in methods:
-        condenser = make_condenser(method, max_hops=max_hops)
-        row: dict[str, object] = {"dataset": dataset, "method": condenser.name, "ratio": ratio}
-        per_model: list[float] = []
-        for model in models:
-            factory = make_model_factory(
-                model, hidden_dim=hidden_dim, epochs=epochs, max_hops=max_hops, seed=base_seed
-            )
-            evaluation = evaluate_condenser(
-                graph,
-                condenser,
-                ratio,
-                factory,
-                seeds=seeds,
-                base_seed=base_seed,
-                dataset_name=dataset,
-            )
-            accuracy = round(100.0 * evaluation.mean_accuracy, 2)
-            row[model.upper()] = accuracy
-            per_model.append(evaluation.mean_accuracy)
-            if model not in whole_per_model:
-                reference = whole_graph_reference(
-                    graph, factory, seeds=seeds, base_seed=base_seed, dataset_name=dataset
-                )
-                whole_per_model[model] = reference.mean_accuracy
-        row["Condensed Avg."] = round(100.0 * sum(per_model) / len(per_model), 2)
-        row["Whole Avg."] = round(
-            100.0 * sum(whole_per_model[m] for m in models) / len(models), 2
-        )
-        rows.append(row)
-    return rows
+    config = GeneralizationConfig(
+        dataset=dataset,
+        ratio=ratio,
+        methods=tuple(methods),
+        models=tuple(models),
+        scale=scale,
+        seeds=seeds,
+        base_seed=base_seed,
+        hidden_dim=hidden_dim,
+        epochs=epochs,
+    )
+    plan = plan_generalization(config, validate_dataset=graph is None)
+    outcomes = execute_plan(plan, graph=graph, workers=workers, store=store, force=force)
+    evaluations = {key: outcome.evaluation for key, outcome in zip(plan.keys(), outcomes)}
+    return assemble_generalization_rows(config, evaluations, plan=plan)

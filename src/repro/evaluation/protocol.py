@@ -65,6 +65,40 @@ class MethodEvaluation:
             "condensed_nodes": self.condensed_nodes,
         }
 
+    def to_dict(self) -> dict[str, object]:
+        """Lossless JSON-safe representation (inverse of :meth:`from_dict`).
+
+        Floats survive a JSON round-trip bit-for-bit (``json`` serialises via
+        ``repr``), so an evaluation reloaded from the runner's artifact store
+        renders byte-identical report rows.
+        """
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "ratio": self.ratio,
+            "accuracies": [float(a) for a in self.accuracies],
+            "condense_seconds": self.condense_seconds,
+            "train_seconds": self.train_seconds,
+            "storage": self.storage,
+            "condensed_nodes": self.condensed_nodes,
+            "details": self.details,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "MethodEvaluation":
+        """Rebuild an evaluation from :meth:`to_dict` output."""
+        return cls(
+            method=str(payload["method"]),
+            dataset=str(payload["dataset"]),
+            ratio=float(payload["ratio"]),  # type: ignore[arg-type]
+            accuracies=[float(a) for a in payload["accuracies"]],  # type: ignore[union-attr]
+            condense_seconds=float(payload["condense_seconds"]),  # type: ignore[arg-type]
+            train_seconds=float(payload["train_seconds"]),  # type: ignore[arg-type]
+            storage=int(payload["storage"]),  # type: ignore[call-overload]
+            condensed_nodes=int(payload["condensed_nodes"]),  # type: ignore[call-overload]
+            details=dict(payload.get("details") or {}),
+        )
+
 
 def train_on_condensed(
     condensed: HeteroGraph | CondensedFeatureSet,

@@ -10,7 +10,52 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "format_markdown_table", "write_report", "format_series"]
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "write_report",
+    "format_series",
+    "SWEEP_COLUMNS",
+    "TIMING_COLUMNS",
+    "sweep_columns",
+]
+
+#: Column order of a sweep report row (``MethodEvaluation.as_row``).
+SWEEP_COLUMNS = (
+    "dataset",
+    "method",
+    "ratio",
+    "accuracy_mean",
+    "accuracy_std",
+    "condense_s",
+    "train_s",
+    "storage_kb",
+    "condensed_nodes",
+)
+
+#: The wall-clock columns of a sweep row.  Everything else is a pure function
+#: of ``(dataset, cell hyper-parameters)`` and therefore reproduces exactly
+#: across serial, parallel and resumed runs; these two are measurements.
+TIMING_COLUMNS = ("condense_s", "train_s")
+
+
+def sweep_columns(*, include_timings: bool = True) -> tuple[str, ...]:
+    """Sweep report columns, optionally without the wall-clock ones.
+
+    The runner CLI's ``--no-timings`` flag uses this to render reports whose
+    bytes are identical between a parallel run, a serial run and a resumed
+    run of the same plan.
+
+    Examples
+    --------
+    >>> "condense_s" in sweep_columns()
+    True
+    >>> "condense_s" in sweep_columns(include_timings=False)
+    False
+    """
+    if include_timings:
+        return SWEEP_COLUMNS
+    return tuple(col for col in SWEEP_COLUMNS if col not in TIMING_COLUMNS)
 
 
 def _stringify(value: object) -> str:

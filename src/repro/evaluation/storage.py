@@ -25,7 +25,29 @@ def storage_megabytes(data: HeteroGraph | CondensedFeatureSet) -> float:
 def storage_reduction_percent(
     original: HeteroGraph, condensed: HeteroGraph | CondensedFeatureSet
 ) -> float:
-    """Percentage of storage saved by the condensed artefact."""
+    """Percentage of storage saved by the condensed artefact.
+
+    Parameters
+    ----------
+    original:
+        The uncondensed graph.
+    condensed:
+        Any condensed artefact accepted by :func:`storage_bytes`.
+
+    Returns
+    -------
+    float
+        ``100 * (1 - condensed_bytes / original_bytes)`` — higher is better;
+        ``0.0`` when the original graph is empty.
+
+    Examples
+    --------
+    >>> import repro
+    >>> graph = repro.registry.datasets.get("acm").loader(scale=0.1, seed=0)
+    >>> condensed = repro.condense(graph, 0.2, method="random-hg", seed=0)
+    >>> storage_reduction_percent(graph, condensed) > 50
+    True
+    """
     original_bytes = storage_bytes(original)
     if original_bytes == 0:
         return 0.0

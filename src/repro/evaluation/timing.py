@@ -12,7 +12,21 @@ __all__ = ["Stopwatch", "timed"]
 
 @dataclass
 class Stopwatch:
-    """Accumulates named wall-clock durations."""
+    """Accumulates named wall-clock durations.
+
+    Used by the figure benchmarks and by the runner CLI to time whole plan
+    executions.
+
+    Examples
+    --------
+    >>> watch = Stopwatch()
+    >>> with watch.measure("step"):
+    ...     _ = sum(range(10))
+    >>> watch.get("step") > 0
+    True
+    >>> watch.get("missing")
+    0.0
+    """
 
     durations: dict[str, float] = field(default_factory=dict)
 

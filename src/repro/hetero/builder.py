@@ -19,7 +19,32 @@ __all__ = ["HeteroGraphBuilder"]
 
 
 class HeteroGraphBuilder:
-    """Collects node counts, features, edges, labels, then builds a graph."""
+    """Collects node counts, features, edges, labels, then builds a graph.
+
+    Parameters
+    ----------
+    schema:
+        The :class:`~repro.hetero.schema.HeteroSchema` the graph must obey;
+        every ``add_nodes`` / ``add_edges`` call is validated against it.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.hetero import HeteroGraphBuilder, HeteroSchema, Relation
+    >>> schema = HeteroSchema(
+    ...     node_types=("paper", "author"),
+    ...     relations=(Relation("writes", "author", "paper"),),
+    ...     target_type="paper", num_classes=2,
+    ... )
+    >>> builder = HeteroGraphBuilder(schema)
+    >>> builder.add_nodes("paper", 3, np.eye(3))
+    >>> builder.add_nodes("author", 2, np.eye(2))
+    >>> builder.add_edges("writes", [0, 1], [0, 2])
+    >>> builder.set_labels([0, 1, 0])
+    >>> graph = builder.build()
+    >>> graph.total_nodes
+    5
+    """
 
     def __init__(self, schema: HeteroSchema) -> None:
         self.schema = schema

@@ -79,6 +79,17 @@ class HeteroGraph:
         Integer class labels of the target-type nodes.
     splits:
         Train/validation/test indices over the target type.
+
+    Examples
+    --------
+    >>> from repro.datasets import load_acm
+    >>> graph = load_acm(scale=0.1, seed=0)
+    >>> graph.schema.target_type
+    'paper'
+    >>> graph.total_nodes == sum(graph.num_nodes.values())
+    True
+    >>> graph.storage_bytes() > 0
+    True
     """
 
     schema: HeteroSchema

@@ -32,6 +32,12 @@ class Relation:
         Source node type.
     dst:
         Destination node type.
+
+    Examples
+    --------
+    >>> writes = Relation("writes", "author", "paper")
+    >>> writes.reversed()
+    Relation(name='writes__rev', src='paper', dst='author')
     """
 
     name: str
@@ -70,6 +76,19 @@ class HeteroSchema:
         The node type that carries labels and drives the downstream task.
     num_classes:
         Number of classes of the target type.
+
+    Examples
+    --------
+    >>> schema = HeteroSchema(
+    ...     node_types=("paper", "author"),
+    ...     relations=(Relation("writes", "author", "paper"),),
+    ...     target_type="paper",
+    ...     num_classes=3,
+    ... )
+    >>> schema.other_types()
+    ('author',)
+    >>> [r.name for r in schema.relations_between("author", "paper")]
+    ['writes']
     """
 
     node_types: tuple[str, ...]

@@ -22,6 +22,18 @@ All lookups are case-insensitive, support aliases, and raise
 :class:`~repro.errors.RegistryError` whose message lists the valid names.
 Built-in components self-register lazily on first lookup so that importing
 this module stays cheap and cycle-free.
+
+Examples
+--------
+>>> from repro import registry
+>>> "freehgc" in registry.condensers
+True
+>>> registry.condensers.canonical("free-hgc")     # aliases resolve
+'freehgc'
+>>> registry.models.canonical("SGC")              # lookups are case-insensitive
+'heterosgc'
+>>> registry.datasets.get("acm").max_hops
+3
 """
 
 from __future__ import annotations
@@ -50,6 +62,19 @@ class Registry:
     kind:
         Human-readable component kind used in error messages
         (``"condenser"``, ``"model"``, ...).
+
+    Examples
+    --------
+    >>> demo = Registry("demo")
+    >>> @demo.register("alpha", aliases=("a",))
+    ... class Alpha:
+    ...     pass
+    >>> demo.canonical("A")
+    'alpha'
+    >>> demo.get("a") is Alpha
+    True
+    >>> demo.aliases_of("alpha")
+    ('a',)
     """
 
     def __init__(self, kind: str) -> None:
@@ -95,6 +120,35 @@ class Registry:
                 )
             self._aliases[alias_key] = key
         return obj
+
+    def unregister(self, name: str) -> object:
+        """Remove ``name`` (and every alias resolving to it) from the registry.
+
+        Intended for plugin teardown — a test or notebook that registered a
+        temporary component can restore the registry to its previous state.
+
+        Parameters
+        ----------
+        name:
+            Canonical name or alias of the component to remove.
+
+        Returns
+        -------
+        The previously registered object.
+
+        Examples
+        --------
+        >>> demo = Registry("demo")
+        >>> demo.register("thing", object()) is demo.unregister("thing")
+        True
+        >>> "thing" in demo
+        False
+        """
+        key = self.canonical(name)
+        removed = self._entries.pop(key)
+        for alias in [a for a, target in self._aliases.items() if target == key]:
+            del self._aliases[alias]
+        return removed
 
     # ------------------------------------------------------------------ #
     # Lookup

@@ -1,0 +1,48 @@
+"""Parallel, resumable experiment runner.
+
+The runner decomposes the paper's tables into independent, hashable work
+cells (:mod:`repro.runner.plan`), executes them serially or across a process
+pool with deterministic seeding (:mod:`repro.runner.executor`), and caches
+every completed cell in a JSON-lines artifact store keyed by a stable cell
+hash (:mod:`repro.runner.cache`) so interrupted runs resume where they
+stopped.  :mod:`repro.runner.cli` exposes the whole stack as
+``python -m repro``.
+
+The high-level facades
+:func:`repro.evaluation.pipeline.run_ratio_sweep` and
+:func:`repro.evaluation.pipeline.run_generalization_study` are thin wrappers
+over this package, so library callers get the same numbers whichever entry
+point they use.
+
+Examples
+--------
+>>> from repro.evaluation import ExperimentConfig
+>>> from repro.runner import plan_ratio_sweep
+>>> plan = plan_ratio_sweep(ExperimentConfig(dataset="acm", ratios=(0.05,),
+...                                          methods=("random-hg",)))
+>>> len(plan)
+2
+"""
+
+from repro.runner.cache import ArtifactStore
+from repro.runner.executor import CellOutcome, execute_plan
+from repro.runner.plan import (
+    Cell,
+    ExperimentPlan,
+    GeneralizationConfig,
+    assemble_generalization_rows,
+    plan_generalization,
+    plan_ratio_sweep,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "Cell",
+    "CellOutcome",
+    "ExperimentPlan",
+    "GeneralizationConfig",
+    "assemble_generalization_rows",
+    "execute_plan",
+    "plan_generalization",
+    "plan_ratio_sweep",
+]

@@ -1,0 +1,176 @@
+"""JSON-lines artifact store keyed by stable cell hashes.
+
+Every completed cell is appended as one JSON line to
+``<root>/artifacts.jsonl``: ``{"key": ..., "cell": ..., "result": ...,
+"meta": ...}``.  Append-only storage makes interruption safe — a killed run
+loses at most the line being written (truncated lines are skipped on load) —
+and re-running the same plan against the same store skips every cell whose
+:func:`~repro.runner.plan.Cell.key` is already present.  When a key appears
+more than once (e.g. after a ``--force`` re-run) the **latest** line wins.
+
+Examples
+--------
+>>> import tempfile
+>>> store = ArtifactStore(tempfile.mkdtemp())
+>>> record = store.put("abc123", {"kind": "evaluate"}, {"accuracy": 0.5}, elapsed_s=1.0)
+>>> store.get("abc123")["result"]["accuracy"]
+0.5
+>>> ArtifactStore(store.root).completed_keys()  # survives re-opening
+{'abc123'}
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = ["ArtifactStore"]
+
+#: bump when the record layout changes incompatibly
+STORE_VERSION = 1
+
+ARTIFACT_FILE = "artifacts.jsonl"
+
+
+class ArtifactStore:
+    """Resumable result store backed by one append-only JSONL file.
+
+    Parameters
+    ----------
+    root:
+        Directory holding ``artifacts.jsonl``; created on first write.
+
+    Notes
+    -----
+    The executor performs all writes from the parent process (workers return
+    results over the pool), so a single store never sees concurrent writers
+    from one run.  Two *separate* runs appending to the same file are still
+    safe on POSIX because each record is a single short ``write`` of one
+    line.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._index: dict[str, dict[str, object]] = {}
+        self._loaded = False
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> Path:
+        """Location of the backing JSONL file."""
+        return self.root / ARTIFACT_FILE
+
+    def refresh(self) -> None:
+        """(Re-)read the backing file into the in-memory index."""
+        self._index = {}
+        self._loaded = True
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated trailing line from an interrupted run
+                if self._well_formed(record):
+                    self._index[record["key"]] = record
+
+    @staticmethod
+    def _well_formed(record: object) -> bool:
+        """Only index records the executor/report can actually consume.
+
+        Hand-edited files, partial writes that still parse as JSON, and
+        records from a future incompatible ``STORE_VERSION`` are treated as
+        absent (the cell simply re-runs) instead of crashing resume/report
+        with a ``KeyError`` later.
+        """
+        if not isinstance(record, dict):
+            return False
+        if not isinstance(record.get("key"), str):
+            return False
+        if not isinstance(record.get("cell"), dict) or not isinstance(
+            record.get("result"), dict
+        ):
+            return False
+        meta = record.get("meta", {})
+        version = meta.get("version", STORE_VERSION) if isinstance(meta, dict) else None
+        return isinstance(version, int) and version <= STORE_VERSION
+
+    def _ensure_loaded(self) -> None:
+        if not self._loaded:
+            self.refresh()
+
+    def get(self, key: str) -> dict[str, object] | None:
+        """Latest stored record for ``key``, or ``None``."""
+        self._ensure_loaded()
+        return self._index.get(key)
+
+    def completed_keys(self) -> set[str]:
+        """Keys of every cell with a stored result."""
+        self._ensure_loaded()
+        return set(self._index)
+
+    def records(self) -> list[dict[str, object]]:
+        """Latest record per key, in first-completion order."""
+        self._ensure_loaded()
+        return list(self._index.values())
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._index)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def put(
+        self,
+        key: str,
+        cell: dict[str, object],
+        result: dict[str, object],
+        *,
+        elapsed_s: float = 0.0,
+    ) -> dict[str, object]:
+        """Append one completed cell and return the stored record.
+
+        Parameters
+        ----------
+        key:
+            The cell's stable hash (:meth:`repro.runner.plan.Cell.key`).
+        cell:
+            The cell's :meth:`~repro.runner.plan.Cell.to_dict` payload — kept
+            alongside the result so reports can be rendered from the store
+            alone.
+        result:
+            JSON-safe result payload
+            (:meth:`~repro.evaluation.protocol.MethodEvaluation.to_dict`).
+        elapsed_s:
+            Wall-clock seconds the cell took (informational).
+        """
+        self._ensure_loaded()
+        record = {
+            "key": key,
+            "cell": cell,
+            "result": result,
+            "meta": {
+                "version": STORE_VERSION,
+                "elapsed_s": round(float(elapsed_s), 6),
+                "created_unix": round(time.time(), 3),
+            },
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._index[key] = record
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArtifactStore(root={str(self.root)!r}, records={len(self)})"

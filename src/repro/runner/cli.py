@@ -1,0 +1,377 @@
+"""The ``python -m repro`` command line.
+
+Four subcommands drive the planner/executor/store stack end to end:
+
+``sweep``
+    Table III-style ratio sweep: every (method, ratio) cell plus the
+    whole-graph reference, rendered as an aligned text table.
+``generalize``
+    Table IV-style grid: every method's condensed graph trains every model;
+    condensation is shared across the models of a row.
+``report``
+    Render rows from a store's artifacts without running anything.
+``list``
+    Show every registered dataset, condenser, model and stage strategy.
+
+Runs are **resumable**: completed cells land in the artifact store (default
+``./runs``) keyed by a content hash of the cell, and re-invoking the same
+command skips them.  ``--workers N`` fans independent cells out over N
+processes without changing any reported number (see
+:mod:`repro.runner.executor`).
+
+Example::
+
+    python -m repro sweep --dataset acm --ratios 0.01,0.05 --workers 4
+    python -m repro report --store runs --markdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro import registry
+from repro.errors import ReproError
+from repro.evaluation.pipeline import ExperimentConfig
+from repro.evaluation.protocol import MethodEvaluation
+from repro.evaluation.reporting import (
+    format_markdown_table,
+    format_table,
+    sweep_columns,
+    write_report,
+)
+from repro.evaluation.timing import Stopwatch
+from repro.runner.cache import ArtifactStore
+from repro.runner.executor import CellOutcome, execute_plan
+from repro.runner.plan import (
+    GeneralizationConfig,
+    assemble_generalization_rows,
+    plan_generalization,
+    plan_ratio_sweep,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _csv(text: str) -> tuple[str, ...]:
+    items = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not items:
+        raise argparse.ArgumentTypeError(f"expected a comma-separated list, got {text!r}")
+    return items
+
+
+def _csv_floats(text: str) -> tuple[float, ...]:
+    try:
+        return tuple(float(part) for part in _csv(text))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad float list {text!r}: {exc}") from exc
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    run = parser.add_argument_group("run control")
+    run.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="worker processes (default: 1, serial)")
+    run.add_argument("--store", default="runs", metavar="DIR",
+                     help="artifact store directory (default: ./runs)")
+    run.add_argument("--no-store", action="store_true",
+                     help="disable the artifact store (no caching, no resume)")
+    run.add_argument("--force", action="store_true",
+                     help="re-run cells even when the store already has them")
+    run.add_argument("--quiet", action="store_true", help="suppress per-cell progress lines")
+    out = parser.add_argument_group("output")
+    out.add_argument("--markdown", action="store_true", help="render a Markdown table")
+    out.add_argument("--no-timings", action="store_true",
+                     help="omit wall-clock columns (byte-stable across runs)")
+    out.add_argument("--output", metavar="PATH", help="also write the table to PATH")
+
+
+def _add_experiment_options(parser: argparse.ArgumentParser, *, default_seeds: int) -> None:
+    exp = parser.add_argument_group("experiment")
+    exp.add_argument("--dataset", required=True, help="registered dataset name (see `list`)")
+    exp.add_argument("--scale", type=float, default=0.35,
+                     help="synthetic graph size multiplier (default: 0.35)")
+    exp.add_argument("--seeds", type=int, default=default_seeds, metavar="N",
+                     help=f"repeated trials per cell (default: {default_seeds})")
+    exp.add_argument("--base-seed", type=int, default=0, help="root random seed (default: 0)")
+    exp.add_argument("--hidden-dim", type=int, default=32,
+                     help="evaluation-model hidden dimension (default: 32)")
+    exp.add_argument("--epochs", type=int, default=80,
+                     help="evaluation-model training epochs (default: 80)")
+    exp.add_argument("--max-hops", type=int, default=None, metavar="K",
+                     help="meta-path hop limit (default: the dataset's paper value, capped at 3)")
+    exp.add_argument("--paper-loops", action="store_true",
+                     help="use paper-scale optimisation loops for GCond/HGCond (slow)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Parallel, resumable reproduction runner for the FreeHGC paper tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="Table III ratio sweep: (method, ratio) grid + whole-graph reference",
+    )
+    _add_experiment_options(sweep, default_seeds=2)
+    sweep.add_argument("--ratios", type=_csv_floats, default=None, metavar="R1,R2,...",
+                       help="condensation ratios (default: the dataset's paper ratios)")
+    sweep.add_argument("--methods", type=_csv, default=("random-hg", "herding-hg", "hgcond", "freehgc"),
+                       metavar="M1,M2,...", help="condenser names (default: random-hg,herding-hg,hgcond,freehgc)")
+    sweep.add_argument("--model", default="sehgnn", help="evaluation model (default: sehgnn)")
+    sweep.add_argument("--no-whole", action="store_true",
+                       help="skip the whole-graph reference row")
+    _add_run_options(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    generalize = sub.add_parser(
+        "generalize",
+        help="Table IV grid: each method's condensed graph trains every model",
+    )
+    _add_experiment_options(generalize, default_seeds=1)
+    generalize.add_argument("--ratio", type=float, required=True, help="condensation ratio")
+    generalize.add_argument("--methods", type=_csv, default=("herding-hg", "hgcond", "freehgc"),
+                            metavar="M1,M2,...", help="condenser names (default: herding-hg,hgcond,freehgc)")
+    generalize.add_argument("--models", type=_csv, default=("hgb", "hgt", "han", "sehgnn"),
+                            metavar="M1,M2,...", help="evaluation models (default: hgb,hgt,han,sehgnn)")
+    _add_run_options(generalize)
+    generalize.set_defaults(func=_cmd_generalize)
+
+    report = sub.add_parser("report", help="render stored artifacts as a table, running nothing")
+    report.add_argument("--store", default="runs", metavar="DIR",
+                        help="artifact store directory (default: ./runs)")
+    report.add_argument("--dataset", default=None, help="only rows for this dataset")
+    report.add_argument("--markdown", action="store_true", help="render a Markdown table")
+    report.add_argument("--no-timings", action="store_true",
+                        help="omit wall-clock columns (byte-stable across runs)")
+    report.add_argument("--output", metavar="PATH", help="also write the table to PATH")
+    report.set_defaults(func=_cmd_report)
+
+    list_cmd = sub.add_parser("list", help="list registered components")
+    list_cmd.add_argument(
+        "what",
+        nargs="?",
+        default="all",
+        choices=("all", "datasets", "condensers", "models", "target-stages", "other-stages"),
+        help="which registry to list (default: all)",
+    )
+    list_cmd.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+# Subcommand implementations
+# ---------------------------------------------------------------------- #
+def _progress_printer(quiet: bool) -> Callable[[CellOutcome, int, int], None] | None:
+    if quiet:
+        return None
+    done = [0]
+
+    def progress(outcome: CellOutcome, index: int, total: int) -> None:
+        done[0] += 1
+        status = "cached" if outcome.cached else f"ran {outcome.elapsed_s:.2f}s"
+        print(f"[{done[0]}/{total}] {outcome.cell.label()}  {status}", flush=True)
+
+    return progress
+
+
+def _resolve_store(args: argparse.Namespace) -> ArtifactStore | None:
+    if getattr(args, "no_store", False):
+        return None
+    return ArtifactStore(args.store)
+
+
+def _render(rows: Sequence[dict], args: argparse.Namespace, *, title: str,
+            columns: Sequence[str] | None = None) -> str:
+    if args.markdown:
+        text = format_markdown_table(rows, columns=columns)
+        if title:
+            text = f"**{title}**\n\n{text}"
+    else:
+        text = format_table(rows, columns=columns, title=title)
+    print(text)
+    if args.output:
+        write_report(text, args.output)
+    return text
+
+
+def _summarize(outcomes: list[CellOutcome], watch: Stopwatch, quiet: bool) -> None:
+    if quiet:
+        return
+    cached = sum(1 for o in outcomes if o.cached)
+    executed = len(outcomes) - cached
+    print(
+        f"{len(outcomes)} cells: {cached} cached, {executed} executed "
+        f"in {watch.get('run'):.2f}s\n"
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    ratios = args.ratios
+    if ratios is None:
+        entry = registry.datasets.get(args.dataset)
+        ratios = tuple(entry.paper_ratios)
+    config = ExperimentConfig(
+        dataset=args.dataset,
+        ratios=ratios,
+        methods=args.methods,
+        model=args.model,
+        scale=args.scale,
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        hidden_dim=args.hidden_dim,
+        epochs=args.epochs,
+        max_hops=args.max_hops,
+        include_whole=not args.no_whole,
+        fast_optimization=not args.paper_loops,
+    )
+    plan = plan_ratio_sweep(config)
+    watch = Stopwatch()
+    with watch.measure("run"):
+        outcomes = execute_plan(
+            plan,
+            workers=args.workers,
+            store=_resolve_store(args),
+            force=args.force,
+            progress=_progress_printer(args.quiet),
+        )
+    _summarize(outcomes, watch, args.quiet)
+    rows = [outcome.evaluation.as_row() for outcome in outcomes]
+    _render(
+        rows,
+        args,
+        title=f"Ratio sweep — {args.dataset} ({args.model} test model)",
+        columns=sweep_columns(include_timings=not args.no_timings),
+    )
+    return 0
+
+
+def _cmd_generalize(args: argparse.Namespace) -> int:
+    config = GeneralizationConfig(
+        dataset=args.dataset,
+        ratio=args.ratio,
+        methods=args.methods,
+        models=args.models,
+        scale=args.scale,
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        hidden_dim=args.hidden_dim,
+        epochs=args.epochs,
+        max_hops=args.max_hops,
+        fast_optimization=not args.paper_loops,
+    )
+    plan = plan_generalization(config)
+    watch = Stopwatch()
+    with watch.measure("run"):
+        outcomes = execute_plan(
+            plan,
+            workers=args.workers,
+            store=_resolve_store(args),
+            force=args.force,
+            progress=_progress_printer(args.quiet),
+        )
+    _summarize(outcomes, watch, args.quiet)
+    evaluations = {key: o.evaluation for key, o in zip(plan.keys(), outcomes)}
+    rows = assemble_generalization_rows(config, evaluations, plan=plan)
+    _render(
+        rows,
+        args,
+        title=f"Generalization — {args.dataset} @ ratio {args.ratio:g}",
+    )
+    return 0
+
+
+def _dataset_key(name: str) -> str:
+    """Alias-aware comparison key: canonical registry name, else lower-case."""
+    try:
+        return registry.datasets.canonical(name)
+    except ReproError:
+        return name.strip().lower()
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.store)
+    records = store.records()
+    if not records:
+        print(f"(no artifacts under {store.root})")
+        return 0
+    wanted = _dataset_key(args.dataset) if args.dataset else None
+    rows = []
+    for record in records:
+        cell = record.get("cell", {})
+        if wanted is not None and _dataset_key(str(cell.get("dataset", ""))) != wanted:
+            continue
+        evaluation = MethodEvaluation.from_dict(record["result"])
+        row = evaluation.as_row()
+        row["model"] = cell.get("model", "")
+        rows.append(row)
+    rows.sort(
+        key=lambda row: (
+            str(row["dataset"]),
+            float(row["ratio"]),
+            str(row["method"]),
+            str(row["model"]),
+        )
+    )
+    columns = sweep_columns(include_timings=not args.no_timings) + ("model",)
+    _render(rows, args, title=f"Stored artifacts — {store.path}", columns=columns)
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    def show(label: str, reg: registry.Registry, describe=None) -> None:
+        print(f"{label}:")
+        for name in reg.names():
+            aliases = reg.aliases_of(name)
+            suffix = f"  (aliases: {', '.join(aliases)})" if aliases else ""
+            extra = f"  {describe(name)}" if describe is not None else ""
+            print(f"  {name}{suffix}{extra}")
+        print()
+
+    sections = {
+        "datasets": lambda: show(
+            "datasets",
+            registry.datasets,
+            lambda name: (
+                f"[paper ratios: {', '.join(f'{r:g}' for r in registry.datasets.get(name).paper_ratios)}"
+                f"; max hops: {registry.datasets.get(name).max_hops}]"
+            ),
+        ),
+        "condensers": lambda: show("condensers", registry.condensers),
+        "models": lambda: show("models", registry.models),
+        "target-stages": lambda: show("target stages", registry.target_stages),
+        "other-stages": lambda: show("father/leaf stages", registry.other_stages),
+    }
+    if args.what == "all":
+        for section in sections.values():
+            section()
+    else:
+        sections[args.what]()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    Parameters
+    ----------
+    argv:
+        Argument list (defaults to ``sys.argv[1:]``).
+
+    Returns
+    -------
+    int
+        ``0`` on success, ``2`` on a library-level error (unknown dataset,
+        infeasible ratio, ...).
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn_rngs"]
+__all__ = ["ensure_rng", "spawn_rngs", "spawn_seed_ints"]
 
 
 def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -33,13 +33,26 @@ def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     raise TypeError(f"seed must be None, int, or numpy Generator, got {type(seed)!r}")
 
 
+def spawn_seed_ints(seed: int | np.random.Generator | None, count: int) -> list[int]:
+    """Derive ``count`` integer sub-seeds from a single seed.
+
+    This is the seed-derivation half of :func:`spawn_rngs`: passing each
+    returned integer to :func:`numpy.random.default_rng` yields exactly the
+    generators that :func:`spawn_rngs` would return for the same arguments.
+    The experiment runner uses the integers directly as stable per-trial cache
+    keys (:mod:`repro.runner.executor`), which is what lets a parallel run
+    reproduce the serial RNG streams bit-for-bit.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = ensure_rng(seed)
+    return [int(s) for s in root.integers(0, 2**63 - 1, size=count)]
+
+
 def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent generators from a single seed.
 
     Used by repeated-trial experiment drivers so that each trial is
     reproducible yet statistically independent from the others.
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    root = ensure_rng(seed)
-    return [np.random.default_rng(s) for s in root.integers(0, 2**63 - 1, size=count)]
+    return [np.random.default_rng(s) for s in spawn_seed_ints(seed, count)]

@@ -4,12 +4,36 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 __all__ = [
     "check_fraction",
     "check_positive",
     "check_non_negative",
     "check_probability_matrix",
+    "check_max_hops",
 ]
+
+#: The paper's per-dataset meta-path hop limits span 1 (MUTAG/AM) to 5 (IMDB).
+MAX_HOPS_RANGE = (1, 5)
+
+
+def check_max_hops(max_hops: int) -> int:
+    """Validate a meta-path hop limit against the paper's supported range.
+
+    Shared by the experiment planner (plan-time rejection, before any cell
+    runs) and :func:`repro.evaluation.pipeline.make_model_factory` so the
+    rule lives in exactly one place.  Raises
+    :class:`~repro.errors.ConfigurationError` (a :class:`ValueError` and a
+    :class:`~repro.errors.ReproError`).
+    """
+    low, high = MAX_HOPS_RANGE
+    if not low <= max_hops <= high:
+        raise ConfigurationError(
+            f"max_hops must be in [{low}, {high}] (the paper's per-dataset "
+            f"hop limits), got {max_hops}"
+        )
+    return int(max_hops)
 
 
 def check_fraction(value: float, name: str, *, inclusive_low: bool = False) -> float:

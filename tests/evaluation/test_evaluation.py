@@ -91,6 +91,16 @@ class TestPipeline:
         with pytest.raises(KeyError):
             make_model_factory("magic")
 
+    def test_make_model_factory_honors_max_hops(self):
+        # Regression: max_hops used to be silently clamped to 2.
+        model = make_model_factory("heterosgc", max_hops=3)()
+        assert model.config.max_hops == 3
+
+    @pytest.mark.parametrize("bad_hops", [0, -1, 6])
+    def test_make_model_factory_rejects_out_of_range_hops(self, bad_hops):
+        with pytest.raises(ValueError, match="max_hops"):
+            make_model_factory("heterosgc", max_hops=bad_hops)
+
     def test_experiment_config_default_hops(self):
         config = ExperimentConfig(dataset="acm", ratios=(0.05,))
         assert config.resolved_max_hops() == 3

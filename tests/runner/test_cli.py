@@ -1,0 +1,158 @@
+"""CLI tests: in-process command coverage plus a real ``python -m repro`` smoke."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.runner.cli import main
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+SWEEP_ARGS = [
+    "sweep",
+    "--dataset", "acm",
+    "--ratios", "0.2",
+    "--methods", "random-hg",
+    "--model", "heterosgc",
+    "--scale", "0.1",
+    "--seeds", "1",
+    "--epochs", "10",
+    "--hidden-dim", "8",
+    "--max-hops", "2",
+]
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestSweep:
+    def test_sweep_and_resume_render_identical_tables(self, tmp_path, capsys):
+        args = SWEEP_ARGS + ["--store", str(tmp_path / "runs"), "--workers", "2"]
+        code, first = run_cli(args, capsys)
+        assert code == 0
+        assert "Random-HG" in first and "Whole Dataset" in first
+        assert "1 cached" not in first
+
+        code, second = run_cli(args, capsys)
+        assert code == 0
+        assert "0 executed" in second
+        # timings come from the store, so the rerun's table is byte-identical
+        table = lambda text: text.split("Ratio sweep")[1]
+        assert table(first) == table(second)
+
+    def test_no_store_disables_resume(self, tmp_path, capsys):
+        args = SWEEP_ARGS + ["--no-store", "--quiet"]
+        code, out = run_cli(args, capsys)
+        assert code == 0 and "Random-HG" in out
+
+    def test_no_whole_and_output(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        args = SWEEP_ARGS + [
+            "--no-store", "--quiet", "--no-whole", "--no-timings",
+            "--output", str(out_file),
+        ]
+        code, out = run_cli(args, capsys)
+        assert code == 0
+        assert "Whole Dataset" not in out
+        assert "condense_s" not in out
+        assert "Random-HG" in out_file.read_text()
+
+    def test_markdown(self, capsys):
+        code, out = run_cli(SWEEP_ARGS + ["--no-store", "--quiet", "--markdown"], capsys)
+        assert code == 0 and "| dataset |" in out
+
+    def test_unknown_dataset_is_a_clean_error(self, capsys):
+        code = main(["sweep", "--dataset", "nope", "--no-store", "--quiet"])
+        assert code == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_bad_max_hops_is_a_clean_error_before_any_cell_runs(self, capsys):
+        code = main(SWEEP_ARGS[:3] + ["--max-hops", "0", "--no-store", "--quiet"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "max_hops" in captured.err
+        assert "ran" not in captured.out  # rejected at plan time, nothing executed
+
+
+class TestGeneralize:
+    def test_generalize(self, tmp_path, capsys):
+        args = [
+            "generalize",
+            "--dataset", "acm",
+            "--ratio", "0.2",
+            "--methods", "random-hg",
+            "--models", "heterosgc,sehgnn",
+            "--scale", "0.1",
+            "--seeds", "1",
+            "--epochs", "10",
+            "--hidden-dim", "8",
+            "--max-hops", "2",
+            "--store", str(tmp_path / "runs"),
+            "--quiet",
+        ]
+        code, out = run_cli(args, capsys)
+        assert code == 0
+        assert "HETEROSGC" in out and "Condensed Avg." in out and "Whole Avg." in out
+
+
+class TestReportAndList:
+    def test_report_from_store(self, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        assert main(SWEEP_ARGS + ["--store", store, "--quiet"]) == 0
+        capsys.readouterr()
+        code, out = run_cli(["report", "--store", store, "--no-timings"], capsys)
+        assert code == 0
+        assert "Random-HG" in out and "model" in out
+
+    def test_report_dataset_filter_is_alias_aware(self, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        assert main(SWEEP_ARGS + ["--store", store, "--quiet"]) == 0
+        capsys.readouterr()
+        code, out = run_cli(["report", "--store", store, "--dataset", "ACM"], capsys)
+        assert code == 0 and "Random-HG" in out
+        code, out = run_cli(["report", "--store", store, "--dataset", "dblp"], capsys)
+        assert code == 0 and "Random-HG" not in out
+
+    def test_report_empty_store(self, tmp_path, capsys):
+        code, out = run_cli(["report", "--store", str(tmp_path / "empty")], capsys)
+        assert code == 0 and "no artifacts" in out
+
+    def test_list_all(self, capsys):
+        code, out = run_cli(["list"], capsys)
+        assert code == 0
+        for needle in ("freehgc", "sehgnn", "acm", "nim", "criterion"):
+            assert needle in out
+
+    def test_list_single_registry(self, capsys):
+        code, out = run_cli(["list", "condensers"], capsys)
+        assert code == 0 and "hgcond" in out and "sehgnn" not in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro_smoke(self, tmp_path):
+        """The documented entry point works end-to-end in a fresh process."""
+        env = {"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin", "HOME": str(tmp_path)}
+        store = str(tmp_path / "runs")
+        args = [sys.executable, "-m", "repro"] + SWEEP_ARGS + [
+            "--workers", "2", "--store", store, "--quiet", "--no-timings",
+        ]
+        first = subprocess.run(args, capture_output=True, text=True, env=env, cwd=tmp_path)
+        assert first.returncode == 0, first.stderr
+        assert "Random-HG" in first.stdout
+
+        second = subprocess.run(args, capture_output=True, text=True, env=env, cwd=tmp_path)
+        assert second.returncode == 0, second.stderr
+        assert first.stdout == second.stdout  # resumed run renders identical bytes
+
+    def test_python_dash_m_repro_list(self, tmp_path):
+        env = {"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin", "HOME": str(tmp_path)}
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "list", "datasets"],
+            capture_output=True, text=True, env=env,
+        )
+        assert out.returncode == 0 and "acm" in out.stdout

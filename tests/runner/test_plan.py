@@ -1,0 +1,172 @@
+"""Planner tests: expansion determinism and cross-process hash stability."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.evaluation.pipeline import ExperimentConfig
+from repro.runner.plan import (
+    Cell,
+    GeneralizationConfig,
+    plan_generalization,
+    plan_ratio_sweep,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def sweep_config(**overrides) -> ExperimentConfig:
+    base = dict(
+        dataset="acm",
+        ratios=(0.05, 0.1),
+        methods=("random-hg", "freehgc"),
+        model="heterosgc",
+        scale=0.1,
+        seeds=2,
+        epochs=10,
+        hidden_dim=8,
+        max_hops=2,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestCell:
+    def test_round_trip(self):
+        cell = Cell(
+            kind="evaluate",
+            dataset="acm",
+            method="freehgc",
+            ratio=0.05,
+            model="sehgnn",
+            extra_model_kwargs=(("dropout", 0.1),),
+        )
+        rebuilt = Cell.from_dict(json.loads(json.dumps(cell.to_dict())))
+        assert rebuilt == cell
+        assert rebuilt.key() == cell.key()
+
+    def test_key_sensitivity(self):
+        cell = Cell(kind="evaluate", dataset="acm", method="freehgc", ratio=0.05)
+        other = Cell(kind="evaluate", dataset="acm", method="freehgc", ratio=0.1)
+        assert cell.key() != other.key()
+        assert cell.key() != Cell(kind="whole", dataset="acm").key()
+
+    def test_evaluate_requires_method_and_ratio(self):
+        with pytest.raises(ReproError):
+            Cell(kind="evaluate", dataset="acm")
+        with pytest.raises(ReproError):
+            Cell(kind="nonsense", dataset="acm")
+
+    def test_condense_key_ignores_model(self):
+        a = Cell(kind="evaluate", dataset="acm", method="freehgc", ratio=0.05, model="hgt")
+        b = Cell(kind="evaluate", dataset="acm", method="freehgc", ratio=0.05, model="han")
+        assert a.condense_key() == b.condense_key()
+        assert a.key() != b.key()
+        assert Cell(kind="whole", dataset="acm").condense_key() is None
+
+    def test_key_stable_across_processes(self):
+        """The stored-artifact key must not depend on the producing process."""
+        cell = Cell(kind="evaluate", dataset="acm", method="freehgc", ratio=0.05)
+        script = (
+            "import json, sys\n"
+            "from repro.runner.plan import Cell\n"
+            "cell = Cell.from_dict(json.loads(sys.argv[1]))\n"
+            "print(cell.key())\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script, json.dumps(cell.to_dict())],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+            check=True,
+        )
+        assert out.stdout.strip() == cell.key()
+
+
+class TestPlanRatioSweep:
+    def test_order_matches_serial_pipeline(self):
+        plan = plan_ratio_sweep(sweep_config())
+        shape = [(c.kind, c.method, c.ratio) for c in plan]
+        assert shape == [
+            ("evaluate", "random-hg", 0.05),
+            ("evaluate", "freehgc", 0.05),
+            ("evaluate", "random-hg", 0.1),
+            ("evaluate", "freehgc", 0.1),
+            ("whole", None, None),
+        ]
+
+    def test_deterministic_expansion(self):
+        assert plan_ratio_sweep(sweep_config()).keys() == plan_ratio_sweep(sweep_config()).keys()
+
+    def test_aliases_canonicalized(self):
+        plan = plan_ratio_sweep(sweep_config(methods=("random", "free-hgc"), model="sgc"))
+        canonical = plan_ratio_sweep(sweep_config(methods=("random-hg", "freehgc")))
+        assert plan.keys() == canonical.keys()
+
+    def test_no_whole(self):
+        plan = plan_ratio_sweep(sweep_config(include_whole=False))
+        assert all(cell.kind == "evaluate" for cell in plan)
+
+    def test_whole_cell_hash_ignores_condensation_flags(self):
+        # --paper-loops must not re-run the (slow) whole-graph reference.
+        fast = plan_ratio_sweep(sweep_config(fast_optimization=True)).cells[-1]
+        slow = plan_ratio_sweep(sweep_config(fast_optimization=False)).cells[-1]
+        assert fast.kind == slow.kind == "whole"
+        assert fast.key() == slow.key()
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ReproError):
+            plan_ratio_sweep(sweep_config(dataset="nope"))
+        with pytest.raises(ReproError):
+            plan_ratio_sweep(sweep_config(methods=("nope",)))
+
+    def test_unvalidated_dataset_is_a_pure_label(self):
+        # The facades use this when a graph override is injected.
+        plan = plan_ratio_sweep(sweep_config(dataset="my-custom-graph"), validate_dataset=False)
+        assert plan.cells[0].dataset == "my-custom-graph"
+
+    def test_dataset_spelling_preserved_in_cells(self):
+        # Report rows are labeled with the caller's spelling, as before the runner.
+        plan = plan_ratio_sweep(sweep_config(dataset="ACM"))
+        assert plan.cells[0].dataset == "ACM"
+
+    def test_out_of_range_max_hops_rejected_at_plan_time(self):
+        with pytest.raises(ReproError, match="max_hops"):
+            plan_ratio_sweep(sweep_config(max_hops=0))
+        with pytest.raises(ReproError, match="max_hops"):
+            plan_generalization(
+                GeneralizationConfig(dataset="acm", ratio=0.1, max_hops=9)
+            )
+
+    def test_resolved_max_hops_flows_into_cells(self):
+        plan = plan_ratio_sweep(sweep_config(max_hops=None))  # acm paper value: 3
+        assert {cell.max_hops for cell in plan} == {3}
+
+
+class TestPlanGeneralization:
+    def test_grid_shape(self):
+        config = GeneralizationConfig(
+            dataset="acm",
+            ratio=0.05,
+            methods=("random-hg", "freehgc"),
+            models=("heterosgc", "sehgnn"),
+        )
+        plan = plan_generalization(config)
+        evaluate = [c for c in plan if c.kind == "evaluate"]
+        whole = [c for c in plan if c.kind == "whole"]
+        assert len(evaluate) == 4 and len(whole) == 2
+        # all models of one method share the condensation cache key
+        by_method = {}
+        for cell in evaluate:
+            by_method.setdefault(cell.method, set()).add(cell.condense_key())
+        assert all(len(keys) == 1 for keys in by_method.values())
+
+    def test_resolved_max_hops_defaults(self):
+        assert GeneralizationConfig(dataset="acm", ratio=0.1).resolved_max_hops() == 3
+        assert GeneralizationConfig(dataset="acm", ratio=0.1, max_hops=1).resolved_max_hops() == 1

@@ -47,6 +47,16 @@ class TestRegistryMechanics:
         with pytest.raises(RegistryError):
             reg.register("other", int, aliases=("foo",))
 
+    def test_unregister_removes_entry_and_aliases(self):
+        reg = Registry("widget")
+        reg.register("foo", object, aliases=("f", "phoo"))
+        assert reg.unregister("f") is object  # aliases resolve
+        assert "foo" not in reg and "f" not in reg and "phoo" not in reg
+        with pytest.raises(RegistryError):
+            reg.unregister("foo")
+        reg.register("foo", int)  # name is free again
+        assert reg.get("foo") is int
+
     def test_unknown_name_lists_options(self):
         reg = Registry("widget")
         reg.register("alpha", object)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Check that intra-repo markdown links resolve.
+
+Scans every tracked ``*.md`` file for inline links/images
+(``[text](target)``) and verifies that relative targets exist on disk
+(anchors and external ``http(s)``/``mailto`` targets are skipped; anchor
+fragments on existing files are accepted without heading verification).
+
+Exit code 0 when every link resolves, 1 otherwise — suitable for CI.
+
+Usage::
+
+    python tools/check_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — excluding images is pointless, broken images are bugs too.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", ".hypothesis", ".pytest_cache", "__pycache__", "node_modules", "runs"}
+
+
+def markdown_files(root: Path) -> list[Path]:
+    files = []
+    for path in root.rglob("*.md"):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            files.append(path)
+    return sorted(files)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    in_fence = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(root)}:{line_number}: broken link -> {target}"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    errors: list[str] = []
+    files = markdown_files(root)
+    for path in files:
+        errors.extend(check_file(path, root))
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} broken link(s) across {len(files)} markdown file(s)")
+        return 1
+    print(f"all intra-repo links resolve across {len(files)} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
