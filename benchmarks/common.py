@@ -13,6 +13,7 @@ the minutes range on a laptop CPU.  Increase ``SCALE``, ``SEEDS`` and
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -31,6 +32,26 @@ HIDDEN = int(os.environ.get("REPRO_BENCH_HIDDEN", "32"))
 WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 #: where rendered reports are written
 REPORT_DIR = Path(os.environ.get("REPRO_BENCH_REPORTS", "benchmarks/reports"))
+#: where machine-readable BENCH_*.json trajectory files are written
+#: (the repo root by default, so baselines can be committed and diffed)
+JSON_DIR = Path(
+    os.environ.get("REPRO_BENCH_JSON_DIR", Path(__file__).resolve().parent.parent)
+)
+
+
+def emit_json(payload: dict, filename: str) -> Path:
+    """Persist ``payload`` as a machine-readable ``BENCH_*.json`` file.
+
+    These files are the perf-trajectory record: each benchmark writes one,
+    the committed copy is the baseline, and CI uploads the regenerated file
+    as an artifact so runs can be compared over time.  Timestamps are
+    deliberately omitted to keep committed baselines diff-friendly.
+    """
+    path = JSON_DIR / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return path
 
 
 def emit(title: str, rows: list[dict], filename: str, paper_note: str = "") -> str:

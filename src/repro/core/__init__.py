@@ -14,9 +14,11 @@ from repro.core.neighbor_influence import (
     NeighborInfluenceMaximizer,
     personalized_pagerank,
 )
+from repro.core.coverage_kernels import PackedAdjacency
 from repro.core.receptive_field import (
     CoverageResult,
     greedy_max_coverage,
+    greedy_max_coverage_reference,
     receptive_field_size,
 )
 from repro.core.similarity import (
@@ -62,6 +64,8 @@ __all__ = [
     "personalized_pagerank",
     "CoverageResult",
     "greedy_max_coverage",
+    "greedy_max_coverage_reference",
+    "PackedAdjacency",
     "receptive_field_size",
     "pairwise_jaccard",
     "metapath_similarity_scores",

@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.coverage_kernels import PackedAdjacency
 from repro.core.metapaths import MetaPath, enumerate_metapaths, metapath_adjacency
 from repro.core.topology import TypeHierarchy, classify_node_types
 from repro.hetero.graph import HeteroGraph
@@ -56,8 +57,9 @@ class CondensationContext:
     ----------
     stats:
         Counters of cache behaviour: ``metapath_enumerations``,
-        ``adjacency_builds``, ``adjacency_hits``, ``embedding_builds`` and
-        ``embedding_hits``.  Useful in tests and benchmarks.
+        ``adjacency_builds``, ``adjacency_hits``, ``packed_builds``,
+        ``packed_hits``, ``embedding_builds`` and ``embedding_hits``.
+        Useful in tests and benchmarks.
 
     Examples
     --------
@@ -91,6 +93,8 @@ class CondensationContext:
             "metapath_enumerations": 0,
             "adjacency_builds": 0,
             "adjacency_hits": 0,
+            "packed_builds": 0,
+            "packed_hits": 0,
             "embedding_builds": 0,
             "embedding_hits": 0,
         }
@@ -98,6 +102,7 @@ class CondensationContext:
         self._metapaths: list[MetaPath] | None = None
         self._metapaths_to: dict[str, list[MetaPath]] = {}
         self._adjacencies: dict[tuple[tuple[str, ...], bool], sp.csr_matrix] = {}
+        self._packed: dict[tuple[str, ...], PackedAdjacency] = {}
         self._feature_blocks: dict[str, np.ndarray] | None = None
         self._target_embeddings: np.ndarray | None = None
         self._other_embeddings: dict[str, np.ndarray] = {}
@@ -162,6 +167,26 @@ class CondensationContext:
         """Boolean reachability matrix: row ``i`` is node ``i``'s receptive field."""
         return self.adjacency(metapath, normalize=False)
 
+    def packed_receptive_field(self, metapath: MetaPath) -> PackedAdjacency:
+        """Bit-packed receptive fields of ``metapath``, memoized per path.
+
+        The packed form feeds the vectorized coverage kernels
+        (:mod:`repro.core.coverage_kernels`).  The words are cached on the
+        memoized boolean adjacency itself (so the per-class greedy runs of
+        the unified criterion — and any other consumer — pack each
+        meta-path exactly once) and additionally keyed here so ``clear()``
+        and the stats counters behave like the other accessors.
+        """
+        key = metapath.node_types
+        cached = self._packed.get(key)
+        if cached is None or not self.cache_enabled:
+            self.stats["packed_builds"] += 1
+            cached = PackedAdjacency.from_csr_cached(self.receptive_field(metapath))
+            self._packed[key] = cached
+        else:
+            self.stats["packed_hits"] += 1
+        return cached
+
     # ------------------------------------------------------------------ #
     # Feature / embedding artifacts
     # ------------------------------------------------------------------ #
@@ -220,6 +245,7 @@ class CondensationContext:
         self._metapaths = None
         self._metapaths_to.clear()
         self._adjacencies.clear()
+        self._packed.clear()
         self._feature_blocks = None
         self._target_embeddings = None
         self._other_embeddings.clear()

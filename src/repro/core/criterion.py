@@ -118,6 +118,9 @@ class TargetNodeSelector:
         similarity = self._similarity_matrix(metapaths, adjacencies, graph)
         class_budgets = per_class_budgets(graph, budget, pool=pool)
         labels = graph.labels
+        # Hoisted out of the per-path loop: the class-restricted pools are
+        # identical for every meta-path.
+        class_pools = {cls: pool[labels[pool] == cls] for cls in class_budgets}
 
         n_target = graph.num_nodes[target]
         total_scores = np.zeros(n_target, dtype=np.float64)
@@ -127,8 +130,12 @@ class TargetNodeSelector:
             normalizer = float(max(adjacency.shape[1], 1))
             path_scores = np.zeros(n_target, dtype=np.float64)
             if self.use_receptive_field:
+                # The greedy kernels cache their index structures (packed
+                # words / inverted CSC) on the adjacency object, so the
+                # per-class runs — and, with a memoized context, repeated
+                # select() calls — build them once per meta-path.
                 for cls, cls_budget in class_budgets.items():
-                    cls_pool = pool[labels[pool] == cls]
+                    cls_pool = class_pools[cls]
                     if cls_pool.size == 0:
                         continue
                     result = greedy_max_coverage(adjacency, cls_pool, cls_budget)
@@ -143,7 +150,7 @@ class TargetNodeSelector:
         per_class: dict[int, np.ndarray] = {}
         selected_parts: list[np.ndarray] = []
         for cls, cls_budget in class_budgets.items():
-            cls_pool = pool[labels[pool] == cls]
+            cls_pool = class_pools[cls]
             if cls_pool.size == 0:
                 continue
             order = np.argsort(-total_scores[cls_pool], kind="stable")

@@ -70,8 +70,10 @@ def personalized_pagerank(
     else:
         restart = restart / total
     scores = restart.copy()
+    teleport = alpha * restart  # constant across iterations; hoisted
+    damping = 1.0 - alpha
     for _ in range(iterations):
-        updated = alpha * restart + (1.0 - alpha) * (normalized @ scores)
+        updated = teleport + damping * (normalized @ scores)
         if np.abs(updated - scores).sum() < tolerance:
             scores = updated
             break

@@ -31,24 +31,14 @@ def jaccard_between_sets(first: set[int], second: set[int]) -> float:
     return len(first & second) / union
 
 
-def pairwise_jaccard(
-    adjacency_a: sp.csr_matrix, adjacency_b: sp.csr_matrix
+def _row_jaccard(
+    a: sp.csr_matrix,
+    b: sp.csr_matrix,
+    size_a: np.ndarray,
+    size_b: np.ndarray,
 ) -> np.ndarray:
-    """Per-row Jaccard similarity between two boolean adjacency matrices.
-
-    Row ``v`` of the result is ``J(N_a(v), N_b(v))`` (Eq. 5 evaluated per
-    node).  Rows with an empty union are defined to have similarity 1, as in
-    the paper ("we say J = 1 if the union is empty").
-    """
-    if adjacency_a.shape != adjacency_b.shape:
-        raise ValueError(
-            f"adjacency shapes differ: {adjacency_a.shape} vs {adjacency_b.shape}"
-        )
-    a = boolean_csr(adjacency_a)
-    b = boolean_csr(adjacency_b)
+    """Per-row Jaccard of two *already boolean* CSR matrices, sizes given."""
     intersection = np.asarray(a.multiply(b).sum(axis=1)).ravel()
-    size_a = np.asarray(a.sum(axis=1)).ravel()
-    size_b = np.asarray(b.sum(axis=1)).ravel()
     union = size_a + size_b - intersection
     result = np.ones(a.shape[0], dtype=np.float64)
     nonzero = union > 0
@@ -56,8 +46,34 @@ def pairwise_jaccard(
     return result
 
 
+def pairwise_jaccard(
+    adjacency_a: sp.csr_matrix, adjacency_b: sp.csr_matrix
+) -> np.ndarray:
+    """Per-row Jaccard similarity between two boolean adjacency matrices.
+
+    Row ``v`` of the result is ``J(N_a(v), N_b(v))`` (Eq. 5 evaluated per
+    node).  Rows with an empty union are defined to have similarity 1, as in
+    the paper ("we say J = 1 if the union is empty").  Inputs that are
+    already boolean CSR are used as-is (``boolean_csr`` skips the copy).
+    """
+    if adjacency_a.shape != adjacency_b.shape:
+        raise ValueError(
+            f"adjacency shapes differ: {adjacency_a.shape} vs {adjacency_b.shape}"
+        )
+    a = boolean_csr(adjacency_a)
+    b = boolean_csr(adjacency_b)
+    size_a = np.asarray(a.sum(axis=1)).ravel()
+    size_b = np.asarray(b.sum(axis=1)).ravel()
+    return _row_jaccard(a, b, size_a, size_b)
+
+
 def metapath_similarity_scores(adjacencies: list[sp.csr_matrix]) -> np.ndarray:
     """Per-node, per-meta-path normalised similarity ``Ĵ`` (Eq. 6).
+
+    Each adjacency is binarised at most once (a no-op for the already
+    boolean matrices the condensation context serves), row sizes are
+    materialised once per meta-path, and every unordered pair is multiplied
+    once — ``J`` is symmetric, so the pair's similarity feeds both columns.
 
     Parameters
     ----------
@@ -80,11 +96,18 @@ def metapath_similarity_scores(adjacencies: list[sp.csr_matrix]) -> np.ndarray:
     num_nodes = adjacencies[0].shape[0]
     if num_paths == 1:
         return np.zeros((num_nodes, 1), dtype=np.float64)
+    for adjacency in adjacencies[1:]:
+        if adjacency.shape != adjacencies[0].shape:
+            raise ValueError(
+                f"adjacency shapes differ: {adjacencies[0].shape} vs {adjacency.shape}"
+            )
+    boolean = [boolean_csr(adjacency) for adjacency in adjacencies]
+    sizes = [np.asarray(matrix.sum(axis=1)).ravel() for matrix in boolean]
     scores = np.zeros((num_nodes, num_paths), dtype=np.float64)
     for i in range(num_paths):
-        for j in range(num_paths):
-            if i == j:
-                continue
-            scores[:, i] += pairwise_jaccard(adjacencies[i], adjacencies[j])
+        for j in range(i + 1, num_paths):
+            similarity = _row_jaccard(boolean[i], boolean[j], sizes[i], sizes[j])
+            scores[:, i] += similarity
+            scores[:, j] += similarity
     scores /= num_paths - 1
     return scores

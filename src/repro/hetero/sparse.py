@@ -86,12 +86,40 @@ def symmetric_normalize(matrix: sp.spmatrix) -> sp.csr_matrix:
     return sp.diags(row_inv) @ matrix @ sp.diags(col_inv)
 
 
+#: attribute under which the shared binarised form is cached on a CSR matrix
+_BOOLEAN_CACHE_ATTR = "_repro_boolean_csr"
+
+
 def boolean_csr(matrix: sp.spmatrix) -> sp.csr_matrix:
-    """Binarise ``matrix`` (all stored entries become 1.0)."""
-    matrix = to_csr(matrix).copy()
-    if matrix.nnz:
-        matrix.data = np.ones_like(matrix.data)
-    return matrix
+    """Binarise ``matrix`` (all stored entries become 1.0).
+
+    Already-binarised float CSR inputs are returned *as-is* (no copy), and
+    the binarised form of any other matrix object is cached on that object,
+    so every consumer of the same adjacency — criterion, similarity, NIM —
+    shares a single boolean copy.  Callers must therefore treat the result
+    as read-only; adjacency matrices in this library are built once and
+    never mutated afterwards.
+    """
+    cached = getattr(matrix, _BOOLEAN_CACHE_ATTR, None)
+    if cached is not None:
+        return cached
+    if (
+        sp.issparse(matrix)
+        and matrix.format == "csr"
+        and matrix.dtype == np.float64
+        and (matrix.nnz == 0 or bool((matrix.data == 1.0).all()))
+    ):
+        setattr(matrix, _BOOLEAN_CACHE_ATTR, matrix)
+        return matrix
+    result = to_csr(matrix).copy()
+    if result.nnz:
+        result.data = np.ones_like(result.data)
+    setattr(result, _BOOLEAN_CACHE_ATTR, result)
+    try:
+        setattr(matrix, _BOOLEAN_CACHE_ATTR, result)
+    except AttributeError:  # plain ndarrays cannot carry the cache
+        pass
+    return result
 
 
 def compose_path(matrices: list[sp.spmatrix], *, normalize: bool = True) -> sp.csr_matrix:

@@ -1,0 +1,233 @@
+"""Tests for the packed-bitset / decremental coverage kernels."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import CondensationContext, TargetNodeSelector
+from repro.core.coverage_kernels import (
+    PackedAdjacency,
+    bit_count,
+    greedy_max_coverage_decremental,
+    greedy_max_coverage_packed,
+    greedy_max_coverage_reference,
+)
+from repro.core.receptive_field import greedy_max_coverage, receptive_field_size
+
+
+def random_boolean_csr(seed: int, n_rows: int = 30, n_cols: int = 80, density: float = 0.15):
+    rng = np.random.default_rng(seed)
+    return sp.csr_matrix((rng.random((n_rows, n_cols)) < density).astype(float))
+
+
+class TestBitCount:
+    def test_known_values(self):
+        words = np.array([0, 1, 3, 2**63, 2**64 - 1], dtype=np.uint64)
+        np.testing.assert_array_equal(bit_count(words).astype(int), [0, 1, 2, 1, 64])
+
+
+class TestPackedAdjacency:
+    def test_roundtrip(self):
+        matrix = random_boolean_csr(0)
+        packed = PackedAdjacency.from_csr(matrix)
+        np.testing.assert_array_equal(packed.unpack(), matrix.toarray().astype(bool))
+
+    def test_shape_and_word_count(self):
+        packed = PackedAdjacency.from_csr(sp.csr_matrix((5, 130)))
+        assert packed.shape == (5, 130)
+        assert packed.num_words == 3  # ceil(130 / 64)
+
+    def test_row_sizes_match_nnz(self):
+        matrix = random_boolean_csr(1)
+        packed = PackedAdjacency.from_csr(matrix)
+        rows = np.arange(matrix.shape[0])
+        np.testing.assert_array_equal(packed.row_sizes(rows), np.diff(matrix.indptr))
+
+    def test_marginal_gains_against_sets(self):
+        matrix = random_boolean_csr(2)
+        packed = PackedAdjacency.from_csr(matrix)
+        covered = packed.empty_cover()
+        packed.add_to_cover(0, covered)
+        packed.add_to_cover(3, covered)
+        covered_cols = set(matrix[0].indices) | set(matrix[3].indices)
+        rows = np.arange(matrix.shape[0])
+        expected = [
+            len(set(matrix[r].indices) - covered_cols) for r in rows
+        ]
+        np.testing.assert_array_equal(packed.marginal_gains(rows, covered), expected)
+
+    def test_union_count_matches_receptive_field_size(self):
+        matrix = random_boolean_csr(3)
+        packed = PackedAdjacency.from_csr(matrix)
+        nodes = np.array([1, 4, 7, 7, 2])
+        assert packed.union_count(nodes) == receptive_field_size(matrix, nodes)
+        assert receptive_field_size(packed, nodes) == receptive_field_size(matrix, nodes)
+
+    def test_source_retained(self):
+        matrix = random_boolean_csr(4)
+        assert PackedAdjacency.from_csr(matrix).source is matrix
+
+    def test_empty_matrix(self):
+        packed = PackedAdjacency.from_csr(sp.csr_matrix((3, 0)))
+        assert packed.union_count(np.array([0, 1])) == 0
+
+
+def assert_same_result(result, reference):
+    np.testing.assert_array_equal(result.selected, reference.selected)
+    np.testing.assert_array_equal(result.gains, reference.gains)
+    assert result.covered == reference.covered
+
+
+class TestKernelEquivalence:
+    """All strategies must return byte-identical selections."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_strategies_agree(self, seed):
+        matrix = random_boolean_csr(seed)
+        rng = np.random.default_rng(seed)
+        pool = rng.choice(matrix.shape[0], size=20, replace=False)
+        budget = int(rng.integers(1, 12))
+        reference = greedy_max_coverage_reference(matrix, pool, budget, lazy=True)
+        packed = PackedAdjacency.from_csr(matrix)
+        for result in [
+            greedy_max_coverage_reference(matrix, pool, budget, lazy=False),
+            greedy_max_coverage_decremental(matrix, pool, budget),
+            greedy_max_coverage_packed(packed, pool, budget, lazy=True),
+            greedy_max_coverage_packed(packed, pool, budget, lazy=False),
+            greedy_max_coverage(matrix, pool, budget),
+            greedy_max_coverage(packed, pool, budget, method="celf"),
+            greedy_max_coverage(packed, pool, budget, method="eager"),
+        ]:
+            assert_same_result(result, reference)
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 7, 1024])
+    def test_celf_batch_size_invariant(self, batch_size):
+        matrix = random_boolean_csr(11)
+        packed = PackedAdjacency.from_csr(matrix)
+        pool = np.arange(matrix.shape[0])
+        reference = greedy_max_coverage_reference(matrix, pool, 10)
+        result = greedy_max_coverage_packed(packed, pool, 10, batch_size=batch_size)
+        assert_same_result(result, reference)
+
+    def test_tie_breaking_lowest_node_id(self):
+        # Rows 1 and 3 are identical; both orders of evaluation must pick 1.
+        dense = np.zeros((5, 8))
+        dense[1, [0, 1, 2]] = 1.0
+        dense[3, [0, 1, 2]] = 1.0
+        dense[4, [5]] = 1.0
+        matrix = sp.csr_matrix(dense)
+        for method in ("decremental", "celf", "eager"):
+            result = greedy_max_coverage(matrix, np.arange(5), 2, method=method)
+            assert result.selected.tolist() == [1, 4]
+
+    def test_eager_branch_deterministic_ties(self):
+        # Regression: the eager reference used Python set iteration order.
+        dense = np.zeros((6, 4))
+        for row in (5, 2, 4):
+            dense[row, :2] = 1.0
+        matrix = sp.csr_matrix(dense)
+        eager = greedy_max_coverage_reference(matrix, np.arange(6), 1, lazy=False)
+        lazy = greedy_max_coverage_reference(matrix, np.arange(6), 1, lazy=True)
+        assert eager.selected.tolist() == lazy.selected.tolist() == [2]
+
+    def test_duplicate_pool_entries(self):
+        matrix = random_boolean_csr(5)
+        pool = np.array([3, 3, 1, 7, 1])
+        reference = greedy_max_coverage_reference(matrix, pool, 4)
+        assert_same_result(greedy_max_coverage(matrix, pool, 4), reference)
+
+    def test_zero_budget_and_empty_pool(self):
+        matrix = random_boolean_csr(6)
+        for pool, budget in [(np.arange(5), 0), (np.empty(0, dtype=np.int64), 3)]:
+            result = greedy_max_coverage(matrix, pool, budget)
+            assert result.selected.size == 0
+            assert result.covered == 0
+
+    def test_all_zero_gain_selects_single_node(self):
+        matrix = sp.csr_matrix((4, 6))
+        reference = greedy_max_coverage_reference(matrix, np.arange(4), 3)
+        for method in ("decremental", "celf", "eager"):
+            result = greedy_max_coverage(matrix, np.arange(4), 3, method=method)
+            assert_same_result(result, reference)
+        assert reference.selected.tolist() == [0]
+
+    def test_non_canonical_input_not_mutated_and_set_semantics(self):
+        # Duplicate stored entry: col 2 appears twice in row 0.
+        matrix = sp.csr_matrix(
+            (np.ones(3), np.array([2, 2, 3]), np.array([0, 2, 3])), shape=(2, 5)
+        )
+        data_before = matrix.data.copy()
+        result = greedy_max_coverage_decremental(matrix, np.arange(2), 2)
+        np.testing.assert_array_equal(matrix.data, data_before)  # caller untouched
+        assert matrix.nnz == 3
+        # Set semantics: the duplicate counts once, like the packed kernels.
+        packed = greedy_max_coverage_packed(
+            PackedAdjacency.from_csr(matrix), np.arange(2), 2
+        )
+        assert_same_result(result, packed)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_max_coverage(random_boolean_csr(7), np.arange(3), 2, method="magic")
+
+    def test_decremental_requires_source(self):
+        packed = PackedAdjacency.from_csr(random_boolean_csr(8))
+        packed.source = None
+        with pytest.raises(ValueError):
+            greedy_max_coverage(packed, np.arange(3), 2, method="decremental")
+        # but auto falls back to batched CELF
+        result = greedy_max_coverage(packed, np.arange(3), 2)
+        assert result.selected.size > 0
+
+
+class TestContextPackedCache:
+    def test_packed_receptive_field_memoized(self, toy_graph):
+        context = CondensationContext(toy_graph, max_hops=2, max_paths=8)
+        path = context.metapaths()[0]
+        packed = context.packed_receptive_field(path)
+        assert context.packed_receptive_field(path) is packed
+        assert context.stats["packed_builds"] == 1
+        assert context.stats["packed_hits"] == 1
+        np.testing.assert_array_equal(
+            packed.unpack(), context.receptive_field(path).toarray().astype(bool)
+        )
+
+    def test_clear_drops_packed(self, toy_graph):
+        context = CondensationContext(toy_graph, max_hops=2, max_paths=8)
+        path = context.metapaths()[0]
+        first = context.packed_receptive_field(path)
+        context.clear()
+        assert context.packed_receptive_field(path) is not first
+
+    def test_criterion_scores_unchanged_by_context_hoist(self, toy_graph):
+        """Per-class criterion scores are identical with and without the
+        context-level adjacency hoist."""
+        selector = TargetNodeSelector(max_hops=2, max_paths=8)
+        context = CondensationContext(toy_graph, max_hops=2, max_paths=8)
+        cold = selector.select(toy_graph, 8)
+        warm = selector.select(toy_graph, 8, context=context)
+        np.testing.assert_array_equal(cold.selected, warm.selected)
+        np.testing.assert_array_equal(cold.scores, warm.scores)
+        for cls in cold.per_class:
+            np.testing.assert_array_equal(cold.per_class[cls], warm.per_class[cls])
+
+    def test_criterion_selector_reuses_kernel_indices(self, toy_graph):
+        """The greedy kernels attach their index caches to the context's
+        memoized adjacencies, so repeated select() calls rebuild nothing."""
+        selector = TargetNodeSelector(max_hops=2, max_paths=8)
+        context = CondensationContext(toy_graph, max_hops=2, max_paths=8)
+        selector.select(toy_graph, 8, context=context)
+
+        def kernel_index(path):
+            adjacency = context.receptive_field(path)
+            for attr in ("_repro_csc", "_repro_canonical", "_repro_packed"):
+                cached = getattr(adjacency, attr, None)
+                if cached is not None:
+                    return cached
+            return None
+
+        cached = [kernel_index(path) for path in context.metapaths()]
+        assert all(index is not None for index in cached)
+        selector.select(toy_graph, 8, context=context)
+        for path, index in zip(context.metapaths(), cached):
+            assert kernel_index(path) is index

@@ -8,8 +8,14 @@ from hypothesis.extra.numpy import arrays
 
 from repro.baselines.herding import herding_select
 from repro.baselines.kcenter import kcenter_select
+from repro.core.coverage_kernels import (
+    PackedAdjacency,
+    greedy_max_coverage_decremental,
+    greedy_max_coverage_packed,
+    greedy_max_coverage_reference,
+)
 from repro.core.receptive_field import greedy_max_coverage, receptive_field_size
-from repro.core.similarity import pairwise_jaccard
+from repro.core.similarity import metapath_similarity_scores, pairwise_jaccard
 from repro.hetero.sparse import boolean_csr, row_normalize
 from repro.nn.autograd import Tensor
 
@@ -120,6 +126,63 @@ class TestCoverageProperties:
             for node in range(matrix.shape[0])
         )
         assert result.covered >= best_single
+
+
+# --------------------------------------------------------------------------- #
+# Kernel equivalence: lazy CELF == eager greedy == packed bitset == decremental
+# --------------------------------------------------------------------------- #
+class TestCoverageKernelEquivalence:
+    """Every coverage strategy must return the byte-identical greedy run."""
+
+    @given(
+        boolean_matrices(max_rows=16, max_cols=40),
+        st.integers(1, 10),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_strategies_identical(self, matrix, budget, seed):
+        rng = np.random.default_rng(seed)
+        pool_size = int(rng.integers(1, matrix.shape[0] + 1))
+        pool = rng.choice(matrix.shape[0], size=pool_size, replace=bool(rng.integers(2)))
+        reference = greedy_max_coverage_reference(matrix, pool, budget, lazy=True)
+        packed = PackedAdjacency.from_csr(matrix)
+        others = [
+            greedy_max_coverage_reference(matrix, pool, budget, lazy=False),
+            greedy_max_coverage_decremental(matrix, pool, budget),
+            greedy_max_coverage_packed(packed, pool, budget, lazy=True, batch_size=2),
+            greedy_max_coverage_packed(packed, pool, budget, lazy=False),
+            greedy_max_coverage(matrix, pool, budget),
+        ]
+        for result in others:
+            np.testing.assert_array_equal(result.selected, reference.selected)
+            np.testing.assert_array_equal(result.gains, reference.gains)
+            assert result.covered == reference.covered
+
+    @given(boolean_matrices(max_rows=14, max_cols=30), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_packed_union_matches_csr_union(self, matrix, seed):
+        rng = np.random.default_rng(seed)
+        nodes = rng.choice(matrix.shape[0], size=int(rng.integers(0, matrix.shape[0] + 1)))
+        packed = PackedAdjacency.from_csr(matrix)
+        assert receptive_field_size(packed, nodes) == receptive_field_size(matrix, nodes)
+
+    @given(boolean_matrices(max_rows=12, max_cols=20), st.integers(2, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_similarity_scores_symmetric_pair_rewrite(self, matrix, copies):
+        """The single-multiply-per-pair rewrite equals the naive double loop."""
+        rng = np.random.default_rng(matrix.nnz)
+        adjacencies = [matrix]
+        for _ in range(copies - 1):
+            perm = rng.permutation(matrix.shape[0])
+            adjacencies.append(matrix[perm])
+        scores = metapath_similarity_scores(adjacencies)
+        naive = np.zeros_like(scores)
+        for i in range(copies):
+            for j in range(copies):
+                if i != j:
+                    naive[:, i] += pairwise_jaccard(adjacencies[i], adjacencies[j])
+        naive /= copies - 1
+        np.testing.assert_allclose(scores, naive)
 
 
 # --------------------------------------------------------------------------- #
