@@ -37,7 +37,7 @@ from repro.hetero.graph import HeteroGraph, NodeSplits
 from repro.hetero.sparse import boolean_csr
 from repro.registry import other_stages, target_stages
 
-__all__ = ["FreeHGC", "assemble_condensed_graph"]
+__all__ = ["FreeHGC", "assemble_condensed_graph", "run_condensation_pipeline"]
 
 
 class FreeHGC(GraphCondenser):
@@ -145,7 +145,16 @@ class FreeHGC(GraphCondenser):
         *,
         seed: int | np.random.Generator | None = None,
         context: CondensationContext | None = None,
+        stage_memo=None,
     ) -> HeteroGraph:
+        """Condense ``graph`` down to ``ratio`` of its target nodes.
+
+        ``stage_memo`` is an advanced hook used by the streaming subsystem
+        (:class:`repro.streaming.IncrementalCondenser`): an object that may
+        serve cached stage results when a stage's inputs are unchanged (see
+        :func:`run_condensation_pipeline`).  With the default ``None`` every
+        stage runs from scratch.
+        """
         ratio = self._validate_ratio(graph, ratio)
         budgets = per_type_budgets(graph, ratio)
         if context is None:
@@ -158,86 +167,135 @@ class FreeHGC(GraphCondenser):
                 "graph or with different hop settings"
             )
         self.last_context = context
-        hierarchy = context.hierarchy
-        target = hierarchy.root
-        target_stage, father_stage, leaf_stage = self.build_stages()
-
-        selected: dict[str, np.ndarray] = {}
-        synthetic: dict[str, SyntheticLeafNodes] = {}
-
-        # ------------------------------------------------------------------
-        # Stage 1: target-type nodes.
-        # ------------------------------------------------------------------
-        outcome = target_stage.select_target(context, budgets[target])
-        if isinstance(outcome, TargetSelectionResult):
-            self.last_target_selection = outcome
-            selected[target] = outcome.selected
-        else:
-            self.last_target_selection = None
-            selected[target] = np.asarray(outcome, dtype=np.int64)
-        if selected[target].size == 0:
-            raise CondensationError("target selection produced no nodes")
-        anchor = selected[target] if self.anchor_on_selected else None
-
-        # ------------------------------------------------------------------
-        # Stage 2: father-type nodes.
-        # ------------------------------------------------------------------
-        target_providers: Providers = {target: selected[target]}
-        for father in hierarchy.fathers:
-            result = father_stage.condense_type(
-                context,
-                father,
-                budgets[father],
-                anchor=anchor,
-                providers=target_providers,
-            )
-            if result.synthetic is not None:
-                synthetic[father] = result.synthetic
-            else:
-                selected[father] = result.selected
-
-        # Leaf synthesis draws its providers from every condensed father —
-        # selected or synthesised alike (synthesised father hyper-nodes seed
-        # the synthesis through their merged member sets).
-        father_providers: dict[str, np.ndarray | SyntheticLeafNodes] = {}
-        for father in hierarchy.fathers:
-            if father in selected:
-                father_providers[father] = selected[father]
-            else:
-                father_providers[father] = synthetic[father]
-        if not father_providers:
-            father_providers = {target: selected[target]}
-
-        # ------------------------------------------------------------------
-        # Stage 3: leaf-type nodes.
-        # ------------------------------------------------------------------
-        for leaf in hierarchy.leaves:
-            result = leaf_stage.condense_type(
-                context,
-                leaf,
-                budgets[leaf],
-                anchor=anchor,
-                providers=father_providers,
-            )
-            if result.synthetic is not None:
-                synthetic[leaf] = result.synthetic
-            else:
-                selected[leaf] = result.selected
-
-        condensed = assemble_condensed_graph(
-            graph,
-            selected,
-            synthetic,
+        # Reset before running: if the pipeline raises, diagnostics must not
+        # expose a previous run's stale selection.
+        self.last_target_selection = None
+        condensed, outcome = run_condensation_pipeline(
+            context,
+            budgets,
+            self.build_stages(),
+            stage_memo=stage_memo,
+            anchor_on_selected=self.anchor_on_selected,
             metadata={
                 "method": self.name,
                 "ratio": ratio,
-                "structure": hierarchy.structure,
+                "structure": context.hierarchy.structure,
                 "target_strategy": self.target_strategy,
                 "father_strategy": self.father_strategy,
                 "leaf_strategy": self.leaf_strategy,
             },
         )
+        self.last_target_selection = (
+            outcome if isinstance(outcome, TargetSelectionResult) else None
+        )
         return condensed
+
+
+def run_condensation_pipeline(
+    context: CondensationContext,
+    budgets: dict[str, int],
+    stages: "tuple[TargetStage, OtherTypeStage, OtherTypeStage]",
+    *,
+    anchor_on_selected: bool = True,
+    metadata: dict[str, object] | None = None,
+    stage_memo=None,
+) -> "tuple[HeteroGraph, TargetSelectionResult | np.ndarray]":
+    """Run the three-stage condensation pipeline over ``context.graph``.
+
+    This is the single implementation behind both :meth:`FreeHGC.condense`
+    (``stage_memo=None``) and the streaming
+    :class:`~repro.streaming.incremental.IncrementalCondenser`, which passes
+    a *stage memo* — an object with ``select_target(stage, context, budget)``
+    and ``condense_type(stage, context, role, node_type, budget, anchor=...,
+    providers=...)`` that may serve a previously computed stage result when
+    the stage's inputs are unchanged, and otherwise must delegate to the
+    stage.  Because stages are deterministic functions of their inputs,
+    memoized and fresh runs produce byte-identical condensed graphs.
+
+    Returns the condensed graph and the raw target-stage outcome.
+    """
+    graph = context.graph
+    hierarchy = context.hierarchy
+    target = hierarchy.root
+    target_stage, father_stage, leaf_stage = stages
+
+    selected: dict[str, np.ndarray] = {}
+    synthetic: dict[str, SyntheticLeafNodes] = {}
+
+    # ------------------------------------------------------------------
+    # Stage 1: target-type nodes.
+    # ------------------------------------------------------------------
+    if stage_memo is None:
+        outcome = target_stage.select_target(context, budgets[target])
+    else:
+        outcome = stage_memo.select_target(target_stage, context, budgets[target])
+    if isinstance(outcome, TargetSelectionResult):
+        selected[target] = outcome.selected
+    else:
+        selected[target] = np.asarray(outcome, dtype=np.int64)
+    if selected[target].size == 0:
+        raise CondensationError("target selection produced no nodes")
+    anchor = selected[target] if anchor_on_selected else None
+
+    def condense_type(stage, role: str, node_type: str, providers: Providers):
+        if stage_memo is None:
+            return stage.condense_type(
+                context,
+                node_type,
+                budgets[node_type],
+                anchor=anchor,
+                providers=providers,
+            )
+        return stage_memo.condense_type(
+            stage,
+            context,
+            role,
+            node_type,
+            budgets[node_type],
+            anchor=anchor,
+            providers=providers,
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 2: father-type nodes.
+    # ------------------------------------------------------------------
+    target_providers: Providers = {target: selected[target]}
+    for father in hierarchy.fathers:
+        result = condense_type(father_stage, "father", father, target_providers)
+        if result.synthetic is not None:
+            synthetic[father] = result.synthetic
+        else:
+            selected[father] = result.selected
+
+    # Leaf synthesis draws its providers from every condensed father —
+    # selected or synthesised alike (synthesised father hyper-nodes seed
+    # the synthesis through their merged member sets).
+    father_providers: dict[str, np.ndarray | SyntheticLeafNodes] = {}
+    for father in hierarchy.fathers:
+        if father in selected:
+            father_providers[father] = selected[father]
+        else:
+            father_providers[father] = synthetic[father]
+    if not father_providers:
+        father_providers = {target: selected[target]}
+
+    # ------------------------------------------------------------------
+    # Stage 3: leaf-type nodes.
+    # ------------------------------------------------------------------
+    for leaf in hierarchy.leaves:
+        result = condense_type(leaf_stage, "leaf", leaf, father_providers)
+        if result.synthetic is not None:
+            synthetic[leaf] = result.synthetic
+        else:
+            selected[leaf] = result.selected
+
+    condensed = assemble_condensed_graph(
+        graph,
+        selected,
+        synthetic,
+        metadata=metadata,
+    )
+    return condensed, outcome
 
 
 # ---------------------------------------------------------------------- #

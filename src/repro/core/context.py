@@ -26,6 +26,8 @@ speedup and to double-check that invariant in tests.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -97,7 +99,14 @@ class CondensationContext:
             "packed_hits": 0,
             "embedding_builds": 0,
             "embedding_hits": 0,
+            "invalidated_adjacencies": 0,
+            "patched_adjacencies": 0,
         }
+        #: optional per-selection memo consulted by the unified criterion
+        #: (duck-typed; the streaming subsystem installs a
+        #: :class:`repro.streaming.warmstart.SelectionMemo` here).  ``None``
+        #: (the default) leaves the criterion's behaviour untouched.
+        self.selection_memo = None
         self._hierarchy: TypeHierarchy | None = None
         self._metapaths: list[MetaPath] | None = None
         self._metapaths_to: dict[str, list[MetaPath]] = {}
@@ -237,6 +246,146 @@ class CondensationContext:
         else:
             self.stats["embedding_hits"] += 1
         return cached
+
+    # ------------------------------------------------------------------ #
+    # Streaming patch hooks
+    # ------------------------------------------------------------------ #
+    def cached_path_keys(self, *, normalize: bool = False) -> list[tuple[str, ...]]:
+        """Path keys whose composed adjacency of one form is memoized."""
+        return [
+            key
+            for key, cached_form in self._adjacencies
+            if cached_form == bool(normalize)
+        ]
+
+    def cached_adjacency(
+        self, node_types: tuple[str, ...], *, normalize: bool = False
+    ) -> sp.csr_matrix | None:
+        """The memoized adjacency of a path key, or None (never builds)."""
+        return self._adjacencies.get((tuple(node_types), bool(normalize)))
+
+    def install_adjacency(
+        self, node_types: tuple[str, ...], matrix: sp.csr_matrix
+    ) -> None:
+        """Replace the boolean adjacency of one path with a patched matrix.
+
+        Used by the streaming delta applier after row-level patching: the
+        patched matrix must equal what :meth:`adjacency` would compose from
+        the mutated graph.  The path's normalised sibling, its packed entry
+        and the aggregate feature/embedding blocks are dropped (patching
+        covers only the boolean form; packed words may be pre-attached on
+        ``matrix`` by the patcher and are picked up lazily).
+        """
+        key = tuple(node_types)
+        self._adjacencies[(key, False)] = matrix
+        self._adjacencies.pop((key, True), None)
+        self._packed.pop(key, None)
+        self._feature_blocks = None
+        self._target_embeddings = None
+        self.stats["patched_adjacencies"] += 1
+
+    def invalidate_type_embeddings(self, node_types: "Iterable[str]") -> None:
+        """Drop per-type and aggregate embeddings of the given types."""
+        touched = False
+        for node_type in node_types:
+            self._other_embeddings.pop(node_type, None)
+            touched = True
+        if touched:
+            self._feature_blocks = None
+            self._target_embeddings = None
+
+    # ------------------------------------------------------------------ #
+    # Partial invalidation (streaming deltas)
+    # ------------------------------------------------------------------ #
+    def _drop_paths(self, is_affected) -> list[tuple[str, ...]]:
+        """Drop every memoized adjacency/packed entry whose path matches.
+
+        ``is_affected`` maps a path's ``node_types`` tuple to bool.  Returns
+        the distinct path keys dropped.  Feature blocks and target
+        embeddings aggregate *all* meta-path products, so they are dropped
+        whenever at least one path is.
+        """
+        dropped: list[tuple[str, ...]] = []
+        for key in list(self._adjacencies):
+            node_types, _normalize = key
+            if is_affected(node_types):
+                del self._adjacencies[key]
+                if node_types not in dropped:
+                    dropped.append(node_types)
+        for node_types in list(self._packed):
+            if is_affected(node_types):
+                del self._packed[node_types]
+                if node_types not in dropped:
+                    dropped.append(node_types)
+        if dropped:
+            self.stats["invalidated_adjacencies"] += len(dropped)
+            self._feature_blocks = None
+            self._target_embeddings = None
+        return dropped
+
+    def invalidate_edges(
+        self, type_pairs: "Iterable[tuple[str, str]]"
+    ) -> list[tuple[str, ...]]:
+        """Invalidate artifacts that depend on edges between the given type pairs.
+
+        ``type_pairs`` are ``(src, dst)`` node-type pairs whose combined
+        adjacency changed (orientation is ignored — meta-path composition
+        walks :meth:`~repro.hetero.graph.HeteroGraph.typed_adjacency`, which
+        merges both directions).  Every memoized meta-path adjacency whose
+        hop sequence crosses an affected pair is dropped, together with its
+        packed form and the aggregate feature/embedding blocks; everything
+        else survives.  Returns the dropped path keys.
+        """
+        affected = {frozenset(pair) for pair in type_pairs}
+        if not affected:
+            return []
+        affected_types = set().union(*affected)
+
+        def is_affected(node_types: tuple[str, ...]) -> bool:
+            return any(
+                frozenset(hop) in affected
+                for hop in zip(node_types[:-1], node_types[1:])
+            )
+
+        dropped = self._drop_paths(is_affected)
+        # Degree-based embeddings of the touched endpoint types are stale.
+        for node_type in affected_types:
+            self._other_embeddings.pop(node_type, None)
+        return dropped
+
+    def invalidate_paths(
+        self, keys: "Iterable[tuple[str, ...]]"
+    ) -> list[tuple[str, ...]]:
+        """Drop the memoized adjacencies (both forms) of specific path keys."""
+        key_set = {tuple(key) for key in keys}
+        if not key_set:
+            return []
+        return self._drop_paths(lambda node_types: node_types in key_set)
+
+    def invalidate_nodes(self, node_types: "Iterable[str]") -> list[tuple[str, ...]]:
+        """Invalidate artifacts that depend on the node sets of ``node_types``.
+
+        Used after node insertion/removal: every meta-path visiting an
+        affected type changes shape (or content), so its adjacency, packed
+        form and the aggregate feature/embedding blocks are dropped, as are
+        the per-type embeddings of the affected types.  The schema-level
+        artifacts (hierarchy, enumerated meta-paths) only depend on the
+        static schema and survive.  Returns the dropped path keys.
+        """
+        affected = set(node_types)
+        if not affected:
+            return []
+
+        def is_affected(path_types: tuple[str, ...]) -> bool:
+            return bool(affected.intersection(path_types))
+
+        dropped = self._drop_paths(is_affected)
+        for node_type in affected:
+            self._other_embeddings.pop(node_type, None)
+        if self.target_type in affected:
+            self._feature_blocks = None
+            self._target_embeddings = None
+        return dropped
 
     # ------------------------------------------------------------------ #
     def clear(self) -> None:

@@ -36,6 +36,8 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro.hetero.sparse import cached_csc, validate_attribute_caches
+
 __all__ = [
     "CoverageResult",
     "PackedAdjacency",
@@ -52,20 +54,29 @@ DEFAULT_BATCH_SIZE = 64
 # --------------------------------------------------------------------------- #
 # Popcount
 # --------------------------------------------------------------------------- #
+_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def _bit_count_lut(words: np.ndarray) -> np.ndarray:
+    """Per-element population count via a byte lookup table.
+
+    The NumPy < 2 fallback (no ``np.bitwise_count``).  Defined — and unit
+    tested against :func:`bit_count` — on every NumPy version, so the
+    fallback cannot rot between runs of the CI ``numpy<2`` matrix leg.
+    """
+    words = np.ascontiguousarray(words)
+    as_bytes = words.view(np.uint8).reshape(words.shape + (words.dtype.itemsize,))
+    return _POPCOUNT_TABLE[as_bytes].sum(axis=-1, dtype=np.uint8)
+
+
 if hasattr(np, "bitwise_count"):  # NumPy >= 2.0
 
     def bit_count(words: np.ndarray) -> np.ndarray:
         """Per-element population count of an unsigned integer array."""
         return np.bitwise_count(words)
 
-else:  # pragma: no cover - exercised only on NumPy < 2.0
-    _POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
-
-    def bit_count(words: np.ndarray) -> np.ndarray:
-        """Per-element population count via a byte lookup table."""
-        words = np.ascontiguousarray(words)
-        as_bytes = words.view(np.uint8).reshape(words.shape + (words.dtype.itemsize,))
-        return _POPCOUNT_TABLE[as_bytes].sum(axis=-1, dtype=np.uint8)
+else:  # pragma: no cover - exercised on the NumPy < 2.0 CI leg
+    bit_count = _bit_count_lut
 
 
 @dataclass
@@ -138,7 +149,11 @@ class PackedAdjacency:
         share one adjacency (the per-class criterion runs, repeated
         selector calls on a memoized context) pack it exactly once, and
         packing is deferred until a strategy actually needs the words.
+        The cache is fingerprint-guarded
+        (:func:`repro.hetero.sparse.validate_attribute_caches`): structural
+        in-place mutation of ``csr`` drops the stale packed words.
         """
+        validate_attribute_caches(csr)
         cached = getattr(csr, "_repro_packed", None)
         if cached is None:
             cached = cls.from_csr(csr)
@@ -217,19 +232,54 @@ def greedy_max_coverage_packed(
     budget = int(min(budget, pool.size))
     if budget <= 0:
         return _empty_result()
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
 
     # Candidates sorted ascending: np.argmax then breaks ties by lowest id.
     candidates = np.unique(pool)
     covered = packed.empty_cover()
     upper = packed.marginal_gains(candidates, covered)
-    evaluations = int(candidates.size)
-    alive = np.ones(candidates.size, dtype=bool)
-    selected: list[int] = []
-    gains: list[float] = []
+    return _packed_greedy_loop(
+        packed,
+        candidates,
+        upper,
+        np.ones(candidates.size, dtype=bool),
+        covered,
+        [],
+        [],
+        budget,
+        lazy=lazy,
+        batch_size=batch_size,
+        evaluations=int(candidates.size),
+        round_id=0,
+    )
 
-    round_id = 0
+
+def _packed_greedy_loop(
+    packed: PackedAdjacency,
+    candidates: np.ndarray,
+    upper: np.ndarray,
+    alive: np.ndarray,
+    covered: np.ndarray,
+    selected: list[int],
+    gains: list[float],
+    budget: int,
+    *,
+    lazy: bool,
+    batch_size: int,
+    evaluations: int,
+    round_id: int,
+) -> CoverageResult:
+    """Run the (batched-CELF / eager) greedy loop from an arbitrary state.
+
+    ``candidates`` must be sorted ascending (lowest-id tie-breaking relies
+    on it) and ``upper`` must hold valid gain upper bounds — exact gains at
+    ``round_id == 0``, any submodular upper bound afterwards.  The streaming
+    warm start (:mod:`repro.streaming.warmstart`) resumes this loop after
+    replaying a verified selection prefix; ``greedy_max_coverage_packed``
+    calls it with the empty initial state.  Selections are byte-identical
+    either way because the loop body is the single shared implementation.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     while len(selected) < budget and alive.any():
         if round_id == 0 or not lazy:
             # All bounds exact (round 0) or eagerly recomputed: plain argmax.
@@ -329,6 +379,7 @@ def greedy_max_coverage_decremental(
         return _empty_result()
 
     n_rows, n_cols = adjacency.shape
+    validate_attribute_caches(adjacency)
     if not adjacency.has_canonical_format:
         # Duplicate column entries would double-count gains.  Canonicalise
         # a private copy (never the caller's matrix) and cache it on the
@@ -342,13 +393,7 @@ def greedy_max_coverage_decremental(
             except AttributeError:  # pragma: no cover - csr accepts attrs
                 pass
         adjacency = canonical
-    csc = getattr(adjacency, "_repro_csc", None)
-    if csc is None:
-        csc = adjacency.tocsc()
-        try:
-            adjacency._repro_csc = csc
-        except AttributeError:  # pragma: no cover - csr accepts attrs
-            pass
+    csc = cached_csc(adjacency)
     if pool.size > 1 and bool(np.all(pool[1:] > pool[:-1])):
         candidates = pool  # already sorted and duplicate-free
     else:

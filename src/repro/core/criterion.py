@@ -115,7 +115,10 @@ class TargetNodeSelector:
                 metapath_adjacency(graph, path, normalize=False) for path in metapaths
             ]
 
-        similarity = self._similarity_matrix(metapaths, adjacencies, graph)
+        # The streaming subsystem installs a selection memo on its shared
+        # context; with no memo (the default) nothing below changes.
+        memo = getattr(context, "selection_memo", None) if use_context else None
+        similarity = self._similarity_matrix(metapaths, adjacencies, graph, memo=memo)
         class_budgets = per_class_budgets(graph, budget, pool=pool)
         labels = graph.labels
         # Hoisted out of the per-path loop: the class-restricted pools are
@@ -130,18 +133,33 @@ class TargetNodeSelector:
             normalizer = float(max(adjacency.shape[1], 1))
             path_scores = np.zeros(n_target, dtype=np.float64)
             if self.use_receptive_field:
-                # The greedy kernels cache their index structures (packed
-                # words / inverted CSC) on the adjacency object, so the
-                # per-class runs — and, with a memoized context, repeated
-                # select() calls — build them once per meta-path.
-                for cls, cls_budget in class_budgets.items():
-                    cls_pool = class_pools[cls]
-                    if cls_pool.size == 0:
-                        continue
-                    result = greedy_max_coverage(adjacency, cls_pool, cls_budget)
-                    coverage_evaluations += result.evaluations
-                    if result.selected.size:
-                        path_scores[result.selected] += result.gains / normalizer
+                if memo is not None:
+                    # Memoized / warm-started per-path coverage scores:
+                    # byte-identical to the loop below (reused vectors were
+                    # produced by it; warm starts replay the exact kernel).
+                    scores, evaluations = memo.path_coverage(
+                        metapaths[path_index],
+                        adjacency,
+                        class_pools,
+                        class_budgets,
+                        normalizer,
+                        n_target,
+                    )
+                    path_scores += scores
+                    coverage_evaluations += evaluations
+                else:
+                    # The greedy kernels cache their index structures (packed
+                    # words / inverted CSC) on the adjacency object, so the
+                    # per-class runs — and, with a memoized context, repeated
+                    # select() calls — build them once per meta-path.
+                    for cls, cls_budget in class_budgets.items():
+                        cls_pool = class_pools[cls]
+                        if cls_pool.size == 0:
+                            continue
+                        result = greedy_max_coverage(adjacency, cls_pool, cls_budget)
+                        coverage_evaluations += result.evaluations
+                        if result.selected.size:
+                            path_scores[result.selected] += result.gains / normalizer
             if self.use_similarity:
                 diversity = 1.0 - similarity[:, path_index]
                 path_scores[pool] += diversity[pool]
@@ -178,13 +196,17 @@ class TargetNodeSelector:
         metapaths: list[MetaPath],
         adjacencies: list[sp.csr_matrix],
         graph: HeteroGraph,
+        *,
+        memo=None,
     ) -> np.ndarray:
         """Per-node Ĵ scores (Eq. 6), grouped by meta-path source type.
 
         Meta-paths are only comparable when they share the same source
         (end) type — PAP vs PFP in Fig. 4 both end at "paper".  Paths whose
         source type is unique in the enumeration have no redundancy and get
-        similarity zero.
+        similarity zero.  A selection memo (streaming) caches the scores of
+        each group keyed by the identity of its adjacency objects, so a
+        delta that rebuilds one group leaves the others untouched.
         """
         n_target = graph.num_nodes[graph.schema.target_type]
         similarity = np.zeros((n_target, len(metapaths)), dtype=np.float64)
@@ -193,10 +215,16 @@ class TargetNodeSelector:
         groups: dict[str, list[int]] = {}
         for index, path in enumerate(metapaths):
             groups.setdefault(path.end, []).append(index)
-        for indices in groups.values():
+        for end_type, indices in groups.items():
             if len(indices) < 2:
                 continue
-            group_scores = metapath_similarity_scores([adjacencies[i] for i in indices])
+            group_adjacencies = [adjacencies[i] for i in indices]
+            if memo is not None:
+                # Byte-identical to metapath_similarity_scores, with
+                # unchanged pairs served from the memo.
+                group_scores = memo.group_similarity(end_type, group_adjacencies)
+            else:
+                group_scores = metapath_similarity_scores(group_adjacencies)
             for column, index in enumerate(indices):
                 similarity[:, index] = group_scores[:, column]
         return similarity

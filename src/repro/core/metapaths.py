@@ -175,5 +175,12 @@ def metapath_adjacency(
         result = hop if result is None else (result @ hop).tocsr()
     assert result is not None
     if not normalize:
+        # Canonicalise the product once at build time (sparse matmul output
+        # has unsorted indices): the coverage kernels, the Jaccard products
+        # and the streaming row-diff all want canonical CSR, and doing it
+        # here means none of them pays for a private sorted copy.
+        if not result.has_canonical_format:
+            result.sum_duplicates()
         result = boolean_csr(result)
+        result.has_canonical_format = True  # binarising preserved the pattern
     return result

@@ -27,10 +27,68 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.context import CondensationContext
 from repro.errors import BudgetError
 from repro.hetero.graph import HeteroGraph
-from repro.hetero.sparse import symmetric_normalize
+from repro.hetero.sparse import cached_csc, symmetric_normalize, validate_attribute_caches
 from repro.core.metapaths import metapath_adjacency
 
 __all__ = ["FatherSelectionResult", "NeighborInfluenceMaximizer", "personalized_pagerank"]
+
+
+def _normalized_bipartite(adjacency: sp.csr_matrix) -> sp.csr_matrix:
+    """Symmetric-normalised bipartite graph of a target→father adjacency.
+
+    The block matrix of Eq. 11 depends only on the adjacency, not on the
+    restart vector, so it is attribute-cached on the adjacency object
+    (fingerprint-guarded like the coverage-kernel indexes).  Re-anchored PPR
+    runs — every streaming step re-anchors on the fresh target selection —
+    then pay only the power iterations.
+
+    For the unit-weight adjacencies this library produces, the block matrix
+    is assembled directly instead of via ``bmat`` + two diagonal matmuls:
+    bipartite degrees are exact row/column entry counts and every stored
+    value is ``deg_inv[i] * deg_inv[j]`` — bit-identical to
+    ``symmetric_normalize(bmat(...))`` (multiplying by the stored 1.0 is
+    exact, float multiplication is commutative) at a fraction of the cost.
+    """
+    validate_attribute_caches(adjacency)
+    cached = getattr(adjacency, "_repro_nim_bipartite", None)
+    if cached is not None:
+        return cached
+    csr = adjacency.tocsr()
+    unit_weight = csr.nnz == 0 or bool((csr.data == 1.0).all())
+    if unit_weight:
+        n_target, n_father = csr.shape
+        csc = cached_csc(csr)  # shared with the decremental kernel
+        degrees = np.concatenate(
+            [np.diff(csr.indptr), np.diff(csc.indptr)]
+        ).astype(np.float64)
+        inv = np.zeros_like(degrees)
+        positive = degrees > 0
+        inv[positive] = 1.0 / np.sqrt(degrees[positive])
+        indptr = np.concatenate([csr.indptr, csr.indptr[-1] + csc.indptr[1:]])
+        indices = np.concatenate(
+            [csr.indices.astype(np.int64) + n_target, csc.indices.astype(np.int64)]
+        )
+        row_factor = np.repeat(inv, np.diff(indptr))
+        data = row_factor * inv[indices]
+        cached = sp.csr_matrix(
+            (data, indices, indptr),
+            shape=(n_target + n_father, n_target + n_father),
+        )
+        cached.has_canonical_format = True
+    else:  # pragma: no cover - weighted adjacencies are not produced here
+        bipartite = sp.bmat(
+            [
+                [None, csr],
+                [csr.T, None],
+            ],
+            format="csr",
+        )
+        cached = symmetric_normalize(bipartite)
+    try:
+        adjacency._repro_nim_bipartite = cached
+    except AttributeError:  # pragma: no cover - csr accepts attrs
+        pass
+    return cached
 
 
 def personalized_pagerank(
@@ -40,6 +98,7 @@ def personalized_pagerank(
     alpha: float = 0.15,
     iterations: int = 30,
     tolerance: float = 1e-8,
+    prenormalized: bool = False,
 ) -> np.ndarray:
     """Approximate personalised PageRank on a symmetric-normalised graph.
 
@@ -57,12 +116,18 @@ def personalized_pagerank(
         Restart probability (``α`` in Eq. 11).
     iterations / tolerance:
         Power-iteration stopping criteria.
+    prenormalized:
+        When True, ``adjacency`` is taken to be symmetric-normalised
+        already and used as-is.  Callers that run many PPR queries on one
+        graph (the NIM stage re-anchoring after every streaming delta)
+        normalise once and reuse the result — the scores are bit-identical
+        because the same normalised matrix drives the same iterations.
     """
     if adjacency.shape[0] != adjacency.shape[1]:
         raise ValueError("personalised PageRank requires a square adjacency matrix")
     if not 0.0 < alpha < 1.0:
         raise ValueError(f"alpha must be in (0, 1), got {alpha}")
-    normalized = symmetric_normalize(adjacency)
+    normalized = adjacency if prenormalized else symmetric_normalize(adjacency)
     restart = np.asarray(restart, dtype=np.float64)
     total = restart.sum()
     if total <= 0:
@@ -170,16 +235,13 @@ class NeighborInfluenceMaximizer:
                 weighted = adjacency.T @ anchor_mask
                 influence += np.asarray(weighted).ravel()
                 continue
-            bipartite = sp.bmat(
-                [
-                    [None, adjacency],
-                    [adjacency.T, None],
-                ],
-                format="csr",
-            )
             restart = np.concatenate([anchor_mask, np.zeros(n_father)])
             scores = personalized_pagerank(
-                bipartite, restart, alpha=self.alpha, iterations=self.iterations
+                _normalized_bipartite(adjacency),
+                restart,
+                alpha=self.alpha,
+                iterations=self.iterations,
+                prenormalized=True,
             )
             influence += scores[n_target:]
 

@@ -25,7 +25,7 @@ from repro.hetero.builder import HeteroGraphBuilder
 from repro.hetero.schema import HeteroSchema, Relation
 from repro.utils.rng import ensure_rng
 
-__all__ = ["generate_hin", "schema_from_config"]
+__all__ = ["generate_hin", "schema_from_config", "generate_delta_schedule"]
 
 
 def schema_from_config(config: SyntheticHINConfig) -> HeteroSchema:
@@ -200,3 +200,170 @@ def generate_hin(
 
     graph: HeteroGraph = builder.build()
     return graph
+
+
+# --------------------------------------------------------------------------- #
+# Evolving-graph schedules
+# --------------------------------------------------------------------------- #
+def generate_delta_schedule(
+    graph: "HeteroGraph",
+    *,
+    steps: int,
+    seed: int | np.random.Generator | None = 0,
+    edge_churn: float = 0.002,
+    relations: tuple[str, ...] | None = None,
+    node_arrival_every: int = 0,
+    arrival_count: int = 4,
+    arrival_types: tuple[str, ...] | None = None,
+    removal_every: int = 0,
+    removal_count: int = 2,
+) -> "list":
+    """Generate a deterministic, timestamped delta schedule for ``graph``.
+
+    Models the production pattern the streaming subsystem targets: a steady
+    trickle of edge churn (new/retracted links, e.g. tags attaching to
+    papers) with occasional node arrivals and departures.
+
+    Parameters
+    ----------
+    graph:
+        The starting graph.  It is **not** mutated: schedule generation
+        replays the deltas on a private copy so that removals always name
+        existing edges and arrivals extend the correct id ranges.
+    steps:
+        Number of deltas to generate (their ``step`` fields are 1-based).
+    seed:
+        RNG seed; the same seed reproduces the same schedule.
+    edge_churn:
+        Per-step fraction of each churned relation's edges that is removed
+        and (approximately) re-added elsewhere, keeping density stable.
+    relations:
+        Relation names to churn (default: every relation).
+    node_arrival_every / arrival_count / arrival_types:
+        Every ``node_arrival_every``-th step additionally inserts
+        ``arrival_count`` nodes per arrival type (default: every non-target
+        type), with features resampled from the type's empirical mean/std
+        and edges wired like the surrounding graph; target-type arrivals
+        carry labels drawn from the empirical label distribution and join
+        the test split.  ``0`` disables arrivals.
+    removal_every / removal_count:
+        Every ``removal_every``-th step tombstones ``removal_count`` random
+        nodes per arrival type.  ``0`` disables departures.
+
+    Returns
+    -------
+    list of repro.streaming.GraphDelta
+        One delta per step, in replay order.
+    """
+    # Local import: repro.streaming sits above the datasets layer.
+    from repro.streaming.apply import DeltaApplier
+    from repro.streaming.delta import GraphDelta
+
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    if not 0.0 <= edge_churn <= 1.0:
+        raise ValueError(f"edge_churn must be in [0, 1], got {edge_churn}")
+    rng = ensure_rng(seed)
+    state = graph.copy()
+    applier = DeltaApplier()
+    churned = tuple(relations) if relations is not None else tuple(state.adjacency)
+    for name in churned:
+        state.schema.relation(name)  # raises on unknown relation names
+    if arrival_types is None:
+        arrival_types = tuple(
+            t for t in state.schema.node_types if t != state.schema.target_type
+        )
+
+    schedule = []
+    for step in range(1, steps + 1):
+        add_edges: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        remove_edges: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for name in churned:
+            matrix = state.adjacency[name]
+            # churn 0 means no churn; any positive churn moves >= 1 edge
+            count = max(1, int(round(edge_churn * matrix.nnz))) if edge_churn > 0 else 0
+            if count == 0:
+                continue
+            if matrix.nnz:
+                coo = matrix.tocoo()
+                picked = rng.choice(coo.nnz, size=min(count, coo.nnz), replace=False)
+                remove_edges[name] = (coo.row[picked], coo.col[picked])
+            rel = state.schema.relation(name)
+            add_edges[name] = (
+                rng.integers(0, state.num_nodes[rel.src], size=count),
+                rng.integers(0, state.num_nodes[rel.dst], size=count),
+            )
+
+        add_nodes: dict[str, np.ndarray] = {}
+        add_labels = None
+        if node_arrival_every and step % node_arrival_every == 0:
+            for node_type in arrival_types:
+                base = state.features[node_type]
+                mean = base.mean(axis=0)
+                std = base.std(axis=0) + 1e-6
+                add_nodes[node_type] = mean + std * rng.standard_normal(
+                    (arrival_count, base.shape[1])
+                )
+            if state.schema.target_type in add_nodes:
+                labeled = state.labels[state.labels >= 0]
+                population = labeled if labeled.size else np.zeros(1, dtype=np.int64)
+                add_labels = rng.choice(population, size=arrival_count)
+            # Wire the arrivals into the graph: every relation touching an
+            # arrival type gets a few edges incident to the new ids (mean
+            # degree ~= the relation's existing mean out-degree, >= 1).
+            for name in state.adjacency:
+                rel = state.schema.relation(name)
+                new_src = add_nodes.get(rel.src)
+                new_dst = add_nodes.get(rel.dst)
+                pieces_src: list[np.ndarray] = []
+                pieces_dst: list[np.ndarray] = []
+                mean_degree = max(
+                    1, int(state.adjacency[name].nnz / max(state.num_nodes[rel.src], 1))
+                )
+                if new_src is not None:
+                    first = state.num_nodes[rel.src]
+                    ids = np.repeat(
+                        np.arange(first, first + new_src.shape[0]), mean_degree
+                    )
+                    pieces_src.append(ids)
+                    pieces_dst.append(
+                        rng.integers(0, state.num_nodes[rel.dst], size=ids.size)
+                    )
+                if new_dst is not None:
+                    first = state.num_nodes[rel.dst]
+                    ids = np.repeat(
+                        np.arange(first, first + new_dst.shape[0]), mean_degree
+                    )
+                    pieces_dst.append(ids)
+                    pieces_src.append(
+                        rng.integers(0, state.num_nodes[rel.src], size=ids.size)
+                    )
+                if pieces_src:
+                    base_src, base_dst = add_edges.get(
+                        name, (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+                    )
+                    add_edges[name] = (
+                        np.concatenate([base_src] + pieces_src),
+                        np.concatenate([base_dst] + pieces_dst),
+                    )
+
+        remove_nodes: dict[str, np.ndarray] = {}
+        if removal_every and step % removal_every == 0:
+            for node_type in arrival_types:
+                count = min(removal_count, state.num_nodes[node_type] - 1)
+                if count > 0:
+                    remove_nodes[node_type] = rng.choice(
+                        state.num_nodes[node_type], size=count, replace=False
+                    )
+
+        delta = GraphDelta(
+            add_edges=add_edges,
+            remove_edges=remove_edges,
+            add_nodes=add_nodes,
+            add_labels=add_labels,
+            remove_nodes=remove_nodes,
+            step=step,
+        )
+        applier.apply(state, delta)
+        schedule.append(delta)
+    return schedule

@@ -19,7 +19,33 @@ from repro.errors import GraphConstructionError
 from repro.hetero.schema import HeteroSchema, Relation
 from repro.hetero.sparse import boolean_csr, sparse_storage_bytes, to_csr
 
-__all__ = ["NodeSplits", "HeteroGraph"]
+__all__ = ["NodeSplits", "HeteroGraph", "combine_typed_adjacency"]
+
+
+def combine_typed_adjacency(
+    schema: HeteroSchema,
+    num_nodes: dict[str, int],
+    adjacency: dict[str, sp.csr_matrix],
+    src: str,
+    dst: str,
+) -> sp.csr_matrix:
+    """Combined boolean adjacency between two node types.
+
+    The single implementation of the relation-merging rule: every relation
+    connecting the ordered pair is summed, relations stored in the opposite
+    direction are transposed in, and the result is binarised.  Used by
+    :meth:`HeteroGraph.typed_adjacency` (which adds memoization) and by the
+    streaming delta applier to rebuild the *pre-delta* view from a
+    snapshotted adjacency dict — one rule, two callers, no drift.
+    """
+    combined = sp.csr_matrix((num_nodes[src], num_nodes[dst]))
+    for rel in schema.relations_between(src, dst):
+        if rel.name in adjacency:
+            combined = combined + adjacency[rel.name]
+    for rel in schema.relations_between(dst, src):
+        if rel.name in adjacency:
+            combined = combined + adjacency[rel.name].T.tocsr()
+    return boolean_csr(combined)
 
 
 @dataclass(frozen=True)
@@ -192,16 +218,36 @@ class HeteroGraph:
         the ordered pair and also transposes relations stored in the opposite
         direction, so the result captures *any* connectivity between the two
         types.
+
+        The combined matrix is memoized per ``(src, dst)``, keyed by the
+        fingerprints of the participating relation matrices — replacing a
+        relation's matrix (the streaming delta applier always replaces, and
+        never edits, them) or structurally mutating one in place invalidates
+        the entry, so meta-path composition after a delta rebuilds exactly
+        the touched pairs.
         """
+        from repro.hetero.sparse import matrix_fingerprint
+
+        names = [
+            rel.name
+            for pair in ((src, dst), (dst, src))
+            for rel in self.schema.relations_between(*pair)
+            if rel.name in self.adjacency
+        ]
         shape = (self.num_nodes[src], self.num_nodes[dst])
-        combined = sp.csr_matrix(shape)
-        for rel in self.schema.relations_between(src, dst):
-            if rel.name in self.adjacency:
-                combined = combined + self.adjacency[rel.name]
-        for rel in self.schema.relations_between(dst, src):
-            if rel.name in self.adjacency:
-                combined = combined + self.adjacency[rel.name].T.tocsr()
-        return boolean_csr(combined)
+        deps = (shape,) + tuple(
+            (name, matrix_fingerprint(self.adjacency[name])) for name in names
+        )
+        cache = self.__dict__.setdefault("_typed_adjacency_cache", {})
+        slot = cache.get((src, dst))
+        if slot is not None and slot[0] == deps:
+            return slot[1]
+        combined = combine_typed_adjacency(
+            self.schema, self.num_nodes, self.adjacency, src, dst
+        )
+        # Pin the participating matrices so the ids in `deps` stay unique.
+        cache[(src, dst)] = (deps, combined, [self.adjacency[n] for n in names])
+        return combined
 
     def connected_type_pairs(self) -> list[tuple[str, str]]:
         """Ordered type pairs with at least one edge between them."""

@@ -106,6 +106,10 @@ def row_normalize_features(features: dict[str, np.ndarray]) -> dict[str, np.ndar
     which makes the feature spaces of a condensed graph and of the original
     graph directly comparable — a requirement of the paper's protocol (train
     on the condensed graph, test on the full graph).
+
+    All-zero rows — e.g. nodes isolated by a streaming delta removal, whose
+    propagated features vanish — are divided by 1 instead of their zero
+    norm: **zero rows stay exactly zero**, they never become NaN.
     """
     normalized: dict[str, np.ndarray] = {}
     for key, block in features.items():

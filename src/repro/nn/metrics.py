@@ -40,21 +40,25 @@ def micro_f1(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> f
 
 
 def macro_f1(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> float:
-    """Macro-averaged F1: unweighted mean of per-class F1 scores."""
+    """Macro-averaged F1: unweighted mean of per-class F1 scores.
+
+    Every one of the ``num_classes`` classes contributes to the mean.  A
+    class absent from both ``predictions`` and ``labels`` — possible on the
+    small label sets of heavily condensed graphs — has an undefined
+    precision and recall (0/0); its per-class F1 is *defined as 0*, matching
+    the evaluation protocol, instead of being skipped (which silently
+    shrinks the denominator) or propagating a NaN/warning.
+    """
     matrix = confusion_matrix(predictions, labels, num_classes)
-    f1_scores = []
+    if num_classes < 1:
+        return 0.0
+    f1_scores = np.zeros(num_classes, dtype=np.float64)
     for cls in range(num_classes):
         tp = matrix[cls, cls]
         fp = matrix[:, cls].sum() - tp
         fn = matrix[cls, :].sum() - tp
-        if tp + fp + fn == 0:
-            continue
         precision = tp / (tp + fp) if tp + fp else 0.0
         recall = tp / (tp + fn) if tp + fn else 0.0
-        if precision + recall == 0:
-            f1_scores.append(0.0)
-        else:
-            f1_scores.append(2 * precision * recall / (precision + recall))
-    if not f1_scores:
-        return 0.0
-    return float(np.mean(f1_scores))
+        if precision + recall > 0:
+            f1_scores[cls] = 2 * precision * recall / (precision + recall)
+    return float(f1_scores.mean())

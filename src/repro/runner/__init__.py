@@ -30,6 +30,7 @@ from repro.runner.plan import (
     Cell,
     ExperimentPlan,
     GeneralizationConfig,
+    StreamConfig,
     assemble_generalization_rows,
     plan_generalization,
     plan_ratio_sweep,
@@ -41,6 +42,7 @@ __all__ = [
     "CellOutcome",
     "ExperimentPlan",
     "GeneralizationConfig",
+    "StreamConfig",
     "assemble_generalization_rows",
     "execute_plan",
     "plan_generalization",

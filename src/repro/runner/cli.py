@@ -46,6 +46,7 @@ from repro.runner.cache import ArtifactStore
 from repro.runner.executor import CellOutcome, execute_plan
 from repro.runner.plan import (
     GeneralizationConfig,
+    StreamConfig,
     assemble_generalization_rows,
     plan_generalization,
     plan_ratio_sweep,
@@ -139,6 +140,54 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="M1,M2,...", help="evaluation models (default: hgb,hgt,han,sehgnn)")
     _add_run_options(generalize)
     generalize.set_defaults(func=_cmd_generalize)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay an evolving-graph delta schedule through incremental condensation",
+    )
+    exp = stream.add_argument_group("experiment")
+    exp.add_argument("--dataset", required=True, help="registered dataset name (see `list`)")
+    exp.add_argument("--ratio", type=float, required=True, help="condensation ratio")
+    exp.add_argument("--steps", type=int, default=20, help="delta steps to replay (default: 20)")
+    exp.add_argument("--scale", type=float, default=0.35,
+                     help="synthetic graph size multiplier (default: 0.35)")
+    exp.add_argument("--seed", type=int, default=0, help="schedule + condensation seed (default: 0)")
+    exp.add_argument("--max-hops", type=int, default=None, metavar="K",
+                     help="meta-path hop limit (default: the dataset's paper value, capped at 3)")
+    sched = stream.add_argument_group("delta schedule")
+    sched.add_argument("--edge-churn", type=float, default=0.002,
+                       help="per-step churned edge fraction per relation (default: 0.002)")
+    sched.add_argument("--relations", type=_csv, default=None, metavar="R1,R2,...",
+                       help="relations to churn (default: all)")
+    sched.add_argument("--arrivals-every", type=int, default=0, metavar="N",
+                       help="insert nodes every N steps (default: 0, disabled)")
+    sched.add_argument("--arrival-count", type=int, default=4,
+                       help="nodes inserted per type per arrival step (default: 4)")
+    sched.add_argument("--removals-every", type=int, default=0, metavar="N",
+                       help="tombstone nodes every N steps (default: 0, disabled)")
+    sched.add_argument("--removal-count", type=int, default=2,
+                       help="nodes tombstoned per type per removal step (default: 2)")
+    cond = stream.add_argument_group("condensation")
+    cond.add_argument("--recondense-threshold", type=float, default=0.05,
+                      help="edge fraction above which a step recondenses from "
+                           "scratch (default: 0.05)")
+    cond.add_argument("--verify-every", type=int, default=0, metavar="N",
+                      help="every N steps, recondense fully and assert the "
+                           "incremental result is byte-identical (default: 0, off)")
+    cond.add_argument("--eval-every", type=int, default=0, metavar="N",
+                      help="every N steps, train a model on the condensed graph "
+                           "and report full-graph test accuracy (default: 0, off)")
+    cond.add_argument("--model", default="heterosgc",
+                      help="evaluation model for --eval-every (default: heterosgc)")
+    cond.add_argument("--hidden-dim", type=int, default=32)
+    cond.add_argument("--epochs", type=int, default=40)
+    out = stream.add_argument_group("output")
+    out.add_argument("--markdown", action="store_true", help="render a Markdown table")
+    out.add_argument("--no-timings", action="store_true",
+                     help="omit wall-clock columns (byte-stable across runs)")
+    out.add_argument("--output", metavar="PATH", help="also write the table to PATH")
+    out.add_argument("--quiet", action="store_true", help="suppress per-step progress lines")
+    stream.set_defaults(func=_cmd_stream)
 
     report = sub.add_parser("report", help="render stored artifacts as a table, running nothing")
     report.add_argument("--store", default="runs", metavar="DIR",
@@ -283,6 +332,168 @@ def _cmd_generalize(args: argparse.Namespace) -> int:
         title=f"Generalization — {args.dataset} @ ratio {args.ratio:g}",
     )
     return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.condenser import FreeHGC
+    from repro.datasets.generators import generate_delta_schedule
+    from repro.evaluation.pipeline import make_model_factory
+    from repro.evaluation.protocol import train_on_condensed
+    from repro.streaming import IncrementalCondenser, graphs_equal
+
+    config = StreamConfig(
+        dataset=args.dataset,
+        ratio=args.ratio,
+        steps=args.steps,
+        scale=args.scale,
+        seed=args.seed,
+        max_hops=args.max_hops,
+        edge_churn=args.edge_churn,
+        relations=args.relations,
+        node_arrival_every=args.arrivals_every,
+        arrival_count=args.arrival_count,
+        removal_every=args.removals_every,
+        removal_count=args.removal_count,
+        recondense_threshold=args.recondense_threshold,
+        verify_every=args.verify_every,
+        eval_every=args.eval_every,
+        model=args.model,
+        hidden_dim=args.hidden_dim,
+        epochs=args.epochs,
+    )
+    entry = registry.datasets.get(config.dataset)
+    graph = entry.loader(scale=config.scale, seed=config.seed)
+    max_hops = config.resolved_max_hops()
+    schedule = generate_delta_schedule(
+        graph,
+        steps=config.steps,
+        seed=config.seed,
+        edge_churn=config.edge_churn,
+        relations=config.relations,
+        node_arrival_every=config.node_arrival_every,
+        arrival_count=config.arrival_count,
+        removal_every=config.removal_every,
+        removal_count=config.removal_count,
+    )
+    replica = graph.copy() if config.verify_every else None
+    incremental = IncrementalCondenser(
+        graph,
+        condenser=FreeHGC(max_hops=max_hops),
+        ratio=config.ratio,
+        recondense_threshold=config.recondense_threshold,
+        seed=config.seed,
+    )
+    model_factory = None
+    if config.eval_every:
+        model_factory = make_model_factory(
+            config.model,
+            hidden_dim=config.hidden_dim,
+            epochs=config.epochs,
+            max_hops=max_hops,
+            seed=config.seed,
+        )
+
+    def quality(condensed) -> str:
+        if model_factory is None:
+            return ""
+        model, _ = train_on_condensed(condensed, model_factory, incremental.graph)
+        return f"{model.evaluate(incremental.graph):.4f}"
+
+    watch = Stopwatch()
+    rows: list[dict] = []
+    mismatches = 0
+    with watch.measure("cold"):
+        base = incremental.condense()
+    rows.append(
+        {
+            "step": 0,
+            "mode": "full",
+            "edges±": "",
+            "nodes±": "",
+            "delta%": "",
+            "condense_s": f"{watch.get('cold'):.3f}",
+            "drift": 0,
+            "verified": "",
+            "full_s": "",
+            "accuracy": quality(base),
+        }
+    )
+    if not args.quiet:
+        print(f"step 0: cold condensation in {watch.get('cold'):.3f}s", flush=True)
+    from repro.streaming import DeltaApplier
+
+    replica_applier = DeltaApplier()
+    for delta in schedule:
+        report = incremental.step(delta)
+        verified, full_seconds = "", ""
+        if replica is not None:
+            replica_applier.apply(replica, delta)
+        if config.verify_every and delta.step % config.verify_every == 0:
+            with watch.measure(f"full-{delta.step}"):
+                full = FreeHGC(max_hops=max_hops).condense(
+                    replica, config.ratio, seed=config.seed
+                )
+            full_seconds = f"{watch.get(f'full-{delta.step}'):.3f}"
+            if graphs_equal(report.condensed, full):
+                verified = "identical"
+            else:
+                verified = "MISMATCH"
+                mismatches += 1
+        apply_report = report.apply_report
+        rows.append(
+            {
+                "step": delta.step,
+                "mode": report.mode,
+                "edges±": f"+{apply_report.edges_added}/-{apply_report.edges_removed}",
+                "nodes±": f"+{apply_report.nodes_added}/-{apply_report.nodes_removed}",
+                "delta%": f"{100.0 * report.edge_fraction:.2f}",
+                "condense_s": f"{report.condense_seconds:.3f}",
+                "drift": report.selection_drift,
+                "verified": verified,
+                "full_s": full_seconds,
+                "accuracy": (
+                    quality(report.condensed)
+                    if config.eval_every and delta.step % config.eval_every == 0
+                    else ""
+                ),
+            }
+        )
+        if not args.quiet:
+            extra = f"  [{verified}]" if verified else ""
+            print(
+                f"step {delta.step}: {report.mode} condense "
+                f"{report.condense_seconds:.3f}s drift={report.selection_drift}{extra}",
+                flush=True,
+            )
+
+    incremental_times = [
+        float(row["condense_s"]) for row in rows[1:] if row["mode"] == "incremental"
+    ]
+    full_times = [float(row["full_s"]) for row in rows if row["full_s"]]
+    if not args.quiet:
+        summary = f"{len(schedule)} steps"
+        if incremental_times:
+            summary += f", median incremental condense {np.median(incremental_times):.3f}s"
+        if full_times:
+            summary += f", median full recondense {np.median(full_times):.3f}s"
+        memo = incremental.selection_memo.stats
+        summary += (
+            f" (coverage hits {memo['hits']}, warm starts {memo['warm_starts']}, "
+            f"misses {memo['misses']})"
+        )
+        print(summary + "\n")
+    columns = ("step", "mode", "edges±", "nodes±", "delta%", "drift", "verified", "accuracy")
+    if not args.no_timings:
+        columns = columns[:5] + ("condense_s", "full_s") + columns[5:]
+    _render(
+        rows,
+        args,
+        title=f"Streaming condensation — {config.dataset} @ ratio {config.ratio:g}",
+        columns=[c for c in columns if any(str(row.get(c, "")) for row in rows)],
+    )
+    return 1 if mismatches else 0
 
 
 def _dataset_key(name: str) -> str:

@@ -41,6 +41,7 @@ __all__ = [
     "Cell",
     "ExperimentPlan",
     "GeneralizationConfig",
+    "StreamConfig",
     "plan_ratio_sweep",
     "plan_generalization",
     "assemble_generalization_rows",
@@ -240,6 +241,73 @@ class GeneralizationConfig:
     max_hops: int | None = None
     fast_optimization: bool = True
     extra_model_kwargs: dict[str, object] = field(default_factory=dict)
+
+    def resolved_max_hops(self) -> int:
+        """Meta-path hop limit: explicit value or the dataset's paper default."""
+        if self.max_hops is not None:
+            return self.max_hops
+        from repro.datasets.registry import DATASETS
+
+        entry = DATASETS.get(self.dataset.lower())
+        return min(entry.max_hops, 3) if entry is not None else 2
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Configuration of one ``python -m repro stream`` replay.
+
+    Describes an evolving-graph run: the starting synthetic graph, the
+    generated delta schedule (see
+    :func:`repro.datasets.generators.generate_delta_schedule`) and the
+    incremental-condensation settings
+    (:class:`repro.streaming.IncrementalCondenser`).
+
+    Examples
+    --------
+    >>> StreamConfig(dataset="acm", ratio=0.05, steps=4).resolved_max_hops()
+    3
+    >>> StreamConfig(dataset="acm", ratio=0.05, steps=0)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ReproError: steps must be >= 1, got 0
+    """
+
+    dataset: str
+    ratio: float
+    steps: int = 20
+    scale: float = 0.35
+    seed: int = 0
+    max_hops: int | None = None
+    edge_churn: float = 0.002
+    relations: tuple[str, ...] | None = None
+    node_arrival_every: int = 0
+    arrival_count: int = 4
+    removal_every: int = 0
+    removal_count: int = 2
+    recondense_threshold: float = 0.05
+    verify_every: int = 0
+    eval_every: int = 0
+    hidden_dim: int = 32
+    epochs: int = 40
+    model: str = "heterosgc"
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ReproError(f"steps must be >= 1, got {self.steps}")
+        if not 0.0 < self.ratio <= 1.0:
+            raise ReproError(f"ratio must be in (0, 1], got {self.ratio}")
+        if not 0.0 <= self.edge_churn <= 1.0:
+            raise ReproError(f"edge_churn must be in [0, 1], got {self.edge_churn}")
+        if not 0.0 <= self.recondense_threshold <= 1.0:
+            raise ReproError(
+                "recondense_threshold must be in [0, 1], got "
+                f"{self.recondense_threshold}"
+            )
+        for field_name in ("verify_every", "eval_every", "node_arrival_every", "removal_every"):
+            if getattr(self, field_name) < 0:
+                raise ReproError(f"{field_name} must be >= 0")
+        if self.max_hops is not None:
+            check_max_hops(self.max_hops)
 
     def resolved_max_hops(self) -> int:
         """Meta-path hop limit: explicit value or the dataset's paper default."""

@@ -1,0 +1,50 @@
+"""Incremental condensation for evolving heterogeneous graphs.
+
+The paper condenses a *static* graph once; a production deployment sees the
+graph change continuously.  This package provides the streaming layer on
+top of the condensation core:
+
+* :class:`~repro.streaming.delta.GraphDelta` — one batched update (edge and
+  node insertions/removals) with stable node-id semantics;
+* :class:`~repro.streaming.apply.DeltaApplier` — applies a delta to a live
+  :class:`~repro.hetero.graph.HeteroGraph` and invalidates exactly the
+  affected :class:`~repro.core.context.CondensationContext` memos;
+* :class:`~repro.streaming.warmstart.SelectionMemo` /
+  :func:`~repro.streaming.warmstart.warm_start_coverage` — byte-exact
+  warm starts of the greedy coverage kernel from the previous selection;
+* :class:`~repro.streaming.incremental.IncrementalCondenser` — the driver:
+  apply, invalidate, re-condense, with a ``recondense_threshold`` fallback
+  to full condensation for large deltas.
+
+``python -m repro stream`` replays a synthetic delta schedule through this
+machinery and ``benchmarks/bench_streaming.py`` gates that the incremental
+output is byte-identical to full recondensation at every checkpoint.
+"""
+
+from repro.streaming.apply import ApplyReport, DeltaApplier
+from repro.streaming.delta import DeltaValidationError, GraphDelta
+from repro.streaming.incremental import (
+    GraphMismatchError,
+    IncrementalCondenser,
+    StageMemo,
+    StepReport,
+    assert_graphs_equal,
+    graphs_equal,
+)
+from repro.streaming.warmstart import SelectionMemo, changed_rows, warm_start_coverage
+
+__all__ = [
+    "ApplyReport",
+    "DeltaApplier",
+    "DeltaValidationError",
+    "GraphDelta",
+    "GraphMismatchError",
+    "IncrementalCondenser",
+    "SelectionMemo",
+    "StageMemo",
+    "StepReport",
+    "assert_graphs_equal",
+    "changed_rows",
+    "graphs_equal",
+    "warm_start_coverage",
+]

@@ -25,6 +25,18 @@ class TestBitCount:
         words = np.array([0, 1, 3, 2**63, 2**64 - 1], dtype=np.uint64)
         np.testing.assert_array_equal(bit_count(words).astype(int), [0, 1, 2, 1, 64])
 
+    def test_lut_fallback_matches_bit_count(self):
+        """The NumPy<2 byte-LUT fallback must agree with the active popcount
+        (np.bitwise_count on NumPy>=2) on random words and edge values."""
+        from repro.core.coverage_kernels import _bit_count_lut
+
+        rng = np.random.default_rng(0)
+        words = rng.integers(0, 2**63, size=(7, 13), dtype=np.uint64)
+        words[0, 0], words[-1, -1] = np.uint64(0), np.uint64(2**64 - 1)
+        np.testing.assert_array_equal(
+            _bit_count_lut(words).astype(np.int64), bit_count(words).astype(np.int64)
+        )
+
 
 class TestPackedAdjacency:
     def test_roundtrip(self):
@@ -180,6 +192,46 @@ class TestKernelEquivalence:
         assert result.selected.size > 0
 
 
+class TestKernelCacheStaleness:
+    """Kernel index caches must refresh when the matrix mutates in place."""
+
+    def test_packed_cache_refreshes_after_mutation(self):
+        matrix = random_boolean_csr(20)
+        stale = PackedAdjacency.from_csr_cached(matrix)
+        emptied = sp.csr_matrix(matrix.shape)
+        matrix.indptr, matrix.indices, matrix.data = (
+            emptied.indptr, emptied.indices, emptied.data.astype(matrix.data.dtype),
+        )
+        fresh = PackedAdjacency.from_csr_cached(matrix)
+        assert fresh is not stale
+        assert fresh.words.sum() == 0
+
+    def test_decremental_csc_refreshes_after_mutation(self):
+        matrix = random_boolean_csr(21)
+        pool = np.arange(matrix.shape[0])
+        greedy_max_coverage_decremental(matrix, pool, 5)  # caches _repro_csc
+        dense = matrix.toarray()
+        dense[:, :] = 0.0
+        dense[0, 0] = 1.0
+        replacement = sp.csr_matrix(dense)
+        matrix.indptr, matrix.indices, matrix.data = (
+            replacement.indptr, replacement.indices, replacement.data,
+        )
+        result = greedy_max_coverage_decremental(matrix, pool, 5)
+        reference = greedy_max_coverage_reference(replacement, pool, 5)
+        np.testing.assert_array_equal(result.selected, reference.selected)
+        assert result.covered == reference.covered == 1
+
+    def test_unmutated_matrix_keeps_caches(self):
+        matrix = random_boolean_csr(22)
+        packed = PackedAdjacency.from_csr_cached(matrix)
+        greedy_max_coverage_decremental(matrix, np.arange(5), 2)
+        csc = matrix._repro_csc
+        assert PackedAdjacency.from_csr_cached(matrix) is packed
+        greedy_max_coverage_decremental(matrix, np.arange(5), 2)
+        assert matrix._repro_csc is csc
+
+
 class TestContextPackedCache:
     def test_packed_receptive_field_memoized(self, toy_graph):
         context = CondensationContext(toy_graph, max_hops=2, max_paths=8)
@@ -196,8 +248,15 @@ class TestContextPackedCache:
         context = CondensationContext(toy_graph, max_hops=2, max_paths=8)
         path = context.metapaths()[0]
         first = context.packed_receptive_field(path)
+        builds = context.stats["packed_builds"]
         context.clear()
-        assert context.packed_receptive_field(path) is not first
+        # The context-level memo is gone (a fresh lookup is a build, not a
+        # hit); the words themselves may be served from the graph-level
+        # caches when the underlying adjacency is unchanged — either way
+        # they must be identical.
+        again = context.packed_receptive_field(path)
+        assert context.stats["packed_builds"] == builds + 1
+        np.testing.assert_array_equal(again.words, first.words)
 
     def test_criterion_scores_unchanged_by_context_hoist(self, toy_graph):
         """Per-class criterion scores are identical with and without the

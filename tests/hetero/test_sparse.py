@@ -94,6 +94,59 @@ class TestBooleanCsr:
         assert boolean_csr(original).nnz == 1
 
 
+class TestCacheStaleness:
+    """The fingerprint guard must invalidate caches on in-place mutation."""
+
+    def _weighted(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 2.0, 3.0], [4.0, 0.0, 0.0]]))
+        matrix.sum_duplicates()
+        return matrix
+
+    def test_cache_hit_without_mutation(self):
+        matrix = self._weighted()
+        first = boolean_csr(matrix)
+        assert boolean_csr(matrix) is first
+
+    def test_setdiag_invalidates(self):
+        matrix = sp.csr_matrix(2.0 * np.eye(3))
+        stale = boolean_csr(matrix)
+        assert stale.nnz == 3 and stale is not matrix
+        matrix.setdiag(0.0)
+        matrix.eliminate_zeros()
+        fresh = boolean_csr(matrix)
+        assert fresh.nnz == 0
+        assert fresh is not stale
+
+    def test_data_rebind_invalidates(self):
+        matrix = self._weighted()
+        boolean_csr(matrix)
+        matrix.data = np.zeros_like(matrix.data)
+        matrix.eliminate_zeros()
+        assert boolean_csr(matrix).nnz == 0
+
+    def test_structural_add_invalidates(self):
+        matrix = self._weighted()
+        stale = boolean_csr(matrix)
+        grown = matrix + sp.csr_matrix(
+            (np.ones(1), (np.array([1]), np.array([2]))), shape=matrix.shape
+        )
+        # a new object never sees the old cache; mutating in place does
+        matrix.indptr, matrix.indices, matrix.data = (
+            grown.indptr, grown.indices, grown.data,
+        )
+        fresh = boolean_csr(matrix)
+        assert fresh.nnz == stale.nnz + 1
+
+    def test_fingerprint_components(self):
+        from repro.hetero.sparse import matrix_fingerprint
+
+        matrix = self._weighted()
+        token = matrix_fingerprint(matrix)
+        assert token == matrix_fingerprint(matrix)
+        other = matrix.copy()
+        assert token != matrix_fingerprint(other)  # distinct buffers
+
+
 class TestComposePath:
     def test_single_matrix(self):
         result = compose_path([np.eye(3)])

@@ -74,6 +74,38 @@ class TestNormalization:
         result = row_normalize_features({"x": np.zeros((3, 4))})
         np.testing.assert_allclose(result["x"], 0.0)
 
+    def test_row_normalize_mixed_zero_rows_no_nan(self):
+        """Isolated nodes (e.g. after a streaming delta removal) have all-zero
+        propagated features: those rows must stay exactly zero — never NaN —
+        while the other rows are normalised to unit norm."""
+        block = np.array([[3.0, 4.0], [0.0, 0.0], [0.0, 5.0]])
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = row_normalize_features({"x": block})["x"]
+        assert np.isfinite(result).all()
+        np.testing.assert_allclose(result[1], 0.0)
+        np.testing.assert_allclose(np.linalg.norm(result[[0, 2]], axis=1), 1.0)
+
+    def test_row_normalize_after_streaming_isolation(self, toy_graph):
+        """Tombstoning every edge of a node yields zero propagated rows; the
+        normalised features must stay finite end to end."""
+        from repro.streaming import DeltaApplier, GraphDelta
+
+        graph = toy_graph.copy()
+        target = graph.schema.target_type
+        victim = int(graph.splits.train[0])
+        DeltaApplier().apply(
+            graph, GraphDelta(remove_nodes={target: np.array([victim])})
+        )
+        features = row_normalize_features(
+            propagate_metapath_features(graph, max_hops=1)
+        )
+        for block in features.values():
+            assert np.isfinite(block).all()
+            np.testing.assert_allclose(block[victim], 0.0)
+
     def test_row_normalize_graph_size_invariant(self, toy_graph):
         """The same node gets the same normalised self-features regardless of
         which other nodes are present — the key transferability property."""

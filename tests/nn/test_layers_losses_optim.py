@@ -243,6 +243,27 @@ class TestMetrics:
         labels = np.array([0, 1, 0, 1])
         assert 0.0 <= macro_f1(preds, labels, 2) <= 1.0
 
+    def test_macro_f1_absent_class_counts_as_zero(self):
+        """A class absent from both predictions and labels (possible on small
+        condensed label sets) contributes per-class F1 = 0 — the mean is over
+        all ``num_classes`` classes, never a shrunken subset, and never NaN."""
+        preds = np.array([0, 0, 1, 1])
+        labels = np.array([0, 0, 1, 1])
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            score = macro_f1(preds, labels, 3)
+        assert score == pytest.approx(2.0 / 3.0)  # classes 0,1 perfect; class 2 = 0
+        assert np.isfinite(macro_f1(preds, labels, 5))
+
+    def test_macro_f1_predicted_only_class_still_counts(self):
+        preds = np.array([0, 2])
+        labels = np.array([0, 0])
+        score = macro_f1(preds, labels, 3)
+        # class 0: p=1, r=1/2 -> f1=2/3; class 1 absent -> 0; class 2: p=0 -> 0
+        assert score == pytest.approx((2.0 / 3.0) / 3.0)
+
 
 class TestInitializers:
     def test_xavier_uniform_bounds(self):

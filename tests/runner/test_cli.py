@@ -30,6 +30,53 @@ def run_cli(argv, capsys):
     return code, out
 
 
+class TestStream:
+    STREAM_ARGS = [
+        "stream",
+        "--dataset", "acm",
+        "--ratio", "0.2",
+        "--steps", "3",
+        "--scale", "0.1",
+        "--max-hops", "2",
+        "--edge-churn", "0.002",
+    ]
+
+    def test_stream_replays_and_renders(self, capsys):
+        code, out = run_cli(self.STREAM_ARGS, capsys)
+        assert code == 0
+        assert "Streaming condensation" in out
+        assert "incremental" in out
+
+    def test_stream_verification_passes(self, capsys):
+        code, out = run_cli(self.STREAM_ARGS + ["--verify-every", "2"], capsys)
+        assert code == 0
+        assert "identical" in out
+        assert "MISMATCH" not in out
+
+    def test_stream_eval_reports_accuracy(self, capsys):
+        code, out = run_cli(
+            self.STREAM_ARGS + ["--eval-every", "3", "--epochs", "5", "--hidden-dim", "8"],
+            capsys,
+        )
+        assert code == 0
+        assert "accuracy" in out
+
+    def test_stream_node_churn(self, capsys):
+        code, out = run_cli(
+            self.STREAM_ARGS
+            + ["--arrivals-every", "2", "--removals-every", "3", "--verify-every", "1"],
+            capsys,
+        )
+        assert code == 0
+        assert "MISMATCH" not in out
+
+    def test_stream_rejects_bad_steps(self, capsys):
+        code, _ = run_cli(
+            ["stream", "--dataset", "acm", "--ratio", "0.2", "--steps", "0"], capsys
+        )
+        assert code == 2
+
+
 class TestSweep:
     def test_sweep_and_resume_render_identical_tables(self, tmp_path, capsys):
         args = SWEEP_ARGS + ["--store", str(tmp_path / "runs"), "--workers", "2"]

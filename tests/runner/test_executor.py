@@ -241,6 +241,113 @@ class TestCondensedSharing:
             assert_same_results(a, b)
 
 
+class TestWorkerCacheLifecycle:
+    """Per-process memos must not leak stale artifacts across plans.
+
+    The memos are keyed by registered component *names* (documented on
+    :func:`repro.runner.executor.clear_worker_caches`), so when the data a
+    name resolves to changes — a swapped registration, or a streaming delta
+    mutating the graph a loader serves — the caller must clear the caches.
+    These tests pin both halves of that contract: without clearing the memo
+    serves the stale artifact byte-for-byte; after clearing the next plan
+    sees the new data.
+    """
+
+    def _register_evolving(self, name, state):
+        from repro.datasets.acm import acm_config
+        from repro.datasets.registry import DatasetEntry
+
+        registry.datasets.register(
+            name,
+            DatasetEntry(
+                name=name,
+                loader=lambda *, scale=0.1, seed=0: state["graph"],
+                config_factory=acm_config,
+                paper_ratios=(0.2,),
+                max_hops=2,
+            ),
+        )
+
+    def _plan(self, name):
+        return plan_ratio_sweep(
+            ExperimentConfig(
+                dataset=name,
+                ratios=(0.2,),
+                methods=("random-hg",),
+                model="heterosgc",
+                scale=0.1,
+                seeds=1,
+                epochs=5,
+                hidden_dim=8,
+                max_hops=2,
+                include_whole=False,
+            )
+        )
+
+    def test_stale_artifacts_across_streaming_deltas(self):
+        import numpy as np
+
+        from repro.datasets import load_acm
+        from repro.streaming import DeltaApplier, GraphDelta
+
+        name = "evolving-acm-test"
+        state = {"graph": load_acm(scale=0.1, seed=0)}
+        self._register_evolving(name, state)
+        try:
+            executor_module.clear_worker_caches()
+            plan = self._plan(name)
+            first = execute_plan(plan)
+
+            # The stream moves on: the loader now serves a mutated graph.
+            evolved = state["graph"].copy()
+            coo = evolved.adjacency["paper-author"].tocoo()
+            keep = coo.nnz // 2
+            DeltaApplier().apply(
+                evolved,
+                GraphDelta(
+                    remove_edges={
+                        "paper-author": (coo.row[keep:], coo.col[keep:])
+                    }
+                ),
+            )
+            state["graph"] = evolved
+
+            # Without clearing, both memos (dataset graph + condensed
+            # artifact) serve the pre-delta artifacts: bit-identical result.
+            stale = execute_plan(plan)
+            assert_same_results(first[0].evaluation, stale[0].evaluation)
+
+            # After clearing, the run reflects the evolved graph.
+            executor_module.clear_worker_caches()
+            fresh = execute_plan(plan)
+            assert fresh[0].evaluation.storage != first[0].evaluation.storage
+        finally:
+            registry.datasets.unregister(name)
+            executor_module.clear_worker_caches()
+
+    def test_clear_between_swapped_registrations(self):
+        from repro.datasets import load_acm
+
+        name = "swapped-acm-test"
+        state = {"graph": load_acm(scale=0.1, seed=0)}
+        self._register_evolving(name, state)
+        try:
+            executor_module.clear_worker_caches()
+            first = execute_plan(self._plan(name))
+            registry.datasets.unregister(name)
+            state2 = {"graph": load_acm(scale=0.15, seed=1)}
+            self._register_evolving(name, state2)
+            executor_module.clear_worker_caches()
+            swapped = execute_plan(self._plan(name))
+            assert (
+                swapped[0].evaluation.condensed_nodes
+                != first[0].evaluation.condensed_nodes
+            )
+        finally:
+            registry.datasets.unregister(name)
+            executor_module.clear_worker_caches()
+
+
 class TestMethodEvaluationSerialization:
     def test_round_trip_is_lossless(self):
         evaluation = MethodEvaluation(

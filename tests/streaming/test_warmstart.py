@@ -1,0 +1,113 @@
+"""Warm-started coverage must be byte-identical to from-scratch greedy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.receptive_field import greedy_max_coverage
+from repro.streaming import changed_rows, warm_start_coverage
+
+
+def random_boolean_csr(rng, n_rows=60, n_cols=120, density=0.08):
+    matrix = sp.csr_matrix((rng.random((n_rows, n_cols)) < density).astype(float))
+    matrix.sum_duplicates()
+    return matrix
+
+
+def perturb(matrix, rng, flips=6):
+    """Flip a handful of entries; returns (new_matrix, true_changed_rows)."""
+    dense = matrix.toarray().astype(bool)
+    rows = rng.integers(0, dense.shape[0], size=flips)
+    cols = rng.integers(0, dense.shape[1], size=flips)
+    for r, c in zip(rows, cols):
+        dense[r, c] = ~dense[r, c]
+    new = sp.csr_matrix(dense.astype(float))
+    new.sum_duplicates()
+    return new, np.unique(rows)
+
+
+class TestChangedRows:
+    def test_exact_diff(self):
+        rng = np.random.default_rng(0)
+        old = random_boolean_csr(rng)
+        new, rows = perturb(old, rng)
+        np.testing.assert_array_equal(changed_rows(old, new), rows)
+
+    def test_identical_matrices(self):
+        rng = np.random.default_rng(1)
+        old = random_boolean_csr(rng)
+        assert changed_rows(old, old.copy()).size == 0
+
+    def test_row_growth_marks_new_rows(self):
+        rng = np.random.default_rng(2)
+        old = random_boolean_csr(rng, n_rows=10)
+        grown = sp.vstack([old, random_boolean_csr(rng, n_rows=3)]).tocsr()
+        grown.sum_duplicates()
+        diff = changed_rows(old, grown)
+        assert set(range(10, 13)) <= set(diff.tolist())
+
+    def test_same_lengths_different_columns(self):
+        old = sp.csr_matrix(np.array([[1.0, 0.0, 1.0], [0.0, 1.0, 0.0]]))
+        new = sp.csr_matrix(np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 0.0]]))
+        for m in (old, new):
+            m.sum_duplicates()
+        np.testing.assert_array_equal(changed_rows(old, new), [0])
+
+
+class TestWarmStartCoverage:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_byte_identical_to_fresh_greedy(self, seed):
+        rng = np.random.default_rng(seed)
+        old = random_boolean_csr(rng)
+        pool = np.unique(rng.integers(0, old.shape[0], size=35))
+        budget = int(rng.integers(1, 18))
+        previous = greedy_max_coverage(old, pool, budget)
+        new, dirty = perturb(old, rng, flips=int(rng.integers(1, 10)))
+        warm = warm_start_coverage(new, pool, budget, previous, dirty)
+        fresh = greedy_max_coverage(new, pool, budget)
+        np.testing.assert_array_equal(warm.selected, fresh.selected)
+        np.testing.assert_array_equal(warm.gains, fresh.gains)
+        assert warm.covered == fresh.covered
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_overapproximated_dirty_is_safe(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        old = random_boolean_csr(rng)
+        pool = np.arange(old.shape[0])
+        previous = greedy_max_coverage(old, pool, 12)
+        new, dirty = perturb(old, rng, flips=4)
+        superset = np.union1d(dirty, rng.integers(0, old.shape[0], size=20))
+        warm = warm_start_coverage(new, pool, 12, previous, superset)
+        fresh = greedy_max_coverage(new, pool, 12)
+        np.testing.assert_array_equal(warm.selected, fresh.selected)
+        np.testing.assert_array_equal(warm.gains, fresh.gains)
+
+    def test_no_dirty_candidates_reuses_previous(self):
+        rng = np.random.default_rng(7)
+        old = random_boolean_csr(rng)
+        pool = np.arange(0, 20)
+        previous = greedy_max_coverage(old, pool, 8)
+        # Rows 40+ are dirty but outside the pool: result must be reused.
+        warm = warm_start_coverage(old, pool, 8, previous, np.arange(40, 50))
+        assert warm is previous
+
+    def test_budget_growth_extends_selection(self):
+        # Previous run exhausted the budget; the warm start must continue
+        # selecting when dirty rows open new coverage.
+        dense = np.zeros((4, 8))
+        dense[0, :3] = 1.0
+        dense[1, 3:5] = 1.0
+        matrix = sp.csr_matrix(dense)
+        matrix.sum_duplicates()
+        pool = np.arange(4)
+        previous = greedy_max_coverage(matrix, pool, 3)
+        new = dense.copy()
+        new[2, 5:8] = 1.0
+        new_matrix = sp.csr_matrix(new)
+        new_matrix.sum_duplicates()
+        warm = warm_start_coverage(new_matrix, pool, 3, previous, np.array([2]))
+        fresh = greedy_max_coverage(new_matrix, pool, 3)
+        np.testing.assert_array_equal(warm.selected, fresh.selected)
+        np.testing.assert_array_equal(warm.gains, fresh.gains)
