@@ -1,7 +1,8 @@
 """``python -m repro`` — the parallel, resumable experiment runner CLI.
 
 See :mod:`repro.runner.cli` for the subcommands (``sweep``, ``generalize``,
-``report``, ``list``) and ``docs/reproduce.md`` for per-table recipes.
+``stream``, ``serve``, ``report``, ``list``), ``docs/reproduce.md`` for
+per-table recipes and ``docs/serving.md`` for the online endpoint.
 """
 
 from repro.runner.cli import main

@@ -16,6 +16,8 @@ __all__ = [
     "ConfigurationError",
     "DatasetError",
     "ModelError",
+    "StateDictError",
+    "ServingError",
     "RegistryError",
 ]
 
@@ -65,6 +67,23 @@ class DatasetError(ReproError):
 
 class ModelError(ReproError):
     """A model was used before fitting or configured inconsistently."""
+
+
+class StateDictError(ModelError, KeyError, ValueError):
+    """A parameter state dict does not match the module it is loaded into.
+
+    Raised on missing keys, unexpected keys and shape mismatches.  Derives
+    from both :class:`KeyError` and :class:`ValueError` so callers written
+    against the original ``Module.load_state_dict`` (which raised those
+    directly) keep working unchanged.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return Exception.__str__(self)
+
+
+class ServingError(ReproError):
+    """The online inference-serving layer was misused or fed a bad bundle."""
 
 
 class RegistryError(ReproError, KeyError, ValueError):

@@ -28,7 +28,7 @@ from repro.evaluation.storage import (
     storage_megabytes,
     storage_reduction_percent,
 )
-from repro.evaluation.timing import Stopwatch, timed
+from repro.evaluation.timing import Stopwatch, percentile, summarize_latencies, timed
 
 __all__ = [
     "ExperimentConfig",
@@ -53,4 +53,6 @@ __all__ = [
     "storage_reduction_percent",
     "Stopwatch",
     "timed",
+    "percentile",
+    "summarize_latencies",
 ]

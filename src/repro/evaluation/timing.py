@@ -1,13 +1,15 @@
-"""Timing helpers for the efficiency experiments (Fig. 2b, Fig. 8, Table VII)."""
+"""Timing helpers for the efficiency experiments (Fig. 2b, Fig. 8, Table VII)
+and the serving latency reports (``benchmarks/bench_serving.py``, the
+``/stats`` endpoint of ``python -m repro serve``)."""
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
 
-__all__ = ["Stopwatch", "timed"]
+__all__ = ["Stopwatch", "timed", "percentile", "summarize_latencies"]
 
 
 @dataclass
@@ -43,6 +45,66 @@ class Stopwatch:
     def get(self, name: str) -> float:
         """Accumulated seconds recorded under ``name`` (0.0 if absent)."""
         return self.durations.get(name, 0.0)
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``samples`` (linear interpolation).
+
+    Matches ``numpy.percentile(..., method="linear")`` exactly, so latency
+    summaries are stable whichever implementation a report uses.  ``q`` is
+    in percent (``50`` is the median).
+
+    Examples
+    --------
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+    2.5
+    >>> percentile([5.0], 99)
+    5.0
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 100)
+    4.0
+    """
+    if len(samples) == 0:
+        raise ValueError("percentile of an empty sample set is undefined")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(float(value) for value in samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = rank - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def summarize_latencies(samples: Sequence[float]) -> dict[str, float]:
+    """p50/p95/p99 + mean/min/max/count summary of latency ``samples``.
+
+    The standard shape every serving report uses (the load generator, the
+    ``/stats`` endpoint, the CI smoke gate).  Samples are in seconds; the
+    summary keeps them in seconds — render ``* 1e3`` for milliseconds.
+
+    Examples
+    --------
+    >>> summary = summarize_latencies([0.010, 0.020, 0.030, 0.040])
+    >>> summary["count"], round(summary["p50"], 6)
+    (4.0, 0.025)
+    """
+    if len(samples) == 0:
+        return {
+            "count": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+    values = [float(value) for value in samples]
+    return {
+        "count": float(len(values)),
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+    }
 
 
 @contextmanager

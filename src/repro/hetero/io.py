@@ -3,6 +3,18 @@
 Condensed graphs are cheap to store (that is the point of the paper); this
 module makes the storage-cost comparison of Table VII concrete by saving the
 exact arrays that constitute a graph and measuring the resulting file.
+
+The array codec is exposed as :func:`graph_to_arrays` /
+:func:`graph_from_arrays` with an optional key prefix so other archives can
+embed a graph next to their own arrays — the serving model bundles
+(:mod:`repro.serving.artifacts`) store a trained model and its condensed
+graph in one ``.npz`` this way.
+
+The round-trip is exact for *post-streaming* graphs too: tombstoned node
+ids (label ``-1``, zeroed features, absent from every split) survive by
+construction because labels, features and the split index arrays are stored
+verbatim, and ``metadata`` — which carries dataset provenance — is stored
+as JSON rather than silently dropped.
 """
 
 from __future__ import annotations
@@ -16,7 +28,14 @@ import scipy.sparse as sp
 from repro.hetero.graph import HeteroGraph, NodeSplits
 from repro.hetero.schema import HeteroSchema, Relation
 
-__all__ = ["save_graph", "load_graph", "saved_size_bytes"]
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "graph_to_arrays",
+    "graph_from_arrays",
+    "json_default",
+    "saved_size_bytes",
+]
 
 
 def _schema_to_dict(schema: HeteroSchema) -> dict:
@@ -39,62 +58,117 @@ def _schema_from_dict(payload: dict) -> HeteroSchema:
     )
 
 
+def json_default(value: object) -> object:
+    """Best-effort JSON encoding of metadata values (NumPy scalars etc.).
+
+    Shared ``json.dumps(default=...)`` hook for every archive header this
+    library writes (graph metadata here, bundle headers in
+    :mod:`repro.serving.artifacts`).
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
+
+
+def _json_array(payload: object) -> np.ndarray:
+    encoded = json.dumps(payload, default=json_default).encode("utf-8")
+    return np.frombuffer(encoded, dtype=np.uint8)
+
+
+def _json_value(array: np.ndarray) -> object:
+    return json.loads(bytes(array).decode("utf-8"))
+
+
+def graph_to_arrays(graph: HeteroGraph, *, prefix: str = "") -> dict[str, np.ndarray]:
+    """Flatten ``graph`` into named arrays (the exact :func:`save_graph` layout).
+
+    Every key is prepended with ``prefix`` so a caller can merge the result
+    into a larger archive without collisions.
+    """
+    arrays: dict[str, np.ndarray] = {
+        f"{prefix}schema_json": _json_array(_schema_to_dict(graph.schema)),
+        f"{prefix}metadata_json": _json_array(graph.metadata),
+        f"{prefix}labels": graph.labels,
+        f"{prefix}split_train": graph.splits.train,
+        f"{prefix}split_val": graph.splits.val,
+        f"{prefix}split_test": graph.splits.test,
+    }
+    for node_type, count in graph.num_nodes.items():
+        arrays[f"{prefix}count__{node_type}"] = np.array([count], dtype=np.int64)
+    for node_type, feats in graph.features.items():
+        arrays[f"{prefix}feat__{node_type}"] = feats
+    for name, matrix in graph.adjacency.items():
+        coo = matrix.tocoo()
+        arrays[f"{prefix}adj_row__{name}"] = coo.row.astype(np.int64)
+        arrays[f"{prefix}adj_col__{name}"] = coo.col.astype(np.int64)
+        arrays[f"{prefix}adj_data__{name}"] = coo.data.astype(np.float64)
+        arrays[f"{prefix}adj_shape__{name}"] = np.array(coo.shape, dtype=np.int64)
+    return arrays
+
+
+def graph_from_arrays(
+    data: "dict[str, np.ndarray] | np.lib.npyio.NpzFile", *, prefix: str = ""
+) -> HeteroGraph:
+    """Rebuild a graph from :func:`graph_to_arrays` output.
+
+    ``data`` may be the raw dict or an open ``np.load`` handle; keys not
+    starting with ``prefix`` are ignored, so one archive can hold a graph
+    alongside unrelated arrays.
+    """
+    files = data.files if hasattr(data, "files") else list(data)
+    keys = [key for key in files if key.startswith(prefix)]
+    schema = _schema_from_dict(_json_value(data[f"{prefix}schema_json"]))
+    metadata_key = f"{prefix}metadata_json"
+    metadata = _json_value(data[metadata_key]) if metadata_key in keys else {}
+    num_nodes = {}
+    features = {}
+    adjacency = {}
+    for key in keys:
+        stem = key[len(prefix) :]
+        if stem.startswith("count__"):
+            num_nodes[stem[len("count__") :]] = int(data[key][0])
+        elif stem.startswith("feat__"):
+            features[stem[len("feat__") :]] = data[key]
+        elif stem.startswith("adj_row__"):
+            name = stem[len("adj_row__") :]
+            shape = tuple(int(v) for v in data[f"{prefix}adj_shape__{name}"])
+            adjacency[name] = sp.coo_matrix(
+                (
+                    data[f"{prefix}adj_data__{name}"],
+                    (data[key], data[f"{prefix}adj_col__{name}"]),
+                ),
+                shape=shape,
+            ).tocsr()
+    splits = NodeSplits(
+        data[f"{prefix}split_train"],
+        data[f"{prefix}split_val"],
+        data[f"{prefix}split_test"],
+    )
+    return HeteroGraph(
+        schema=schema,
+        num_nodes=num_nodes,
+        adjacency=adjacency,
+        features=features,
+        labels=data[f"{prefix}labels"],
+        splits=splits,
+        metadata=metadata if isinstance(metadata, dict) else {},
+    )
+
+
 def save_graph(graph: HeteroGraph, path: str | Path) -> Path:
     """Write ``graph`` to ``path`` as a compressed ``.npz`` archive."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    arrays: dict[str, np.ndarray] = {
-        "schema_json": np.frombuffer(
-            json.dumps(_schema_to_dict(graph.schema)).encode("utf-8"), dtype=np.uint8
-        ),
-        "labels": graph.labels,
-        "split_train": graph.splits.train,
-        "split_val": graph.splits.val,
-        "split_test": graph.splits.test,
-    }
-    for node_type, count in graph.num_nodes.items():
-        arrays[f"count__{node_type}"] = np.array([count], dtype=np.int64)
-    for node_type, feats in graph.features.items():
-        arrays[f"feat__{node_type}"] = feats
-    for name, matrix in graph.adjacency.items():
-        coo = matrix.tocoo()
-        arrays[f"adj_row__{name}"] = coo.row.astype(np.int64)
-        arrays[f"adj_col__{name}"] = coo.col.astype(np.int64)
-        arrays[f"adj_data__{name}"] = coo.data.astype(np.float64)
-        arrays[f"adj_shape__{name}"] = np.array(coo.shape, dtype=np.int64)
-    np.savez_compressed(path, **arrays)
+    np.savez_compressed(path, **graph_to_arrays(graph))
     return path
 
 
 def load_graph(path: str | Path) -> HeteroGraph:
     """Load a graph previously written by :func:`save_graph`."""
     with np.load(Path(path), allow_pickle=False) as data:
-        schema = _schema_from_dict(json.loads(bytes(data["schema_json"]).decode("utf-8")))
-        num_nodes = {}
-        features = {}
-        adjacency = {}
-        for key in data.files:
-            if key.startswith("count__"):
-                num_nodes[key[len("count__") :]] = int(data[key][0])
-            elif key.startswith("feat__"):
-                features[key[len("feat__") :]] = data[key]
-            elif key.startswith("adj_row__"):
-                name = key[len("adj_row__") :]
-                shape = tuple(int(v) for v in data[f"adj_shape__{name}"])
-                adjacency[name] = sp.coo_matrix(
-                    (data[f"adj_data__{name}"], (data[key], data[f"adj_col__{name}"])),
-                    shape=shape,
-                ).tocsr()
-        splits = NodeSplits(data["split_train"], data["split_val"], data["split_test"])
-        labels = data["labels"]
-    return HeteroGraph(
-        schema=schema,
-        num_nodes=num_nodes,
-        adjacency=adjacency,
-        features=features,
-        labels=labels,
-        splits=splits,
-    )
+        return graph_from_arrays(data)
 
 
 def saved_size_bytes(graph: HeteroGraph, path: str | Path) -> int:

@@ -166,6 +166,56 @@ class HGNNClassifier:
             logits = module(inputs)
         return np.argmax(logits.numpy(), axis=-1)
 
+    # ------------------------------------------------------------------ #
+    # Persistence protocol (serving bundles)
+    # ------------------------------------------------------------------ #
+    def export_propagation_state(self) -> dict[str, object]:
+        """JSON-safe description of the fitted propagation interface.
+
+        Everything :meth:`restore_state` needs besides the raw weights: the
+        hyper-parameter config, which meta-path feature blocks the module
+        consumes and with which dimensionality, and the class count.  This
+        is the "propagation state" of a serving bundle — it pins the exact
+        feature interface the weights were trained against, so a restored
+        model refuses graphs whose schema drifted.
+        """
+        self._require_fitted()
+        assert self._feature_keys is not None and self._feature_dims is not None
+        return {
+            "config": dict(self.config.__dict__),
+            "feature_keys": list(self._feature_keys),
+            "feature_dims": {key: int(dim) for key, dim in self._feature_dims.items()},
+            "num_classes": int(self._num_classes or 0),
+        }
+
+    def restore_state(
+        self, state: dict[str, object], weights: dict[str, np.ndarray]
+    ) -> "HGNNClassifier":
+        """Rebuild the fitted module from :meth:`export_propagation_state` output.
+
+        The module is reconstructed deterministically from the stored
+        propagation state and the ``weights`` are loaded strictly
+        (:class:`~repro.errors.StateDictError` on any mismatch), so a
+        restored classifier predicts byte-identically to the one that was
+        exported.
+        """
+        feature_keys = [str(key) for key in state["feature_keys"]]
+        feature_dims = {
+            str(key): int(dim) for key, dim in dict(state["feature_dims"]).items()
+        }
+        num_classes = int(state["num_classes"])
+        rng = ensure_rng(self.config.seed)
+        module = self._build_module(feature_dims, num_classes, rng)
+        # All-or-nothing: a StateDictError must leave this classifier
+        # unfitted rather than looking fitted with random-init weights.
+        module.load_state_dict(weights, strict=True)
+        module.eval()
+        self._feature_keys = feature_keys
+        self._feature_dims = feature_dims
+        self._num_classes = num_classes
+        self._module = module
+        return self
+
     def evaluate(self, graph: HeteroGraph, indices: np.ndarray | None = None) -> float:
         """Accuracy on ``graph`` (test split by default)."""
         indices = graph.splits.test if indices is None else np.asarray(indices, dtype=np.int64)
@@ -192,11 +242,25 @@ class HGNNClassifier:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _prepare_features(self, graph: HeteroGraph) -> dict[str, np.ndarray]:
+    def prepare_features(self, graph: HeteroGraph, *, context=None) -> dict[str, np.ndarray]:
+        """The exact (normalised) feature blocks :meth:`predict` consumes.
+
+        Exposed for the serving engine, which pre-computes these once per
+        model epoch instead of on every request.  A matching
+        :class:`~repro.core.context.CondensationContext` (the incremental
+        condenser's live context) short-cuts the propagation with its
+        memoized blocks — the same arrays the condensation stages use.
+        """
         features = propagate_metapath_features(
-            graph, max_hops=self.config.max_hops, max_paths=self.config.max_paths
+            graph,
+            max_hops=self.config.max_hops,
+            max_paths=self.config.max_paths,
+            context=context,
         )
         return row_normalize_features(features)
+
+    def _prepare_features(self, graph: HeteroGraph) -> dict[str, np.ndarray]:
+        return self.prepare_features(graph)
 
     def _to_tensors(self, features: dict[str, np.ndarray]) -> dict[str, Tensor]:
         assert self._feature_keys is not None and self._feature_dims is not None

@@ -11,6 +11,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.errors import StateDictError
 from repro.nn.autograd import Tensor
 
 __all__ = ["Module", "Sequential"]
@@ -90,18 +91,42 @@ class Module:
         """Copy of every parameter value keyed by its dotted name."""
         return {name: tensor.data.copy() for name, tensor in self.named_parameters()}
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load parameter values previously produced by :meth:`state_dict`."""
-        for name, tensor in self.named_parameters():
-            if name not in state:
-                raise KeyError(f"missing parameter {name!r} in state dict")
+    def load_state_dict(
+        self, state: dict[str, np.ndarray], *, strict: bool = True
+    ) -> None:
+        """Load parameter values previously produced by :meth:`state_dict`.
+
+        With ``strict=True`` (the default) the state dict must match the
+        module exactly: a missing parameter, an unexpected extra key or a
+        shape mismatch raises :class:`~repro.errors.StateDictError` naming
+        every offending key.  ``strict=False`` skips the unexpected-key
+        check (partial loading still requires every *own* parameter to be
+        present with the right shape — silently loading half a model is how
+        serving bundles rot).
+        """
+        own = dict(self.named_parameters())
+        missing = sorted(name for name in own if name not in state)
+        unexpected = sorted(name for name in state if name not in own)
+        if missing:
+            raise StateDictError(
+                f"missing parameter(s) in state dict: {', '.join(missing)}"
+            )
+        if strict and unexpected:
+            raise StateDictError(
+                f"unexpected key(s) in state dict: {', '.join(unexpected)}"
+            )
+        staged: dict[str, np.ndarray] = {}
+        for name, tensor in own.items():
             value = np.asarray(state[name], dtype=np.float64)
             if value.shape != tensor.data.shape:
-                raise ValueError(
+                raise StateDictError(
                     f"parameter {name!r} has shape {tensor.data.shape}, "
                     f"state provides {value.shape}"
                 )
-            tensor.data = value.copy()
+            staged[name] = value
+        # All-or-nothing: nothing is written until every key validated.
+        for name, value in staged.items():
+            own[name].data = value.copy()
 
     # ------------------------------------------------------------------ #
     def forward(self, *args, **kwargs):  # pragma: no cover - abstract

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Four subcommands drive the planner/executor/store stack end to end:
+Six subcommands drive the planner/executor/store/serving stack end to end:
 
 ``sweep``
     Table III-style ratio sweep: every (method, ratio) cell plus the
@@ -8,10 +8,17 @@ Four subcommands drive the planner/executor/store stack end to end:
 ``generalize``
     Table IV-style grid: every method's condensed graph trains every model;
     condensation is shared across the models of a row.
+``stream``
+    Replay an evolving-graph delta schedule through incremental
+    condensation, optionally verifying byte-identity per step.
+``serve``
+    Online inference endpoint: micro-batched predictions over HTTP with
+    zero-downtime hot-swap on streaming deltas (``docs/serving.md``).
 ``report``
     Render rows from a store's artifacts without running anything.
 ``list``
-    Show every registered dataset, condenser, model and stage strategy.
+    Show every registered dataset, condenser, model and stage strategy,
+    plus the serving components (``--json`` for machine-readable output).
 
 Runs are **resumable**: completed cells land in the artifact store (default
 ``./runs``) keyed by a content hash of the cell, and re-invoking the same
@@ -46,6 +53,7 @@ from repro.runner.cache import ArtifactStore
 from repro.runner.executor import CellOutcome, execute_plan
 from repro.runner.plan import (
     GeneralizationConfig,
+    ServeConfig,
     StreamConfig,
     assemble_generalization_rows,
     plan_generalization,
@@ -189,6 +197,45 @@ def build_parser() -> argparse.ArgumentParser:
     out.add_argument("--quiet", action="store_true", help="suppress per-step progress lines")
     stream.set_defaults(func=_cmd_stream)
 
+    serve = sub.add_parser(
+        "serve",
+        help="online inference endpoint with micro-batching and hot-swap on deltas",
+    )
+    exp = serve.add_argument_group("experiment")
+    exp.add_argument("--dataset", required=True, help="registered dataset name (see `list`)")
+    exp.add_argument("--ratio", type=float, required=True, help="condensation ratio")
+    exp.add_argument("--scale", type=float, default=0.35,
+                     help="synthetic graph size multiplier (default: 0.35)")
+    exp.add_argument("--seed", type=int, default=0, help="condensation + training seed (default: 0)")
+    exp.add_argument("--max-hops", type=int, default=None, metavar="K",
+                     help="meta-path hop limit (default: the dataset's paper value, capped at 3)")
+    exp.add_argument("--model", default="heterosgc",
+                     help="served evaluation model (default: heterosgc)")
+    exp.add_argument("--hidden-dim", type=int, default=32)
+    exp.add_argument("--epochs", type=int, default=80)
+    srv = serve.add_argument_group("serving")
+    srv.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8765,
+                     help="TCP port; 0 picks an ephemeral port (default: 8765)")
+    srv.add_argument("--cache-size", type=int, default=4096,
+                     help="LRU prediction-cache capacity, 0 disables (default: 4096)")
+    srv.add_argument("--max-batch", type=int, default=256,
+                     help="micro-batch flush size (default: 256)")
+    srv.add_argument("--batch-window-ms", type=float, default=2.0,
+                     help="micro-batch flush window in ms (default: 2.0)")
+    srv.add_argument("--recondense-threshold", type=float, default=0.05,
+                     help="edge fraction above which a delta recondenses from "
+                          "scratch (default: 0.05)")
+    srv.add_argument("--bundle-store", default=None, metavar="DIR",
+                     help="ModelStore directory: warm-start from a stored bundle "
+                          "and persist one after cold start and every retrain")
+    srv.add_argument("--selftest", type=int, default=0, metavar="STEPS",
+                     help="do not serve: replay STEPS deltas against an "
+                          "in-process server under concurrent load, verify "
+                          "every response, then exit (0 = disabled)")
+    srv.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    serve.set_defaults(func=_cmd_serve)
+
     report = sub.add_parser("report", help="render stored artifacts as a table, running nothing")
     report.add_argument("--store", default="runs", metavar="DIR",
                         help="artifact store directory (default: ./runs)")
@@ -204,8 +251,16 @@ def build_parser() -> argparse.ArgumentParser:
         "what",
         nargs="?",
         default="all",
-        choices=("all", "datasets", "condensers", "models", "target-stages", "other-stages"),
+        choices=(
+            "all", "datasets", "condensers", "models",
+            "target-stages", "other-stages", "serving",
+        ),
         help="which registry to list (default: all)",
+    )
+    list_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the listing as one machine-readable JSON object",
     )
     list_cmd.set_defaults(func=_cmd_list)
 
@@ -496,6 +551,211 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 1 if mismatches else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.condenser import FreeHGC
+    from repro.evaluation.pipeline import make_model_factory
+    from repro.serving import ModelStore, ServingController, ServingServer
+
+    config = ServeConfig(
+        dataset=args.dataset,
+        ratio=args.ratio,
+        scale=args.scale,
+        seed=args.seed,
+        max_hops=args.max_hops,
+        model=args.model,
+        hidden_dim=args.hidden_dim,
+        epochs=args.epochs,
+        recondense_threshold=args.recondense_threshold,
+        cache_size=args.cache_size,
+        max_batch=args.max_batch,
+        batch_window_ms=args.batch_window_ms,
+        host=args.host,
+        port=args.port,
+        bundle_store=args.bundle_store,
+    )
+    entry = registry.datasets.get(config.dataset)
+    graph = entry.loader(scale=config.scale, seed=config.seed)
+    max_hops = config.resolved_max_hops()
+    factory = make_model_factory(
+        config.model,
+        hidden_dim=config.hidden_dim,
+        epochs=config.epochs,
+        max_hops=max_hops,
+        seed=config.seed,
+    )
+    controller = ServingController(
+        graph,
+        factory,
+        model_name=registry.models.canonical(config.model),
+        ratio=config.ratio,
+        condenser=FreeHGC(max_hops=max_hops),
+        recondense_threshold=config.recondense_threshold,
+        seed=config.seed,
+        cache_size=config.cache_size,
+    )
+    store = ModelStore(config.bundle_store) if config.bundle_store else None
+    key = config.bundle_key()
+    warm_bundle = store.load(key) if store is not None and key in store else None
+
+    def log(message: str) -> None:
+        if not args.quiet:
+            print(message, flush=True)
+
+    log(f"condensing {config.dataset} @ ratio {config.ratio:g} and training {config.model}...")
+    controller.start(warm_bundle=warm_bundle)
+    log(
+        "warm-started from stored bundle"
+        if controller.warm_started
+        else "cold start: trained a fresh model"
+    )
+
+    def persist(swap_report=None) -> None:
+        if store is None:
+            return
+        if swap_report is not None and not swap_report.retrained:
+            return  # unchanged weights: the stored revision is still current
+        metadata = {"dataset": config.dataset, "ratio": config.ratio, "seed": config.seed}
+        if swap_report is not None:
+            metadata["step"] = swap_report.step
+        store.put(key, controller.export_bundle(metadata=metadata))
+        log(f"persisted bundle {key!r} revision {store.revision_of(key)}")
+
+    if not controller.warm_started:
+        persist()
+
+    server = ServingServer(
+        controller,
+        host=config.host,
+        port=config.port,
+        max_batch=config.max_batch,
+        batch_window_seconds=config.batch_window_ms / 1e3,
+        # selftest deltas are synthetic: persisting their bundles would
+        # shadow the cold-start bundle the next deployment warm-starts from
+        on_swap=None if args.selftest else persist,
+    )
+    if args.selftest:
+        return asyncio.run(_serve_selftest(server, controller, config, args.selftest, log))
+
+    async def run() -> None:
+        host, port = await server.start()
+        log(f"serving {config.dataset} on http://{host}:{port} "
+            f"(endpoints: /healthz /stats /predict /delta)")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        log("interrupted: shutting down")
+    return 0
+
+
+async def _serve_selftest(server, controller, config: ServeConfig, steps: int, log) -> int:
+    """In-process smoke: concurrent predictions during a live delta replay.
+
+    Every response is verified against a per-version snapshot of the
+    session's own predictions, so a response served mid-swap must match
+    either the old or the new model — exactly, and stamped with the right
+    version.  Returns a non-zero exit code on any dropped or incorrect
+    response.
+    """
+    import asyncio
+    import json as _json
+
+    import numpy as np
+
+    from repro.datasets.generators import generate_delta_schedule
+
+    host, port = await server.start()
+    log(f"selftest server on http://{host}:{port}")
+    num_targets = controller.session.num_targets
+    all_ids = np.arange(num_targets, dtype=np.int64)
+    def snapshot() -> "np.ndarray":
+        # Reference labels straight from the logits, bypassing the LRU
+        # cache, so the selftest also catches bad cache carry-over.
+        return np.argmax(controller.session.logits(all_ids), axis=-1)
+
+    expected = {controller.version: snapshot()}
+    rng = np.random.default_rng(config.seed + 17)
+    schedule = generate_delta_schedule(
+        controller.graph, steps=steps, seed=config.seed + 1, edge_churn=0.005
+    )
+    failures = 0
+    answered = 0
+
+    async def request(method: str, path: str, payload: dict | None = None) -> dict:
+        reader, writer = await asyncio.open_connection(host, port)
+        body = _json.dumps(payload or {}).encode()
+        writer.write(
+            f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n".encode() + body
+        )
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        head, _, response_body = raw.partition(b"\r\n\r\n")
+        status = int(head.split(b" ", 2)[1])
+        return {"http_status": status, "body": _json.loads(response_body or b"{}")}
+
+    async def verified_predict() -> None:
+        nonlocal failures, answered
+        ids = rng.choice(num_targets, size=min(16, num_targets), replace=False)
+        response = await request("POST", "/predict", {"nodes": ids.tolist()})
+        answered += 1
+        if response["http_status"] != 200:
+            failures += 1
+            return
+        version = response["body"]["version"]
+        reference = expected.get(version)
+        if reference is None and version == controller.version:
+            # A swap can land between our done() check and this response;
+            # snapshot the (deterministic) new session lazily.
+            reference = snapshot()
+            expected[version] = reference
+        if reference is None or not np.array_equal(
+            np.asarray(response["body"]["labels"]), reference[ids]
+        ):
+            failures += 1
+
+    health = await request("GET", "/healthz")
+    if health["http_status"] != 200 or health["body"].get("status") != "ok":
+        failures += 1
+    for delta in schedule:
+        swap_task = asyncio.create_task(
+            request("POST", "/delta", delta.to_payload())
+        )
+        while not swap_task.done():
+            await asyncio.gather(*(verified_predict() for _ in range(8)))
+        swap = await swap_task
+        if swap["http_status"] != 200:
+            failures += 1
+            continue
+        swapped = swap["body"]
+        expected.setdefault(swapped["version"], snapshot())
+        log(
+            f"step {swapped['step']}: version {swapped['version']} "
+            f"retrained={swapped['retrained']} dirty={swapped['dirty_count']} "
+            f"({answered} verified requests so far)"
+        )
+        await asyncio.gather(*(verified_predict() for _ in range(8)))
+    stats = await request("GET", "/stats")
+    await server.close()
+    latency = stats["body"].get("latency", {})
+    log(
+        f"selftest: {answered} requests, {failures} failures, "
+        f"p50={latency.get('p50', 0) * 1e3:.2f}ms p95={latency.get('p95', 0) * 1e3:.2f}ms"
+    )
+    if failures:
+        print(f"error: serving selftest had {failures} failed/incorrect responses",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _dataset_key(name: str) -> str:
     """Alias-aware comparison key: canonical registry name, else lower-case."""
     try:
@@ -533,7 +793,52 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: serving is not a registry — its components are the fixed serving stack,
+#: listed alongside the registries so deployment tooling can discover them
+_SERVING_COMPONENTS = {
+    "engine": "InferenceSession — micro-batched prediction over pre-computed features",
+    "controller": "ServingController — zero-downtime hot-swap on streaming deltas",
+    "server": "ServingServer — stdlib asyncio HTTP endpoint (python -m repro serve)",
+    "model-store": "ModelStore — versioned .npz model bundles (weights + condensed graph)",
+}
+
+_SERVING_ENDPOINTS = ("GET /healthz", "GET /stats", "POST /predict", "POST /delta")
+
+
+def _registry_listing(reg: registry.Registry) -> dict[str, dict]:
+    return {name: {"aliases": list(reg.aliases_of(name))} for name in reg.names()}
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        import json as _json
+
+        payload: dict[str, object] = {}
+        sections: dict[str, Callable[[], object]] = {
+            "datasets": lambda: {
+                name: {
+                    "aliases": list(registry.datasets.aliases_of(name)),
+                    "paper_ratios": [float(r) for r in registry.datasets.get(name).paper_ratios],
+                    "max_hops": int(registry.datasets.get(name).max_hops),
+                }
+                for name in registry.datasets.names()
+            },
+            "condensers": lambda: _registry_listing(registry.condensers),
+            "models": lambda: _registry_listing(registry.models),
+            "target-stages": lambda: _registry_listing(registry.target_stages),
+            "other-stages": lambda: _registry_listing(registry.other_stages),
+            "serving": lambda: {
+                "components": dict(_SERVING_COMPONENTS),
+                "endpoints": list(_SERVING_ENDPOINTS),
+                "subcommand": "python -m repro serve",
+            },
+        }
+        wanted = sections if args.what == "all" else {args.what: sections[args.what]}
+        for name, build in wanted.items():
+            payload[name] = build()
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
     def show(label: str, reg: registry.Registry, describe=None) -> None:
         print(f"{label}:")
         for name in reg.names():
@@ -541,6 +846,13 @@ def _cmd_list(args: argparse.Namespace) -> int:
             suffix = f"  (aliases: {', '.join(aliases)})" if aliases else ""
             extra = f"  {describe(name)}" if describe is not None else ""
             print(f"  {name}{suffix}{extra}")
+        print()
+
+    def show_serving() -> None:
+        print("serving:")
+        for name, description in _SERVING_COMPONENTS.items():
+            print(f"  {name}  {description}")
+        print(f"  endpoints: {', '.join(_SERVING_ENDPOINTS)}")
         print()
 
     sections = {
@@ -556,6 +868,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "models": lambda: show("models", registry.models),
         "target-stages": lambda: show("target stages", registry.target_stages),
         "other-stages": lambda: show("father/leaf stages", registry.other_stages),
+        "serving": show_serving,
     }
     if args.what == "all":
         for section in sections.values():
@@ -580,9 +893,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         infeasible ratio, ...).
     """
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse already printed its usage/choice message; translate the
+        # exit into a plain return code (2 for bad usage, 0 for --help) so
+        # programmatic callers never see a SystemExit traceback.
+        return exc.code if isinstance(exc.code, int) else 2
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout consumer went away (e.g. `python -m repro list | head`):
+        # silence the shutdown-time flush error and exit cleanly.
+        import os
+
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+    except KeyboardInterrupt:
+        return 130

@@ -41,11 +41,23 @@ __all__ = [
     "Cell",
     "ExperimentPlan",
     "GeneralizationConfig",
+    "ServeConfig",
     "StreamConfig",
     "plan_ratio_sweep",
     "plan_generalization",
     "assemble_generalization_rows",
 ]
+
+def resolve_max_hops(dataset: str, max_hops: int | None) -> int:
+    """Hop limit shared by every config: explicit value wins, otherwise the
+    dataset's paper default capped at 3 (unknown datasets fall back to 2)."""
+    if max_hops is not None:
+        return max_hops
+    from repro.datasets.registry import DATASETS
+
+    entry = DATASETS.get(dataset.lower())
+    return min(entry.max_hops, 3) if entry is not None else 2
+
 
 #: Evaluate one (method, ratio) cell: condense → train model → test on full graph.
 KIND_EVALUATE = "evaluate"
@@ -244,12 +256,7 @@ class GeneralizationConfig:
 
     def resolved_max_hops(self) -> int:
         """Meta-path hop limit: explicit value or the dataset's paper default."""
-        if self.max_hops is not None:
-            return self.max_hops
-        from repro.datasets.registry import DATASETS
-
-        entry = DATASETS.get(self.dataset.lower())
-        return min(entry.max_hops, 3) if entry is not None else 2
+        return resolve_max_hops(self.dataset, self.max_hops)
 
 
 @dataclass(frozen=True)
@@ -311,12 +318,71 @@ class StreamConfig:
 
     def resolved_max_hops(self) -> int:
         """Meta-path hop limit: explicit value or the dataset's paper default."""
-        if self.max_hops is not None:
-            return self.max_hops
-        from repro.datasets.registry import DATASETS
+        return resolve_max_hops(self.dataset, self.max_hops)
 
-        entry = DATASETS.get(self.dataset.lower())
-        return min(entry.max_hops, 3) if entry is not None else 2
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Configuration of one ``python -m repro serve`` deployment.
+
+    Describes the graph being served, the condensation keeping it cheap and
+    the serving knobs (micro-batching, prediction cache, bundle store); the
+    CLI expands it into a :class:`repro.serving.ServingController` plus a
+    :class:`repro.serving.ServingServer`.
+
+    Examples
+    --------
+    >>> ServeConfig(dataset="acm", ratio=0.05).resolved_max_hops()
+    3
+    >>> ServeConfig(dataset="acm", ratio=2.0)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ReproError: ratio must be in (0, 1], got 2.0
+    """
+
+    dataset: str
+    ratio: float
+    scale: float = 0.35
+    seed: int = 0
+    max_hops: int | None = None
+    model: str = "heterosgc"
+    hidden_dim: int = 32
+    epochs: int = 80
+    recondense_threshold: float = 0.05
+    cache_size: int = 4096
+    max_batch: int = 256
+    batch_window_ms: float = 2.0
+    host: str = "127.0.0.1"
+    port: int = 8765
+    bundle_store: str | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ratio <= 1.0:
+            raise ReproError(f"ratio must be in (0, 1], got {self.ratio}")
+        if not 0.0 <= self.recondense_threshold <= 1.0:
+            raise ReproError(
+                "recondense_threshold must be in [0, 1], got "
+                f"{self.recondense_threshold}"
+            )
+        if self.cache_size < 0:
+            raise ReproError(f"cache_size must be >= 0, got {self.cache_size}")
+        if self.max_batch < 1:
+            raise ReproError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.batch_window_ms < 0:
+            raise ReproError(f"batch_window_ms must be >= 0, got {self.batch_window_ms}")
+        if self.max_hops is not None:
+            check_max_hops(self.max_hops)
+
+    def resolved_max_hops(self) -> int:
+        """Meta-path hop limit: explicit value or the dataset's paper default."""
+        return resolve_max_hops(self.dataset, self.max_hops)
+
+    def bundle_key(self) -> str:
+        """Stable model-store key of this deployment's bundle lineage."""
+        return (
+            f"{self.dataset.lower()}:{self.model.lower()}:r{self.ratio:g}"
+            f":s{self.scale:g}:seed{self.seed}:h{self.resolved_max_hops()}"
+        )
 
 
 def _sorted_kwargs(kwargs: dict[str, object]) -> tuple[tuple[str, object], ...]:

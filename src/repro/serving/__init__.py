@@ -1,0 +1,52 @@
+"""Online inference serving for condensed-graph models.
+
+The paper's pitch is that a condensed graph is cheap enough to train and
+*deploy* on; this package is the deployment layer.  It turns a condensed
+graph kept fresh by :mod:`repro.streaming` into low-latency predictions:
+
+* :mod:`repro.serving.artifacts` — :class:`ModelBundle` (one versioned
+  ``.npz`` holding trained weights + propagation state + the condensed
+  graph) and :class:`ModelStore` (an append-only, resumable bundle
+  registry keyed like the runner's artifact store);
+* :mod:`repro.serving.engine` — :class:`InferenceSession`, the
+  micro-batched prediction engine: propagated features are pre-computed
+  once per model epoch, batched prediction is byte-identical to
+  one-at-a-time, and an LRU label cache absorbs hot nodes;
+* :mod:`repro.serving.hotswap` — :class:`ServingController`, which applies
+  :class:`~repro.streaming.delta.GraphDelta` s through the incremental
+  condenser, retrains only when the condensed graph actually changed, and
+  atomically swaps sessions with dirty-set-driven cache carry-over;
+* :mod:`repro.serving.server` — a stdlib-only asyncio HTTP endpoint
+  (``python -m repro serve``) that coalesces concurrent requests into
+  vectorised batches and hot-swaps in the background with zero dropped
+  requests.
+
+``benchmarks/bench_serving.py`` gates the whole stack: batched == serial
+byte-identity, a >=5x batched-over-unbatched throughput floor, and a
+zero-error hot-swap under concurrent load.
+"""
+
+from repro.serving.artifacts import (
+    BUNDLE_FORMAT,
+    ModelBundle,
+    ModelStore,
+    load_bundle,
+    save_bundle,
+)
+from repro.serving.engine import InferenceSession, LRUCache
+from repro.serving.hotswap import ServingController, SwapReport
+from repro.serving.server import MicroBatcher, ServingServer
+
+__all__ = [
+    "BUNDLE_FORMAT",
+    "InferenceSession",
+    "LRUCache",
+    "MicroBatcher",
+    "ModelBundle",
+    "ModelStore",
+    "ServingController",
+    "ServingServer",
+    "SwapReport",
+    "load_bundle",
+    "save_bundle",
+]

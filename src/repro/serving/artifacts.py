@@ -1,0 +1,246 @@
+"""Model-bundle persistence: one versioned ``.npz`` per deployable model.
+
+A *bundle* is everything the serving layer needs to answer predictions
+without re-running condensation or training:
+
+* the trained model's weights (``Module.state_dict`` arrays),
+* its **propagation state** (:meth:`repro.models.base.HGNNClassifier.
+  export_propagation_state`: hyper-parameter config, consumed feature keys
+  and dimensions, class count),
+* the condensed graph the weights were trained on (embedded with the
+  :func:`repro.hetero.io.graph_to_arrays` codec under a ``graph__`` prefix),
+* free-form provenance metadata (dataset, ratio, accuracy, stream step).
+
+Bundles are written atomically (temp file + rename) so a reader never sees
+a half-written archive, and carry a format version that is checked on load.
+
+:class:`ModelStore` organises bundles on disk the same way the runner's
+:class:`~repro.runner.cache.ArtifactStore` organises results: an
+append-only JSONL index keyed by a caller-chosen stable key, latest record
+wins, safe to resume after interruption.  Each ``put`` bumps the key's
+revision and writes a new archive next to the index.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from zipfile import BadZipFile
+
+import numpy as np
+
+from repro import registry
+from repro.errors import ServingError
+from repro.hetero.graph import HeteroGraph
+from repro.hetero.io import graph_from_arrays, graph_to_arrays, json_default
+from repro.models.base import HGNNClassifier
+from repro.runner.cache import ArtifactStore
+
+__all__ = ["ModelBundle", "ModelStore", "save_bundle", "load_bundle", "BUNDLE_FORMAT"]
+
+#: bump when the archive layout changes incompatibly
+BUNDLE_FORMAT = 1
+
+_GRAPH_PREFIX = "graph__"
+_WEIGHT_PREFIX = "weight__"
+
+
+@dataclass
+class ModelBundle:
+    """A deployable (model, condensed graph) pair plus provenance."""
+
+    model_name: str
+    state: dict[str, object]
+    weights: dict[str, np.ndarray]
+    condensed: HeteroGraph
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_model(
+        cls,
+        model_name: str,
+        model: HGNNClassifier,
+        condensed: HeteroGraph,
+        *,
+        metadata: dict[str, object] | None = None,
+    ) -> "ModelBundle":
+        """Capture a fitted ``model`` (and the graph it trained on)."""
+        canonical = registry.models.canonical(model_name)
+        module = model._require_fitted()
+        return cls(
+            model_name=canonical,
+            state=model.export_propagation_state(),
+            weights=module.state_dict(),
+            condensed=condensed,
+            metadata=dict(metadata or {}),
+        )
+
+    def build_model(self) -> HGNNClassifier:
+        """Reconstruct the fitted classifier (byte-identical predictions)."""
+        model_cls = registry.models.get(self.model_name)
+        config = dict(self.state.get("config", {}))
+        model = model_cls(**config)
+        model.restore_state(self.state, self.weights)
+        return model
+
+
+def save_bundle(bundle: ModelBundle, path: str | Path) -> Path:
+    """Write ``bundle`` to ``path`` as one compressed ``.npz`` (atomic)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "format": BUNDLE_FORMAT,
+        "model": bundle.model_name,
+        "state": bundle.state,
+        "metadata": bundle.metadata,
+    }
+    arrays: dict[str, np.ndarray] = {
+        "bundle_json": np.frombuffer(
+            json.dumps(header, sort_keys=True, default=json_default).encode("utf-8"),
+            dtype=np.uint8,
+        )
+    }
+    for name, value in bundle.weights.items():
+        arrays[f"{_WEIGHT_PREFIX}{name}"] = np.asarray(value, dtype=np.float64)
+    arrays.update(graph_to_arrays(bundle.condensed, prefix=_GRAPH_PREFIX))
+    # np.savez appends ".npz" to names lacking it, so the temp name keeps it.
+    tmp = path.with_name(f".{path.stem}.tmp{os.getpid()}.npz")
+    try:
+        np.savez_compressed(tmp, **arrays)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def load_bundle(path: str | Path) -> ModelBundle:
+    """Load a bundle written by :func:`save_bundle`.
+
+    Raises :class:`~repro.errors.ServingError` on a missing file, a foreign
+    archive, or a format version newer than this library understands.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ServingError(f"model bundle {path} does not exist")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if "bundle_json" not in data.files:
+                raise ServingError(f"{path} is not a model bundle (no header)")
+            header = json.loads(bytes(data["bundle_json"]).decode("utf-8"))
+            fmt = int(header.get("format", -1))
+            if fmt > BUNDLE_FORMAT or fmt < 1:
+                raise ServingError(
+                    f"bundle {path} has format {fmt}; this library supports "
+                    f"<= {BUNDLE_FORMAT}"
+                )
+            weights = {
+                key[len(_WEIGHT_PREFIX) :]: data[key]
+                for key in data.files
+                if key.startswith(_WEIGHT_PREFIX)
+            }
+            condensed = graph_from_arrays(data, prefix=_GRAPH_PREFIX)
+    except (BadZipFile, ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise ServingError(f"failed to read model bundle {path}: {exc}") from exc
+    return ModelBundle(
+        model_name=str(header["model"]),
+        state=dict(header["state"]),
+        weights=weights,
+        condensed=condensed,
+        metadata=dict(header.get("metadata", {})),
+    )
+
+
+class ModelStore:
+    """Versioned on-disk registry of model bundles, keyed like the runner's store.
+
+    Layout::
+
+        <root>/artifacts.jsonl          # append-only index (ArtifactStore)
+        <root>/bundles/<key>-r0001.npz  # one archive per revision
+
+    ``put`` appends an index record ``{"key": ..., "cell": {...}, "result":
+    {"path": ..., "revision": ...}}``; the latest record per key wins, so
+    interrupted writes at worst leave an orphaned archive that is never
+    referenced.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> store = ModelStore(tempfile.mkdtemp())
+    >>> store.latest_record("missing") is None
+    True
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.index = ArtifactStore(self.root)
+
+    @property
+    def bundle_dir(self) -> Path:
+        """Directory holding the ``.npz`` archives."""
+        return self.root / "bundles"
+
+    def keys(self) -> set[str]:
+        """Every key with at least one stored bundle."""
+        return self.index.completed_keys()
+
+    def latest_record(self, key: str) -> dict | None:
+        """The newest index record for ``key`` (or ``None``)."""
+        return self.index.get(key)
+
+    def revision_of(self, key: str) -> int:
+        """Latest stored revision of ``key`` (0 when absent)."""
+        record = self.latest_record(key)
+        if record is None:
+            return 0
+        result = record.get("result", {})
+        return int(result.get("revision", 0)) if isinstance(result, dict) else 0
+
+    def put(
+        self,
+        key: str,
+        bundle: ModelBundle,
+        *,
+        elapsed_s: float = 0.0,
+    ) -> dict:
+        """Persist ``bundle`` as the next revision of ``key``."""
+        revision = self.revision_of(key) + 1
+        filename = f"{_safe_stem(key)}-r{revision:04d}.npz"
+        path = save_bundle(bundle, self.bundle_dir / filename)
+        return self.index.put(
+            key,
+            {
+                "kind": "model-bundle",
+                "model": bundle.model_name,
+                "metadata": bundle.metadata,
+            },
+            {
+                "path": str(path.relative_to(self.root)),
+                "revision": revision,
+                "num_weights": len(bundle.weights),
+            },
+            elapsed_s=elapsed_s,
+        )
+
+    def load(self, key: str) -> ModelBundle:
+        """Load the latest revision of ``key``."""
+        record = self.latest_record(key)
+        if record is None:
+            raise ServingError(
+                f"no model bundle stored under key {key!r} in {self.root}"
+            )
+        result = record.get("result", {})
+        return load_bundle(self.root / str(result.get("path", "")))
+
+    def __contains__(self, key: str) -> bool:
+        return self.latest_record(key) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ModelStore(root={str(self.root)!r}, keys={len(self.keys())})"
+
+
+def _safe_stem(key: str) -> str:
+    """Filesystem-safe archive stem for an arbitrary store key."""
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in key)[:80]

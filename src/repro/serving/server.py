@@ -1,0 +1,383 @@
+"""Stdlib-only asyncio HTTP endpoint over a :class:`ServingController`.
+
+``python -m repro serve`` starts this server.  The protocol is a minimal
+but real HTTP/1.1 with keep-alive and JSON bodies:
+
+``GET /healthz``
+    ``{"status": "ok", "version": N, "targets": M}`` — liveness probe.
+``GET /stats``
+    Engine, batcher and controller counters plus a latency summary
+    (:func:`repro.evaluation.timing.summarize_latencies`).
+``POST /predict``  body ``{"nodes": [id, ...]}``
+    ``{"labels": [...], "version": N}``.  Requests are **coalesced**: the
+    handler enqueues the ids and awaits a shared
+    :class:`MicroBatcher`, which drains the queue every few milliseconds
+    (or once ``max_batch`` ids are pending) and answers the whole batch
+    with one vectorised :meth:`~repro.serving.engine.InferenceSession.predict`
+    call.  Each response is stamped with the session version that served it.
+``POST /delta``  body: :meth:`repro.streaming.delta.GraphDelta.to_payload`
+    Applies the delta through the controller's hot-swap path **in a worker
+    thread** — the event loop keeps answering ``/predict`` from the live
+    session for the whole duration — and returns the swap report.  Deltas
+    are applied one at a time (the controller serialises swaps).
+
+Zero-downtime is structural: the batcher always reads the controller's
+current session *once per batch*, and the controller publishes a fully
+built session with a single attribute store, so every request is answered
+by exactly one consistent session — the old one or the new one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+
+import numpy as np
+
+from repro.errors import ReproError, ServingError
+from repro.evaluation.timing import summarize_latencies
+from repro.serving.hotswap import ServingController
+from repro.streaming.delta import GraphDelta
+
+__all__ = ["MicroBatcher", "ServingServer"]
+
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class MicroBatcher:
+    """Coalesces concurrent prediction requests into vectorised batches.
+
+    Parameters
+    ----------
+    get_session:
+        Zero-argument callable returning the current
+        :class:`~repro.serving.engine.InferenceSession` (read once per
+        drained batch, so a whole batch is answered by one session).
+    max_batch:
+        Flush once this many node ids are pending.
+    window_seconds:
+        Flush after this long even when the batch is not full (the latency
+        bound a mostly-idle server adds to a lone request).
+    """
+
+    def __init__(
+        self,
+        get_session,
+        *,
+        max_batch: int = 256,
+        window_seconds: float = 0.002,
+    ) -> None:
+        self.get_session = get_session
+        self.max_batch = int(max_batch)
+        self.window_seconds = float(window_seconds)
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._task: asyncio.Task | None = None
+        self.batches_served = 0
+        self.requests_served = 0
+
+    def start(self) -> None:
+        """Spawn the drain loop on the running event loop."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._drain())
+
+    async def stop(self) -> None:
+        """Cancel the drain loop."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    async def submit(self, node_ids: np.ndarray) -> tuple[np.ndarray, int]:
+        """Enqueue ``node_ids``; resolves to ``(labels, session version)``."""
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put((node_ids, future))
+        return await future
+
+    async def _drain(self) -> None:
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            pending = int(first[0].size)
+            deadline = perf_counter() + self.window_seconds
+            while pending < self.max_batch:
+                remaining = deadline - perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                batch.append(item)
+                pending += int(item[0].size)
+            ids = np.concatenate([item[0] for item in batch])
+            try:
+                session = self.get_session()
+                labels = session.predict(ids)
+                version = session.version
+            except Exception:
+                # Isolate the offender: retry each request on its own so a
+                # single bad batch member cannot fail its window-mates.
+                for request_ids, future in batch:
+                    try:
+                        session = self.get_session()
+                        result = (session.predict(request_ids), session.version)
+                    except Exception as exc:
+                        if not future.done():
+                            future.set_exception(exc)
+                    else:
+                        if not future.done():
+                            future.set_result(result)
+                continue
+            self.batches_served += 1
+            self.requests_served += len(batch)
+            cursor = 0
+            for request_ids, future in batch:
+                span = int(request_ids.size)
+                if not future.done():
+                    future.set_result((labels[cursor : cursor + span], version))
+                cursor += span
+
+    @property
+    def stats(self) -> dict[str, object]:
+        """Batching effectiveness counters."""
+        served = self.batches_served
+        return {
+            "batches": served,
+            "requests": self.requests_served,
+            "mean_requests_per_batch": (
+                round(self.requests_served / served, 3) if served else 0.0
+            ),
+            "max_batch": self.max_batch,
+            "window_seconds": self.window_seconds,
+        }
+
+
+class ServingServer:
+    """Asyncio TCP server speaking minimal HTTP/1.1 over a controller."""
+
+    def __init__(
+        self,
+        controller: ServingController,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        max_batch: int = 256,
+        batch_window_seconds: float = 0.002,
+        on_swap=None,
+    ) -> None:
+        self.controller = controller
+        self.host = host
+        self.port = int(port)
+        #: optional callback invoked (in the swap worker thread) after every
+        #: completed hot-swap — ``python -m repro serve`` persists bundles here
+        self.on_swap = on_swap
+        self.batcher = MicroBatcher(
+            lambda: controller.session,
+            max_batch=max_batch,
+            window_seconds=batch_window_seconds,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._swap_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-swap"
+        )
+        self._latencies: list[float] = []
+        self.errors = 0
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the actual ``(host, port)``."""
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], int(sockname[1])
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, drain the batcher, shut the swap worker down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.stop()
+        self._swap_pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, body, keep_alive = request
+                status, payload = await self._route(method, path, body)
+                await self._write_response(writer, status, payload, keep_alive)
+                if status >= 500 or not keep_alive:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, path, _ = line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            return None
+        content_length = 0
+        keep_alive = True
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return None
+            elif name == "connection" and value.strip().lower() == "close":
+                keep_alive = False
+        if content_length > _MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method.upper(), path, body, keep_alive
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool = True,
+    ) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error"}
+        body = json.dumps(payload).encode("utf-8")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        start = perf_counter()
+        try:
+            if method == "GET" and path == "/healthz":
+                session = self.controller.session
+                return 200, {
+                    "status": "ok",
+                    "version": session.version,
+                    "targets": session.num_targets,
+                }
+            if method == "GET" and path == "/stats":
+                return 200, self._stats_payload()
+            if method == "POST" and path == "/predict":
+                return await self._handle_predict(body, start)
+            if method == "POST" and path == "/delta":
+                return await self._handle_delta(body)
+            return 404, {"error": f"no route for {method} {path}"}
+        except ServingError as exc:
+            self.errors += 1
+            return 400, {"error": str(exc)}
+        except ReproError as exc:
+            self.errors += 1
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # never kill the connection loop silently
+            self.errors += 1
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    async def _handle_predict(self, body: bytes, start: float) -> tuple[int, dict]:
+        payload = _parse_json(body)
+        nodes = payload.get("nodes")
+        if not isinstance(nodes, list) or not nodes:
+            raise ServingError("predict body must be {'nodes': [id, ...]}")
+        try:
+            ids = np.asarray(nodes, dtype=np.int64)
+        except (TypeError, ValueError) as exc:
+            raise ServingError(f"node ids must be integers: {exc}") from exc
+        # Validate here, against the current session, so one bad request can
+        # never poison the other requests coalesced into its micro-batch.
+        # Safe across swaps: the id space only grows (removals tombstone).
+        bound = self.controller.session.num_targets
+        if ids.size and (ids.min() < 0 or ids.max() >= bound):
+            raise ServingError(f"node id out of range: valid ids are 0..{bound - 1}")
+        labels, version = await self.batcher.submit(ids)
+        elapsed = perf_counter() - start
+        self._latencies.append(elapsed)
+        if len(self._latencies) > 100_000:
+            del self._latencies[: len(self._latencies) // 2]
+        return 200, {
+            "labels": labels.tolist(),
+            "version": version,
+            "latency_ms": round(elapsed * 1e3, 3),
+        }
+
+    async def _handle_delta(self, body: bytes) -> tuple[int, dict]:
+        payload = _parse_json(body)
+        delta = GraphDelta.from_payload(payload)
+        loop = asyncio.get_running_loop()
+
+        def swap():
+            report = self.controller.apply_delta(delta)
+            if self.on_swap is not None:
+                self.on_swap(report)
+            return report
+
+        report = await loop.run_in_executor(self._swap_pool, swap)
+        return 200, {
+            "step": report.step,
+            "mode": report.mode,
+            "version": report.version,
+            "retrained": report.retrained,
+            "dirty_count": report.dirty_count,
+            "cache_carried": report.cache_carried,
+            "condense_seconds": round(report.condense_seconds, 6),
+            "train_seconds": round(report.train_seconds, 6),
+            "swap_seconds": round(report.swap_seconds, 6),
+        }
+
+    def _stats_payload(self) -> dict:
+        return {
+            "session": self.controller.session.stats,
+            "controller": self.controller.stats,
+            "batcher": self.batcher.stats,
+            "errors": self.errors,
+            "latency": summarize_latencies(self._latencies),
+        }
+
+
+def _parse_json(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8") or "{}")
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServingError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServingError("request body must be a JSON object")
+    return payload

@@ -7,8 +7,11 @@ top of the condensation core:
 * :class:`~repro.streaming.delta.GraphDelta` — one batched update (edge and
   node insertions/removals) with stable node-id semantics;
 * :class:`~repro.streaming.apply.DeltaApplier` — applies a delta to a live
-  :class:`~repro.hetero.graph.HeteroGraph` and invalidates exactly the
-  affected :class:`~repro.core.context.CondensationContext` memos;
+  :class:`~repro.hetero.graph.HeteroGraph`, invalidates exactly the
+  affected :class:`~repro.core.context.CondensationContext` memos, and
+  reports the delta's **dirty target set** (the sound over-approximation
+  of feature-changed targets that drives the serving layer's
+  prediction-cache invalidation, see :mod:`repro.serving`);
 * :class:`~repro.streaming.warmstart.SelectionMemo` /
   :func:`~repro.streaming.warmstart.warm_start_coverage` — byte-exact
   warm starts of the greedy coverage kernel from the previous selection;

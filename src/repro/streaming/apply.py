@@ -65,6 +65,14 @@ class ApplyReport:
     invalidated_paths: list[tuple[str, ...]] = field(default_factory=list)
     #: meta-path keys whose composed adjacency was row-patched in place
     patched_paths: list[tuple[str, ...]] = field(default_factory=list)
+    #: target-type node ids whose propagated features may have changed, or
+    #: ``None`` when unknown (no shared context was refreshed).  This is the
+    #: **dirty set** the serving layer's prediction-cache invalidation is
+    #: driven by: conservative (a superset of the truly changed rows, via
+    #: ``max_hops``-bounded reachability from every touched node on both the
+    #: pre- and post-delta graph) but sound — a target id absent from the
+    #: set is guaranteed to have byte-identical propagated features.
+    dirty_targets: np.ndarray | None = None
 
 
 def _pair_matrix(
@@ -135,7 +143,107 @@ class DeltaApplier:
             self._refresh_context(
                 graph, delta, context, report, old_adjacency, old_num_nodes, changed
             )
+            report.dirty_targets = self._dirty_targets(
+                graph, delta, context.max_hops, old_adjacency, old_num_nodes, changed
+            )
         return report
+
+    # ------------------------------------------------------------------ #
+    # Dirty-set computation (serving-cache invalidation)
+    # ------------------------------------------------------------------ #
+    def _dirty_targets(
+        self,
+        graph: HeteroGraph,
+        delta: GraphDelta,
+        max_hops: int,
+        old_adjacency: dict[str, sp.csr_matrix],
+        old_num_nodes: dict[str, int],
+        changed: dict[frozenset, dict[str, np.ndarray]],
+    ) -> np.ndarray:
+        """Target ids whose propagated features may differ after ``delta``.
+
+        Propagated features are products of *row-normalised* hop matrices,
+        so a target's row can change in **value** even when its boolean
+        receptive pattern survives (an intermediate node's degree shifted).
+        The sound over-approximation is reachability: a target's features
+        can only change if it reaches a touched node within ``max_hops``
+        hops on the pre-delta graph (removed contributions) or on the
+        post-delta graph (added contributions).  Both sides are walked and
+        the union returned; the pre-delta side uses the adjacency snapshot
+        taken before mutation.
+        """
+        seeds: dict[str, list[np.ndarray]] = {}
+
+        def seed(node_type: str, ids: np.ndarray) -> None:
+            if ids.size:
+                seeds.setdefault(node_type, []).append(
+                    np.asarray(ids, dtype=np.int64)
+                )
+
+        for per_type in changed.values():
+            for node_type, ids in per_type.items():
+                seed(node_type, ids)
+        for node_type, ids in delta.remove_nodes.items():
+            seed(node_type, ids)
+        for node_type, feats in delta.add_nodes.items():
+            count = int(feats.shape[0])
+            if count:
+                total = graph.num_nodes[node_type]
+                seed(node_type, np.arange(total - count, total, dtype=np.int64))
+        merged = {
+            node_type: np.unique(np.concatenate(parts))
+            for node_type, parts in seeds.items()
+        }
+        if not merged:
+            return np.empty(0, dtype=np.int64)
+
+        pre_cache: dict[tuple[str, str], sp.csr_matrix] = {}
+
+        def post_hop(src: str, dst: str) -> sp.csr_matrix:
+            return graph.typed_adjacency(src, dst)
+
+        def pre_hop(src: str, dst: str) -> sp.csr_matrix:
+            hop = pre_cache.get((src, dst))
+            if hop is None:
+                hop = combine_typed_adjacency(
+                    graph.schema, old_num_nodes, old_adjacency, src, dst
+                )
+                pre_cache[(src, dst)] = hop
+            return hop
+
+        post = self._reach_targets(graph, graph.num_nodes, post_hop, merged, max_hops)
+        pre = self._reach_targets(graph, old_num_nodes, pre_hop, merged, max_hops)
+        return np.union1d(pre, post)
+
+    @staticmethod
+    def _reach_targets(
+        graph: HeteroGraph,
+        num_nodes: dict[str, int],
+        hop_matrix,
+        seeds: dict[str, np.ndarray],
+        max_hops: int,
+    ) -> np.ndarray:
+        """Target ids within ``max_hops`` typed hops of any seeded node."""
+        schema = graph.schema
+        pairs = {
+            (rel.src, rel.dst) for rel in schema.relations
+        } | {(rel.dst, rel.src) for rel in schema.relations}
+        marks = {
+            node_type: np.zeros(num_nodes[node_type], dtype=bool)
+            for node_type in schema.node_types
+        }
+        for node_type, ids in seeds.items():
+            valid = ids[(ids >= 0) & (ids < num_nodes[node_type])]
+            marks[node_type][valid] = True
+        for _ in range(int(max_hops)):
+            reached = {t: m.copy() for t, m in marks.items()}
+            for src, dst in pairs:
+                if not marks[dst].any():
+                    continue
+                hop = hop_matrix(src, dst)
+                reached[src] |= (hop @ marks[dst].astype(np.float64)) > 0
+            marks = reached
+        return np.nonzero(marks[schema.target_type])[0].astype(np.int64)
 
     # ------------------------------------------------------------------ #
     # Context refresh: patch what can be patched, drop the rest

@@ -241,6 +241,61 @@ class GraphDelta:
                     f"remove_nodes[{node_type!r}] ids out of range"
                 )
 
+    # ------------------------------------------------------------------ #
+    # JSON wire format (the serving server's ``POST /delta`` body)
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> dict:
+        """Plain-JSON representation (lists instead of arrays).
+
+        Round-trips exactly through :meth:`from_payload`; used by the
+        serving server and by tooling that stores delta schedules as JSONL.
+        """
+        return {
+            "step": int(self.step),
+            "add_edges": {
+                name: [src.tolist(), dst.tolist()]
+                for name, (src, dst) in self.add_edges.items()
+            },
+            "remove_edges": {
+                name: [src.tolist(), dst.tolist()]
+                for name, (src, dst) in self.remove_edges.items()
+            },
+            "add_nodes": {t: feats.tolist() for t, feats in self.add_nodes.items()},
+            "add_labels": None if self.add_labels is None else self.add_labels.tolist(),
+            "add_split": self.add_split,
+            "remove_nodes": {t: ids.tolist() for t, ids in self.remove_nodes.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "GraphDelta":
+        """Rebuild a delta from :meth:`to_payload` output (or hand-written JSON)."""
+        if not isinstance(payload, dict):
+            raise DeltaValidationError("delta payload must be a JSON object")
+        add_nodes = {
+            t: np.asarray(feats, dtype=np.float64)
+            for t, feats in dict(payload.get("add_nodes", {})).items()
+            if len(feats)  # empty additions carry no feature dimension: drop
+        }
+        labels = payload.get("add_labels")
+        return cls(
+            add_edges={
+                name: (np.asarray(pair[0]), np.asarray(pair[1]))
+                for name, pair in dict(payload.get("add_edges", {})).items()
+            },
+            remove_edges={
+                name: (np.asarray(pair[0]), np.asarray(pair[1]))
+                for name, pair in dict(payload.get("remove_edges", {})).items()
+            },
+            add_nodes=add_nodes,
+            add_labels=None if labels is None else np.asarray(labels, dtype=np.int64),
+            add_split=str(payload.get("add_split", "test")),
+            remove_nodes={
+                t: np.asarray(ids, dtype=np.int64)
+                for t, ids in dict(payload.get("remove_nodes", {})).items()
+            },
+            step=int(payload.get("step", 0)),
+        )
+
     def summary(self) -> str:
         """One-line human-readable description."""
         adds = sum(int(s.size) for s, _ in self.add_edges.values())

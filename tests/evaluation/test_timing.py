@@ -1,0 +1,72 @@
+"""Percentile math and latency summaries in evaluation.timing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.timing import percentile, summarize_latencies
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_method(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(scale=0.01, size=257).tolist()
+        for q in (0, 1, 25, 50, 75, 90, 95, 99, 99.9, 100):
+            assert percentile(samples, q) == pytest.approx(
+                float(np.percentile(samples, q)), abs=1e-15
+            )
+
+    def test_single_sample(self):
+        assert percentile([3.5], 0) == 3.5
+        assert percentile([3.5], 50) == 3.5
+        assert percentile([3.5], 100) == 3.5
+
+    def test_two_samples_interpolates(self):
+        assert percentile([1.0, 3.0], 50) == 2.0
+        assert percentile([1.0, 3.0], 25) == 1.5
+
+    def test_order_independent(self):
+        assert percentile([5.0, 1.0, 3.0], 50) == percentile([1.0, 3.0, 5.0], 50) == 3.0
+
+    def test_extremes_are_min_and_max(self):
+        samples = [0.4, 0.1, 0.9, 0.2]
+        assert percentile(samples, 0) == 0.1
+        assert percentile(samples, 100) == 0.9
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.5)
+
+    def test_accepts_any_sequence_of_floats(self):
+        assert percentile(np.array([1.0, 2.0]), 50) == 1.5
+        assert percentile((2, 4), 50) == 3.0
+
+
+class TestSummarizeLatencies:
+    def test_summary_fields(self):
+        summary = summarize_latencies([0.010, 0.020, 0.030, 0.040])
+        assert summary["count"] == 4.0
+        assert summary["mean"] == pytest.approx(0.025)
+        assert summary["min"] == 0.010 and summary["max"] == 0.040
+        assert summary["p50"] == pytest.approx(0.025)
+        assert summary["p95"] == pytest.approx(float(np.percentile([0.01, 0.02, 0.03, 0.04], 95)))
+
+    def test_p99_ge_p95_ge_p50(self):
+        rng = np.random.default_rng(1)
+        samples = rng.exponential(scale=0.005, size=1000).tolist()
+        summary = summarize_latencies(samples)
+        assert summary["p50"] <= summary["p95"] <= summary["p99"] <= summary["max"]
+
+    def test_empty_is_all_zero(self):
+        summary = summarize_latencies([])
+        assert summary == {
+            "count": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }

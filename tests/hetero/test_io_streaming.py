@@ -1,0 +1,124 @@
+"""save_graph/load_graph round-trip fidelity for post-streaming graphs.
+
+Regression for the serving-bundle requirement: a graph mutated by a
+:class:`~repro.streaming.apply.DeltaApplier` — tombstoned nodes, grown id
+spaces, emptied relations, shrunken splits — must round-trip through the
+``.npz`` codec byte-exactly, including the ``metadata`` dict that was
+previously dropped on load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_acm
+from repro.datasets.generators import generate_delta_schedule
+from repro.hetero.io import graph_from_arrays, graph_to_arrays, load_graph, save_graph
+from repro.streaming import DeltaApplier, GraphDelta
+from repro.streaming.incremental import assert_graphs_equal
+
+
+def roundtrip(graph, tmp_path):
+    return load_graph(save_graph(graph, tmp_path / "g.npz"))
+
+
+class TestPostStreamingRoundTrip:
+    def test_tombstones_and_arrivals_survive_exactly(self, tmp_path):
+        graph = load_acm(scale=0.2, seed=0)
+        applier = DeltaApplier()
+        applier.apply(
+            graph,
+            GraphDelta(
+                remove_nodes={"paper": np.array([0, 3, 5]), "author": np.array([1])},
+                step=1,
+            ),
+        )
+        dim = graph.features["paper"].shape[1]
+        new_feats = np.random.default_rng(0).normal(size=(2, dim))
+        base = graph.num_nodes["paper"]
+        applier.apply(
+            graph,
+            GraphDelta(
+                add_nodes={"paper": new_feats},
+                add_labels=np.array([1, 2]),
+                add_split="test",
+                add_edges={
+                    "paper-author": (np.array([base, base + 1]), np.array([2, 4]))
+                },
+                step=2,
+            ),
+        )
+        loaded = roundtrip(graph, tmp_path)
+        assert_graphs_equal(graph, loaded)
+        # tombstoned ids are recoverable: label -1, zeroed features, no split
+        assert loaded.labels[0] == -1 and loaded.labels[3] == -1
+        assert not loaded.features["paper"][0].any()
+        for split in (loaded.splits.train, loaded.splits.val, loaded.splits.test):
+            assert not np.isin([0, 3, 5], split).any()
+
+    def test_full_schedule_roundtrip(self, tmp_path):
+        graph = load_acm(scale=0.15, seed=0)
+        schedule = generate_delta_schedule(
+            graph,
+            steps=6,
+            seed=1,
+            edge_churn=0.01,
+            node_arrival_every=2,
+            arrival_count=3,
+            removal_every=3,
+            removal_count=2,
+        )
+        applier = DeltaApplier()
+        for delta in schedule:
+            applier.apply(graph, delta)
+        loaded = roundtrip(graph, tmp_path)
+        assert_graphs_equal(graph, loaded)
+
+    def test_metadata_round_trips(self, tmp_path):
+        graph = load_acm(scale=0.1, seed=0)
+        assert graph.metadata  # the loader stamps provenance
+        graph.metadata["stream_step"] = 42
+        loaded = roundtrip(graph, tmp_path)
+        assert loaded.metadata == graph.metadata
+
+    def test_metadata_numpy_values_survive_as_plain_types(self, tmp_path):
+        graph = load_acm(scale=0.1, seed=0)
+        graph.metadata["np_scalar"] = np.float64(1.5)
+        loaded = roundtrip(graph, tmp_path)
+        assert loaded.metadata["np_scalar"] == 1.5
+
+    def test_emptied_relation_and_empty_split_survive(self, tmp_path):
+        graph = load_acm(scale=0.1, seed=0)
+        applier = DeltaApplier()
+        coo = graph.adjacency["paper-subject"].tocoo()
+        applier.apply(
+            graph, GraphDelta(remove_edges={"paper-subject": (coo.row, coo.col)})
+        )
+        applier.apply(graph, GraphDelta(remove_nodes={"paper": graph.splits.val.copy()}))
+        assert graph.adjacency["paper-subject"].nnz == 0
+        assert graph.splits.val.size == 0
+        loaded = roundtrip(graph, tmp_path)
+        assert_graphs_equal(graph, loaded)
+        assert loaded.adjacency["paper-subject"].shape == graph.adjacency["paper-subject"].shape
+
+    def test_prefixed_arrays_embed_in_larger_archive(self, tmp_path):
+        graph = load_acm(scale=0.1, seed=0)
+        arrays = graph_to_arrays(graph, prefix="graph__")
+        arrays["something_else"] = np.arange(5)
+        path = tmp_path / "combo.npz"
+        np.savez_compressed(path, **arrays)
+        with np.load(path, allow_pickle=False) as data:
+            rebuilt = graph_from_arrays(data, prefix="graph__")
+        assert_graphs_equal(graph, rebuilt)
+        assert rebuilt.metadata == graph.metadata
+
+    def test_legacy_archive_without_metadata_loads(self, tmp_path):
+        graph = load_acm(scale=0.1, seed=0)
+        arrays = graph_to_arrays(graph)
+        del arrays["metadata_json"]  # pre-serving archives had no metadata
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(path, **arrays)
+        loaded = load_graph(path)
+        assert_graphs_equal(graph, loaded)
+        assert loaded.metadata == {}

@@ -117,6 +117,60 @@ class TestModuleContainer:
         with pytest.raises(ValueError):
             layer.load_state_dict(state)
 
+    def test_strict_errors_are_statedicterror(self):
+        from repro.errors import ReproError, StateDictError
+
+        layer = Linear(3, 4, rng=0)
+        with pytest.raises(StateDictError):
+            layer.load_state_dict({})
+        bad_shape = {name: np.zeros((1, 1)) for name, _ in layer.named_parameters()}
+        with pytest.raises(StateDictError):
+            layer.load_state_dict(bad_shape)
+        assert issubclass(StateDictError, ReproError)
+        assert issubclass(StateDictError, KeyError)
+        assert issubclass(StateDictError, ValueError)
+
+    def test_unexpected_key_rejected_when_strict(self):
+        from repro.errors import StateDictError
+
+        layer = Linear(3, 4, rng=0)
+        state = layer.state_dict()
+        state["phantom"] = np.zeros(3)
+        with pytest.raises(StateDictError, match="phantom"):
+            layer.load_state_dict(state)
+        # non-strict loading ignores the extra key
+        layer.load_state_dict(state, strict=False)
+
+    def test_error_names_every_missing_key(self):
+        from repro.errors import StateDictError
+
+        layer = Linear(3, 4, rng=0)
+        with pytest.raises(StateDictError) as excinfo:
+            layer.load_state_dict({})
+        message = str(excinfo.value)
+        assert "weight" in message and "bias" in message
+
+    def test_failed_load_leaves_parameters_untouched(self):
+        from repro.errors import StateDictError
+
+        layer = Linear(3, 4, rng=0)
+        before = layer.state_dict()
+        bad = layer.state_dict()
+        bad["bias"] = np.zeros((7,))  # wrong shape on the *second* key
+        bad["weight"] = np.zeros((3, 4))
+        with pytest.raises(StateDictError):
+            layer.load_state_dict(bad)
+        # all-or-nothing: weight must not have been overwritten
+        for name, value in before.items():
+            assert np.array_equal(layer.state_dict()[name], value)
+
+    def test_loaded_values_are_copies(self):
+        layer = Linear(3, 4, rng=0)
+        state = layer.state_dict()
+        layer.load_state_dict(state)
+        state["weight"][:] = 99.0
+        assert not np.any(layer.weight.data == 99.0)
+
     def test_train_eval_propagates(self):
         model = Sequential(Dropout(0.5), Dropout(0.5))
         model.eval()

@@ -1,0 +1,90 @@
+"""ArtifactStore behaviour under concurrent writers (two processes, one file).
+
+Serving's :class:`~repro.serving.artifacts.ModelStore` reuses the JSONL
+artifact store as its index, so two deployments pointed at one directory
+must never corrupt it: every record is a single short append, truncated
+trailing lines are skipped on load, and the latest record per key wins.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.runner.cache import ArtifactStore
+
+WRITER = r"""
+import sys
+sys.path.insert(0, {src!r})
+from repro.runner.cache import ArtifactStore
+
+store = ArtifactStore({root!r})
+prefix = sys.argv[1]
+for i in range(int(sys.argv[2])):
+    store.put(f"{{prefix}}-{{i}}", {{"kind": "t", "writer": prefix}},
+              {{"value": i}}, elapsed_s=0.0)
+"""
+
+
+def spawn_writer(root: Path, prefix: str, count: int) -> subprocess.Popen:
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    code = WRITER.format(src=src, root=str(root))
+    return subprocess.Popen(
+        [sys.executable, "-c", code, prefix, str(count)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+
+
+class TestConcurrentWriters:
+    def test_two_processes_interleaved_appends(self, tmp_path):
+        count = 200
+        writers = [spawn_writer(tmp_path, p, count) for p in ("alpha", "beta")]
+        for proc in writers:
+            _, stderr = proc.communicate(timeout=120)
+            assert proc.returncode == 0, stderr.decode()
+        store = ArtifactStore(tmp_path)
+        keys = store.completed_keys()
+        assert len(keys) == 2 * count
+        for prefix in ("alpha", "beta"):
+            for i in range(count):
+                record = store.get(f"{prefix}-{i}")
+                assert record is not None
+                assert record["result"]["value"] == i
+        # every line in the file must be intact JSON (no torn writes)
+        with store.path.open() as handle:
+            for line in handle:
+                json.loads(line)
+
+    def test_writer_and_reader_interleave(self, tmp_path):
+        proc = spawn_writer(tmp_path, "solo", 150)
+        seen = 0
+        # poll the store while the writer is appending: refresh must never
+        # crash and the completed set must only grow
+        while proc.poll() is None:
+            store = ArtifactStore(tmp_path)
+            current = len(store.completed_keys())
+            assert current >= seen
+            seen = current
+        _, stderr = proc.communicate()
+        assert proc.returncode == 0, stderr.decode()
+        assert len(ArtifactStore(tmp_path).completed_keys()) == 150
+
+    def test_same_key_from_both_writers_latest_wins(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("shared", {"kind": "t"}, {"value": 1})
+        other = ArtifactStore(tmp_path)  # a second handle, as a second run would open
+        other.put("shared", {"kind": "t"}, {"value": 2})
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.get("shared")["result"]["value"] == 2
+        assert len(fresh) == 1
+
+    def test_truncated_trailing_line_skipped(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("ok", {"kind": "t"}, {"value": 1})
+        with store.path.open("a") as handle:
+            handle.write('{"key": "torn", "cell": {"kind"')  # interrupted write
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.completed_keys() == {"ok"}

@@ -1,0 +1,166 @@
+"""Model-bundle persistence and the versioned ModelStore."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.condenser import FreeHGC
+from repro.datasets import load_acm
+from repro.errors import ServingError, StateDictError
+from repro.models.hetero_sgc import HeteroSGC
+from repro.serving import (
+    BUNDLE_FORMAT,
+    InferenceSession,
+    ModelBundle,
+    ModelStore,
+    load_bundle,
+    save_bundle,
+)
+from repro.streaming.incremental import assert_graphs_equal
+
+
+@pytest.fixture(scope="module")
+def trained():
+    graph = load_acm(scale=0.15, seed=0)
+    condensed = FreeHGC(max_hops=2).condense(graph, ratio=0.3, seed=0)
+    model = HeteroSGC(hidden_dim=16, epochs=25, max_hops=2, seed=0)
+    model.fit(condensed)
+    return model, condensed, graph
+
+
+class TestBundleRoundTrip:
+    def test_save_load_identical_predictions(self, trained, tmp_path):
+        model, condensed, graph = trained
+        bundle = ModelBundle.from_model(
+            "heterosgc", model, condensed, metadata={"dataset": "acm"}
+        )
+        path = save_bundle(bundle, tmp_path / "m.npz")
+        loaded = load_bundle(path)
+        assert loaded.model_name == "heterosgc"
+        assert loaded.metadata == {"dataset": "acm"}
+        assert_graphs_equal(loaded.condensed, condensed)
+        restored = loaded.build_model()
+        assert np.array_equal(restored.predict(graph), model.predict(graph))
+
+    def test_restored_session_identical(self, trained, tmp_path):
+        model, condensed, graph = trained
+        bundle = ModelBundle.from_model("heterosgc", model, condensed)
+        path = save_bundle(bundle, tmp_path / "m.npz")
+        restored = load_bundle(path).build_model()
+        ids = np.arange(graph.num_nodes[graph.schema.target_type])
+        original = InferenceSession(model, graph).predict(ids)
+        assert np.array_equal(InferenceSession(restored, graph).predict(ids), original)
+
+    def test_weights_round_trip_exactly(self, trained, tmp_path):
+        model, condensed, _ = trained
+        bundle = ModelBundle.from_model("heterosgc", model, condensed)
+        loaded = load_bundle(save_bundle(bundle, tmp_path / "m.npz"))
+        for name, value in bundle.weights.items():
+            assert np.array_equal(loaded.weights[name], value)
+
+    def test_alias_resolves_to_canonical(self, trained):
+        model, condensed, _ = trained
+        bundle = ModelBundle.from_model("sgc", model, condensed)
+        assert bundle.model_name == "heterosgc"
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ServingError):
+            load_bundle(tmp_path / "absent.npz")
+
+    def test_corrupt_file_raises(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(ServingError):
+            load_bundle(bad)
+
+    def test_foreign_npz_raises(self, trained, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez_compressed(path, something=np.arange(3))
+        with pytest.raises(ServingError):
+            load_bundle(path)
+
+    def test_future_format_raises(self, trained, tmp_path, monkeypatch):
+        model, condensed, _ = trained
+        bundle = ModelBundle.from_model("heterosgc", model, condensed)
+        import repro.serving.artifacts as artifacts
+
+        monkeypatch.setattr(artifacts, "BUNDLE_FORMAT", BUNDLE_FORMAT + 1)
+        path = save_bundle(bundle, tmp_path / "future.npz")
+        monkeypatch.setattr(artifacts, "BUNDLE_FORMAT", BUNDLE_FORMAT)
+        with pytest.raises(ServingError):
+            load_bundle(path)
+
+    def test_tampered_weights_fail_strict_load(self, trained, tmp_path):
+        model, condensed, _ = trained
+        bundle = ModelBundle.from_model("heterosgc", model, condensed)
+        first = next(iter(bundle.weights))
+        bundle.weights[first] = bundle.weights[first][:1]
+        loaded = load_bundle(save_bundle(bundle, tmp_path / "m.npz"))
+        with pytest.raises(StateDictError):
+            loaded.build_model()
+
+    def test_failed_restore_leaves_model_unfitted(self, trained, tmp_path):
+        """A bad weight set must not leave a random-init model looking fitted."""
+        from repro.errors import ModelError
+
+        model, condensed, _ = trained
+        bundle = ModelBundle.from_model("heterosgc", model, condensed)
+        bundle.weights.pop(next(iter(bundle.weights)))
+        loaded = load_bundle(save_bundle(bundle, tmp_path / "m.npz"))
+        fresh = HeteroSGC(hidden_dim=16, epochs=25, max_hops=2, seed=0)
+        with pytest.raises(StateDictError):
+            fresh.restore_state(loaded.state, loaded.weights)
+        with pytest.raises(ModelError):
+            fresh.predict(trained[2])
+
+    def test_numpy_metadata_values_serialise(self, trained, tmp_path):
+        model, condensed, _ = trained
+        bundle = ModelBundle.from_model(
+            "heterosgc",
+            model,
+            condensed,
+            metadata={"accuracy": np.float64(0.93), "hist": np.array([1, 2])},
+        )
+        loaded = load_bundle(save_bundle(bundle, tmp_path / "m.npz"))
+        assert loaded.metadata["accuracy"] == 0.93
+        assert loaded.metadata["hist"] == [1, 2]
+
+
+class TestModelStore:
+    def test_revisions_and_latest_wins(self, trained, tmp_path):
+        model, condensed, graph = trained
+        store = ModelStore(tmp_path)
+        bundle = ModelBundle.from_model("heterosgc", model, condensed)
+        assert "k" not in store
+        store.put("k", bundle)
+        assert store.revision_of("k") == 1
+        store.put("k", bundle)
+        assert store.revision_of("k") == 2
+        assert "k" in store and store.keys() == {"k"}
+        loaded = store.load("k")
+        assert np.array_equal(
+            loaded.build_model().predict(graph), model.predict(graph)
+        )
+
+    def test_missing_key_raises(self, tmp_path):
+        with pytest.raises(ServingError):
+            ModelStore(tmp_path).load("nope")
+
+    def test_store_survives_reopen(self, trained, tmp_path):
+        model, condensed, _ = trained
+        ModelStore(tmp_path).put(
+            "a:b:0.5", ModelBundle.from_model("heterosgc", model, condensed)
+        )
+        reopened = ModelStore(tmp_path)
+        assert reopened.revision_of("a:b:0.5") == 1
+        assert reopened.load("a:b:0.5").model_name == "heterosgc"
+
+    def test_unsafe_key_characters_sanitised(self, trained, tmp_path):
+        model, condensed, _ = trained
+        store = ModelStore(tmp_path)
+        record = store.put(
+            "we/ird key!", ModelBundle.from_model("heterosgc", model, condensed)
+        )
+        path = tmp_path / str(record["result"]["path"])
+        assert path.exists() and "/" not in path.name and "!" not in path.name

@@ -1,0 +1,124 @@
+"""InferenceSession micro-batching and the LRU label cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.condenser import FreeHGC
+from repro.datasets import load_acm
+from repro.errors import ServingError
+from repro.models.hetero_sgc import HeteroSGC
+from repro.serving import InferenceSession, LRUCache
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    graph = load_acm(scale=0.15, seed=0)
+    condensed = FreeHGC(max_hops=2).condense(graph, ratio=0.3, seed=0)
+    model = HeteroSGC(hidden_dim=16, epochs=25, max_hops=2, seed=0)
+    model.fit(condensed)
+    return model, graph
+
+
+class TestLRUCache:
+    def test_lookup_miss_then_hit(self):
+        cache = LRUCache(4)
+        ids = np.array([1, 2])
+        labels, found = cache.lookup(ids)
+        assert not found.any() and (labels == -1).all()
+        cache.store(ids, np.array([5, 6]))
+        labels, found = cache.lookup(np.array([2, 1, 3]))
+        assert found.tolist() == [True, True, False]
+        assert labels.tolist() == [6, 5, -1]
+        assert cache.stats["hits"] == 2 and cache.stats["misses"] == 3
+
+    def test_eviction_is_lru(self):
+        cache = LRUCache(2)
+        cache.store(np.array([1]), np.array([0]))
+        cache.store(np.array([2]), np.array([0]))
+        cache.lookup(np.array([1]))  # touch 1 so 2 is least recent
+        cache.store(np.array([3]), np.array([0]))
+        _, found = cache.lookup(np.array([1, 2, 3]))
+        assert found.tolist() == [True, False, True]
+
+    def test_capacity_zero_disables(self):
+        cache = LRUCache(0)
+        cache.store(np.array([1]), np.array([7]))
+        labels, found = cache.lookup(np.array([1]))
+        assert not found.any() and len(cache) == 0
+
+    def test_invalidate(self):
+        cache = LRUCache(8)
+        cache.store(np.array([1, 2, 3]), np.array([0, 1, 2]))
+        assert cache.invalidate(np.array([2, 9])) == 1
+        _, found = cache.lookup(np.array([1, 2, 3]))
+        assert found.tolist() == [True, False, True]
+
+    def test_adopt_drops_dirty(self):
+        old = LRUCache(8)
+        old.store(np.array([1, 2, 3]), np.array([0, 1, 2]))
+        new = LRUCache(8)
+        carried = new.adopt(old, drop=np.array([2]))
+        assert carried == 2
+        labels, found = new.lookup(np.array([1, 2, 3]))
+        assert found.tolist() == [True, False, True]
+        assert labels[0] == 0 and labels[2] == 2
+
+    def test_adopt_respects_capacity(self):
+        old = LRUCache(8)
+        old.store(np.arange(6), np.zeros(6, dtype=np.int64))
+        new = LRUCache(3)
+        assert new.adopt(old) == 3
+
+
+class TestInferenceSession:
+    def test_batched_equals_serial_and_offline(self, fitted):
+        model, graph = fitted
+        session = InferenceSession(model, graph, version=1, cache_size=0)
+        ids = np.arange(session.num_targets, dtype=np.int64)
+        batched = session.predict(ids)
+        serial = np.array([session.predict_one(int(i)) for i in ids])
+        assert np.array_equal(batched, serial)
+        assert np.array_equal(batched, model.predict(graph))
+
+    def test_cache_does_not_change_results(self, fitted):
+        model, graph = fitted
+        cached = InferenceSession(model, graph, cache_size=64)
+        uncached = InferenceSession(model, graph, cache_size=0)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            ids = rng.integers(0, cached.num_targets, size=20)
+            assert np.array_equal(cached.predict(ids), uncached.predict(ids))
+        assert cached.cache.stats["hits"] > 0
+
+    def test_duplicate_ids_in_one_batch(self, fitted):
+        model, graph = fitted
+        session = InferenceSession(model, graph, cache_size=8)
+        ids = np.array([3, 3, 5, 3], dtype=np.int64)
+        labels = session.predict(ids)
+        assert labels[0] == labels[1] == labels[3] == session.predict_one(3)
+
+    def test_out_of_range_raises(self, fitted):
+        model, graph = fitted
+        session = InferenceSession(model, graph)
+        with pytest.raises(ServingError):
+            session.predict(np.array([session.num_targets]))
+        with pytest.raises(ServingError):
+            session.predict(np.array([-1]))
+
+    def test_logits_shape_and_stats(self, fitted):
+        model, graph = fitted
+        session = InferenceSession(model, graph, version=7)
+        assert session.logits(np.array([0, 1])).shape == (2, session.num_classes)
+        session.predict(np.array([0, 1, 2]))
+        stats = session.stats
+        assert stats["version"] == 7
+        assert stats["requests"] == 3 and stats["batches"] == 1
+
+    def test_unfitted_model_rejected(self, fitted):
+        _, graph = fitted
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            InferenceSession(HeteroSGC(), graph)

@@ -1,0 +1,254 @@
+"""ServingController hot-swap: retrain skipping, dirty sets, cache carry-over."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.condenser import FreeHGC
+from repro.datasets import load_acm
+from repro.errors import ServingError
+from repro.models.hetero_sgc import HeteroSGC
+from repro.models.propagation import propagate_metapath_features
+from repro.serving import ModelBundle, ServingController
+from repro.streaming import DeltaApplier, GraphDelta
+from repro.streaming.incremental import graphs_equal
+
+MAX_HOPS = 2
+
+
+def make_controller(scale=0.15, ratio=0.3, cache_size=512, seed=0):
+    graph = load_acm(scale=scale, seed=seed)
+    factory = lambda: HeteroSGC(hidden_dim=16, epochs=25, max_hops=MAX_HOPS, seed=0)
+    return ServingController(
+        graph,
+        factory,
+        model_name="heterosgc",
+        ratio=ratio,
+        condenser=FreeHGC(max_hops=MAX_HOPS),
+        recondense_threshold=0.05,
+        seed=0,
+        cache_size=cache_size,
+    )
+
+
+def small_edge_delta(graph, step=1, seed=0, n=3):
+    rng = np.random.default_rng(seed)
+    coo = graph.adjacency["paper-term"].tocoo()
+    picked = rng.choice(coo.nnz, size=n, replace=False)
+    return GraphDelta(
+        remove_edges={"paper-term": (coo.row[picked], coo.col[picked])}, step=step
+    )
+
+
+class TestLifecycle:
+    def test_session_before_start_raises(self):
+        controller = make_controller()
+        with pytest.raises(ServingError):
+            controller.session
+        with pytest.raises(ServingError):
+            controller.apply_delta(GraphDelta())
+        with pytest.raises(ServingError):
+            controller.export_bundle()
+
+    def test_start_serves_offline_predictions(self):
+        controller = make_controller()
+        session = controller.start()
+        ids = np.arange(session.num_targets)
+        assert np.array_equal(session.predict(ids), controller._model.predict(controller.graph))
+        assert controller.version == 1 and not controller.warm_started
+
+    def test_warm_start_from_matching_bundle(self):
+        controller = make_controller()
+        controller.start()
+        bundle = controller.export_bundle()
+        fresh = make_controller()
+        session = fresh.start(warm_bundle=bundle)
+        assert fresh.warm_started
+        ids = np.arange(session.num_targets)
+        assert np.array_equal(session.predict(ids), controller.session.predict(ids))
+
+    def test_mismatched_bundle_triggers_cold_train(self):
+        controller = make_controller()
+        controller.start()
+        bundle = controller.export_bundle()
+        different = make_controller(ratio=0.5)  # different condensation
+        different.start(warm_bundle=bundle)
+        assert not different.warm_started
+
+
+class TestSwap:
+    def test_swap_bumps_version_and_stays_correct(self):
+        controller = make_controller()
+        controller.start()
+        report = controller.apply_delta(small_edge_delta(controller.graph))
+        assert report.version == 2 and controller.version == 2
+        session = controller.session
+        ids = np.arange(session.num_targets)
+        assert np.array_equal(
+            session.predict(ids), controller._model.predict(controller.graph)
+        )
+        assert controller.stats["swaps"] == 1
+
+    def test_retrain_skipped_when_condensed_identical(self):
+        controller = make_controller()
+        controller.start()
+        before = controller._condensed
+        # an empty delta provably changes nothing
+        report = controller.apply_delta(GraphDelta(step=1))
+        assert not report.retrained
+        assert graphs_equal(controller._condensed, before)
+        assert report.train_seconds == 0.0
+
+    def test_retrained_model_matches_scratch_training(self):
+        controller = make_controller()
+        controller.start()
+        delta = GraphDelta(
+            remove_nodes={"author": np.array([0, 1, 2, 3, 4])}, step=1
+        )
+        report = controller.apply_delta(delta)
+        # deterministic training: a scratch model on the same condensed
+        # graph must predict identically to the swapped-in one
+        scratch = HeteroSGC(hidden_dim=16, epochs=25, max_hops=MAX_HOPS, seed=0)
+        scratch.fit(controller._condensed)
+        assert np.array_equal(
+            scratch.predict(controller.graph),
+            controller._model.predict(controller.graph),
+        )
+        assert report.version == 2
+
+    def test_full_fallback_flushes_cache(self):
+        controller = make_controller()
+        controller.start()
+        # huge delta: remove most of one relation -> full recondense path
+        coo = controller.graph.adjacency["paper-author"].tocoo()
+        half = coo.nnz // 2
+        delta = GraphDelta(
+            remove_edges={"paper-author": (coo.row[:half], coo.col[:half])}, step=1
+        )
+        report = controller.apply_delta(delta)
+        assert report.mode == "full"
+        assert report.dirty_count == -1 and report.cache_carried == 0
+
+
+def two_island_graph():
+    """Two disconnected paper/author islands: deltas in one island must
+    leave every target of the other island provably clean."""
+    from repro.hetero import HeteroGraphBuilder, HeteroSchema, Relation
+
+    schema = HeteroSchema(
+        node_types=("paper", "author"),
+        relations=(Relation("writes", "author", "paper"),),
+        target_type="paper",
+        num_classes=2,
+        name="islands",
+    )
+    rng = np.random.default_rng(0)
+    builder = HeteroGraphBuilder(schema)
+    builder.add_nodes("paper", 20, rng.standard_normal((20, 4)))
+    builder.add_nodes("author", 10, rng.standard_normal((10, 4)))
+    # island A: papers 0-9 / authors 0-4; island B: papers 10-19 / authors 5-9
+    src = np.array([p % 5 for p in range(10)] + [5 + p % 5 for p in range(10)])
+    dst = np.arange(20)
+    builder.add_edges("writes", src, dst)
+    builder.set_labels((np.arange(20) % 2).astype(np.int64))
+    builder.set_splits(
+        train=np.arange(0, 12), val=np.arange(12, 16), test=np.arange(16, 20)
+    )
+    return builder.build()
+
+
+class TestDirtySetContract:
+    def test_dirty_set_is_sound_and_partial(self):
+        """Targets outside the dirty set keep byte-identical features, and
+        an island untouched by the delta stays entirely clean."""
+        graph = two_island_graph()
+        from repro.core.context import CondensationContext
+
+        context = CondensationContext(graph, max_hops=MAX_HOPS, max_paths=16)
+        context.metapaths()  # warm the path enumeration
+        before = propagate_metapath_features(graph, max_hops=MAX_HOPS, max_paths=16)
+        # remove one island-A edge (author 0 -> paper 0)
+        delta = GraphDelta(
+            remove_edges={"writes": (np.array([0]), np.array([0]))}, step=1
+        )
+        report = DeltaApplier().apply(graph, delta, context=context)
+        assert report.dirty_targets is not None
+        after = propagate_metapath_features(graph, max_hops=MAX_HOPS, max_paths=16)
+        clean = np.setdiff1d(np.arange(20), report.dirty_targets)
+        # island B (papers 10-19) is unreachable from the edit
+        assert np.intersect1d(report.dirty_targets, np.arange(10, 20)).size == 0
+        assert clean.size >= 10
+        for key in before:
+            assert np.array_equal(before[key][clean], after[key][clean]), key
+        # and the dirty set covers every row that actually changed
+        changed = np.zeros(20, dtype=bool)
+        for key in before:
+            changed |= ~np.all(before[key] == after[key], axis=1)
+        assert np.isin(np.nonzero(changed)[0], report.dirty_targets).all()
+
+    def test_dirty_set_sound_on_dense_graph(self):
+        """Same soundness property on a realistic (densely connected) graph."""
+        graph = load_acm(scale=0.15, seed=0)
+        from repro.core.context import CondensationContext
+
+        context = CondensationContext(graph, max_hops=MAX_HOPS, max_paths=16)
+        context.metapaths()
+        before = propagate_metapath_features(graph, max_hops=MAX_HOPS, max_paths=16)
+        delta = small_edge_delta(graph, seed=3, n=2)
+        report = DeltaApplier().apply(graph, delta, context=context)
+        assert report.dirty_targets is not None
+        after = propagate_metapath_features(graph, max_hops=MAX_HOPS, max_paths=16)
+        clean = np.setdiff1d(
+            np.arange(graph.num_nodes[graph.schema.target_type]),
+            report.dirty_targets,
+        )
+        for key in before:
+            assert np.array_equal(before[key][clean], after[key][clean]), key
+
+    def test_dirty_set_none_without_context(self):
+        graph = load_acm(scale=0.15, seed=0)
+        report = DeltaApplier().apply(graph, small_edge_delta(graph))
+        assert report.dirty_targets is None
+
+    def test_carried_cache_entries_are_correct(self):
+        controller = make_controller(cache_size=4096)
+        controller.start()
+        ids = np.arange(controller.session.num_targets)
+        controller.session.predict(ids)  # fill the cache completely
+        report = controller.apply_delta(
+            small_edge_delta(controller.graph, seed=3, n=1)
+        )
+        assert not report.retrained and report.cache_carried > 0
+        session = controller.session
+        # cached answers (carried entries included) must equal the raw logits
+        raw = np.argmax(session.logits(ids), axis=-1)
+        assert np.array_equal(session.predict(ids), raw)
+
+    def test_empty_delta_has_empty_dirty_set(self):
+        controller = make_controller()
+        controller.start()
+        report = controller.apply_delta(GraphDelta(step=4))
+        assert report.dirty_count == 0
+
+    def test_hop_mismatch_disables_cache_carry_over(self):
+        """The dirty set bounds a condenser-hop propagation; a model that
+        reaches further must never inherit cached labels."""
+        graph = load_acm(scale=0.15, seed=0)
+        factory = lambda: HeteroSGC(hidden_dim=16, epochs=25, max_hops=3, seed=0)
+        controller = ServingController(
+            graph,
+            factory,
+            model_name="heterosgc",
+            ratio=0.3,
+            condenser=FreeHGC(max_hops=2),  # narrower than the model
+            seed=0,
+            cache_size=4096,
+        )
+        controller.start()
+        controller.session.predict(np.arange(controller.session.num_targets))
+        report = controller.apply_delta(
+            small_edge_delta(controller.graph, seed=3, n=1)
+        )
+        assert report.cache_carried == 0
+        assert not controller._carry_cache

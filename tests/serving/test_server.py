@@ -1,0 +1,249 @@
+"""The asyncio HTTP endpoint and the micro-batcher."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.condenser import FreeHGC
+from repro.datasets import load_acm
+from repro.models.hetero_sgc import HeteroSGC
+from repro.serving import MicroBatcher, ServingController, ServingServer
+from repro.streaming import GraphDelta
+
+
+@pytest.fixture(scope="module")
+def controller():
+    graph = load_acm(scale=0.15, seed=0)
+    factory = lambda: HeteroSGC(hidden_dim=16, epochs=25, max_hops=2, seed=0)
+    controller = ServingController(
+        graph,
+        factory,
+        model_name="heterosgc",
+        ratio=0.3,
+        condenser=FreeHGC(max_hops=2),
+        seed=0,
+        cache_size=256,
+    )
+    controller.start()
+    return controller
+
+
+async def http(host, port, method, path, payload=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    body = json.dumps(payload or {}).encode()
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n".encode() + body
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, response_body = raw.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), json.loads(response_body or b"{}")
+
+
+def run_with_server(controller, coroutine_factory):
+    async def runner():
+        server = ServingServer(controller, port=0, batch_window_seconds=0.001)
+        host, port = await server.start()
+        try:
+            return await coroutine_factory(server, host, port)
+        finally:
+            await server.close()
+
+    return asyncio.run(runner())
+
+
+class TestEndpoints:
+    def test_healthz(self, controller):
+        async def scenario(server, host, port):
+            return await http(host, port, "GET", "/healthz")
+
+        status, payload = run_with_server(controller, scenario)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["version"] == controller.version
+
+    def test_predict_matches_session(self, controller):
+        ids = [0, 5, 17, 3]
+
+        async def scenario(server, host, port):
+            return await http(host, port, "POST", "/predict", {"nodes": ids})
+
+        status, payload = run_with_server(controller, scenario)
+        assert status == 200
+        expected = controller.session.predict(np.asarray(ids))
+        assert payload["labels"] == expected.tolist()
+        assert payload["version"] == controller.version
+        assert payload["latency_ms"] >= 0
+
+    def test_concurrent_predicts_are_coalesced(self, controller):
+        async def scenario(server, host, port):
+            results = await asyncio.gather(
+                *(
+                    http(host, port, "POST", "/predict", {"nodes": [i, i + 1]})
+                    for i in range(20)
+                )
+            )
+            return results, server.batcher.stats
+
+        results, batcher = run_with_server(controller, scenario)
+        for i, (status, payload) in enumerate(results):
+            assert status == 200
+            expected = controller.session.predict(np.asarray([i, i + 1]))
+            assert payload["labels"] == expected.tolist()
+        # at least some coalescing must have happened
+        assert batcher["batches"] < batcher["requests"]
+
+    def test_delta_endpoint_swaps(self, controller):
+        graph = controller.graph
+        coo = graph.adjacency["paper-term"].tocoo()
+        delta = GraphDelta(
+            remove_edges={"paper-term": (coo.row[:2], coo.col[:2])}, step=9
+        )
+        before = controller.version
+
+        async def scenario(server, host, port):
+            status, swap = await http(host, port, "POST", "/delta", delta.to_payload())
+            predict = await http(host, port, "POST", "/predict", {"nodes": [0, 1]})
+            return status, swap, predict
+
+        status, swap, (p_status, p_payload) = run_with_server(controller, scenario)
+        assert status == 200
+        assert swap["version"] == before + 1
+        assert swap["step"] == 9
+        assert p_status == 200 and p_payload["version"] == before + 1
+
+    def test_stats_endpoint(self, controller):
+        async def scenario(server, host, port):
+            await http(host, port, "POST", "/predict", {"nodes": [1, 2, 3]})
+            return await http(host, port, "GET", "/stats")
+
+        status, payload = run_with_server(controller, scenario)
+        assert status == 200
+        assert payload["session"]["version"] == controller.version
+        assert payload["latency"]["count"] >= 1
+        assert payload["batcher"]["requests"] >= 1
+
+    def test_unknown_route_404(self, controller):
+        async def scenario(server, host, port):
+            return await http(host, port, "GET", "/nope")
+
+        status, payload = run_with_server(controller, scenario)
+        assert status == 404 and "error" in payload
+
+    def test_bad_json_400(self, controller):
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            body = b"{not json"
+            writer.write(
+                f"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: {len(body)}"
+                f"\r\nConnection: close\r\n\r\n".encode() + body
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            head, _, response_body = raw.partition(b"\r\n\r\n")
+            return int(head.split(b" ", 2)[1]), json.loads(response_body)
+
+        status, payload = run_with_server(controller, scenario)
+        assert status == 400 and "error" in payload
+
+    def test_out_of_range_node_400(self, controller):
+        async def scenario(server, host, port):
+            return await http(
+                host, port, "POST", "/predict", {"nodes": [10**7]}
+            )
+
+        status, payload = run_with_server(controller, scenario)
+        assert status == 400 and "error" in payload
+
+    def test_bad_request_does_not_poison_batch_mates(self, controller):
+        """A request with an invalid id coalesced into the same micro-batch
+        window as valid requests must fail alone."""
+
+        async def scenario(server, host, port):
+            return await asyncio.gather(
+                http(host, port, "POST", "/predict", {"nodes": [0, 1]}),
+                http(host, port, "POST", "/predict", {"nodes": [10**7]}),
+                http(host, port, "POST", "/predict", {"nodes": [2]}),
+            )
+
+        (ok1, p1), (bad, pbad), (ok2, p2) = run_with_server(controller, scenario)
+        assert bad == 400 and "error" in pbad
+        assert ok1 == 200 and ok2 == 200
+        assert p1["labels"] == controller.session.predict(np.array([0, 1])).tolist()
+        assert p2["labels"] == controller.session.predict(np.array([2])).tolist()
+
+    def test_empty_nodes_400(self, controller):
+        async def scenario(server, host, port):
+            return await http(host, port, "POST", "/predict", {"nodes": []})
+
+        status, _ = run_with_server(controller, scenario)
+        assert status == 400
+
+    def test_keep_alive_multiple_requests_one_connection(self, controller):
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            statuses = []
+            for _ in range(3):
+                body = json.dumps({"nodes": [0]}).encode()
+                writer.write(
+                    f"POST /predict HTTP/1.1\r\nHost: x\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n".encode() + body
+                )
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                length = int(
+                    [
+                        line.split(b":")[1]
+                        for line in head.split(b"\r\n")
+                        if line.lower().startswith(b"content-length")
+                    ][0]
+                )
+                payload = json.loads(await reader.readexactly(length))
+                statuses.append((int(head.split(b" ", 2)[1]), payload))
+            writer.close()
+            return statuses
+
+        statuses = run_with_server(controller, scenario)
+        assert [s for s, _ in statuses] == [200, 200, 200]
+
+
+class TestMicroBatcherUnit:
+    def test_splits_batch_results_correctly(self, controller):
+        session = controller.session
+
+        async def scenario():
+            batcher = MicroBatcher(lambda: session, max_batch=64, window_seconds=0.005)
+            batcher.start()
+            try:
+                results = await asyncio.gather(
+                    batcher.submit(np.array([0, 1, 2])),
+                    batcher.submit(np.array([3])),
+                    batcher.submit(np.array([4, 5])),
+                )
+            finally:
+                await batcher.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        flat = np.concatenate([labels for labels, _ in results])
+        expected = session.predict(np.arange(6))
+        assert np.array_equal(flat, expected)
+
+    def test_errors_propagate_to_submitters(self, controller):
+        async def scenario():
+            batcher = MicroBatcher(lambda: controller.session, window_seconds=0.001)
+            batcher.start()
+            try:
+                with pytest.raises(Exception):
+                    await batcher.submit(np.array([10**8]))  # out of range
+            finally:
+                await batcher.stop()
+
+        asyncio.run(scenario())
