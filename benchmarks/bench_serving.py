@@ -1,5 +1,11 @@
 """Serving benchmark: byte-identity, ≥5× micro-batching and zero-drop hot-swap.
 
+Run with ``--replicated`` to benchmark the multi-process tier instead
+(:mod:`repro.serving.replicated`): aggregate throughput of an
+``SO_REUSEPORT`` worker pool vs a single process, zero dropped / zero
+stale-versioned responses across a worker ``SIGKILL`` mid delta-replay,
+and byte-identical WAL recovery after ``kill -9`` of the coordinator.
+
 A load generator drives the full serving stack
 (:mod:`repro.serving`) on a synthetic ACM-shaped HIN and enforces three
 gates on every invocation:
@@ -32,6 +38,12 @@ default 2048).
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_serving.py``); it is
 deliberately not named ``test_*`` so the tier-1 suite stays fast.
+
+Replicated-mode knobs: ``--workers N`` (default 4), ``--phases
+throughput,kill,recovery`` (default all three),
+``REPRO_BENCH_MIN_AGG_SPEEDUP`` (default 2.5; the throughput gate is
+reported but not enforced on hosts with fewer than 6 CPUs, where a
+multi-process speedup is physically unavailable).
 """
 
 from __future__ import annotations
@@ -253,6 +265,486 @@ async def hotswap_gate(controller: ServingController, seed: int) -> dict:
     }
 
 
+# --------------------------------------------------------------------- #
+# Replicated tier (--replicated)
+# --------------------------------------------------------------------- #
+MIN_AGG_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_AGG_SPEEDUP", "2.5"))
+#: below this many CPUs a multi-process speedup is physically unavailable,
+#: so the throughput gate is reported but not enforced
+SPEEDUP_GATE_MIN_CPUS = 6
+LOAD_PROCS = int(os.environ.get("REPRO_BENCH_LOAD_PROCS", "4"))
+LOAD_SECONDS = float(os.environ.get("REPRO_BENCH_LOAD_SECONDS", "2.0"))
+GENESIS = {"benchmark": "bench_serving", "shape": "acm-serve", "seed": 7}
+
+
+def _make_bench_controller(graph=None) -> ServingController:
+    """The deterministic controller recipe shared by every tier process."""
+    if graph is None:
+        graph = generate_hin(serving_config(), scale=SCALE, seed=7)
+    return ServingController(
+        graph,
+        make_model_factory(
+            "heterosgc", hidden_dim=32, epochs=EPOCHS, max_hops=MAX_HOPS, seed=0
+        ),
+        model_name="heterosgc",
+        ratio=RATIO,
+        condenser=FreeHGC(max_hops=MAX_HOPS),
+        recondense_threshold=0.05,
+        seed=0,
+        cache_size=4096,
+    )
+
+
+def _tier_main(root: str, workers: int, port_file: str, snapshot_every: int) -> None:
+    """Child-process entry: serve a tier (or one plain server) until killed."""
+    import asyncio
+
+    from repro.serving.replicated import ReplicatedConfig, ReplicatedServer
+
+    async def run() -> None:
+        if workers == 0:
+            controller = _make_bench_controller()
+            controller.start()
+            server = ServingServer(
+                controller, port=0, max_batch=MICRO_BATCH,
+                batch_window_seconds=0.001,
+            )
+        else:
+            server = ReplicatedServer(
+                _make_bench_controller,
+                config=ReplicatedConfig(
+                    root=root, port=0, workers=workers,
+                    snapshot_every=snapshot_every,
+                    batch_window_seconds=0.001,
+                ),
+                genesis=GENESIS,
+            )
+        host, port = await server.start()
+        Path(port_file).write_text(
+            json.dumps({"host": host, "port": port, "pid": os.getpid()})
+        )
+        await server.serve_forever()
+
+    asyncio.run(run())
+
+
+def _load_main(host: str, port: int, duration: float, counter_queue) -> None:
+    """Load-client entry: hammer /predict over keep-alive until the deadline."""
+    import http.client
+
+    deadline = time.monotonic() + duration
+    answered = 0
+    body = json.dumps({"nodes": list(range(8))})
+    headers = {"Content-Type": "application/json"}
+    while time.monotonic() < deadline:
+        try:
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            # reconnect every 200 requests so the kernel re-balances the
+            # connection across the SO_REUSEPORT acceptors
+            for _ in range(200):
+                if time.monotonic() >= deadline:
+                    break
+                conn.request("POST", "/predict", body=body, headers=headers)
+                response = conn.getresponse()
+                response.read()
+                if response.status == 200:
+                    answered += 1
+            conn.close()
+        except OSError:
+            time.sleep(0.01)
+    counter_queue.put(answered)
+
+
+def _spawn_tier(ctx, root: Path, workers: int, *, snapshot_every: int = 0):
+    """Start a tier subprocess; return ``(process, host, port, tier_pid)``."""
+    root.mkdir(parents=True, exist_ok=True)
+    port_file = root / f"port-{workers}.json"
+    port_file.unlink(missing_ok=True)
+    proc = ctx.Process(
+        target=_tier_main,
+        args=(str(root), workers, str(port_file), snapshot_every),
+        daemon=False,  # the tier has children of its own
+    )
+    proc.start()
+    deadline = time.monotonic() + 180
+    while not port_file.exists() or not port_file.read_text().strip():
+        if time.monotonic() > deadline or not proc.is_alive():
+            raise RuntimeError("tier subprocess failed to start")
+        time.sleep(0.1)
+    info = json.loads(port_file.read_text())
+    return proc, info["host"], info["port"], info["pid"]
+
+
+def _measure_aggregate_rps(ctx, host: str, port: int) -> float:
+    queue = ctx.Queue()
+    procs = [
+        ctx.Process(target=_load_main, args=(host, port, LOAD_SECONDS, queue))
+        for _ in range(LOAD_PROCS)
+    ]
+    start = time.monotonic()
+    for proc in procs:
+        proc.start()
+    total = sum(queue.get(timeout=LOAD_SECONDS * 10 + 60) for _ in procs)
+    for proc in procs:
+        proc.join()
+    return total / max(time.monotonic() - start, 1e-9)
+
+
+def _stop_tier(proc) -> None:
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(timeout=10)
+    if proc.is_alive():
+        proc.kill()
+        proc.join()
+
+
+def replicated_throughput_phase(ctx, root: Path, workers: int) -> dict:
+    """Aggregate /predict throughput: single process vs a worker pool."""
+    proc, host, port, _ = _spawn_tier(ctx, root / "baseline", 0)
+    try:
+        baseline_rps = _measure_aggregate_rps(ctx, host, port)
+    finally:
+        _stop_tier(proc)
+    print(f"single-process baseline: {baseline_rps:.0f} rps "
+          f"({LOAD_PROCS} client processes, {LOAD_SECONDS:g}s)")
+
+    proc, host, port, _ = _spawn_tier(ctx, root / "pool", workers)
+    try:
+        replicated_rps = _measure_aggregate_rps(ctx, host, port)
+    finally:
+        _stop_tier(proc)
+    speedup = replicated_rps / max(baseline_rps, 1e-9)
+    print(f"replicated tier ({workers} workers + coordinator): "
+          f"{replicated_rps:.0f} rps ({speedup:.2f}x aggregate)")
+    return {
+        "workers": workers,
+        "load_processes": LOAD_PROCS,
+        "load_seconds": LOAD_SECONDS,
+        "baseline_rps": baseline_rps,
+        "replicated_rps": replicated_rps,
+        "aggregate_speedup": speedup,
+        "cpus": os.cpu_count(),
+        "gate_enforced": (os.cpu_count() or 1) >= SPEEDUP_GATE_MIN_CPUS,
+    }
+
+
+async def replicated_kill_phase(workers: int) -> dict:
+    """Worker SIGKILL mid delta-replay: zero dropped, zero stale responses.
+
+    The tier runs in-process (the benchmark is the coordinator) so the
+    authoritative session is at hand for expected labels and worker pids
+    are known for the kill.  Clients retry on connection resets — a killed
+    worker's in-flight sockets die — and a logical request only counts as
+    *dropped* when its retries are exhausted.  *Stale* means a response
+    carries a version older than one whose ``/delta`` had already been
+    acknowledged when the request was sent.
+    """
+    import signal as _signal
+    import tempfile
+
+    from repro.serving.replicated import ReplicatedConfig, ReplicatedServer
+
+    tmp = tempfile.mkdtemp(prefix="bench-repl-kill-")
+    server = ReplicatedServer(
+        _make_bench_controller,
+        config=ReplicatedConfig(
+            root=tmp, port=0, workers=workers, batch_window_seconds=0.001
+        ),
+        genesis=GENESIS,
+    )
+    host, port = await server.start()
+    deadline = time.monotonic() + 60
+    while len(server._links) < workers:
+        if time.monotonic() > deadline:
+            raise RuntimeError("workers failed to register")
+        await asyncio.sleep(0.05)
+
+    controller = server.controller
+    num_targets = controller.session.num_targets
+    all_ids = np.arange(num_targets, dtype=np.int64)
+
+    def snapshot() -> np.ndarray:
+        return np.argmax(controller.session.logits(all_ids), axis=-1)
+
+    expected: dict[int, np.ndarray] = {controller.version: snapshot()}
+    acked_floor = controller.version
+    schedule = generate_delta_schedule(
+        controller.graph, steps=4, seed=29,
+        edge_churn=0.0005, relations=("paper-term",),
+    )
+    answered = 0
+    dropped = 0
+    stale = 0
+    incorrect = 0
+    retries = 0
+    stop = asyncio.Event()
+    rng = np.random.default_rng(31)
+    id_pool = rng.integers(0, num_targets, size=(1024, IDS_PER_REQUEST)).astype(np.int64)
+
+    async def request(method: str, path: str, payload: dict) -> tuple[int, dict]:
+        reader, writer = await asyncio.open_connection(host, port)
+        body = json.dumps(payload).encode()
+        writer.write(
+            f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n".encode()
+            + body
+        )
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        if not raw:
+            raise ConnectionResetError("empty response")
+        head, _, response_body = raw.partition(b"\r\n\r\n")
+        return int(head.split(b" ", 2)[1]), json.loads(response_body or b"{}")
+
+    async def client(worker: int) -> None:
+        nonlocal answered, dropped, stale, incorrect, retries
+        cursor = worker
+        while not stop.is_set():
+            ids = id_pool[cursor % id_pool.shape[0]]
+            cursor += CLIENTS
+            floor = acked_floor  # committed before this request started
+            for attempt in range(30):
+                try:
+                    status, payload = await request(
+                        "POST", "/predict", {"nodes": ids.tolist()}
+                    )
+                except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                    retries += 1
+                    await asyncio.sleep(0.02)
+                    continue
+                if status != 200:
+                    retries += 1
+                    await asyncio.sleep(0.02)
+                    continue
+                answered += 1
+                version = payload["version"]
+                if version < floor:
+                    stale += 1
+                reference = expected.get(version)
+                if reference is not None and not np.array_equal(
+                    np.asarray(payload["labels"]), reference[ids]
+                ):
+                    incorrect += 1
+                break
+            else:
+                dropped += 1
+
+    clients = [asyncio.create_task(client(i)) for i in range(CLIENTS)]
+    killed_pid = None
+    try:
+        for index, delta in enumerate(schedule):
+            if index == 2:
+                # mid-replay: SIGKILL one worker while load is in flight
+                victim = server.pool._processes[1]
+                killed_pid = victim.pid
+                os.kill(victim.pid, _signal.SIGKILL)
+            status, payload = await request("POST", "/delta", delta.to_payload())
+            if status != 200:
+                raise RuntimeError(f"delta {index} failed: {payload}")
+            expected[payload["version"]] = snapshot()
+            acked_floor = payload["version"]
+            print(f"delta {index}: version {payload['version']} "
+                  f"acked_workers={payload['acked_workers']}"
+                  + (" (worker killed)" if index == 2 else ""))
+            await asyncio.sleep(0.2)
+        deadline = time.monotonic() + 60
+        while server.pool.respawns < 1 or len(server._links) < workers:
+            if time.monotonic() > deadline:
+                raise RuntimeError("killed worker was not respawned")
+            await asyncio.sleep(0.05)
+        respawns = server.pool.respawns
+    finally:
+        stop.set()
+        await asyncio.gather(*clients, return_exceptions=True)
+        await server.close()
+    return {
+        "workers": workers,
+        "deltas": len(schedule),
+        "killed_pid": killed_pid,
+        "answered": answered,
+        "retries": retries,
+        "dropped": dropped,
+        "stale": stale,
+        "incorrect": incorrect,
+        "respawns": respawns,
+    }
+
+
+def replicated_recovery_phase(ctx, root: Path, workers: int) -> dict:
+    """``kill -9`` the coordinator; WAL replay must restore byte-identical
+    model state and identical predictions for the full query set."""
+    from repro.serving.artifacts import load_bundle
+    from repro.serving.replicated.pool import current_version
+    from repro.streaming.incremental import graphs_equal
+
+    # The mirror: same recipe, same deltas — what the tier *must* recover to.
+    mirror = _make_bench_controller()
+    mirror.start()
+    schedule = generate_delta_schedule(
+        mirror.graph, steps=4, seed=43, edge_churn=0.0005, relations=("paper-term",),
+    )
+
+    tier_root = root / "recovery"
+    proc, host, port, tier_pid = _spawn_tier(ctx, tier_root, workers, snapshot_every=2)
+    try:
+        import http.client
+
+        conn = http.client.HTTPConnection(host, port, timeout=120)
+        for delta in schedule:
+            mirror.apply_delta(delta)
+            conn.request(
+                "POST", "/delta", body=json.dumps(delta.to_payload()),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            if response.status != 200:
+                raise RuntimeError(f"delta failed: {payload}")
+        conn.close()
+        assert payload["version"] == mirror.version, "tier/mirror diverged pre-kill"
+    finally:
+        print(f"kill -9 coordinator (pid {tier_pid}) after {len(schedule)} deltas")
+        os.kill(tier_pid, 9)
+        proc.join(timeout=30)
+
+    restart_start = time.monotonic()
+    proc, host, port, _ = _spawn_tier(ctx, tier_root, workers, snapshot_every=2)
+    recovery_seconds = time.monotonic() - restart_start
+    try:
+        import http.client
+
+        all_ids = np.arange(mirror.session.num_targets, dtype=np.int64)
+        expected_labels = mirror.session.predict(all_ids)
+        conn = http.client.HTTPConnection(host, port, timeout=120)
+        conn.request(
+            "POST", "/predict",
+            body=json.dumps({"nodes": all_ids.tolist()}),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        conn.close()
+        if response.status != 200:
+            raise RuntimeError(f"post-recovery predict failed: {payload}")
+        predictions_identical = payload["labels"] == expected_labels.tolist()
+        version_identical = payload["version"] == mirror.version
+
+        # byte-identity of the recovered, re-published bundle
+        version, vdir = current_version(tier_root)
+        recovered = load_bundle(vdir / "bundle")
+        reference = mirror.export_bundle()
+        weights_identical = set(recovered.weights) == set(reference.weights) and all(
+            np.asarray(recovered.weights[name]).tobytes()
+            == np.asarray(reference.weights[name]).tobytes()
+            for name in reference.weights
+        )
+        state_identical = json.dumps(
+            recovered.state, sort_keys=True, default=str
+        ) == json.dumps(reference.state, sort_keys=True, default=str)
+        condensed_identical = graphs_equal(recovered.condensed, reference.condensed)
+    finally:
+        _stop_tier(proc)
+    return {
+        "workers": workers,
+        "deltas": len(schedule),
+        "recovery_seconds": recovery_seconds,
+        "recovered_version": version,
+        "expected_version": mirror.version,
+        "version_identical": version_identical,
+        "predictions_identical": predictions_identical,
+        "weights_byte_identical": weights_identical,
+        "state_identical": state_identical,
+        "condensed_identical": condensed_identical,
+    }
+
+
+def _read_baseline() -> dict:
+    """The current BENCH_serving.json, minus provenance (emit_json re-stamps).
+
+    Both entry points rewrite the whole file but own disjoint sections —
+    the plain run keeps an existing ``replicated`` section and vice versa —
+    so either benchmark can be re-run alone without losing the other's
+    committed baseline."""
+    from benchmarks.common import JSON_DIR
+
+    path = JSON_DIR / "BENCH_serving.json"
+    if not path.exists():
+        return {}
+    payload = json.loads(path.read_text())
+    payload.pop("provenance", None)
+    return payload
+
+
+def replicated_main(workers: int, phases: set[str]) -> int:
+    import multiprocessing
+    import tempfile
+
+    ctx = multiprocessing.get_context("spawn")
+    root = Path(tempfile.mkdtemp(prefix="bench-replicated-"))
+    result: dict = {"workers": workers, "scale": SCALE, "phases": sorted(phases)}
+    failures: list[str] = []
+
+    if "throughput" in phases:
+        throughput = replicated_throughput_phase(ctx, root, workers)
+        result["throughput"] = throughput
+        if throughput["aggregate_speedup"] < MIN_AGG_SPEEDUP:
+            if throughput["gate_enforced"]:
+                failures.append(
+                    f"aggregate throughput {throughput['aggregate_speedup']:.2f}x "
+                    f"< {MIN_AGG_SPEEDUP:g}x at {workers} workers"
+                )
+            else:
+                print(
+                    f"note: {throughput['aggregate_speedup']:.2f}x < "
+                    f"{MIN_AGG_SPEEDUP:g}x but only {throughput['cpus']} CPUs "
+                    f"(gate needs >= {SPEEDUP_GATE_MIN_CPUS}): reported, not enforced"
+                )
+
+    if "kill" in phases:
+        kill = asyncio.run(replicated_kill_phase(workers))
+        result["worker_kill"] = kill
+        print(
+            f"worker-kill: {kill['answered']} answered, {kill['retries']} retried, "
+            f"{kill['dropped']} dropped, {kill['stale']} stale, "
+            f"{kill['incorrect']} incorrect, {kill['respawns']} respawns"
+        )
+        if kill["dropped"] or kill["stale"] or kill["incorrect"]:
+            failures.append(
+                f"worker-kill gate: dropped={kill['dropped']} "
+                f"stale={kill['stale']} incorrect={kill['incorrect']}"
+            )
+        if kill["answered"] == 0:
+            failures.append("worker-kill gate: no responses answered")
+
+    if "recovery" in phases:
+        recovery = replicated_recovery_phase(ctx, root, min(workers, 2))
+        result["coordinator_recovery"] = recovery
+        print(
+            f"recovery: version {recovery['recovered_version']} restored in "
+            f"{recovery['recovery_seconds']:.2f}s, "
+            f"weights byte-identical={recovery['weights_byte_identical']}, "
+            f"predictions identical={recovery['predictions_identical']}"
+        )
+        for key in (
+            "version_identical", "predictions_identical",
+            "weights_byte_identical", "state_identical", "condensed_identical",
+        ):
+            if not recovery[key]:
+                failures.append(f"recovery gate: {key} is False")
+
+    payload = _read_baseline()
+    payload["replicated"] = result
+    emit_json(payload, "BENCH_serving.json")
+    if failures:
+        for failure in failures:
+            print(f"error: {failure}")
+        return 1
+    print("replicated gates passed")
+    return 0
+
+
 def main() -> int:
     graph = generate_hin(serving_config(), scale=SCALE, seed=7)
     num_targets = graph.num_nodes[graph.schema.target_type]
@@ -333,8 +825,7 @@ def main() -> int:
             "re-condense the graph — with zero dropped or incorrect responses."
         ),
     )
-    emit_json(
-        {
+    single_process = {
             "scale": SCALE,
             "target_nodes": num_targets,
             "cold_start_seconds": cold_seconds,
@@ -354,9 +845,11 @@ def main() -> int:
                 },
                 "batcher": swap_outcome["batcher"],
             },
-        },
-        "BENCH_serving.json",
-    )
+    }
+    existing = _read_baseline()  # keep any --replicated section already there
+    if "replicated" in existing:
+        single_process["replicated"] = existing["replicated"]
+    emit_json(single_process, "BENCH_serving.json")
 
     if throughput["speedup"] < SPEEDUP_FACTOR:
         print(
@@ -376,4 +869,22 @@ def main() -> int:
 
 
 if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--replicated", action="store_true",
+                        help="benchmark the multi-process replicated tier "
+                             "instead of the single-process server")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes for --replicated (default: 4)")
+    parser.add_argument("--phases", default="throughput,kill,recovery",
+                        help="comma-separated subset of replicated phases "
+                             "(default: throughput,kill,recovery)")
+    cli_args = parser.parse_args()
+    if cli_args.replicated:
+        wanted = {p.strip() for p in cli_args.phases.split(",") if p.strip()}
+        unknown = wanted - {"throughput", "kill", "recovery"}
+        if unknown:
+            parser.error(f"unknown phases: {', '.join(sorted(unknown))}")
+        sys.exit(replicated_main(cli_args.workers, wanted))
     sys.exit(main())

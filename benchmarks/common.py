@@ -13,8 +13,10 @@ the minutes range on a laptop CPU.  Increase ``SCALE``, ``SEEDS`` and
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
+import subprocess
 from pathlib import Path
 
 from repro.evaluation import format_table, write_report
@@ -39,17 +41,42 @@ JSON_DIR = Path(
 )
 
 
+def _git_revision() -> str:
+    """Current commit hash, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
 def emit_json(payload: dict, filename: str) -> Path:
     """Persist ``payload`` as a machine-readable ``BENCH_*.json`` file.
 
     These files are the perf-trajectory record: each benchmark writes one,
     the committed copy is the baseline, and CI uploads the regenerated file
-    as an artifact so runs can be compared over time.  Timestamps are
-    deliberately omitted to keep committed baselines diff-friendly.
+    as an artifact so runs can be compared over time.  Every file is stamped
+    with a ``provenance`` block (git revision + ISO-8601 UTC timestamp) so an
+    artifact downloaded months later still says which commit produced it;
+    provenance is the *only* run-dependent key, keeping baseline diffs
+    readable.
     """
     path = JSON_DIR / filename
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    stamped = dict(payload)
+    stamped["provenance"] = {
+        "git_revision": _git_revision(),
+        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+    path.write_text(json.dumps(stamped, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
     return path
 

@@ -18,6 +18,7 @@ __all__ = [
     "ModelError",
     "StateDictError",
     "ServingError",
+    "WALError",
     "RegistryError",
 ]
 
@@ -84,6 +85,16 @@ class StateDictError(ModelError, KeyError, ValueError):
 
 class ServingError(ReproError):
     """The online inference-serving layer was misused or fed a bad bundle."""
+
+
+class WALError(ServingError):
+    """The durable GraphDelta write-ahead log is unreadable or inconsistent.
+
+    A *torn* trailing record (the process died mid-append) is not an error —
+    recovery truncates it silently; :class:`WALError` means the log body
+    itself is corrupt or was misused (foreign file, record after corruption,
+    appending to an unrepaired log).
+    """
 
 
 class RegistryError(ReproError, KeyError, ValueError):

@@ -229,6 +229,27 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--bundle-store", default=None, metavar="DIR",
                      help="ModelStore directory: warm-start from a stored bundle "
                           "and persist one after cold start and every retrain")
+    rep = serve.add_argument_group("replication")
+    rep.add_argument("--workers", type=int, default=0, metavar="N",
+                     help="run the replicated tier: N predictor worker "
+                          "processes sharing the port via SO_REUSEPORT, plus "
+                          "a coordinator owning all writes (0 = single "
+                          "process, the default)")
+    rep.add_argument("--wal", default=None, metavar="PATH",
+                     help="write-ahead log file for the replicated tier; its "
+                          "parent directory holds published model versions, "
+                          "snapshots and the shared metrics board (required "
+                          "when --workers > 0)")
+    rep.add_argument("--snapshot-every", type=int, default=0, metavar="N",
+                     help="checkpoint a model snapshot into the WAL every N "
+                          "committed deltas, bounding replay time after a "
+                          "crash (0 = never, replay from genesis)")
+    rep.add_argument("--max-pending", type=int, default=0, metavar="N",
+                     help="per-process admission limit: shed /predict with "
+                          "429 beyond N in-flight requests (0 = unbounded)")
+    rep.add_argument("--max-body-bytes", type=int, default=16 * 1024 * 1024,
+                     help="reject request bodies larger than this with 413 "
+                          "(default: 16 MiB)")
     srv.add_argument("--selftest", type=int, default=0, metavar="STEPS",
                      help="do not serve: replay STEPS deltas against an "
                           "in-process server under concurrent load, verify "
@@ -574,7 +595,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         bundle_store=args.bundle_store,
+        workers=args.workers,
+        wal=args.wal,
+        snapshot_every=args.snapshot_every,
+        max_pending=args.max_pending,
+        max_body_bytes=args.max_body_bytes,
     )
+
+    def log(message: str) -> None:
+        if not args.quiet:
+            print(message, flush=True)
+
+    if config.workers > 0:
+        if args.selftest:
+            raise ReproError("--selftest runs in-process; drop --workers")
+        return _serve_replicated(config, log)
+
     entry = registry.datasets.get(config.dataset)
     graph = entry.loader(scale=config.scale, seed=config.seed)
     max_hops = config.resolved_max_hops()
@@ -598,10 +634,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     store = ModelStore(config.bundle_store) if config.bundle_store else None
     key = config.bundle_key()
     warm_bundle = store.load(key) if store is not None and key in store else None
-
-    def log(message: str) -> None:
-        if not args.quiet:
-            print(message, flush=True)
 
     log(f"condensing {config.dataset} @ ratio {config.ratio:g} and training {config.model}...")
     controller.start(warm_bundle=warm_bundle)
@@ -642,6 +674,92 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host, port = await server.start()
         log(f"serving {config.dataset} on http://{host}:{port} "
             f"(endpoints: /healthz /stats /predict /delta)")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        log("interrupted: shutting down")
+    return 0
+
+
+def _serve_replicated(config: ServeConfig, log) -> int:
+    """``serve --workers N --wal PATH``: the multi-process replicated tier.
+
+    One coordinator process (this one) owns the WAL and all delta writes;
+    ``N`` spawned workers answer ``/predict`` from memory-mapped published
+    model versions, all sharing ``config.port`` via ``SO_REUSEPORT``.
+    """
+    import asyncio
+    from pathlib import Path
+
+    from repro.core.condenser import FreeHGC
+    from repro.evaluation.pipeline import make_model_factory
+    from repro.serving import ServingController
+    from repro.serving.replicated import ReplicatedConfig, ReplicatedServer
+
+    entry = registry.datasets.get(config.dataset)
+    max_hops = config.resolved_max_hops()
+
+    def make_controller(graph=None):
+        if graph is None:
+            graph = entry.loader(scale=config.scale, seed=config.seed)
+        return ServingController(
+            graph,
+            make_model_factory(
+                config.model,
+                hidden_dim=config.hidden_dim,
+                epochs=config.epochs,
+                max_hops=max_hops,
+                seed=config.seed,
+            ),
+            model_name=registry.models.canonical(config.model),
+            ratio=config.ratio,
+            condenser=FreeHGC(max_hops=max_hops),
+            recondense_threshold=config.recondense_threshold,
+            seed=config.seed,
+            cache_size=config.cache_size,
+        )
+
+    wal_path = Path(config.wal)
+    genesis = {
+        "dataset": config.dataset,
+        "scale": config.scale,
+        "seed": config.seed,
+        "ratio": config.ratio,
+        "model": config.model,
+        "hidden_dim": config.hidden_dim,
+        "epochs": config.epochs,
+        "max_hops": max_hops,
+    }
+    replicated = ReplicatedConfig(
+        root=wal_path.parent,
+        wal_filename=wal_path.name,
+        host=config.host,
+        port=config.port,
+        workers=config.workers,
+        snapshot_every=config.snapshot_every,
+        max_pending=config.max_pending,
+        max_body_bytes=config.max_body_bytes,
+        cache_size=config.cache_size,
+        max_batch=config.max_batch,
+        batch_window_seconds=config.batch_window_ms / 1e3,
+    )
+    server = ReplicatedServer(make_controller, config=replicated, genesis=genesis)
+
+    async def run() -> None:
+        log(f"recovering from WAL {wal_path} (condense + train on cold start)...")
+        host, port = await server.start()
+        recovery = server.recovery
+        log(f"recovery: mode={recovery['mode']} "
+            f"deltas_replayed={recovery['deltas_replayed']} "
+            f"version={server.controller.version}")
+        log(f"serving {config.dataset} on http://{host}:{port} with "
+            f"{config.workers} workers "
+            "(endpoints: /healthz /stats /predict /delta /metrics)")
         try:
             await server.serve_forever()
         finally:
@@ -800,9 +918,18 @@ _SERVING_COMPONENTS = {
     "controller": "ServingController — zero-downtime hot-swap on streaming deltas",
     "server": "ServingServer — stdlib asyncio HTTP endpoint (python -m repro serve)",
     "model-store": "ModelStore — versioned .npz model bundles (weights + condensed graph)",
+    "wal": "DeltaWAL — durable write-ahead delta log with snapshot checkpoints",
+    "replicated": "ReplicatedServer — coordinator + SO_REUSEPORT worker pool over "
+                  "mmap-shared model versions (python -m repro serve --workers N)",
 }
 
-_SERVING_ENDPOINTS = ("GET /healthz", "GET /stats", "POST /predict", "POST /delta")
+_SERVING_ENDPOINTS = (
+    "GET /healthz",
+    "GET /stats",
+    "GET /metrics",
+    "POST /predict",
+    "POST /delta",
+)
 
 
 def _registry_listing(reg: registry.Registry) -> dict[str, dict]:

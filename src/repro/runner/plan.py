@@ -355,6 +355,11 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 8765
     bundle_store: str | None = None
+    workers: int = 0
+    wal: str | None = None
+    snapshot_every: int = 0
+    max_pending: int = 0
+    max_body_bytes: int = 16 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if not 0.0 < self.ratio <= 1.0:
@@ -372,6 +377,24 @@ class ServeConfig:
             raise ReproError(f"batch_window_ms must be >= 0, got {self.batch_window_ms}")
         if self.max_hops is not None:
             check_max_hops(self.max_hops)
+        if self.workers < 0:
+            raise ReproError(f"workers must be >= 0, got {self.workers}")
+        if self.workers > 0 and not self.wal:
+            raise ReproError(
+                "replicated serving (workers > 0) requires --wal PATH: the "
+                "write-ahead log is what makes worker restarts and coordinator "
+                "crash recovery safe"
+            )
+        if self.snapshot_every < 0:
+            raise ReproError(
+                f"snapshot_every must be >= 0, got {self.snapshot_every}"
+            )
+        if self.max_pending < 0:
+            raise ReproError(f"max_pending must be >= 0, got {self.max_pending}")
+        if self.max_body_bytes < 1:
+            raise ReproError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )
 
     def resolved_max_hops(self) -> int:
         """Meta-path hop limit: explicit value or the dataset's paper default."""

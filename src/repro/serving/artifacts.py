@@ -14,6 +14,19 @@ without re-running condensation or training:
 Bundles are written atomically (temp file + rename) so a reader never sees
 a half-written archive, and carry a format version that is checked on load.
 
+Two on-disk layouts share one logical format:
+
+* ``layout="npz"`` (the cold-storage default) — one compressed ``.npz``
+  archive, smallest on disk;
+* ``layout="dir"`` — an *uncompressed* directory of raw ``.npy`` files plus
+  a JSON header/manifest.  Compressed zip members cannot be memory-mapped,
+  so this is the layout the replicated serving tier publishes: every worker
+  process opens the same arrays with ``np.load(..., mmap_mode="r")`` and the
+  kernel shares one physical copy of the pages across the whole pool.
+
+:func:`load_bundle` auto-detects the layout (directory vs. archive), so
+callers never need to know which one they were handed.
+
 :class:`ModelStore` organises bundles on disk the same way the runner's
 :class:`~repro.runner.cache.ArtifactStore` organises results: an
 append-only JSONL index keyed by a caller-chosen stable key, latest record
@@ -25,6 +38,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
 from zipfile import BadZipFile
@@ -86,25 +100,73 @@ class ModelBundle:
         return model
 
 
-def save_bundle(bundle: ModelBundle, path: str | Path) -> Path:
-    """Write ``bundle`` to ``path`` as one compressed ``.npz`` (atomic)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    header = {
+def _bundle_header(bundle: ModelBundle) -> dict:
+    return {
         "format": BUNDLE_FORMAT,
         "model": bundle.model_name,
         "state": bundle.state,
         "metadata": bundle.metadata,
     }
-    arrays: dict[str, np.ndarray] = {
-        "bundle_json": np.frombuffer(
-            json.dumps(header, sort_keys=True, default=json_default).encode("utf-8"),
-            dtype=np.uint8,
-        )
-    }
+
+
+def _bundle_arrays(bundle: ModelBundle) -> dict[str, np.ndarray]:
+    arrays: dict[str, np.ndarray] = {}
     for name, value in bundle.weights.items():
         arrays[f"{_WEIGHT_PREFIX}{name}"] = np.asarray(value, dtype=np.float64)
     arrays.update(graph_to_arrays(bundle.condensed, prefix=_GRAPH_PREFIX))
+    return arrays
+
+
+def _bundle_from_parts(
+    path: Path, header: dict, data, files: list[str]
+) -> ModelBundle:
+    fmt = int(header.get("format", -1))
+    if fmt > BUNDLE_FORMAT or fmt < 1:
+        raise ServingError(
+            f"bundle {path} has format {fmt}; this library supports "
+            f"<= {BUNDLE_FORMAT}"
+        )
+    weights = {
+        key[len(_WEIGHT_PREFIX) :]: data[key]
+        for key in files
+        if key.startswith(_WEIGHT_PREFIX)
+    }
+    condensed = graph_from_arrays(data, prefix=_GRAPH_PREFIX)
+    return ModelBundle(
+        model_name=str(header["model"]),
+        state=dict(header["state"]),
+        weights=weights,
+        condensed=condensed,
+        metadata=dict(header.get("metadata", {})),
+    )
+
+
+def save_bundle(
+    bundle: ModelBundle, path: str | Path, *, layout: str = "npz"
+) -> Path:
+    """Write ``bundle`` to ``path`` atomically.
+
+    ``layout="npz"`` (default) writes one compressed archive —
+    the cold-storage format of :class:`ModelStore`.  ``layout="dir"``
+    writes an uncompressed directory of raw ``.npy`` files that
+    :func:`load_bundle` can open with ``mmap=True`` so many processes
+    share one physical copy of the arrays.
+    """
+    path = Path(path)
+    if layout == "dir":
+        return _save_bundle_dir(bundle, path)
+    if layout != "npz":
+        raise ServingError(f"unknown bundle layout {layout!r}: use 'npz' or 'dir'")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {
+        "bundle_json": np.frombuffer(
+            json.dumps(
+                _bundle_header(bundle), sort_keys=True, default=json_default
+            ).encode("utf-8"),
+            dtype=np.uint8,
+        )
+    }
+    arrays.update(_bundle_arrays(bundle))
     # np.savez appends ".npz" to names lacking it, so the temp name keeps it.
     tmp = path.with_name(f".{path.stem}.tmp{os.getpid()}.npz")
     try:
@@ -115,13 +177,76 @@ def save_bundle(bundle: ModelBundle, path: str | Path) -> Path:
     return path
 
 
-def load_bundle(path: str | Path) -> ModelBundle:
-    """Load a bundle written by :func:`save_bundle`.
+def _save_bundle_dir(bundle: ModelBundle, path: Path) -> Path:
+    """Uncompressed directory layout: ``header.json`` + one ``.npy`` per array.
+
+    Array keys (which may contain characters unsafe for filenames) are
+    mapped to ``a0000.npy``-style names through the manifest inside
+    ``header.json``.  The directory is staged under a temp name and
+    committed with one ``os.replace`` — a reader either sees the whole
+    bundle or none of it, never a partial write.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir(parents=True)
+    try:
+        arrays = _bundle_arrays(bundle)
+        manifest: dict[str, str] = {}
+        for index, key in enumerate(sorted(arrays)):
+            filename = f"a{index:04d}.npy"
+            manifest[key] = filename
+            np.save(tmp / filename, np.ascontiguousarray(arrays[key]))
+        header = dict(_bundle_header(bundle), manifest=manifest)
+        (tmp / "header.json").write_text(
+            json.dumps(header, sort_keys=True, indent=1, default=json_default)
+        )
+        if path.exists():
+            shutil.rmtree(path)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            shutil.rmtree(tmp, ignore_errors=True)
+    return path
+
+
+class _DirArrays:
+    """Lazy ``key -> array`` view over a directory-layout bundle."""
+
+    def __init__(self, root: Path, manifest: dict[str, str], mmap: bool) -> None:
+        self.root = root
+        self.manifest = manifest
+        self.mmap_mode = "r" if mmap else None
+
+    @property
+    def files(self) -> list[str]:
+        return list(self.manifest)
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return np.load(
+            self.root / self.manifest[key],
+            mmap_mode=self.mmap_mode,
+            allow_pickle=False,
+        )
+
+
+def load_bundle(path: str | Path, *, mmap: bool = False) -> ModelBundle:
+    """Load a bundle written by :func:`save_bundle` (either layout).
+
+    A directory is read as the uncompressed layout, anything else as the
+    compressed archive.  With ``mmap=True`` a directory bundle's arrays are
+    opened read-only with ``np.load(mmap_mode="r")`` — weights and condensed
+    -graph arrays stay on disk and every process mapping them shares one
+    page-cache copy.  ``mmap`` is ignored for compressed archives (zip
+    members cannot be mapped).
 
     Raises :class:`~repro.errors.ServingError` on a missing file, a foreign
     archive, or a format version newer than this library understands.
     """
     path = Path(path)
+    if path.is_dir():
+        return _load_bundle_dir(path, mmap=mmap)
     if not path.exists():
         raise ServingError(f"model bundle {path} does not exist")
     try:
@@ -129,27 +254,24 @@ def load_bundle(path: str | Path) -> ModelBundle:
             if "bundle_json" not in data.files:
                 raise ServingError(f"{path} is not a model bundle (no header)")
             header = json.loads(bytes(data["bundle_json"]).decode("utf-8"))
-            fmt = int(header.get("format", -1))
-            if fmt > BUNDLE_FORMAT or fmt < 1:
-                raise ServingError(
-                    f"bundle {path} has format {fmt}; this library supports "
-                    f"<= {BUNDLE_FORMAT}"
-                )
-            weights = {
-                key[len(_WEIGHT_PREFIX) :]: data[key]
-                for key in data.files
-                if key.startswith(_WEIGHT_PREFIX)
-            }
-            condensed = graph_from_arrays(data, prefix=_GRAPH_PREFIX)
+            return _bundle_from_parts(path, header, data, list(data.files))
     except (BadZipFile, ValueError, KeyError, json.JSONDecodeError) as exc:
         raise ServingError(f"failed to read model bundle {path}: {exc}") from exc
-    return ModelBundle(
-        model_name=str(header["model"]),
-        state=dict(header["state"]),
-        weights=weights,
-        condensed=condensed,
-        metadata=dict(header.get("metadata", {})),
-    )
+
+
+def _load_bundle_dir(path: Path, *, mmap: bool) -> ModelBundle:
+    header_path = path / "header.json"
+    if not header_path.exists():
+        raise ServingError(f"{path} is not a model bundle (no header.json)")
+    try:
+        header = json.loads(header_path.read_text())
+        manifest = {
+            str(key): str(name) for key, name in dict(header["manifest"]).items()
+        }
+        data = _DirArrays(path, manifest, mmap)
+        return _bundle_from_parts(path, header, data, data.files)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise ServingError(f"failed to read model bundle {path}: {exc}") from exc
 
 
 class ModelStore:

@@ -177,6 +177,43 @@ class InferenceSession:
         self.batches = 0
 
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_logits(
+        cls,
+        logits: np.ndarray,
+        *,
+        version: int = 0,
+        cache_size: int = 4096,
+    ) -> "InferenceSession":
+        """Build a session directly from pre-computed logits.
+
+        This is how replicated worker processes serve: the coordinator runs
+        the forward pass once, publishes the logits as a raw ``.npy``, and
+        every worker opens them with ``np.load(..., mmap_mode="r")`` — the
+        returned session answers :meth:`predict` from those rows without
+        ever holding a model or graph.  A read-only ``np.memmap`` is kept
+        as-is (the kernel shares its pages across the pool); any other
+        array is copied to a contiguous read-only buffer.
+        """
+        logits = np.asanyarray(logits)
+        if logits.ndim != 2:
+            raise ServingError(
+                f"logits must be a (targets, classes) matrix, got shape {logits.shape}"
+            )
+        session = cls.__new__(cls)
+        session.model = None
+        session.graph = None
+        session.version = int(version)
+        session.cache = LRUCache(cache_size)
+        session.precompute_seconds = 0.0
+        if not isinstance(logits, np.memmap):
+            logits = np.ascontiguousarray(logits)
+            logits.setflags(write=False)
+        session._logits = logits
+        session.requests = 0
+        session.batches = 0
+        return session
+
     @property
     def num_targets(self) -> int:
         """How many target nodes this session can answer for."""

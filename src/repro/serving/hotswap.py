@@ -249,6 +249,19 @@ class ServingController:
             self.swap_history.append(report)
             return report
 
+    def adopt_version(self, version: int) -> None:
+        """Align the version counter with externally recorded history.
+
+        WAL recovery uses this after warm-starting from a snapshot: the
+        snapshot records the version it was taken at, and adopting it (and
+        re-stamping the live session) makes the replayed deltas land on the
+        exact version numbers the pre-crash process acknowledged.
+        """
+        with self._swap_lock:
+            self._version = int(version)
+            if self._session is not None:
+                self._session.version = int(version)
+
     # ------------------------------------------------------------------ #
     def export_bundle(self, *, metadata: dict | None = None) -> ModelBundle:
         """Snapshot the current model + condensed graph as a bundle."""

@@ -1,0 +1,86 @@
+"""Bounded admission with load shedding for the serving endpoints.
+
+An overloaded replica has two choices: queue without bound (latency grows
+until every client times out and *all* work done was wasted) or shed early
+(a fixed fraction of clients get an immediate, honest 429 while the rest
+keep their latency SLO).  :class:`AdmissionGate` implements the second:
+a counter of in-flight admitted requests with a hard capacity; requests
+beyond it are rejected before any model work happens.
+
+The gate is deliberately tiny — admission is checked on every request, so
+it must cost two integer ops, not a queue allocation.  It is thread-safe
+(the asyncio server's swap worker and the event loop may both touch it) and
+feeds the shared :class:`~repro.serving.replicated.metrics.MetricsBoard`
+queue-depth gauge when one is attached.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serving.replicated.metrics import SlotMetrics
+
+__all__ = ["AdmissionGate"]
+
+
+class AdmissionGate:
+    """Counting gate: at most ``capacity`` requests in flight, rest shed.
+
+    ``capacity <= 0`` disables shedding (every request admits), which keeps
+    the single-process default behaviour unchanged.
+
+    Examples
+    --------
+    >>> gate = AdmissionGate(2)
+    >>> gate.try_enter(), gate.try_enter(), gate.try_enter()
+    (True, True, False)
+    >>> gate.leave(); gate.try_enter()
+    True
+    >>> gate.stats["shed"]
+    1
+    """
+
+    def __init__(self, capacity: int, *, metrics: SlotMetrics | None = None) -> None:
+        self.capacity = int(capacity)
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self.admitted = 0
+        self.shed = 0
+
+    def try_enter(self) -> bool:
+        """Admit one request; ``False`` means shed it (respond 429)."""
+        with self._lock:
+            if self.capacity > 0 and self._in_flight >= self.capacity:
+                self.shed += 1
+                return False
+            self._in_flight += 1
+            self.admitted += 1
+        if self.metrics is not None:
+            self.metrics.queue_enter()
+        return True
+
+    def leave(self) -> None:
+        """Release one previously admitted request."""
+        with self._lock:
+            self._in_flight -= 1
+            if self._in_flight < 0:  # misuse guard: leave() without enter()
+                self._in_flight = 0
+                return
+        if self.metrics is not None:
+            self.metrics.queue_leave()
+
+    @property
+    def depth(self) -> int:
+        """Requests currently in flight."""
+        return self._in_flight
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Admission counters for ``/stats``."""
+        return {
+            "capacity": self.capacity,
+            "depth": self._in_flight,
+            "admitted": self.admitted,
+            "shed": self.shed,
+        }

@@ -1,0 +1,522 @@
+"""The replicated tier's single writer: WAL commit, publish, swap fan-out.
+
+One :class:`ReplicatedServer` owns the whole deployment:
+
+* the :class:`~repro.serving.hotswap.ServingController` (graph, condenser,
+  model) — every delta is applied exactly once, here;
+* the :class:`~repro.serving.replicated.wal.DeltaWAL` — a delta is durable
+  *before* its effects are applied or acknowledged;
+* the published version directories and the ``CURRENT`` pointer
+  (:mod:`~repro.serving.replicated.pool`);
+* the unix-socket control channel workers register on, and the
+  :class:`~repro.serving.replicated.pool.WorkerPool` supervisor that
+  respawns killed workers.
+
+Commit pipeline of one ``POST /delta`` (serialised by an asyncio lock)::
+
+    WAL append (fsync)  →  controller.apply_delta  →  publish version dir
+    →  flip CURRENT  →  fan out swap notices  →  await worker acks
+    →  (periodic snapshot)  →  answer the client
+
+``CURRENT`` flips *before* the fan-out so a worker respawned at any moment
+loads a version at least as new as every acked delta; the acks guarantee no
+registered worker answers with a stale version after the client sees the
+delta response.
+
+Recovery (:func:`recover_from_wal`) is pure replay: rebuild the base state
+from the genesis recipe (or restore the newest usable snapshot's graph +
+bundle) and re-apply the logged deltas.  Condensation and training are
+deterministic, so the recovered model state is byte-identical to what the
+crashed process had — the property ``benchmarks/bench_serving.py
+--replicated`` gates on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ServingError, WALError
+from repro.hetero.graph import HeteroGraph
+from repro.hetero.io import load_graph, save_graph
+from repro.serving.artifacts import load_bundle, save_bundle
+from repro.serving.hotswap import ServingController, SwapReport
+from repro.serving.server import (
+    DEFAULT_MAX_BODY_BYTES,
+    ServingServer,
+    _parse_json,
+)
+from repro.serving.replicated.pool import (
+    WorkerPool,
+    make_listen_socket,
+    publish_version,
+    set_current,
+)
+from repro.serving.replicated.wal import DeltaWAL, plan_replay
+from repro.streaming.delta import GraphDelta
+
+__all__ = ["ReplicatedConfig", "ReplicatedServer", "recover_from_wal"]
+
+
+@dataclass(frozen=True)
+class ReplicatedConfig:
+    """Deployment shape of one replicated serving tier.
+
+    ``root`` holds everything durable (WAL, snapshots, published versions,
+    the shared metrics board, the control socket); ``workers`` predictor
+    processes join the coordinator on one ``SO_REUSEPORT`` port.
+    """
+
+    root: str | Path
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    #: append a snapshot record every N committed deltas (0 disables)
+    snapshot_every: int = 0
+    #: per-process admission capacity for /predict (0 = no shedding)
+    max_pending: int = 0
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    cache_size: int = 4096
+    max_batch: int = 256
+    batch_window_seconds: float = 0.002
+    fsync: bool = True
+    #: how long the commit waits for each worker's swap ack
+    ack_timeout_seconds: float = 15.0
+    wal_filename: str = "wal.log"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServingError(f"workers must be >= 1, got {self.workers}")
+        if self.snapshot_every < 0:
+            raise ServingError(f"snapshot_every must be >= 0, got {self.snapshot_every}")
+        if self.max_pending < 0:
+            raise ServingError(f"max_pending must be >= 0, got {self.max_pending}")
+        if self.max_body_bytes < 1:
+            raise ServingError(f"max_body_bytes must be >= 1, got {self.max_body_bytes}")
+        if self.ack_timeout_seconds <= 0:
+            raise ServingError("ack_timeout_seconds must be > 0")
+
+    @property
+    def root_path(self) -> Path:
+        return Path(self.root)
+
+    @property
+    def wal_path(self) -> Path:
+        return self.root_path / self.wal_filename
+
+    @property
+    def board_path(self) -> Path:
+        return self.root_path / "metrics.board"
+
+    @property
+    def control_path(self) -> Path:
+        return self.root_path / "control.sock"
+
+
+def recover_from_wal(
+    wal_path: str | Path,
+    *,
+    root: str | Path,
+    make_controller: Callable[[HeteroGraph | None], ServingController],
+    genesis_config: dict | None = None,
+    fsync: bool = True,
+) -> tuple[ServingController, DeltaWAL, dict]:
+    """Open (repairing a torn tail) and replay the WAL at ``wal_path``.
+
+    ``make_controller(graph)`` builds the deployment's controller: around
+    the given live graph when restoring a snapshot, or around the
+    deterministic base state when called with ``None``.
+
+    An empty/new log records ``genesis_config`` as its first record; an
+    existing log's genesis is checked against it — replaying deltas into a
+    *different* base state would silently produce garbage, so a mismatch
+    raises :class:`~repro.errors.WALError`.
+
+    Returns ``(started controller, open WAL, recovery report)``; the report
+    says which path ran (``cold`` / ``genesis`` / ``snapshot``) and how many
+    deltas were re-applied.
+    """
+    root = Path(root)
+    wal, records = DeltaWAL.open(wal_path, fsync=fsync)
+    try:
+        if not records:
+            wal.append_genesis(dict(genesis_config or {}))
+            controller = make_controller(None)
+            controller.start()
+            return controller, wal, {
+                "mode": "cold",
+                "deltas_replayed": 0,
+                "snapshot_version": None,
+                "deltas_logged": 0,
+            }
+        genesis, snapshot, deltas = plan_replay(records, root=root)
+        if genesis is None:
+            raise WALError(f"{wal_path}: log has records but no genesis")
+        if genesis_config is not None and dict(genesis_config) != genesis:
+            raise WALError(
+                f"{wal_path}: genesis config mismatch — the log was started "
+                f"with {genesis}, this deployment asks for {dict(genesis_config)}; "
+                "replaying these deltas into a different base state would "
+                "corrupt the model"
+            )
+        if snapshot is not None:
+            graph = load_graph(root / str(snapshot.payload["graph_path"]))
+            bundle = load_bundle(root / str(snapshot.payload["bundle_path"]))
+            controller = make_controller(graph)
+            controller.start(warm_bundle=bundle)
+            controller.adopt_version(int(snapshot.payload["version"]))
+            mode = "snapshot"
+            snapshot_version = int(snapshot.payload["version"])
+        else:
+            controller = make_controller(None)
+            controller.start()
+            mode = "genesis"
+            snapshot_version = None
+        for delta in deltas:
+            controller.apply_delta(delta)
+        return controller, wal, {
+            "mode": mode,
+            "deltas_replayed": len(deltas),
+            "snapshot_version": snapshot_version,
+            "deltas_logged": sum(1 for r in records if r.kind == "delta"),
+        }
+    except BaseException:
+        wal.close()
+        raise
+
+
+class _CoordinatorHTTP(ServingServer):
+    """The coordinator's HTTP endpoint: deltas go through the commit pipeline."""
+
+    def __init__(self, replicated: "ReplicatedServer", controller, **kwargs) -> None:
+        super().__init__(controller, **kwargs)
+        self.replicated = replicated
+
+    async def _handle_delta(self, body: bytes) -> tuple[int, dict]:
+        delta = GraphDelta.from_payload(_parse_json(body))
+        report, acked = await self.replicated.commit_delta(delta)
+        self.metrics.observe_swap(report.swap_seconds)
+        self.metrics.set_version(report.version)
+        return 200, {
+            "step": report.step,
+            "mode": report.mode,
+            "version": report.version,
+            "retrained": report.retrained,
+            "dirty_count": report.dirty_count,
+            "cache_carried": report.cache_carried,
+            "condense_seconds": round(report.condense_seconds, 6),
+            "train_seconds": round(report.train_seconds, 6),
+            "swap_seconds": round(report.swap_seconds, 6),
+            "acked_workers": acked,
+        }
+
+    def _stats_payload(self) -> dict:
+        payload = super()._stats_payload()
+        payload["replicated"] = self.replicated.stats
+        return payload
+
+
+@dataclass
+class _WorkerLink:
+    """One registered worker's control connection."""
+
+    slot: int
+    pid: int
+    writer: asyncio.StreamWriter
+    acks: asyncio.Queue = field(default_factory=asyncio.Queue)
+
+
+class ReplicatedServer:
+    """Coordinator + durable WAL + supervised mmap-shared worker pool.
+
+    Parameters
+    ----------
+    make_controller:
+        ``(graph | None) -> ServingController`` factory (see
+        :func:`recover_from_wal`).  Must be deterministic for ``None``.
+    config:
+        The :class:`ReplicatedConfig` deployment shape.
+    genesis:
+        JSON-safe recipe of the base state, recorded as the WAL's first
+        record and checked on every recovery.
+    """
+
+    def __init__(
+        self,
+        make_controller: Callable[[HeteroGraph | None], ServingController],
+        *,
+        config: ReplicatedConfig,
+        genesis: dict | None = None,
+    ) -> None:
+        self.make_controller = make_controller
+        self.config = config
+        self.genesis = dict(genesis or {})
+        self.controller: ServingController | None = None
+        self.wal: DeltaWAL | None = None
+        self.pool: WorkerPool | None = None
+        self.board = None
+        self.http: _CoordinatorHTTP | None = None
+        self.recovery: dict | None = None
+        self.host = config.host
+        self.port = int(config.port)
+        self.admin_port = 0
+        self.deltas_committed = 0
+        self._since_snapshot = 0
+        self._delta_lock = asyncio.Lock()
+        self._links: dict[int, _WorkerLink] = {}
+        self._control_server: asyncio.AbstractServer | None = None
+        self._admin_server: asyncio.AbstractServer | None = None
+        self._supervisor: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> tuple[str, int]:
+        """Recover, publish, and bring the whole tier up; returns (host, port)."""
+        from repro.serving.replicated.metrics import MetricsBoard
+
+        cfg = self.config
+        root = cfg.root_path
+        root.mkdir(parents=True, exist_ok=True)
+        self.board = MetricsBoard.create(cfg.board_path, slots=cfg.workers + 1)
+
+        controller, wal, recovery = recover_from_wal(
+            cfg.wal_path,
+            root=root,
+            make_controller=self.make_controller,
+            genesis_config=self.genesis,
+            fsync=cfg.fsync,
+        )
+        self.controller, self.wal, self.recovery = controller, wal, recovery
+        self.deltas_committed = int(recovery["deltas_logged"])
+        self._publish(controller.version)
+        set_current(root, controller.version)
+
+        cfg.control_path.unlink(missing_ok=True)
+        self._control_server = await asyncio.start_unix_server(
+            self._handle_control, path=str(cfg.control_path)
+        )
+
+        sock = make_listen_socket(cfg.host, cfg.port)
+        self.host, self.port = sock.getsockname()[:2]
+        self.http = _CoordinatorHTTP(
+            self,
+            controller,
+            host=self.host,
+            port=self.port,
+            sock=sock,
+            max_batch=cfg.max_batch,
+            batch_window_seconds=cfg.batch_window_seconds,
+            max_body_bytes=cfg.max_body_bytes,
+            admission_capacity=cfg.max_pending,
+            metrics=self.board.slot(0),
+        )
+        await self.http.start()
+        # Loopback admin listener: where workers forward POST /delta to.
+        self._admin_server = await asyncio.start_server(
+            self.http._handle_connection, "127.0.0.1", 0
+        )
+        self.admin_port = int(self._admin_server.sockets[0].getsockname()[1])
+
+        self.pool = WorkerPool(workers=cfg.workers, options=self._worker_options())
+        self.pool.start()
+        self._supervisor = asyncio.create_task(self.pool.supervise())
+        return self.host, self.port
+
+    def _worker_options(self) -> dict:
+        cfg = self.config
+        return {
+            "root": str(cfg.root_path),
+            "board": str(cfg.board_path),
+            "control": str(cfg.control_path),
+            "host": self.host,
+            "port": self.port,
+            "admin_port": self.admin_port,
+            "cache_size": cfg.cache_size,
+            "max_batch": cfg.max_batch,
+            "batch_window_seconds": cfg.batch_window_seconds,
+            "max_body_bytes": cfg.max_body_bytes,
+            "max_pending": cfg.max_pending,
+        }
+
+    def _publish(self, version: int) -> None:
+        assert self.controller is not None
+        session = self.controller.session
+        publish_version(
+            self.config.root_path,
+            version=version,
+            bundle=self.controller.export_bundle(),
+            logits=session._logits,
+        )
+
+    # ------------------------------------------------------------------ #
+    async def _handle_control(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        link: _WorkerLink | None = None
+        try:
+            hello = json.loads(await reader.readline())
+            if hello.get("type") != "hello":
+                return
+            link = _WorkerLink(
+                slot=int(hello["slot"]), pid=int(hello.get("pid", 0)), writer=writer
+            )
+            self._links[link.slot] = link
+            assert self.controller is not None
+            writer.write(
+                json.dumps(
+                    {"type": "welcome", "version": self.controller.version}
+                ).encode("utf-8")
+                + b"\n"
+            )
+            await writer.drain()
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                message = json.loads(line)
+                if message.get("type") == "ack":
+                    link.acks.put_nowait(int(message["version"]))
+        except (json.JSONDecodeError, ValueError, ConnectionResetError):
+            pass
+        finally:
+            if link is not None and self._links.get(link.slot) is link:
+                del self._links[link.slot]
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _fan_out(self, version: int) -> int:
+        """Notify every registered worker; returns how many acked in time.
+
+        Workers that die mid-swap drop off the control channel and are not
+        waited for (the supervisor respawns them onto ``CURRENT``, which
+        already points at ``version``).
+        """
+        notified: list[_WorkerLink] = []
+        message = json.dumps({"type": "swap", "version": int(version)}).encode("utf-8") + b"\n"
+        for link in list(self._links.values()):
+            try:
+                link.writer.write(message)
+                await link.writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                continue
+            notified.append(link)
+        acked = 0
+        deadline = asyncio.get_running_loop().time() + self.config.ack_timeout_seconds
+        for link in notified:
+            while True:
+                if self._links.get(link.slot) is not link:
+                    break  # worker died mid-swap; respawn loads CURRENT
+                remaining = deadline - asyncio.get_running_loop().time()
+                if remaining <= 0:
+                    break
+                try:
+                    ack_version = await asyncio.wait_for(
+                        link.acks.get(), timeout=min(remaining, 0.1)
+                    )
+                except asyncio.TimeoutError:
+                    continue
+                if ack_version >= version:
+                    acked += 1
+                    break
+        return acked
+
+    async def commit_delta(self, delta: GraphDelta) -> tuple[SwapReport, int]:
+        """The single-writer commit pipeline (see module docstring)."""
+        assert self.controller is not None and self.wal is not None
+        assert self.http is not None
+        loop = asyncio.get_running_loop()
+        async with self._delta_lock:
+            def commit() -> SwapReport:
+                # Reject before logging: only deltas that can apply to the
+                # live graph may enter the WAL, so replay never trips over a
+                # record whose client was already refused.
+                delta.validate_against(self.controller.graph)
+                # Durable first: an acked delta must survive any crash after
+                # this line; a crash before it means the client saw no ack.
+                self.wal.append_delta(delta)
+                report = self.controller.apply_delta(delta)
+                self._publish(report.version)
+                return report
+
+            report = await loop.run_in_executor(self.http._swap_pool, commit)
+            set_current(self.config.root_path, report.version)
+            self.deltas_committed += 1
+            self._since_snapshot += 1
+            acked = await self._fan_out(report.version)
+            if (
+                self.config.snapshot_every
+                and self._since_snapshot >= self.config.snapshot_every
+            ):
+                await loop.run_in_executor(
+                    self.http._swap_pool, lambda: self._write_snapshot(report)
+                )
+                self._since_snapshot = 0
+            return report, acked
+
+    def _write_snapshot(self, report: SwapReport) -> None:
+        """Checkpoint the live graph + bundle, then log the snapshot record."""
+        assert self.controller is not None and self.wal is not None
+        root = self.config.root_path
+        name = f"snap-{report.version:06d}"
+        graph_rel = f"snapshots/{name}-graph.npz"
+        bundle_rel = f"snapshots/{name}-bundle.npz"
+        save_graph(self.controller.graph, root / graph_rel)
+        save_bundle(self.controller.export_bundle(), root / bundle_rel)
+        self.wal.append_snapshot(
+            step=report.step,
+            version=report.version,
+            graph_path=graph_rel,
+            bundle_path=bundle_rel,
+            deltas_applied=self.deltas_committed,
+        )
+
+    # ------------------------------------------------------------------ #
+    async def serve_forever(self) -> None:
+        """Run until cancelled."""
+        assert self.http is not None, "call start() first"
+        await self.http.serve_forever()
+
+    async def close(self) -> None:
+        """Stop the pool, listeners and WAL (reverse of :meth:`start`)."""
+        if self._supervisor is not None:
+            self._supervisor.cancel()
+            try:
+                await self._supervisor
+            except asyncio.CancelledError:
+                pass
+            self._supervisor = None
+        if self.pool is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self.pool.stop)
+            self.pool = None
+        for server in (self._admin_server, self._control_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._admin_server = self._control_server = None
+        if self.http is not None:
+            await self.http.close()
+            self.http = None
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
+        self.config.control_path.unlink(missing_ok=True)
+
+    @property
+    def stats(self) -> dict[str, object]:
+        """Coordinator-level counters, surfaced under ``/stats``."""
+        alive = self.pool.alive() if self.pool is not None else {}
+        return {
+            "role": "coordinator",
+            "workers": self.config.workers,
+            "workers_alive": sum(1 for ok in alive.values() if ok),
+            "workers_registered": len(self._links),
+            "respawns": self.pool.respawns if self.pool is not None else 0,
+            "deltas_committed": self.deltas_committed,
+            "recovery": dict(self.recovery or {}),
+        }

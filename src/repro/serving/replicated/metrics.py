@@ -1,0 +1,285 @@
+"""Memory-mapped metrics shared by every process of the serving tier.
+
+Prometheus scrapes hit *one* process, but the pool's counters live in N+1 of
+them.  The standard pre-fork answer (and the one used here) is a shared
+counter file: a fixed ``(slots, columns)`` grid of ``int64`` cells that every
+process maps with ``np.memmap``.  Each process owns exactly one row — slot 0
+is the coordinator, slot ``i`` the ``i``-th worker — and only ever writes its
+own row, so no locks are needed; any process can *read* the whole grid and
+render the aggregate as a Prometheus text page.
+
+Increments are plain read-modify-write stores.  They are not atomic across
+processes, which is exactly why the single-writer-per-row layout matters;
+readers may observe a counter a few increments stale, which Prometheus
+semantics explicitly tolerate.
+
+The column layout is versioned through a JSON sidecar (``<file>.json``); a
+process attaching to a board written by an incompatible library version
+fails loudly instead of misreading cells.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ServingError
+
+__all__ = ["MetricsBoard", "SlotMetrics", "render_prometheus"]
+
+#: bump when the column layout changes incompatibly
+BOARD_LAYOUT_VERSION = 1
+
+#: endpoints with dedicated request/response counters
+ENDPOINTS = ("predict", "delta", "healthz", "stats", "metrics", "other")
+
+#: upper bucket bounds (seconds) of the predict-latency histogram
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0,
+)
+
+
+def _build_columns() -> dict[str, int]:
+    columns: dict[str, int] = {}
+
+    def add(name: str) -> None:
+        columns[name] = len(columns)
+
+    for endpoint in ENDPOINTS:
+        add(f"requests__{endpoint}")
+        add(f"responses_2xx__{endpoint}")
+        add(f"responses_4xx__{endpoint}")
+        add(f"responses_5xx__{endpoint}")
+    add("shed_total")
+    add("queue_depth")
+    for index in range(len(LATENCY_BUCKETS) + 1):  # +1: the +Inf bucket
+        add(f"latency_bucket_{index}")
+    add("latency_sum_us")
+    add("latency_count")
+    add("swaps_total")
+    add("swap_seconds_sum_us")
+    add("version")
+    add("up")
+    add("pid")
+    add("heartbeat_us")
+    return columns
+
+
+_COLUMNS = _build_columns()
+NUM_COLUMNS = len(_COLUMNS)
+
+
+class SlotMetrics:
+    """Writer handle for one process's row of a :class:`MetricsBoard`."""
+
+    def __init__(self, board: "MetricsBoard", slot: int) -> None:
+        if not 0 <= slot < board.slots:
+            raise ServingError(f"metrics slot {slot} out of range (board has {board.slots})")
+        self.board = board
+        self.slot = int(slot)
+        self._row = board.grid[slot]
+
+    def _inc(self, column: str, amount: int = 1) -> None:
+        self._row[_COLUMNS[column]] += amount
+
+    def _set(self, column: str, value: int) -> None:
+        self._row[_COLUMNS[column]] = value
+
+    # ------------------------------------------------------------------ #
+    def mark_up(self, *, pid: int, version: int = 0) -> None:
+        """Declare this slot live (on process start / after respawn)."""
+        self._set("pid", pid)
+        self._set("version", version)
+        self._set("up", 1)
+        self.heartbeat()
+
+    def mark_down(self) -> None:
+        """Declare this slot dead (graceful shutdown)."""
+        self._set("up", 0)
+
+    def heartbeat(self) -> None:
+        """Stamp the wall clock so stale rows are detectable."""
+        self._set("heartbeat_us", time.time_ns() // 1000)
+
+    def set_version(self, version: int) -> None:
+        """Record the session version this process currently serves."""
+        self._set("version", int(version))
+
+    def observe_request(self, endpoint: str) -> None:
+        """Count one arriving request on ``endpoint``."""
+        key = endpoint if endpoint in ENDPOINTS else "other"
+        self._inc(f"requests__{key}")
+
+    def observe_response(
+        self, endpoint: str, status: int, seconds: float | None = None
+    ) -> None:
+        """Count one response; predict latencies also feed the histogram."""
+        key = endpoint if endpoint in ENDPOINTS else "other"
+        klass = "2xx" if status < 400 else ("4xx" if status < 500 else "5xx")
+        self._inc(f"responses_{klass}__{key}")
+        if status == 429:
+            self._inc("shed_total")
+        if seconds is not None and key == "predict":
+            bucket = int(np.searchsorted(LATENCY_BUCKETS, seconds, side="left"))
+            self._inc(f"latency_bucket_{bucket}")
+            self._inc("latency_sum_us", int(seconds * 1e6))
+            self._inc("latency_count")
+
+    def queue_enter(self) -> None:
+        self._inc("queue_depth")
+
+    def queue_leave(self) -> None:
+        self._inc("queue_depth", -1)
+
+    def observe_swap(self, seconds: float) -> None:
+        """Count one completed session swap."""
+        self._inc("swaps_total")
+        self._inc("swap_seconds_sum_us", int(seconds * 1e6))
+
+
+class MetricsBoard:
+    """The shared ``(slots, columns)`` int64 counter grid.
+
+    Use :meth:`create` in the process that owns the file (the coordinator),
+    :meth:`attach` in every other process, and :meth:`in_memory` for the
+    single-process server, which needs the same counters without a file.
+    """
+
+    def __init__(self, grid: np.ndarray, path: Path | None) -> None:
+        self.grid = grid
+        self.path = path
+        self.slots = int(grid.shape[0])
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, path: str | Path, *, slots: int) -> "MetricsBoard":
+        """Create (or reset) the board file for ``slots`` processes."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "layout": BOARD_LAYOUT_VERSION,
+            "slots": int(slots),
+            "columns": NUM_COLUMNS,
+        }
+        grid = np.memmap(path, dtype=np.int64, mode="w+", shape=(slots, NUM_COLUMNS))
+        grid[:] = 0
+        grid.flush()
+        Path(f"{path}.json").write_text(json.dumps(meta, sort_keys=True))
+        return cls(grid, path)
+
+    @classmethod
+    def attach(cls, path: str | Path) -> "MetricsBoard":
+        """Map an existing board created by another process."""
+        path = Path(path)
+        meta_path = Path(f"{path}.json")
+        if not path.exists() or not meta_path.exists():
+            raise ServingError(f"no metrics board at {path}")
+        meta = json.loads(meta_path.read_text())
+        if int(meta.get("layout", -1)) != BOARD_LAYOUT_VERSION:
+            raise ServingError(
+                f"metrics board {path} has layout {meta.get('layout')}; "
+                f"this library speaks {BOARD_LAYOUT_VERSION}"
+            )
+        if int(meta.get("columns", -1)) != NUM_COLUMNS:
+            raise ServingError(f"metrics board {path} column count mismatch")
+        shape = (int(meta["slots"]), NUM_COLUMNS)
+        grid = np.memmap(path, dtype=np.int64, mode="r+", shape=shape)
+        return cls(grid, path)
+
+    @classmethod
+    def in_memory(cls, *, slots: int = 1) -> "MetricsBoard":
+        """A private (single-process) board with the identical API."""
+        return cls(np.zeros((slots, NUM_COLUMNS), dtype=np.int64), None)
+
+    # ------------------------------------------------------------------ #
+    def slot(self, index: int) -> SlotMetrics:
+        """The writer handle for row ``index``."""
+        return SlotMetrics(self, index)
+
+    def snapshot(self) -> np.ndarray:
+        """A point-in-time copy of the whole grid."""
+        return np.asarray(self.grid).copy()
+
+    def column(self, name: str, grid: np.ndarray | None = None) -> np.ndarray:
+        """All slots' values of one named counter."""
+        grid = self.grid if grid is None else grid
+        return grid[:, _COLUMNS[name]]
+
+
+def render_prometheus(board: MetricsBoard) -> str:
+    """Render the aggregate board as a Prometheus text-format page.
+
+    Counters are summed across slots; per-process gauges (``up``,
+    ``version``) are emitted per slot with a ``slot`` label so a scrape
+    shows which replicas are alive and whether any replica lags a version
+    behind (it never should after a swap ack).
+    """
+    grid = board.snapshot()
+    lines: list[str] = []
+
+    def total(name: str) -> int:
+        return int(board.column(name, grid).sum())
+
+    lines.append("# HELP repro_requests_total Requests received, by endpoint.")
+    lines.append("# TYPE repro_requests_total counter")
+    for endpoint in ENDPOINTS:
+        lines.append(
+            f'repro_requests_total{{endpoint="{endpoint}"}} '
+            f'{total(f"requests__{endpoint}")}'
+        )
+    lines.append("# HELP repro_responses_total Responses sent, by endpoint and status class.")
+    lines.append("# TYPE repro_responses_total counter")
+    for endpoint in ENDPOINTS:
+        for klass in ("2xx", "4xx", "5xx"):
+            lines.append(
+                f'repro_responses_total{{endpoint="{endpoint}",code="{klass}"}} '
+                f'{total(f"responses_{klass}__{endpoint}")}'
+            )
+    lines.append("# HELP repro_shed_total Requests rejected with 429 by admission control.")
+    lines.append("# TYPE repro_shed_total counter")
+    lines.append(f"repro_shed_total {total('shed_total')}")
+    lines.append("# HELP repro_queue_depth In-flight admitted predict requests.")
+    lines.append("# TYPE repro_queue_depth gauge")
+    lines.append(f"repro_queue_depth {total('queue_depth')}")
+    lines.append("# HELP repro_predict_latency_seconds Predict request latency.")
+    lines.append("# TYPE repro_predict_latency_seconds histogram")
+    cumulative = 0
+    for index, bound in enumerate(LATENCY_BUCKETS):
+        cumulative += total(f"latency_bucket_{index}")
+        lines.append(
+            f'repro_predict_latency_seconds_bucket{{le="{bound:g}"}} {cumulative}'
+        )
+    cumulative += total(f"latency_bucket_{len(LATENCY_BUCKETS)}")
+    lines.append(f'repro_predict_latency_seconds_bucket{{le="+Inf"}} {cumulative}')
+    lines.append(
+        f"repro_predict_latency_seconds_sum {total('latency_sum_us') / 1e6:.6f}"
+    )
+    lines.append(f"repro_predict_latency_seconds_count {total('latency_count')}")
+    lines.append("# HELP repro_swaps_total Completed session swaps.")
+    lines.append("# TYPE repro_swaps_total counter")
+    lines.append(f"repro_swaps_total {total('swaps_total')}")
+    lines.append("# HELP repro_swap_seconds_sum Wall-clock spent swapping sessions.")
+    lines.append("# TYPE repro_swap_seconds_sum counter")
+    lines.append(f"repro_swap_seconds_sum {total('swap_seconds_sum_us') / 1e6:.6f}")
+    lines.append("# HELP repro_replica_up Whether each replica slot is live.")
+    lines.append("# TYPE repro_replica_up gauge")
+    up = board.column("up", grid)
+    versions = board.column("version", grid)
+    for slot in range(board.slots):
+        role = "coordinator" if slot == 0 else "worker"
+        lines.append(
+            f'repro_replica_up{{slot="{slot}",role="{role}"}} {int(up[slot])}'
+        )
+    lines.append("# HELP repro_replica_version Session version each live replica serves.")
+    lines.append("# TYPE repro_replica_version gauge")
+    for slot in range(board.slots):
+        if up[slot]:
+            role = "coordinator" if slot == 0 else "worker"
+            lines.append(
+                f'repro_replica_version{{slot="{slot}",role="{role}"}} '
+                f"{int(versions[slot])}"
+            )
+    return "\n".join(lines) + "\n"

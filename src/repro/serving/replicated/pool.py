@@ -1,0 +1,399 @@
+"""The mmap-shared predictor worker pool.
+
+Replication model
+-----------------
+The coordinator is the only process that condenses, trains or mutates the
+graph.  After every committed delta it *publishes* the new model epoch as a
+version directory::
+
+    <root>/versions/v000007/
+        bundle/          # ModelBundle, uncompressed dir layout (mmap-able)
+        logits.npy       # the session's pre-computed logits, raw .npy
+        meta.json        # {"version": 7, "targets": N, "classes": C}
+    <root>/CURRENT       # JSON pointer to the newest version (atomic replace)
+
+Workers never run the model: :func:`published_session` opens ``logits.npy``
+with ``np.load(mmap_mode="r")`` and wraps it in
+:meth:`~repro.serving.engine.InferenceSession.from_logits`, so serving a
+prediction is a row-gather + ``argmax`` over pages the kernel shares across
+the whole pool — N workers cost one physical copy of the model state.
+
+All processes (coordinator + workers) listen on the *same* TCP port via
+``SO_REUSEPORT``; the kernel load-balances incoming connections, so adding
+workers scales accepted connections without a userspace proxy.
+
+Swap protocol (no stale version after ack)
+------------------------------------------
+Each worker holds a unix-socket control connection to the coordinator:
+
+1. worker connects and sends ``hello`` — *then* loads ``CURRENT`` and only
+   after that starts accepting traffic (so a version published before the
+   worker registered is always picked up);
+2. on every committed delta the coordinator flips ``CURRENT`` first, then
+   fans out a ``swap`` notice to every registered worker;
+3. the worker atomically republishes its session (a single attribute
+   store) **before** sending ``ack``;
+4. the coordinator answers the ``/delta`` request only after every live
+   worker acked, so a response observed after the delta ack can never
+   carry a stale version.
+
+A worker whose control connection drops exits (its supervisor respawns it);
+a respawned worker re-runs step 1 and therefore starts on the newest
+version.  ``POST /delta`` hitting a worker is forwarded to the
+coordinator's loopback admin listener — clients never need to know which
+process accepted their connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import socket
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.serving.artifacts import ModelBundle, save_bundle
+from repro.serving.engine import InferenceSession
+from repro.serving.server import (
+    DEFAULT_MAX_BODY_BYTES,
+    ServingServer,
+)
+
+__all__ = [
+    "WorkerPool",
+    "make_listen_socket",
+    "published_session",
+    "publish_version",
+    "current_version",
+    "set_current",
+]
+
+_VERSIONS_DIR = "versions"
+_CURRENT = "CURRENT"
+
+
+def make_listen_socket(host: str, port: int) -> socket.socket:
+    """A bound TCP socket with ``SO_REUSEPORT`` (not yet listening).
+
+    Every process of the pool binds its own socket to the same address;
+    the kernel distributes incoming connections across them.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover - linux CI
+            raise ServingError(
+                "the replicated pool needs SO_REUSEPORT, which this platform lacks"
+            )
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, int(port)))
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def _version_name(version: int) -> str:
+    return f"v{int(version):06d}"
+
+
+def publish_version(
+    root: str | Path,
+    *,
+    version: int,
+    bundle: ModelBundle,
+    logits: np.ndarray,
+) -> Path:
+    """Write one version directory (bundle + logits + meta); returns its path.
+
+    ``meta.json`` is written last, so a directory missing it is an
+    unfinished publish and is never pointed to by ``CURRENT``.
+    """
+    root = Path(root)
+    vdir = root / _VERSIONS_DIR / _version_name(version)
+    vdir.mkdir(parents=True, exist_ok=True)
+    save_bundle(bundle, vdir / "bundle", layout="dir")
+    np.save(vdir / "logits.npy", np.ascontiguousarray(logits))
+    meta = {
+        "version": int(version),
+        "targets": int(logits.shape[0]),
+        "classes": int(logits.shape[1]),
+    }
+    (vdir / "meta.json").write_text(json.dumps(meta, sort_keys=True))
+    return vdir
+
+
+def set_current(root: str | Path, version: int) -> None:
+    """Atomically point ``CURRENT`` at ``version`` (replace, never truncate)."""
+    root = Path(root)
+    pointer = {
+        "version": int(version),
+        "dir": f"{_VERSIONS_DIR}/{_version_name(version)}",
+    }
+    tmp = root / f".{_CURRENT}.tmp{os.getpid()}"
+    tmp.write_text(json.dumps(pointer, sort_keys=True))
+    os.replace(tmp, root / _CURRENT)
+
+
+def current_version(root: str | Path) -> tuple[int, Path]:
+    """``(version, version dir)`` that ``CURRENT`` points to."""
+    root = Path(root)
+    pointer_path = root / _CURRENT
+    if not pointer_path.exists():
+        raise ServingError(f"no published version under {root} (missing {_CURRENT})")
+    pointer = json.loads(pointer_path.read_text())
+    return int(pointer["version"]), root / str(pointer["dir"])
+
+
+def published_session(
+    root: str | Path,
+    *,
+    version: int | None = None,
+    cache_size: int = 4096,
+) -> InferenceSession:
+    """Open a published version's logits (mmapped) as an
+    :class:`~repro.serving.engine.InferenceSession`.
+
+    ``version=None`` follows the ``CURRENT`` pointer; an explicit version
+    opens that directory (the swap notice path).
+    """
+    root = Path(root)
+    if version is None:
+        version, vdir = current_version(root)
+    else:
+        vdir = root / _VERSIONS_DIR / _version_name(version)
+    meta_path = vdir / "meta.json"
+    if not meta_path.exists():
+        raise ServingError(f"published version at {vdir} is incomplete (no meta.json)")
+    meta = json.loads(meta_path.read_text())
+    logits = np.load(vdir / "logits.npy", mmap_mode="r", allow_pickle=False)
+    return InferenceSession.from_logits(
+        logits, version=int(meta["version"]), cache_size=cache_size
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The worker process
+# ---------------------------------------------------------------------- #
+class _SessionProxy:
+    """Duck-typed stand-in for ``ServingController`` in a read-only worker.
+
+    Provides exactly the surface :class:`ServingServer` reads (``session``,
+    ``version``, ``stats``); :meth:`publish` is the worker's atomic swap.
+    """
+
+    def __init__(self, session: InferenceSession | None = None) -> None:
+        self._session = session
+        self.swaps = 0
+
+    @property
+    def session(self) -> InferenceSession:
+        if self._session is None:
+            raise ServingError("worker has not loaded a published session yet")
+        return self._session
+
+    @property
+    def version(self) -> int:
+        return self.session.version
+
+    @property
+    def stats(self) -> dict[str, object]:
+        return {"role": "worker", "version": self.version, "swaps": self.swaps}
+
+    def publish(self, session: InferenceSession) -> None:
+        # Single attribute store: readers see the old or the new session.
+        self._session = session
+        self.swaps += 1
+
+
+class WorkerServer(ServingServer):
+    """A worker's HTTP endpoint: local predictions, deltas forwarded."""
+
+    def __init__(self, proxy: _SessionProxy, *, root: Path, admin_port: int, **kwargs) -> None:
+        super().__init__(proxy, **kwargs)
+        self.proxy = proxy
+        self.root = Path(root)
+        self.admin_port = int(admin_port)
+
+    async def _handle_delta(self, body: bytes) -> tuple[int, dict]:
+        # Workers are read-only replicas: the coordinator is the single
+        # writer, reachable on its loopback admin listener.
+        return await forward_delta("127.0.0.1", self.admin_port, body)
+
+
+async def forward_delta(host: str, port: int, body: bytes) -> tuple[int, dict]:
+    """Relay a ``POST /delta`` body to the coordinator; returns (status, json)."""
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError as exc:
+        return 503, {"error": f"coordinator unreachable: {exc}"}
+    try:
+        writer.write(
+            (
+                f"POST /delta HTTP/1.1\r\nHost: {host}\r\n"
+                f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+            ).encode("latin-1")
+            + body
+        )
+        await writer.drain()
+        raw = await reader.read()
+    except (OSError, asyncio.IncompleteReadError) as exc:
+        return 503, {"error": f"coordinator connection failed: {exc}"}
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    try:
+        status = int(head.split(b" ", 2)[1])
+        decoded = json.loads(payload.decode("utf-8") or "{}")
+    except (IndexError, ValueError, json.JSONDecodeError):
+        return 502, {"error": "unparseable coordinator response"}
+    return status, decoded
+
+
+def _control_line(message: dict) -> bytes:
+    return json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+
+
+async def _worker_async(slot: int, options: dict) -> None:
+    from repro.serving.replicated.metrics import MetricsBoard
+
+    root = Path(options["root"])
+    board = MetricsBoard.attach(options["board"])
+    metrics = board.slot(slot)
+    proxy = _SessionProxy()
+
+    # Register on the control channel BEFORE loading a session or serving:
+    # any version committed after this handshake will be fanned out to us,
+    # and CURRENT (read next) covers everything committed before it.
+    reader, writer = await asyncio.open_unix_connection(options["control"])
+    writer.write(_control_line({"type": "hello", "slot": slot, "pid": os.getpid()}))
+    await writer.drain()
+    welcome = json.loads(await reader.readline())
+    if welcome.get("type") != "welcome":  # pragma: no cover - defensive
+        raise ServingError(f"unexpected control greeting: {welcome}")
+
+    cache_size = int(options.get("cache_size", 4096))
+    proxy.publish(published_session(root, cache_size=cache_size))
+    sock = make_listen_socket(options["host"], int(options["port"]))
+    server = WorkerServer(
+        proxy,
+        root=root,
+        admin_port=int(options["admin_port"]),
+        host=options["host"],
+        port=int(options["port"]),
+        sock=sock,
+        max_batch=int(options.get("max_batch", 256)),
+        batch_window_seconds=float(options.get("batch_window_seconds", 0.002)),
+        max_body_bytes=int(options.get("max_body_bytes", DEFAULT_MAX_BODY_BYTES)),
+        admission_capacity=int(options.get("max_pending", 0)),
+        metrics=metrics,
+    )
+    await server.start()
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break  # coordinator gone: exit, the next one respawns us
+            message = json.loads(line)
+            kind = message.get("type")
+            if kind == "swap":
+                version = int(message["version"])
+                session = published_session(
+                    root, version=version, cache_size=cache_size
+                )
+                proxy.publish(session)  # before the ack: never stale after it
+                metrics.set_version(version)
+                writer.write(
+                    _control_line({"type": "ack", "slot": slot, "version": version})
+                )
+                await writer.drain()
+            elif kind == "stop":
+                break
+    finally:
+        await server.close()
+        writer.close()
+
+
+def _worker_main(slot: int, options: dict) -> None:
+    """Spawn entry point of one predictor worker process."""
+    try:
+        asyncio.run(_worker_async(slot, options))
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    except (ConnectionRefusedError, ConnectionResetError, FileNotFoundError):
+        # The coordinator died while this worker was still booting (its
+        # control socket is gone).  There is nothing to serve and nobody to
+        # report to — exit quietly; a live coordinator respawns workers.
+        pass
+
+
+# ---------------------------------------------------------------------- #
+# Supervision (runs inside the coordinator)
+# ---------------------------------------------------------------------- #
+class WorkerPool:
+    """Spawns N worker processes and respawns any that die.
+
+    Workers are ``spawn``-context processes (no inherited locks or event
+    loops); each one re-reads its state from the published version
+    directories, which is what makes respawn-after-kill safe.
+    """
+
+    def __init__(self, *, workers: int, options: dict) -> None:
+        if workers < 1:
+            raise ServingError(f"worker pool needs >= 1 worker, got {workers}")
+        self.workers = int(workers)
+        self.options = dict(options)
+        self._context = multiprocessing.get_context("spawn")
+        self._processes: dict[int, multiprocessing.process.BaseProcess] = {}
+        self._stopping = False
+        self.respawns = 0
+
+    def start(self) -> None:
+        """Launch every worker (slots ``1..workers``; slot 0 is the coordinator)."""
+        for slot in range(1, self.workers + 1):
+            self._spawn(slot)
+
+    def _spawn(self, slot: int) -> None:
+        process = self._context.Process(
+            target=_worker_main,
+            args=(slot, self.options),
+            name=f"repro-worker-{slot}",
+            daemon=True,
+        )
+        process.start()
+        self._processes[slot] = process
+
+    def alive(self) -> dict[int, bool]:
+        """Liveness per slot."""
+        return {slot: proc.is_alive() for slot, proc in self._processes.items()}
+
+    async def supervise(self, *, interval: float = 0.25) -> None:
+        """Respawn dead workers until :meth:`stop` is called."""
+        while not self._stopping:
+            for slot, process in list(self._processes.items()):
+                if not process.is_alive() and not self._stopping:
+                    process.join(timeout=0)
+                    self._spawn(slot)
+                    self.respawns += 1
+            await asyncio.sleep(interval)
+
+    def stop(self, *, timeout: float = 5.0) -> None:
+        """Terminate every worker and wait for the processes to exit."""
+        self._stopping = True
+        for process in self._processes.values():
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes.values():
+            process.join(timeout=timeout)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.kill()
+                process.join(timeout=timeout)
+        self._processes.clear()

@@ -1,0 +1,285 @@
+"""Durable write-ahead log of :class:`~repro.streaming.delta.GraphDelta` s.
+
+The WAL is the serving tier's source of truth for *what happened to the
+graph*: every delta is committed here — flushed and ``fsync`` ed — before
+its effects are acknowledged to any client, so a crash at any instant loses
+nothing that was acked.  Because condensation and training are
+deterministic (the property the incremental/serving layers already gate on
+byte-identity), replaying the log from the recorded starting point
+reconstructs the coordinator's exact model state, bit for bit.
+
+Record framing
+--------------
+Each record is a CRC-framed JSON object::
+
+    <4-byte LE payload length> <4-byte LE crc32(payload)> <payload UTF-8 JSON>
+
+Three record kinds appear in a log:
+
+``genesis``
+    First record of every log: the deterministic recipe for the *base*
+    state (dataset, scale, seed, ratio, model hyper-parameters).  Replay
+    without a snapshot starts here.
+``delta``
+    One committed :meth:`GraphDelta.to_payload` in arrival order.
+``snapshot``
+    A checkpoint: paths (relative to the log) of a saved live-graph archive
+    and a :class:`~repro.serving.artifacts.ModelBundle`, written *before*
+    the record is appended.  Replay resumes from the newest snapshot whose
+    files still exist and only re-applies the deltas logged after it.
+
+Torn-write recovery
+-------------------
+``fsync`` makes completed appends durable, but the append itself can still
+be interrupted (kill -9, power loss) leaving a partial frame at the end of
+the file.  :func:`read_wal` detects exactly that case — the file ends
+before the framed payload completes, or the final complete frame fails its
+CRC — and, in repair mode, truncates the log back to the last good record.
+A bad frame *followed by more data* is not a tear; it is corruption, and
+raises :class:`~repro.errors.WALError` rather than silently dropping
+acknowledged history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import WALError
+from repro.streaming.delta import GraphDelta
+
+__all__ = ["WALRecord", "DeltaWAL", "read_wal", "plan_replay"]
+
+_HEADER = struct.Struct("<II")
+#: sanity bound on one record; a length field beyond this is corruption
+_MAX_RECORD_BYTES = 256 * 1024 * 1024
+
+KIND_GENESIS = "genesis"
+KIND_DELTA = "delta"
+KIND_SNAPSHOT = "snapshot"
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One decoded log record plus its byte offset in the file."""
+
+    kind: str
+    payload: dict
+    offset: int
+
+    def delta(self) -> GraphDelta:
+        """The delta carried by a ``delta`` record."""
+        if self.kind != KIND_DELTA:
+            raise WALError(f"record at offset {self.offset} is {self.kind!r}, not a delta")
+        return GraphDelta.from_payload(self.payload["delta"])
+
+
+def _encode(payload: dict) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+class DeltaWAL:
+    """Append-only, fsync-on-commit GraphDelta log.
+
+    Use :meth:`DeltaWAL.open` to (re)open an existing log on boot — it
+    repairs a torn trailing record and returns the surviving records — and
+    the ``append_*`` methods to commit new ones.  Every append is flushed
+    and ``os.fsync`` ed before returning (disable via ``fsync=False`` for
+    tests/benchmarks that measure everything but the disk).
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = bool(fsync)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        existed = self.path.exists()
+        self._file = open(self.path, "ab")
+        if not existed:
+            self._sync_parent()
+        self.appended = 0
+
+    @classmethod
+    def open(cls, path: str | Path, *, fsync: bool = True) -> tuple["DeltaWAL", list[WALRecord]]:
+        """Open ``path`` for appending, repairing a torn tail first.
+
+        Returns the writer positioned at the end of the last good record
+        together with every surviving record in order.
+        """
+        path = Path(path)
+        records: list[WALRecord] = []
+        if path.exists():
+            records = read_wal(path, repair=True)
+        wal = cls(path, fsync=fsync)
+        return wal, records
+
+    # ------------------------------------------------------------------ #
+    def append(self, payload: dict) -> int:
+        """Commit one record; returns its byte offset once durable."""
+        kind = payload.get("kind")
+        if kind not in (KIND_GENESIS, KIND_DELTA, KIND_SNAPSHOT):
+            raise WALError(f"refusing to append record of unknown kind {kind!r}")
+        offset = self._file.tell()
+        self._file.write(_encode(payload))
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self.appended += 1
+        return offset
+
+    def append_genesis(self, config: dict) -> int:
+        """Record the deterministic recipe of the base state (first record)."""
+        return self.append({"kind": KIND_GENESIS, "config": dict(config)})
+
+    def append_delta(self, delta: GraphDelta) -> int:
+        """Commit ``delta`` (the ``to_payload`` JSON wire format)."""
+        return self.append({"kind": KIND_DELTA, "delta": delta.to_payload()})
+
+    def append_snapshot(
+        self,
+        *,
+        step: int,
+        version: int,
+        graph_path: str,
+        bundle_path: str,
+        deltas_applied: int,
+    ) -> int:
+        """Record a checkpoint whose files were already written durably."""
+        return self.append(
+            {
+                "kind": KIND_SNAPSHOT,
+                "step": int(step),
+                "version": int(version),
+                "graph_path": str(graph_path),
+                "bundle_path": str(bundle_path),
+                "deltas_applied": int(deltas_applied),
+            }
+        )
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if not self._file.closed:
+            self._file.flush()
+            if self.fsync:
+                os.fsync(self._file.fileno())
+            self._file.close()
+
+    def _sync_parent(self) -> None:
+        # Make the new directory entry itself durable, not just the bytes.
+        try:
+            fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir-open
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> "DeltaWAL":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeltaWAL(path={str(self.path)!r}, appended={self.appended})"
+
+
+def read_wal(path: str | Path, *, repair: bool = False) -> list[WALRecord]:
+    """Decode every record of the log at ``path``.
+
+    A *torn tail* — the file ends inside a frame, or the final frame fails
+    its CRC — is truncated away when ``repair=True`` and raises
+    :class:`~repro.errors.WALError` otherwise.  A bad frame followed by
+    more data always raises: that is body corruption, and dropping
+    acknowledged records silently is the one thing a WAL must never do.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    records: list[WALRecord] = []
+    offset = 0
+    torn_at: int | None = None
+    torn_reason = ""
+    while offset < len(raw):
+        header = raw[offset : offset + _HEADER.size]
+        if len(header) < _HEADER.size:
+            torn_at, torn_reason = offset, "incomplete frame header"
+            break
+        length, crc = _HEADER.unpack(header)
+        if length > _MAX_RECORD_BYTES:
+            raise WALError(
+                f"{path}: frame at offset {offset} declares {length} bytes "
+                f"(> {_MAX_RECORD_BYTES}); the log is corrupt"
+            )
+        body = raw[offset + _HEADER.size : offset + _HEADER.size + length]
+        end = offset + _HEADER.size + length
+        if len(body) < length:
+            torn_at, torn_reason = offset, "frame shorter than declared length"
+            break
+        if zlib.crc32(body) != crc:
+            if end >= len(raw):
+                torn_at, torn_reason = offset, "CRC mismatch on final record"
+                break
+            raise WALError(
+                f"{path}: CRC mismatch at offset {offset} with "
+                f"{len(raw) - end} bytes following — log body is corrupt"
+            )
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            if end >= len(raw):
+                torn_at, torn_reason = offset, f"undecodable final record ({exc})"
+                break
+            raise WALError(f"{path}: undecodable record at offset {offset}: {exc}") from exc
+        if not isinstance(payload, dict) or "kind" not in payload:
+            raise WALError(f"{path}: record at offset {offset} has no kind")
+        records.append(WALRecord(str(payload["kind"]), payload, offset))
+        offset = end
+    if torn_at is not None:
+        if not repair:
+            raise WALError(
+                f"{path}: torn record at offset {torn_at} ({torn_reason}); "
+                "open with repair=True to truncate it"
+            )
+        with open(path, "r+b") as handle:
+            handle.truncate(torn_at)
+            handle.flush()
+            os.fsync(handle.fileno())
+    return records
+
+
+def plan_replay(
+    records: list[WALRecord], *, root: str | Path
+) -> tuple[dict | None, WALRecord | None, list[GraphDelta]]:
+    """Split a decoded log into ``(genesis config, snapshot, deltas to apply)``.
+
+    The snapshot is the newest one whose referenced files (paths relative
+    to ``root``, the WAL's directory) still exist; the returned deltas are
+    exactly the ones logged after it (after genesis when no snapshot is
+    usable), in commit order.
+    """
+    root = Path(root)
+    genesis: dict | None = None
+    for record in records:
+        if record.kind == KIND_GENESIS:
+            genesis = dict(record.payload.get("config", {}))
+            break
+    snapshot: WALRecord | None = None
+    for record in reversed(records):
+        if record.kind != KIND_SNAPSHOT:
+            continue
+        graph_path = root / str(record.payload["graph_path"])
+        bundle_path = root / str(record.payload["bundle_path"])
+        if graph_path.exists() and bundle_path.exists():
+            snapshot = record
+            break
+    deltas: list[GraphDelta] = []
+    start = snapshot.offset if snapshot is not None else -1
+    for record in records:
+        if record.kind == KIND_DELTA and record.offset > start:
+            deltas.append(record.delta())
+    return genesis, snapshot, deltas

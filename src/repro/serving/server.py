@@ -20,11 +20,26 @@ but real HTTP/1.1 with keep-alive and JSON bodies:
     thread** — the event loop keeps answering ``/predict`` from the live
     session for the whole duration — and returns the swap report.  Deltas
     are applied one at a time (the controller serialises swaps).
+``GET /metrics``
+    The same counters in Prometheus text format (see
+    :mod:`repro.serving.replicated.metrics` for the exposition format); in
+    the replicated tier the page aggregates every process of the pool.
+
+Request bodies are bounded: a ``Content-Length`` beyond ``max_body_bytes``
+is answered with ``413`` and a malformed or negative one with ``400`` —
+both without reading the body, so an abusive client cannot make the server
+buffer unbounded data or hang the connection.  When an admission capacity
+is configured, ``/predict`` requests beyond it are shed with ``429``.
 
 Zero-downtime is structural: the batcher always reads the controller's
 current session *once per batch*, and the controller publishes a fully
 built session with a single attribute store, so every request is answered
 by exactly one consistent session — the old one or the new one.
+
+The low-level HTTP helpers (:func:`read_http_request`,
+:func:`write_http_response`) are shared with the replicated worker pool
+(:mod:`repro.serving.replicated.pool`), which speaks the same protocol
+from its own processes.
 """
 
 from __future__ import annotations
@@ -41,9 +56,108 @@ from repro.evaluation.timing import summarize_latencies
 from repro.serving.hotswap import ServingController
 from repro.streaming.delta import GraphDelta
 
-__all__ = ["MicroBatcher", "ServingServer"]
+__all__ = [
+    "HttpRequestError",
+    "MicroBatcher",
+    "ServingServer",
+    "read_http_request",
+    "write_http_response",
+]
 
-_MAX_BODY_BYTES = 16 * 1024 * 1024
+DEFAULT_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpRequestError(Exception):
+    """A request that must be answered with an error *before* its body is read.
+
+    Carries the HTTP status to send; the connection is closed afterwards
+    because the stream position is no longer trustworthy.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader, *, max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+):
+    """Parse one HTTP/1.1 request: ``(method, path, body, keep_alive)``.
+
+    Returns ``None`` on a cleanly closed or garbled connection, raises
+    :class:`HttpRequestError` for requests that deserve an error response:
+    ``400`` for a malformed or negative ``Content-Length``, ``413`` for a
+    declared body larger than ``max_body_bytes`` (the body is *not* read —
+    the bound is enforced on the declaration, before any buffering).
+    """
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, path, _ = line.decode("latin-1").split(" ", 2)
+    except ValueError:
+        return None
+    content_length = 0
+    keep_alive = True
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("latin-1").partition(":")
+        name = name.strip().lower()
+        if name == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise HttpRequestError(
+                    400, f"malformed Content-Length: {value.strip()!r}"
+                ) from None
+            if content_length < 0:
+                raise HttpRequestError(400, "negative Content-Length")
+        elif name == "connection" and value.strip().lower() == "close":
+            keep_alive = False
+    if content_length > max_body_bytes:
+        raise HttpRequestError(
+            413,
+            f"request body of {content_length} bytes exceeds the "
+            f"{max_body_bytes}-byte limit",
+        )
+    body = await reader.readexactly(content_length) if content_length else b""
+    return method.upper(), path, body, keep_alive
+
+
+async def write_http_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict | str | bytes,
+    keep_alive: bool = True,
+) -> None:
+    """Send one response; dict payloads are JSON, str/bytes go as plain text."""
+    if isinstance(payload, dict):
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
+    else:
+        body = payload.encode("utf-8") if isinstance(payload, str) else payload
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
 
 
 class MicroBatcher:
@@ -169,13 +283,32 @@ class ServingServer:
         max_batch: int = 256,
         batch_window_seconds: float = 0.002,
         on_swap=None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        admission_capacity: int = 0,
+        metrics=None,
+        sock=None,
     ) -> None:
+        from repro.serving.replicated.admission import AdmissionGate
+        from repro.serving.replicated.metrics import MetricsBoard
+
         self.controller = controller
         self.host = host
         self.port = int(port)
         #: optional callback invoked (in the swap worker thread) after every
         #: completed hot-swap — ``python -m repro serve`` persists bundles here
         self.on_swap = on_swap
+        self.max_body_bytes = int(max_body_bytes)
+        #: this process's row of the (possibly shared) metrics board
+        if metrics is None:
+            self._board = MetricsBoard.in_memory()
+            self.metrics = self._board.slot(0)
+        else:
+            self._board = metrics.board
+            self.metrics = metrics
+        self.admission = AdmissionGate(admission_capacity, metrics=self.metrics)
+        #: optional pre-bound listening socket (the replicated tier binds one
+        #: per process with SO_REUSEPORT so the kernel load-balances accepts)
+        self.sock = sock
         self.batcher = MicroBatcher(
             lambda: controller.session,
             max_batch=max_batch,
@@ -191,12 +324,20 @@ class ServingServer:
     # ------------------------------------------------------------------ #
     async def start(self) -> tuple[str, int]:
         """Bind and start serving; returns the actual ``(host, port)``."""
+        import os
+
         self.batcher.start()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
-        )
+        if self.sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self.sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], int(sockname[1])
+        self.metrics.mark_up(pid=os.getpid(), version=self.controller.version)
         return self.host, self.port
 
     async def serve_forever(self) -> None:
@@ -213,6 +354,7 @@ class ServingServer:
             self._server = None
         await self.batcher.stop()
         self._swap_pool.shutdown(wait=True)
+        self.metrics.mark_down()
 
     # ------------------------------------------------------------------ #
     async def _handle_connection(
@@ -220,12 +362,25 @@ class ServingServer:
     ) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await read_http_request(
+                        reader, max_body_bytes=self.max_body_bytes
+                    )
+                except HttpRequestError as exc:
+                    # The body was never read, so the stream position is
+                    # unknown: answer and close instead of hanging.
+                    self.errors += 1
+                    self.metrics.observe_request("other")
+                    self.metrics.observe_response("other", exc.status)
+                    await write_http_response(
+                        writer, exc.status, {"error": str(exc)}, keep_alive=False
+                    )
+                    break
                 if request is None:
                     break
                 method, path, body, keep_alive = request
                 status, payload = await self._route(method, path, body)
-                await self._write_response(writer, status, payload, keep_alive)
+                await write_http_response(writer, status, payload, keep_alive)
                 if status >= 500 or not keep_alive:
                     break
         except (ConnectionResetError, asyncio.IncompleteReadError):
@@ -237,57 +392,28 @@ class ServingServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    @staticmethod
-    async def _read_request(reader: asyncio.StreamReader):
-        line = await reader.readline()
-        if not line:
-            return None
-        try:
-            method, path, _ = line.decode("latin-1").split(" ", 2)
-        except ValueError:
-            return None
-        content_length = 0
-        keep_alive = True
-        while True:
-            header = await reader.readline()
-            if header in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = header.decode("latin-1").partition(":")
-            name = name.strip().lower()
-            if name == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    return None
-            elif name == "connection" and value.strip().lower() == "close":
-                keep_alive = False
-        if content_length > _MAX_BODY_BYTES:
-            return None
-        body = await reader.readexactly(content_length) if content_length else b""
-        return method.upper(), path, body, keep_alive
-
-    async def _write_response(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        payload: dict,
-        keep_alive: bool = True,
-    ) -> None:
-        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error"}
-        body = json.dumps(payload).encode("utf-8")
-        connection = "keep-alive" if keep_alive else "close"
-        head = (
-            f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {connection}\r\n\r\n"
-        ).encode("latin-1")
-        writer.write(head + body)
-        await writer.drain()
-
     # ------------------------------------------------------------------ #
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    @staticmethod
+    def _endpoint_of(path: str) -> str:
+        name = path.lstrip("/") or "other"
+        return name if name in ("predict", "delta", "healthz", "stats", "metrics") else "other"
+
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict | str]:
         start = perf_counter()
+        endpoint = self._endpoint_of(path)
+        self.metrics.observe_request(endpoint)
+        self.metrics.heartbeat()
+        status, payload = await self._dispatch(method, path, body, start)
+        self.metrics.observe_response(
+            endpoint,
+            status,
+            perf_counter() - start if endpoint == "predict" else None,
+        )
+        return status, payload
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, start: float
+    ) -> tuple[int, dict | str]:
         try:
             if method == "GET" and path == "/healthz":
                 session = self.controller.session
@@ -298,6 +424,10 @@ class ServingServer:
                 }
             if method == "GET" and path == "/stats":
                 return 200, self._stats_payload()
+            if method == "GET" and path == "/metrics":
+                from repro.serving.replicated.metrics import render_prometheus
+
+                return 200, render_prometheus(self._board)
             if method == "POST" and path == "/predict":
                 return await self._handle_predict(body, start)
             if method == "POST" and path == "/delta":
@@ -328,7 +458,15 @@ class ServingServer:
         bound = self.controller.session.num_targets
         if ids.size and (ids.min() < 0 or ids.max() >= bound):
             raise ServingError(f"node id out of range: valid ids are 0..{bound - 1}")
-        labels, version = await self.batcher.submit(ids)
+        if not self.admission.try_enter():
+            return 429, {
+                "error": "admission queue full: retry with backoff",
+                "depth": self.admission.depth,
+            }
+        try:
+            labels, version = await self.batcher.submit(ids)
+        finally:
+            self.admission.leave()
         elapsed = perf_counter() - start
         self._latencies.append(elapsed)
         if len(self._latencies) > 100_000:
@@ -351,6 +489,8 @@ class ServingServer:
             return report
 
         report = await loop.run_in_executor(self._swap_pool, swap)
+        self.metrics.observe_swap(report.swap_seconds)
+        self.metrics.set_version(report.version)
         return 200, {
             "step": report.step,
             "mode": report.mode,
@@ -368,6 +508,7 @@ class ServingServer:
             "session": self.controller.session.stats,
             "controller": self.controller.stats,
             "batcher": self.batcher.stats,
+            "admission": self.admission.stats,
             "errors": self.errors,
             "latency": summarize_latencies(self._latencies),
         }

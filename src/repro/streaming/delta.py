@@ -69,6 +69,11 @@ class GraphDelta:
         Mapping ``node type -> node ids`` to tombstone (see module docs).
     step:
         Optional timestamp/sequence number carried through reports.
+    metadata:
+        Free-form JSON-compatible annotations (source system, ingest batch
+        id, operator notes).  Never interpreted by the applier; carried
+        through :meth:`to_payload` only when non-empty so payloads written
+        by older producers keep their exact shape.
     """
 
     add_edges: dict[str, tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
@@ -78,8 +83,11 @@ class GraphDelta:
     add_split: str = "test"
     remove_nodes: dict[str, np.ndarray] = field(default_factory=dict)
     step: int = 0
+    metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.metadata, dict):
+            raise DeltaValidationError("metadata must be a JSON object (dict)")
         object.__setattr__(
             self, "add_edges", {name: _as_edge_pairs(v) for name, v in self.add_edges.items()}
         )
@@ -248,9 +256,10 @@ class GraphDelta:
         """Plain-JSON representation (lists instead of arrays).
 
         Round-trips exactly through :meth:`from_payload`; used by the
-        serving server and by tooling that stores delta schedules as JSONL.
+        serving server, the replicated tier's write-ahead log, and tooling
+        that stores delta schedules as JSONL.
         """
-        return {
+        payload = {
             "step": int(self.step),
             "add_edges": {
                 name: [src.tolist(), dst.tolist()]
@@ -265,6 +274,9 @@ class GraphDelta:
             "add_split": self.add_split,
             "remove_nodes": {t: ids.tolist() for t, ids in self.remove_nodes.items()},
         }
+        if self.metadata:
+            payload["metadata"] = dict(self.metadata)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "GraphDelta":
@@ -294,6 +306,7 @@ class GraphDelta:
                 for t, ids in dict(payload.get("remove_nodes", {})).items()
             },
             step=int(payload.get("step", 0)),
+            metadata=dict(payload.get("metadata", {})),
         )
 
     def summary(self) -> str:

@@ -81,7 +81,10 @@ class TestListJson:
         assert set(payload) == {"serving"}
         serving = payload["serving"]
         assert "engine" in serving["components"]
+        assert "replicated" in serving["components"]
+        assert "wal" in serving["components"]
         assert "POST /predict" in serving["endpoints"]
+        assert "GET /metrics" in serving["endpoints"]
         assert serving["subcommand"] == "python -m repro serve"
 
     def test_plain_listing_includes_serving(self, capsys):
@@ -110,6 +113,21 @@ class TestServeConfig:
     def test_rejects_negative_cache(self):
         with pytest.raises(ReproError):
             ServeConfig(dataset="acm", ratio=0.1, cache_size=-1)
+
+    def test_workers_require_wal(self):
+        with pytest.raises(ReproError, match="--wal"):
+            ServeConfig(dataset="acm", ratio=0.1, workers=2)
+        ServeConfig(dataset="acm", ratio=0.1, workers=2, wal="/tmp/wal.log")
+
+    def test_rejects_negative_replication_knobs(self):
+        with pytest.raises(ReproError):
+            ServeConfig(dataset="acm", ratio=0.1, workers=-1)
+        with pytest.raises(ReproError):
+            ServeConfig(dataset="acm", ratio=0.1, snapshot_every=-1)
+        with pytest.raises(ReproError):
+            ServeConfig(dataset="acm", ratio=0.1, max_pending=-1)
+        with pytest.raises(ReproError):
+            ServeConfig(dataset="acm", ratio=0.1, max_body_bytes=0)
 
     def test_bundle_key_is_stable_and_distinct(self):
         a = ServeConfig(dataset="acm", ratio=0.1)

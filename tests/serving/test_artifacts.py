@@ -127,6 +127,87 @@ class TestBundleRoundTrip:
         assert loaded.metadata["hist"] == [1, 2]
 
 
+class TestDirLayout:
+    """The uncompressed (memory-mappable) bundle directory layout."""
+
+    def test_dir_round_trip_identical_predictions(self, trained, tmp_path):
+        model, condensed, graph = trained
+        bundle = ModelBundle.from_model(
+            "heterosgc", model, condensed, metadata={"dataset": "acm"}
+        )
+        path = save_bundle(bundle, tmp_path / "m.bundle", layout="dir")
+        assert path.is_dir() and (path / "header.json").exists()
+        loaded = load_bundle(path)
+        assert loaded.model_name == "heterosgc"
+        assert loaded.metadata == {"dataset": "acm"}
+        assert_graphs_equal(loaded.condensed, condensed)
+        restored = loaded.build_model()
+        assert np.array_equal(restored.predict(graph), model.predict(graph))
+
+    def test_dir_layout_matches_npz_byte_for_byte(self, trained, tmp_path):
+        model, condensed, _ = trained
+        bundle = ModelBundle.from_model("heterosgc", model, condensed)
+        from_npz = load_bundle(save_bundle(bundle, tmp_path / "m.npz"))
+        from_dir = load_bundle(
+            save_bundle(bundle, tmp_path / "m.bundle", layout="dir")
+        )
+        assert from_npz.state == from_dir.state
+        assert set(from_npz.weights) == set(from_dir.weights)
+        for name in from_npz.weights:
+            assert np.array_equal(from_npz.weights[name], from_dir.weights[name])
+        assert_graphs_equal(from_npz.condensed, from_dir.condensed)
+
+    def test_mmap_load_shares_disk_pages(self, trained, tmp_path):
+        model, condensed, graph = trained
+        bundle = ModelBundle.from_model("heterosgc", model, condensed)
+        path = save_bundle(bundle, tmp_path / "m.bundle", layout="dir")
+        mapped = load_bundle(path, mmap=True)
+        # weights come back as read-only memory maps over the .npy files
+        some_weight = next(iter(mapped.weights.values()))
+        assert isinstance(some_weight, np.memmap)
+        assert not some_weight.flags.writeable
+        restored = mapped.build_model()
+        assert np.array_equal(restored.predict(graph), model.predict(graph))
+
+    def test_save_overwrites_existing_dir_atomically(self, trained, tmp_path):
+        model, condensed, _ = trained
+        bundle = ModelBundle.from_model("heterosgc", model, condensed)
+        path = save_bundle(bundle, tmp_path / "m.bundle", layout="dir")
+        bundle.metadata["rev"] = 2
+        again = save_bundle(bundle, path, layout="dir")
+        assert load_bundle(again).metadata == {"rev": 2}
+
+    def test_unknown_layout_raises(self, trained, tmp_path):
+        model, condensed, _ = trained
+        bundle = ModelBundle.from_model("heterosgc", model, condensed)
+        with pytest.raises(ServingError):
+            save_bundle(bundle, tmp_path / "m", layout="tar")
+
+    def test_dir_without_header_raises(self, tmp_path):
+        empty = tmp_path / "not-a-bundle"
+        empty.mkdir()
+        with pytest.raises(ServingError):
+            load_bundle(empty)
+
+    def test_dir_with_corrupt_header_raises(self, tmp_path):
+        broken = tmp_path / "broken"
+        broken.mkdir()
+        (broken / "header.json").write_text("{not json")
+        with pytest.raises(ServingError):
+            load_bundle(broken)
+
+    def test_future_format_dir_raises(self, trained, tmp_path, monkeypatch):
+        model, condensed, _ = trained
+        bundle = ModelBundle.from_model("heterosgc", model, condensed)
+        import repro.serving.artifacts as artifacts
+
+        monkeypatch.setattr(artifacts, "BUNDLE_FORMAT", BUNDLE_FORMAT + 1)
+        path = save_bundle(bundle, tmp_path / "future", layout="dir")
+        monkeypatch.setattr(artifacts, "BUNDLE_FORMAT", BUNDLE_FORMAT)
+        with pytest.raises(ServingError):
+            load_bundle(path)
+
+
 class TestModelStore:
     def test_revisions_and_latest_wins(self, trained, tmp_path):
         model, condensed, graph = trained

@@ -1,0 +1,158 @@
+"""Shared metrics board, Prometheus rendering, and the admission gate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.replicated.admission import AdmissionGate
+from repro.serving.replicated.metrics import (
+    LATENCY_BUCKETS,
+    MetricsBoard,
+    render_prometheus,
+)
+
+
+class TestMetricsBoard:
+    def test_create_attach_share_one_grid(self, tmp_path):
+        path = tmp_path / "metrics.board"
+        owner = MetricsBoard.create(path, slots=3)
+        owner.slot(1).observe_request("predict")
+        owner.slot(1).observe_request("predict")
+        reader = MetricsBoard.attach(path)
+        assert int(reader.column("requests__predict")[1]) == 2
+        # writes through the attached mapping are visible to the owner
+        reader.slot(2).observe_request("predict")
+        assert int(owner.column("requests__predict")[2]) == 1
+
+    def test_each_slot_owns_its_row(self, tmp_path):
+        board = MetricsBoard.create(tmp_path / "m.board", slots=2)
+        board.slot(0).observe_response("predict", 200, 0.001)
+        board.slot(1).observe_response("predict", 500)
+        assert int(board.column("responses_2xx__predict")[0]) == 1
+        assert int(board.column("responses_2xx__predict")[1]) == 0
+        assert int(board.column("responses_5xx__predict")[1]) == 1
+
+    def test_attach_rejects_incompatible_layout(self, tmp_path):
+        path = tmp_path / "m.board"
+        MetricsBoard.create(path, slots=1)
+        sidecar = path.parent / "m.board.json"
+        sidecar.write_text(sidecar.read_text().replace('"layout": 1', '"layout": 99'))
+        with pytest.raises(ServingError):
+            MetricsBoard.attach(path)
+
+    def test_attach_missing_board_raises(self, tmp_path):
+        with pytest.raises(ServingError):
+            MetricsBoard.attach(tmp_path / "absent.board")
+
+    def test_slot_out_of_range_raises(self):
+        board = MetricsBoard.in_memory(slots=2)
+        with pytest.raises(ServingError):
+            board.slot(2)
+
+    def test_latency_histogram_buckets(self):
+        board = MetricsBoard.in_memory()
+        slot = board.slot(0)
+        slot.observe_response("predict", 200, seconds=LATENCY_BUCKETS[0] / 2)
+        slot.observe_response("predict", 200, seconds=LATENCY_BUCKETS[-1] * 2)
+        counts = [
+            int(board.column(f"latency_bucket_{i}")[0])
+            for i in range(len(LATENCY_BUCKETS) + 1)
+        ]
+        assert counts[0] == 1 and counts[-1] == 1 and sum(counts) == 2
+        assert int(board.column("latency_count")[0]) == 2
+
+    def test_429_counts_as_shed(self):
+        board = MetricsBoard.in_memory()
+        board.slot(0).observe_response("predict", 429)
+        assert int(board.column("shed_total")[0]) == 1
+        assert int(board.column("responses_4xx__predict")[0]) == 1
+
+
+class TestRenderPrometheus:
+    def test_aggregates_across_slots(self):
+        board = MetricsBoard.in_memory(slots=3)
+        for slot in range(3):
+            board.slot(slot).observe_request("predict")
+        page = render_prometheus(board)
+        assert 'repro_requests_total{endpoint="predict"} 3' in page
+
+    def test_per_replica_gauges(self):
+        board = MetricsBoard.in_memory(slots=2)
+        board.slot(0).mark_up(pid=1, version=4)
+        board.slot(1).mark_up(pid=2, version=4)
+        board.slot(1).mark_down()
+        page = render_prometheus(board)
+        assert 'repro_replica_up{slot="0",role="coordinator"} 1' in page
+        assert 'repro_replica_up{slot="1",role="worker"} 0' in page
+        assert 'repro_replica_version{slot="0",role="coordinator"} 4' in page
+        # a dead replica's version is not reported
+        assert 'repro_replica_version{slot="1"' not in page
+
+    def test_histogram_is_cumulative_and_ends_with_inf(self):
+        board = MetricsBoard.in_memory()
+        board.slot(0).observe_response("predict", 200, seconds=0.0001)
+        board.slot(0).observe_response("predict", 200, seconds=0.003)
+        page = render_prometheus(board)
+        lines = [l for l in page.splitlines() if l.startswith("repro_predict_latency_seconds_bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert lines[-1].startswith('repro_predict_latency_seconds_bucket{le="+Inf"}')
+        assert counts[-1] == 2
+
+    def test_page_parses_as_prometheus_text(self):
+        board = MetricsBoard.in_memory()
+        page = render_prometheus(board)
+        for line in page.splitlines():
+            assert line.startswith("#") or " " in line
+        assert page.endswith("\n")
+
+
+class TestAdmissionGate:
+    def test_sheds_beyond_capacity(self):
+        gate = AdmissionGate(2)
+        assert gate.try_enter() and gate.try_enter()
+        assert not gate.try_enter()
+        gate.leave()
+        assert gate.try_enter()
+        assert gate.stats == {"capacity": 2, "depth": 2, "admitted": 3, "shed": 1}
+
+    def test_zero_capacity_disables_shedding(self):
+        gate = AdmissionGate(0)
+        assert all(gate.try_enter() for _ in range(100))
+        assert gate.stats["shed"] == 0
+
+    def test_leave_without_enter_is_guarded(self):
+        gate = AdmissionGate(1)
+        gate.leave()
+        assert gate.depth == 0
+        assert gate.try_enter()
+
+    def test_feeds_queue_depth_gauge(self):
+        board = MetricsBoard.in_memory()
+        gate = AdmissionGate(4, metrics=board.slot(0))
+        gate.try_enter()
+        gate.try_enter()
+        assert int(board.column("queue_depth")[0]) == 2
+        gate.leave()
+        assert int(board.column("queue_depth")[0]) == 1
+
+    def test_thread_safety_under_contention(self):
+        import threading
+
+        gate = AdmissionGate(5)
+        results = []
+
+        def hammer():
+            for _ in range(200):
+                if gate.try_enter():
+                    gate.leave()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert gate.depth == 0
+        assert gate.stats["admitted"] + gate.stats["shed"] == 8 * 200

@@ -247,3 +247,145 @@ class TestMicroBatcherUnit:
                 await batcher.stop()
 
         asyncio.run(scenario())
+
+
+async def raw_request(host, port, head: bytes, body: bytes = b"") -> tuple[int, dict]:
+    """Send hand-crafted HTTP bytes; returns (status, decoded json body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(head + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head_bytes, _, response_body = raw.partition(b"\r\n\r\n")
+    return int(head_bytes.split(b" ", 2)[1]), json.loads(response_body or b"{}")
+
+
+class TestRequestBounds:
+    """The body-size and Content-Length robustness contract."""
+
+    def test_oversized_declared_body_is_413(self, controller):
+        async def scenario(server, host, port):
+            server.max_body_bytes = 64
+            body = b"x" * 1000
+            return await raw_request(
+                host, port,
+                f"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: {len(body)}"
+                f"\r\nConnection: close\r\n\r\n".encode(),
+                body,
+            )
+
+        status, payload = run_with_server(controller, scenario)
+        assert status == 413 and "error" in payload
+
+    def test_413_answers_before_reading_the_body(self, controller):
+        """The bound is enforced on the *declaration*: the response arrives
+        even though the promised body is never sent."""
+
+        async def scenario(server, host, port):
+            server.max_body_bytes = 64
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b"POST /predict HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 99999999\r\n\r\n"  # body intentionally absent
+            )
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=5)
+            writer.close()
+            return int(raw.split(b" ", 2)[1])
+
+        assert run_with_server(controller, scenario) == 413
+
+    def test_malformed_content_length_is_400(self, controller):
+        async def scenario(server, host, port):
+            return await raw_request(
+                host, port,
+                b"POST /predict HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: banana\r\nConnection: close\r\n\r\n",
+            )
+
+        status, payload = run_with_server(controller, scenario)
+        assert status == 400 and "error" in payload
+
+    def test_negative_content_length_is_400(self, controller):
+        async def scenario(server, host, port):
+            return await raw_request(
+                host, port,
+                b"POST /predict HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: -5\r\nConnection: close\r\n\r\n",
+            )
+
+        status, payload = run_with_server(controller, scenario)
+        assert status == 400 and "error" in payload
+
+    def test_connection_closes_after_bad_request(self, controller):
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b"POST /predict HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: nope\r\n\r\n"
+            )
+            await writer.drain()
+            raw = await reader.read()  # EOF: server must close, not keep-alive
+            writer.close()
+            return raw
+
+        raw = run_with_server(controller, scenario)
+        assert b"400" in raw.split(b"\r\n", 1)[0]
+        assert b"Connection: close" in raw
+
+    def test_within_bound_body_still_served(self, controller):
+        async def scenario(server, host, port):
+            server.max_body_bytes = 4096
+            return await http(host, port, "POST", "/predict", {"nodes": [0, 1]})
+
+        status, payload = run_with_server(controller, scenario)
+        assert status == 200 and len(payload["labels"]) == 2
+
+
+class TestAdmissionAndMetrics:
+    def test_predict_sheds_with_429_beyond_capacity(self, controller):
+        async def scenario(server, host, port):
+            server.admission.capacity = 1
+            # a wide window holds the first batch open so later arrivals
+            # stack up behind the single admitted slot
+            server.batcher.window_seconds = 0.25
+            results = await asyncio.gather(
+                *(http(host, port, "POST", "/predict", {"nodes": [i]}) for i in range(12))
+            )
+            return results, server.admission.stats
+
+        results, stats = run_with_server(controller, scenario)
+        statuses = [status for status, _ in results]
+        assert stats["shed"] >= 1 and 429 in statuses
+        assert statuses.count(200) >= 1
+        for status, payload in results:
+            assert status in (200, 429)
+            if status == 429:
+                assert "error" in payload
+
+    def test_metrics_endpoint_serves_prometheus_text(self, controller):
+        async def scenario(server, host, port):
+            await http(host, port, "POST", "/predict", {"nodes": [0]})
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            return raw
+
+        raw = run_with_server(controller, scenario)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"200" in head.split(b"\r\n", 1)[0]
+        assert b"text/plain" in head
+        page = body.decode()
+        assert 'repro_requests_total{endpoint="predict"} 1' in page
+        assert 'repro_replica_up{slot="0",role="coordinator"} 1' in page
+
+    def test_stats_reports_admission(self, controller):
+        async def scenario(server, host, port):
+            return await http(host, port, "GET", "/stats")
+
+        status, payload = run_with_server(controller, scenario)
+        assert status == 200
+        assert payload["admission"]["capacity"] == 0
+        assert payload["admission"]["shed"] == 0

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -214,3 +216,80 @@ class TestContextRefresh:
             )
             fresh = PackedAdjacency.from_csr(matrix.copy())
             np.testing.assert_array_equal(packed.words, fresh.words)
+
+
+class TestPayloadRoundTrip:
+    """The JSON wire format: POST /delta bodies and WAL records."""
+
+    def roundtrip(self, delta):
+        payload = json.loads(json.dumps(delta.to_payload()))
+        return GraphDelta.from_payload(payload)
+
+    def assert_deltas_equal(self, left, right):
+        assert left.step == right.step
+        assert left.add_split == right.add_split
+        assert left.metadata == right.metadata
+        for attr in ("add_edges", "remove_edges"):
+            lhs, rhs = getattr(left, attr), getattr(right, attr)
+            assert set(lhs) == set(rhs)
+            for name in lhs:
+                np.testing.assert_array_equal(lhs[name][0], rhs[name][0])
+                np.testing.assert_array_equal(lhs[name][1], rhs[name][1])
+        assert set(left.add_nodes) == set(right.add_nodes)
+        for t in left.add_nodes:
+            np.testing.assert_array_equal(left.add_nodes[t], right.add_nodes[t])
+        assert set(left.remove_nodes) == set(right.remove_nodes)
+        for t in left.remove_nodes:
+            np.testing.assert_array_equal(left.remove_nodes[t], right.remove_nodes[t])
+        if left.add_labels is None:
+            assert right.add_labels is None
+        else:
+            np.testing.assert_array_equal(left.add_labels, right.add_labels)
+
+    def test_empty_delta(self):
+        delta = GraphDelta()
+        back = self.roundtrip(delta)
+        assert back.is_empty
+        self.assert_deltas_equal(delta, back)
+        # an empty delta keeps the historical payload shape: no metadata key
+        assert "metadata" not in delta.to_payload()
+
+    def test_tombstone_only_removals(self):
+        delta = GraphDelta(
+            remove_nodes={"paper": np.array([4, 1, 1, 9]), "author": np.array([], dtype=np.int64)},
+            step=7,
+        )
+        back = self.roundtrip(delta)
+        self.assert_deltas_equal(delta, back)
+        # ids were deduplicated and sorted on construction, and stay that way
+        np.testing.assert_array_equal(back.remove_nodes["paper"], [1, 4, 9])
+        assert back.remove_nodes["author"].size == 0
+        assert not back.is_empty
+
+    def test_node_arrivals_with_unicode_metadata(self, graph):
+        dim = graph.features["paper"].shape[1]
+        delta = GraphDelta(
+            add_nodes={"paper": np.ones((2, dim))},
+            add_labels=np.array([0, 2]),
+            add_split="val",
+            metadata={"source": "crawl-α", "operator": "Ünïcode ✓ 测试", "batch": 12},
+            step=3,
+        )
+        back = self.roundtrip(delta)
+        self.assert_deltas_equal(delta, back)
+        assert back.metadata["operator"] == "Ünïcode ✓ 测试"
+        assert back.add_labels is not None and back.add_labels.tolist() == [0, 2]
+        assert back.add_split == "val"
+        back.validate_against(graph)
+
+    def test_edge_delta_roundtrip(self, graph):
+        delta = edge_delta(graph, "paper-author", n=4)
+        self.assert_deltas_equal(delta, self.roundtrip(delta))
+
+    def test_metadata_rejects_non_dict(self):
+        with pytest.raises(DeltaValidationError):
+            GraphDelta(metadata=["not", "a", "dict"])
+
+    def test_payload_must_be_object(self):
+        with pytest.raises(DeltaValidationError):
+            GraphDelta.from_payload([1, 2, 3])
