@@ -667,12 +667,9 @@ def _read_baseline() -> dict:
     the plain run keeps an existing ``replicated`` section and vice versa —
     so either benchmark can be re-run alone without losing the other's
     committed baseline."""
-    from benchmarks.common import JSON_DIR
+    from benchmarks.common import load_baseline
 
-    path = JSON_DIR / "BENCH_serving.json"
-    if not path.exists():
-        return {}
-    payload = json.loads(path.read_text())
+    payload = load_baseline("BENCH_serving.json")
     payload.pop("provenance", None)
     return payload
 

@@ -81,6 +81,19 @@ def emit_json(payload: dict, filename: str) -> Path:
     return path
 
 
+def load_baseline(filename: str) -> dict:
+    """Read a committed ``BENCH_*.json`` baseline from :data:`JSON_DIR`.
+
+    Delegates to :func:`repro.runner.gates.read_baseline`, which returns
+    ``{}`` for a missing/unreadable file and back-fills the ``provenance``
+    block for baselines written before :func:`emit_json` stamped one
+    (pre-provenance files would otherwise ``KeyError`` at comparison time).
+    """
+    from repro.runner.gates import read_baseline
+
+    return read_baseline(JSON_DIR / filename)
+
+
 def emit(title: str, rows: list[dict], filename: str, paper_note: str = "") -> str:
     """Render ``rows`` as a table, print it and persist it under REPORT_DIR."""
     text = format_table(rows, title=title)

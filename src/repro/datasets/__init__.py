@@ -1,12 +1,17 @@
 """Synthetic heterogeneous-graph datasets mirroring the paper's benchmarks."""
 
 from repro.datasets.acm import acm_config, load_acm
+from repro.datasets.adversarial import churn_regimes, generate_adversarial_schedule
 from repro.datasets.am import am_config, load_am
 from repro.datasets.aminer import aminer_config, load_aminer
 from repro.datasets.base import NodeTypeSpec, RelationSpec, SyntheticHINConfig
 from repro.datasets.dblp import dblp_config, load_dblp
 from repro.datasets.freebase import freebase_config, load_freebase
-from repro.datasets.generators import generate_hin, schema_from_config
+from repro.datasets.generators import (
+    generate_delta_schedule,
+    generate_hin,
+    schema_from_config,
+)
 from repro.datasets.imdb import imdb_config, load_imdb
 from repro.datasets.mutag import load_mutag, mutag_config
 from repro.datasets.registry import (
@@ -22,6 +27,9 @@ __all__ = [
     "RelationSpec",
     "SyntheticHINConfig",
     "generate_hin",
+    "generate_delta_schedule",
+    "generate_adversarial_schedule",
+    "churn_regimes",
     "schema_from_config",
     "acm_config",
     "load_acm",

@@ -1,0 +1,341 @@
+"""Adversarial churn regimes for evolving-graph delta schedules.
+
+:func:`repro.datasets.generators.generate_delta_schedule` models the
+*friendly* production pattern: a steady trickle of edge churn spread
+uniformly over the graph.  The incremental condenser is cheapest exactly
+there — small dirty sets, warm starts that mostly replay certificates.
+The regimes in this module are engineered to be hostile instead, each one
+targeting a specific weakness of the incremental/serving stack:
+
+``dirty-maximizer``
+    Every edge edit lands on the highest in-degree destinations (hubs), so
+    one touched column dirties the whole meta-path neighbourhood and
+    ``dirty_targets`` is as large as the budget allows.  Periodically the
+    churn volume is pushed past the ``recondense_threshold`` so the
+    fall-back-to-full path is exercised, not just the incremental one.
+``hub-deletion``
+    Each step tombstones the single highest-total-degree node of every
+    non-target type — the worst-case node removal, deleting the most
+    incident edges and invalidating the most cached coverage state.
+``burst-arrival``
+    Quiet steps of near-zero churn punctuated by bursts inserting a
+    percent-scale batch of new nodes per type at once, wired
+    preferentially into existing hubs.  Node-count changes force the
+    adjacency-patching and id-extension paths rather than value updates.
+``skewed-types``
+    All added edges pile onto one *magnet* destination node of the
+    busiest relation while removals drain the other relations, and
+    arrivals insert nodes of a single type only — driving the degree and
+    node-type distributions pathologically far from the generator's.
+
+Every regime is deterministic under a fixed seed, replays its deltas on a
+private copy (so removals always name real edges and id ranges line up),
+and stamps ``metadata={"regime": ...}`` on each delta for provenance.
+
+Regimes are consumed through ``generate_delta_schedule(..., regime=...)``;
+``python -m repro matrix`` crosses them with datasets, scales and serving
+loads.  ``docs/testing.md`` describes how to add a new regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "ADVERSARIAL_REGIMES",
+    "churn_regimes",
+    "generate_adversarial_schedule",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Degree helpers
+# --------------------------------------------------------------------------- #
+def _in_degrees(matrix) -> np.ndarray:
+    """Edges per destination column of one CSR adjacency."""
+    coo = matrix.tocoo()
+    return np.bincount(coo.col, minlength=matrix.shape[1]).astype(np.int64)
+
+
+def _out_degrees(matrix) -> np.ndarray:
+    """Edges per source row of one CSR adjacency."""
+    return np.diff(matrix.indptr).astype(np.int64)
+
+
+def _total_degrees(state, node_type: str) -> np.ndarray:
+    """Total incident edges per node of ``node_type`` across every relation."""
+    degrees = np.zeros(state.num_nodes[node_type], dtype=np.int64)
+    for name, matrix in state.adjacency.items():
+        rel = state.schema.relation(name)
+        if rel.src == node_type:
+            degrees += _out_degrees(matrix)
+        if rel.dst == node_type:
+            degrees += _in_degrees(matrix)
+    return degrees
+
+
+def _background_churn(
+    state, rng: np.random.Generator, fraction: float
+) -> tuple[dict, dict]:
+    """Steady-style uniform churn at ``fraction`` of each relation's edges."""
+    add_edges: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    remove_edges: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    if fraction <= 0.0:
+        return add_edges, remove_edges
+    for name, matrix in state.adjacency.items():
+        count = max(1, int(round(fraction * matrix.nnz)))
+        if matrix.nnz:
+            coo = matrix.tocoo()
+            picked = rng.choice(coo.nnz, size=min(count, coo.nnz), replace=False)
+            remove_edges[name] = (coo.row[picked], coo.col[picked])
+        rel = state.schema.relation(name)
+        add_edges[name] = (
+            rng.integers(0, state.num_nodes[rel.src], size=count),
+            rng.integers(0, state.num_nodes[rel.dst], size=count),
+        )
+    return add_edges, remove_edges
+
+
+def _arrival_features(state, node_type: str, count: int, rng) -> np.ndarray:
+    """Features for arrivals, resampled from the type's empirical moments."""
+    base = state.features[node_type]
+    mean = base.mean(axis=0)
+    std = base.std(axis=0) + 1e-6
+    return mean + std * rng.standard_normal((count, base.shape[1]))
+
+
+def _append_edges(
+    add_edges: dict, name: str, src: np.ndarray, dst: np.ndarray
+) -> None:
+    base_src, base_dst = add_edges.get(
+        name, (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    )
+    add_edges[name] = (
+        np.concatenate([base_src, src]),
+        np.concatenate([base_dst, dst]),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Regime builders: (state, step, rng, params) -> GraphDelta kwargs
+# --------------------------------------------------------------------------- #
+def _dirty_maximizer(state, step: int, rng, params: dict) -> dict:
+    threshold = float(params.get("recondense_threshold", 0.05))
+    fallback_every = int(params.get("fallback_every", 3))
+    hub_count = max(1, int(params.get("hubs", 4)))
+    base_churn = float(params.get("edge_churn", 0.002))
+    force_full = fallback_every > 0 and step % fallback_every == 0
+    add_edges: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    remove_edges: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name, matrix in state.adjacency.items():
+        if matrix.nnz == 0:
+            continue
+        rel = state.schema.relation(name)
+        in_degrees = _in_degrees(matrix)
+        hubs = np.argsort(-in_degrees, kind="stable")[:hub_count]
+        if force_full:
+            # Adds + removes together must clear the threshold with margin.
+            count = max(1, int(np.ceil(1.5 * threshold * matrix.nnz)))
+        else:
+            count = max(1, int(round(base_churn * matrix.nnz)))
+        coo = matrix.tocoo()
+        incident = np.flatnonzero(np.isin(coo.col, hubs))
+        if incident.size:
+            take = min(count, incident.size)
+            picked = rng.choice(incident, size=take, replace=False)
+            remove_edges[name] = (coo.row[picked], coo.col[picked])
+        add_edges[name] = (
+            rng.integers(0, state.num_nodes[rel.src], size=count),
+            hubs[rng.integers(0, hubs.size, size=count)],
+        )
+    return {"add_edges": add_edges, "remove_edges": remove_edges}
+
+
+def _hub_deletion(state, step: int, rng, params: dict) -> dict:
+    kill = max(1, int(params.get("hubs_per_step", 1)))
+    remove_nodes: dict[str, np.ndarray] = {}
+    for node_type in state.schema.node_types:
+        if node_type == state.schema.target_type and not params.get(
+            "include_target", False
+        ):
+            continue
+        if state.num_nodes[node_type] <= kill + 1:
+            continue
+        degrees = _total_degrees(state, node_type)
+        # Stable argsort: ties (and already-tombstoned zero-degree slots)
+        # break by lowest id, keeping the schedule deterministic.
+        order = np.argsort(-degrees, kind="stable")
+        remove_nodes[node_type] = order[:kill]
+    add_edges, remove_edges = _background_churn(
+        state, rng, float(params.get("edge_churn", 0.001))
+    )
+    return {
+        "add_edges": add_edges,
+        "remove_edges": remove_edges,
+        "remove_nodes": remove_nodes,
+    }
+
+
+def _burst_arrival(state, step: int, rng, params: dict) -> dict:
+    burst_every = max(1, int(params.get("burst_every", 2)))
+    add_edges, remove_edges = _background_churn(
+        state, rng, float(params.get("edge_churn", 0.0005))
+    )
+    add_nodes: dict[str, np.ndarray] = {}
+    if step % burst_every == 0:
+        fraction = float(params.get("burst_fraction", 0.02))
+        for node_type in state.schema.node_types:
+            if node_type == state.schema.target_type:
+                continue
+            count = max(4, int(np.ceil(fraction * state.num_nodes[node_type])))
+            add_nodes[node_type] = _arrival_features(state, node_type, count, rng)
+        for name, matrix in state.adjacency.items():
+            rel = state.schema.relation(name)
+            degree = max(
+                1, int(matrix.nnz / max(state.num_nodes[rel.src], 1))
+            )
+            hubs = None
+            if matrix.nnz:
+                in_degrees = _in_degrees(matrix)
+                hubs = np.argsort(-in_degrees, kind="stable")[
+                    : max(1, in_degrees.size // 50)
+                ]
+            new_src = add_nodes.get(rel.src)
+            if new_src is not None:
+                first = state.num_nodes[rel.src]
+                ids = np.repeat(np.arange(first, first + new_src.shape[0]), degree)
+                if hubs is not None:
+                    # The whole burst lands on existing hot columns at once.
+                    dst = hubs[rng.integers(0, hubs.size, size=ids.size)]
+                else:
+                    dst = rng.integers(0, state.num_nodes[rel.dst], size=ids.size)
+                _append_edges(add_edges, name, ids, dst)
+            new_dst = add_nodes.get(rel.dst)
+            if new_dst is not None:
+                first = state.num_nodes[rel.dst]
+                ids = np.repeat(np.arange(first, first + new_dst.shape[0]), degree)
+                src = rng.integers(0, state.num_nodes[rel.src], size=ids.size)
+                _append_edges(add_edges, name, src, ids)
+    return {
+        "add_edges": add_edges,
+        "remove_edges": remove_edges,
+        "add_nodes": add_nodes,
+    }
+
+
+def _skewed_types(state, step: int, rng, params: dict) -> dict:
+    # The magnet relation is the busiest one (stable tie-break by name).
+    names = sorted(state.adjacency, key=lambda n: (-state.adjacency[n].nnz, n))
+    magnet_rel = str(params.get("relation") or names[0])
+    if magnet_rel not in state.adjacency:
+        raise DatasetError(f"skewed-types: unknown relation {magnet_rel!r}")
+    matrix = state.adjacency[magnet_rel]
+    rel = state.schema.relation(magnet_rel)
+    # Today's biggest hub attracts everything, so it only grows: a runaway
+    # super-hub, the worst case for popularity-skewed selection scores.
+    magnet = int(np.argmax(_in_degrees(matrix))) if matrix.shape[1] else 0
+    count = max(8, int(round(float(params.get("edge_churn", 0.004)) * max(matrix.nnz, 1))))
+    add_edges: dict[str, tuple[np.ndarray, np.ndarray]] = {
+        magnet_rel: (
+            rng.integers(0, state.num_nodes[rel.src], size=count),
+            np.full(count, magnet, dtype=np.int64),
+        )
+    }
+    remove_edges: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name in names[1:]:
+        other = state.adjacency[name]
+        if other.nnz == 0:
+            continue
+        take = max(1, int(round(0.002 * other.nnz)))
+        coo = other.tocoo()
+        picked = rng.choice(coo.nnz, size=min(take, coo.nnz), replace=False)
+        remove_edges[name] = (coo.row[picked], coo.col[picked])
+    add_nodes: dict[str, np.ndarray] = {}
+    candidates = [t for t in (rel.src, rel.dst) if t != state.schema.target_type]
+    if not candidates:
+        candidates = [
+            t for t in state.schema.node_types if t != state.schema.target_type
+        ]
+    skew_type = str(params.get("node_type") or candidates[0])
+    if step % int(params.get("arrival_every", 2)) == 0:
+        n = state.num_nodes[skew_type]
+        arrivals = max(4, int(np.ceil(float(params.get("arrival_fraction", 0.01)) * n)))
+        add_nodes[skew_type] = _arrival_features(state, skew_type, arrivals, rng)
+        if rel.src == skew_type:
+            ids = np.arange(n, n + arrivals)
+            _append_edges(
+                add_edges, magnet_rel, ids, np.full(arrivals, magnet, dtype=np.int64)
+            )
+    return {
+        "add_edges": add_edges,
+        "remove_edges": remove_edges,
+        "add_nodes": add_nodes,
+    }
+
+
+ADVERSARIAL_REGIMES = {
+    "dirty-maximizer": _dirty_maximizer,
+    "hub-deletion": _hub_deletion,
+    "burst-arrival": _burst_arrival,
+    "skewed-types": _skewed_types,
+}
+
+
+def churn_regimes() -> tuple[str, ...]:
+    """Every schedule regime name, ``"steady"`` first."""
+    return ("steady",) + tuple(sorted(ADVERSARIAL_REGIMES))
+
+
+def generate_adversarial_schedule(
+    graph,
+    *,
+    regime: str,
+    steps: int,
+    seed: int | np.random.Generator | None = 0,
+    params: dict | None = None,
+) -> list:
+    """Generate ``steps`` deltas of the named adversarial ``regime``.
+
+    ``graph`` is not mutated: the schedule replays on a private copy so
+    removals name real edges and arrivals extend the correct id ranges.
+    ``params`` tunes the regime (see each builder's ``params.get`` calls);
+    unknown keys are ignored.  ``regime="steady"`` delegates to
+    :func:`repro.datasets.generators.generate_delta_schedule` with
+    ``params`` forwarded as its keyword arguments.
+
+    Returns a list of :class:`repro.streaming.delta.GraphDelta`, each
+    stamped with ``metadata={"regime": regime}`` (steady excepted, which
+    keeps its historical payload shape).
+    """
+    # Local imports: repro.streaming sits above the datasets layer.
+    from repro.streaming.apply import DeltaApplier
+    from repro.streaming.delta import GraphDelta
+
+    if steps < 1:
+        raise DatasetError(f"steps must be >= 1, got {steps}")
+    if regime == "steady":
+        from repro.datasets.generators import generate_delta_schedule
+
+        return generate_delta_schedule(graph, steps=steps, seed=seed, **(params or {}))
+    try:
+        builder = ADVERSARIAL_REGIMES[regime]
+    except KeyError:
+        known = ", ".join(churn_regimes())
+        raise DatasetError(
+            f"unknown churn regime {regime!r}; known regimes: {known}"
+        ) from None
+
+    rng = ensure_rng(seed)
+    state = graph.copy()
+    applier = DeltaApplier()
+    schedule = []
+    for step in range(1, steps + 1):
+        parts = builder(state, step, rng, dict(params or {}))
+        delta = GraphDelta(step=step, metadata={"regime": regime}, **parts)
+        delta.validate_against(state)
+        applier.apply(state, delta)
+        schedule.append(delta)
+    return schedule

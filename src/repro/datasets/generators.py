@@ -217,12 +217,19 @@ def generate_delta_schedule(
     arrival_types: tuple[str, ...] | None = None,
     removal_every: int = 0,
     removal_count: int = 2,
+    regime: str = "steady",
+    regime_params: dict | None = None,
 ) -> "list":
     """Generate a deterministic, timestamped delta schedule for ``graph``.
 
     Models the production pattern the streaming subsystem targets: a steady
     trickle of edge churn (new/retracted links, e.g. tags attaching to
-    papers) with occasional node arrivals and departures.
+    papers) with occasional node arrivals and departures.  Passing
+    ``regime`` other than ``"steady"`` instead delegates to the adversarial
+    regime library (:mod:`repro.datasets.adversarial`) — hostile schedules
+    engineered to maximize dirty sets, delete hubs, burst arrivals or skew
+    type distributions — tuned by ``regime_params``; the steady keyword
+    arguments below are then ignored.
 
     Parameters
     ----------
@@ -255,6 +262,28 @@ def generate_delta_schedule(
     list of repro.streaming.GraphDelta
         One delta per step, in replay order.
     """
+    if regime != "steady":
+        from repro.datasets.adversarial import generate_adversarial_schedule
+
+        return generate_adversarial_schedule(
+            graph, regime=regime, steps=steps, seed=seed, params=regime_params
+        )
+    if regime_params:
+        # Steady accepts its tuning through regime_params too, so callers
+        # driving every regime through one (regime, regime_params) pair —
+        # the scenario matrix — hit the same code path as keyword callers.
+        merged = {
+            "edge_churn": edge_churn,
+            "relations": relations,
+            "node_arrival_every": node_arrival_every,
+            "arrival_count": arrival_count,
+            "arrival_types": arrival_types,
+            "removal_every": removal_every,
+            "removal_count": removal_count,
+            **regime_params,
+        }
+        return generate_delta_schedule(graph, steps=steps, seed=seed, **merged)
+
     # Local import: repro.streaming sits above the datasets layer.
     from repro.streaming.apply import DeltaApplier
     from repro.streaming.delta import GraphDelta

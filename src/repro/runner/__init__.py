@@ -26,6 +26,23 @@ Examples
 
 from repro.runner.cache import ArtifactStore
 from repro.runner.executor import CellOutcome, execute_plan
+from repro.runner.gates import (
+    Gate,
+    GateOutcome,
+    derive_matrix_gates,
+    evaluate_cell_gates,
+    read_baseline,
+)
+from repro.runner.matrix import (
+    MatrixCell,
+    MatrixConfig,
+    MatrixOutcome,
+    MatrixPlan,
+    consolidate,
+    plan_matrix,
+    run_matrix,
+    run_matrix_cell,
+)
 from repro.runner.plan import (
     Cell,
     ExperimentPlan,
@@ -41,10 +58,23 @@ __all__ = [
     "Cell",
     "CellOutcome",
     "ExperimentPlan",
+    "Gate",
+    "GateOutcome",
     "GeneralizationConfig",
+    "MatrixCell",
+    "MatrixConfig",
+    "MatrixOutcome",
+    "MatrixPlan",
     "StreamConfig",
     "assemble_generalization_rows",
+    "consolidate",
+    "derive_matrix_gates",
+    "evaluate_cell_gates",
     "execute_plan",
     "plan_generalization",
+    "plan_matrix",
     "plan_ratio_sweep",
+    "read_baseline",
+    "run_matrix",
+    "run_matrix_cell",
 ]

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Six subcommands drive the planner/executor/store/serving stack end to end:
+Seven subcommands drive the planner/executor/store/serving stack end to end:
 
 ``sweep``
     Table III-style ratio sweep: every (method, ratio) cell plus the
@@ -14,6 +14,11 @@ Six subcommands drive the planner/executor/store/serving stack end to end:
 ``serve``
     Online inference endpoint: micro-batched predictions over HTTP with
     zero-downtime hot-swap on streaming deltas (``docs/serving.md``).
+``matrix``
+    Scenario matrix: {dataset × scale × churn regime × serving load} cells
+    run resumably through the artifact store, each verified for
+    byte-identity and checked against regression gates derived from the
+    committed ``BENCH_*.json`` baselines (``docs/testing.md``).
 ``report``
     Render rows from a store's artifacts without running anything.
 ``list``
@@ -256,6 +261,45 @@ def build_parser() -> argparse.ArgumentParser:
                           "every response, then exit (0 = disabled)")
     srv.add_argument("--quiet", action="store_true", help="suppress progress lines")
     serve.set_defaults(func=_cmd_serve)
+
+    matrix = sub.add_parser(
+        "matrix",
+        help="run the scenario matrix: datasets x scales x churn regimes x loads",
+    )
+    grid = matrix.add_argument_group("matrix axes")
+    grid.add_argument("--datasets", type=_csv, default=("acm",), metavar="D1,D2,...",
+                      help="registered dataset names (default: acm)")
+    grid.add_argument("--scales", type=_csv_floats, default=(0.1,), metavar="S1,S2,...",
+                      help="graph size multipliers (default: 0.1)")
+    grid.add_argument("--regimes", type=_csv, default=None, metavar="R1,R2,...",
+                      help="churn regimes (default: steady + every adversarial regime)")
+    grid.add_argument("--loads", type=_csv, default=("none",), metavar="L1,L2,...",
+                      help="serving loads: none, light, heavy (default: none)")
+    exp = matrix.add_argument_group("per-cell experiment")
+    exp.add_argument("--steps", type=int, default=4, help="delta steps per cell (default: 4)")
+    exp.add_argument("--ratio", type=float, default=0.2, help="condensation ratio (default: 0.2)")
+    exp.add_argument("--seed", type=int, default=0, help="schedule + condensation seed (default: 0)")
+    exp.add_argument("--max-hops", type=int, default=None, metavar="K",
+                     help="meta-path hop limit (default: the dataset's paper value, capped at 3)")
+    exp.add_argument("--recondense-threshold", type=float, default=0.05,
+                     help="edge fraction above which a step recondenses from scratch "
+                          "(default: 0.05)")
+    exp.add_argument("--verify-every", type=int, default=0, metavar="N",
+                     help="verify byte-identity every N steps (default: 0, final step only)")
+    exp.add_argument("--model", default="heterosgc",
+                     help="serving model for load cells (default: heterosgc)")
+    exp.add_argument("--hidden-dim", type=int, default=16)
+    exp.add_argument("--epochs", type=int, default=15)
+    exp.add_argument("--inject-faults", action="store_true",
+                     help="install the deterministic fault injector in serving-load cells")
+    gating = matrix.add_argument_group("regression gates")
+    gating.add_argument("--baselines", default=".", metavar="DIR",
+                        help="directory holding the committed BENCH_*.json baselines "
+                             "(default: .)")
+    gating.add_argument("--no-gates", action="store_true",
+                        help="skip baseline-derived regression gates")
+    _add_run_options(matrix)
+    matrix.set_defaults(func=_cmd_matrix)
 
     report = sub.add_parser("report", help="render stored artifacts as a table, running nothing")
     report.add_argument("--store", default="runs", metavar="DIR",
@@ -570,6 +614,108 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         columns=[c for c in columns if any(str(row.get(c, "")) for row in rows)],
     )
     return 1 if mismatches else 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.datasets.adversarial import churn_regimes
+    from repro.runner.gates import derive_matrix_gates
+    from repro.runner.matrix import (
+        MatrixConfig,
+        consolidate,
+        plan_matrix,
+        run_matrix,
+    )
+
+    config = MatrixConfig(
+        datasets=args.datasets,
+        scales=args.scales,
+        regimes=args.regimes if args.regimes is not None else churn_regimes(),
+        loads=args.loads,
+        steps=args.steps,
+        ratio=args.ratio,
+        seed=args.seed,
+        max_hops=args.max_hops,
+        recondense_threshold=args.recondense_threshold,
+        verify_every=args.verify_every,
+        hidden_dim=args.hidden_dim,
+        epochs=args.epochs,
+        model=args.model,
+        inject_faults=args.inject_faults,
+    )
+    plan = plan_matrix(config)
+    store = _resolve_store(args)
+    gates = () if args.no_gates else derive_matrix_gates(args.baselines)
+    if not args.quiet:
+        print(f"matrix: {len(plan)} cells ({plan.description}), "
+              f"{len(gates)} baseline gates", flush=True)
+    watch = Stopwatch()
+    with watch.measure("run"):
+        outcomes = run_matrix(
+            plan,
+            store=store,
+            workers=args.workers,
+            force=args.force,
+            progress=_progress_printer(args.quiet),
+        )
+    _summarize(outcomes, watch, args.quiet)
+    report = consolidate(outcomes, gates)
+
+    rows = []
+    for entry in report["cells"]:
+        cell, result = entry["cell"], entry["result"]
+        modes = result.get("modes", {})
+        latency = result.get("latency_ms", {})
+        speedup = result.get("speedup")
+        rows.append(
+            {
+                "dataset": cell["dataset"],
+                "scale": f"{cell['scale']:g}",
+                "regime": cell["regime"],
+                "load": cell["load"],
+                "full/incr": f"{modes.get('full', 0)}/{modes.get('incremental', 0)}",
+                "dirty_max": result.get("dirty_targets_max", 0),
+                "delta%max": f"{100.0 * result.get('max_edge_fraction', 0.0):.2f}",
+                "speedup": "" if speedup is None else f"{speedup:.2f}x",
+                "p95_ms": "" if not latency else f"{latency.get('p95', 0.0):.2f}",
+                "faults": sum(result.get("fault_fires", {}).values()) or "",
+                "verified": (
+                    "MISMATCH"
+                    if result.get("mismatches")
+                    else ("identical" if result.get("verified_checkpoints") else "")
+                ),
+                "gates": (
+                    "FAIL:" + ",".join(entry["failed_gates"])
+                    if entry["failed_gates"]
+                    else "ok"
+                ),
+            }
+        )
+    columns = ("dataset", "scale", "regime", "load", "full/incr", "dirty_max",
+               "delta%max", "speedup", "p95_ms", "faults", "verified", "gates")
+    _render(
+        rows,
+        args,
+        title=f"Scenario matrix — {len(plan)} cells",
+        columns=[c for c in columns if any(str(row.get(c, "")) for row in rows)],
+    )
+    if store is not None:
+        report_path = Path(store.root) / "matrix_report.json"
+        report_path.write_text(_json.dumps(report, indent=2, sort_keys=True) + "\n")
+        if not args.quiet:
+            print(f"wrote {report_path}")
+    summary = report["summary"]
+    if not args.quiet:
+        print(
+            f"matrix summary: {summary['total']} cells "
+            f"({summary['cached']} cached), "
+            f"{summary['verified_checkpoints']} checkpoints verified, "
+            f"{summary['mismatches']} mismatches, "
+            f"{summary['gate_failures']} gate failures"
+        )
+    return 0 if summary["passed"] else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:

@@ -1,0 +1,304 @@
+"""Per-cell regression gates derived from the committed ``BENCH_*.json`` baselines.
+
+The repo tracks its perf trajectory in three committed baseline files —
+``BENCH_perf_hotpaths.json``, ``BENCH_streaming.json`` and
+``BENCH_serving.json`` — but until the scenario matrix existed they only
+gated three hand-picked benchmark runs.  This module promotes them into
+*per-cell* gates: every cell of ``python -m repro matrix`` is checked
+against thresholds derived from the committed numbers, stamped with the
+baseline's provenance so a failing gate names the exact commit it regressed
+against.
+
+Two gate styles, matching how the benchmarks themselves gate:
+
+* **byte-identity** — enforced for *every* cell that verified, at any
+  scale: the invariants (incremental == full recondensation, batched ==
+  serial predictions) are scale independent, so one mismatch anywhere is a
+  regression.
+* **ratio/latency thresholds** — enforced only where the baseline's
+  preconditions hold (steady regime, no serving load, pools past the
+  baseline's size threshold; or an absolute latency ceiling with generous
+  CI headroom), and *recorded* everywhere else so the trajectory is still
+  visible per cell.
+
+Baselines written before provenance stamping existed (pre-PR-6) lack the
+``provenance`` block entirely; :func:`read_baseline` tolerates that by
+filling ``{"git_revision": "unknown", "generated_at": "unknown"}`` instead
+of raising ``KeyError`` at gate time.  ``benchmarks/common.py`` re-exports
+the same reader so the benchmark scripts and the matrix agree on baseline
+semantics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "UNKNOWN_PROVENANCE",
+    "BASELINE_FILES",
+    "read_baseline",
+    "Gate",
+    "GateOutcome",
+    "derive_matrix_gates",
+    "evaluate_cell_gates",
+]
+
+#: defaults filled into baselines written before provenance stamping existed
+UNKNOWN_PROVENANCE = {"git_revision": "unknown", "generated_at": "unknown"}
+
+#: the committed trajectory baselines, in the order they were introduced
+BASELINE_FILES = (
+    "BENCH_perf_hotpaths.json",
+    "BENCH_streaming.json",
+    "BENCH_serving.json",
+)
+
+
+def read_baseline(path: str | Path) -> dict:
+    """Read one committed ``BENCH_*.json`` baseline, tolerantly.
+
+    Returns ``{}`` for a missing or unparseable file (gating against
+    nothing is "no gate", not a crash), and guarantees the result of a
+    successful read has a complete ``provenance`` block — files written
+    before provenance stamping (pre-PR-6) get :data:`UNKNOWN_PROVENANCE`
+    defaults merged in, so ``baseline["provenance"]["git_revision"]`` is
+    always a safe read.
+
+    Examples
+    --------
+    >>> read_baseline("/nonexistent/BENCH_nothing.json")
+    {}
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return {}
+    if not isinstance(payload, dict):
+        return {}
+    provenance = payload.get("provenance")
+    if not isinstance(provenance, dict):
+        provenance = {}
+    payload["provenance"] = {**UNKNOWN_PROVENANCE, **provenance}
+    return payload
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One derived regression gate.
+
+    ``kind`` is ``"max_value"`` (observed must be <= threshold) or
+    ``"min_value"`` (observed must be >= threshold); ``metric`` is a
+    dot-path into a matrix cell's result dict.  The applicability logic —
+    *which* cells the gate is enforced for — lives in
+    :func:`evaluate_cell_gates`, keyed by the gate's ``name``.
+    """
+
+    name: str
+    kind: str
+    metric: str
+    threshold: float
+    baseline_file: str
+    baseline_value: float | None
+    provenance: dict
+    description: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "metric": self.metric,
+            "threshold": self.threshold,
+            "baseline_file": self.baseline_file,
+            "baseline_value": self.baseline_value,
+            "provenance": dict(self.provenance),
+            "description": self.description,
+        }
+
+
+@dataclass(frozen=True)
+class GateOutcome:
+    """One gate evaluated against one cell's result."""
+
+    name: str
+    enforced: bool
+    passed: bool | None  # None: metric absent from this cell's result
+    observed: float | None
+    threshold: float
+    baseline_file: str
+    baseline_revision: str
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "enforced": self.enforced,
+            "passed": self.passed,
+            "observed": self.observed,
+            "threshold": self.threshold,
+            "baseline_file": self.baseline_file,
+            "baseline_revision": self.baseline_revision,
+        }
+
+
+def _metric(result: dict, path: str) -> float | None:
+    value: object = result
+    for part in path.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    if value is None:
+        return None
+    return float(value)  # type: ignore[arg-type]
+
+
+def derive_matrix_gates(baseline_dir: str | Path = ".") -> tuple[Gate, ...]:
+    """Derive per-cell gates from the committed baselines in ``baseline_dir``.
+
+    Missing baselines simply contribute no gates (a fresh checkout without
+    committed BENCH files still runs the matrix, ungated).
+    """
+    baseline_dir = Path(baseline_dir)
+    perf = read_baseline(baseline_dir / "BENCH_perf_hotpaths.json")
+    streaming = read_baseline(baseline_dir / "BENCH_streaming.json")
+    serving = read_baseline(baseline_dir / "BENCH_serving.json")
+
+    gates: list[Gate] = []
+    if streaming:
+        gates.append(
+            Gate(
+                name="byte-identity",
+                kind="max_value",
+                metric="mismatches",
+                threshold=0.0,
+                baseline_file="BENCH_streaming.json",
+                baseline_value=float(streaming.get("byte_identical_checkpoints", 0)),
+                provenance=dict(streaming["provenance"]),
+                description=(
+                    "incremental condensation must equal full recondensation "
+                    "at every verified checkpoint (scale independent)"
+                ),
+            )
+        )
+        speedup = streaming.get("speedup")
+        pool_threshold = int(streaming.get("target_nodes", 1500))
+        if speedup:
+            gates.append(
+                Gate(
+                    name="incremental-speedup",
+                    kind="min_value",
+                    metric="speedup",
+                    # A quarter of the committed speedup, never below break
+                    # even: per-cell schedules differ from the bench's, so
+                    # the gate tracks order of magnitude, not the exact ratio.
+                    threshold=max(1.0, 0.25 * float(speedup)),
+                    baseline_file="BENCH_streaming.json",
+                    baseline_value=float(speedup),
+                    provenance=dict(streaming["provenance"]),
+                    description=(
+                        "steady-regime incremental steps must stay well "
+                        f"faster than full recondensation (baseline "
+                        f"{float(speedup):.1f}x at >= {pool_threshold} targets)"
+                    ),
+                )
+            )
+    if perf:
+        rows = perf.get("rows", [])
+        identical = [bool(row.get("identical", False)) for row in rows]
+        gates.append(
+            Gate(
+                name="prediction-consistency",
+                kind="max_value",
+                metric="prediction_failures",
+                threshold=0.0,
+                baseline_file="BENCH_perf_hotpaths.json",
+                baseline_value=float(sum(identical)),
+                provenance=dict(perf["provenance"]),
+                description=(
+                    "served predictions must match the unbatched reference "
+                    "exactly (same identity contract the kernel bench gates)"
+                ),
+            )
+        )
+    if serving:
+        p95 = (
+            serving.get("hotswap", {}).get("latency_ms", {}).get("p95")
+            if isinstance(serving.get("hotswap"), dict)
+            else None
+        )
+        if p95:
+            gates.append(
+                Gate(
+                    name="serving-p95-ms",
+                    kind="max_value",
+                    metric="latency_ms.p95",
+                    # The committed p95 with generous CI-runner headroom,
+                    # floored at the absolute 250 ms CI bound.
+                    threshold=max(250.0, 25.0 * float(p95)),
+                    baseline_file="BENCH_serving.json",
+                    baseline_value=float(p95),
+                    provenance=dict(serving["provenance"]),
+                    description=(
+                        "per-batch predict p95 under churn must stay within "
+                        f"CI headroom of the committed {float(p95):.1f} ms"
+                    ),
+                )
+            )
+    return tuple(gates)
+
+
+def _enforced(gate: Gate, cell: dict, result: dict) -> bool:
+    """Do this gate's baseline preconditions hold for this cell?"""
+    load = str(cell.get("load", "none"))
+    if gate.name == "byte-identity":
+        return int(result.get("verified_checkpoints", 0) or 0) > 0
+    if gate.name == "incremental-speedup":
+        # The committed speedup was measured on a steady schedule with no
+        # serving load and a target pool >= the baseline's; tiny CI-scale
+        # cells and hostile regimes record the ratio without enforcing it.
+        return (
+            str(cell.get("regime")) == "steady"
+            and load == "none"
+            and result.get("speedup") is not None
+            and int(result.get("target_nodes", 0)) >= 1500
+        )
+    if gate.name == "prediction-consistency":
+        return load != "none"
+    if gate.name == "serving-p95-ms":
+        return load != "none" and _metric(result, gate.metric) is not None
+    return False
+
+
+def evaluate_cell_gates(
+    cell: dict, result: dict, gates: tuple[Gate, ...]
+) -> list[GateOutcome]:
+    """Evaluate every gate against one cell's stored result.
+
+    Each outcome reports whether the gate was *enforced* for this cell
+    (baseline preconditions held) and whether it *passed*; unenforced gates
+    still record the observed value so the per-cell trajectory is complete.
+    """
+    outcomes: list[GateOutcome] = []
+    for gate in gates:
+        observed = _metric(result, gate.metric)
+        if observed is None:
+            passed: bool | None = None
+        elif gate.kind == "min_value":
+            passed = observed >= gate.threshold
+        else:
+            passed = observed <= gate.threshold
+        outcomes.append(
+            GateOutcome(
+                name=gate.name,
+                enforced=_enforced(gate, cell, result) and passed is not None,
+                passed=passed,
+                observed=observed,
+                threshold=gate.threshold,
+                baseline_file=gate.baseline_file,
+                baseline_revision=str(gate.provenance.get("git_revision", "unknown")),
+            )
+        )
+    return outcomes

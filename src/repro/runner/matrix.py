@@ -1,0 +1,547 @@
+"""Scenario-matrix harness: {dataset × scale × churn regime × serving load}.
+
+The three committed benches cover three hand-picked happy paths; the matrix
+covers the cross product.  A declarative :class:`MatrixConfig` expands into
+frozen, content-hashed :class:`MatrixCell` s (the same hashing contract as
+:class:`repro.runner.plan.Cell`), each cell replays an adversarial or
+steady delta schedule through the incremental condenser — optionally under
+a live :class:`~repro.serving.hotswap.ServingController` answering
+predictions between swaps — verifies byte-identity against a fresh full
+condensation, and lands its result in the shared
+:class:`~repro.runner.cache.ArtifactStore`.  Interrupting the suite and
+re-running it skips every completed cell (resume-zero-reexec), which is
+what lets CI kill a run mid-suite and assert nothing re-executes.
+
+Per-cell **regression gates** (:mod:`repro.runner.gates`) derived from the
+committed ``BENCH_*.json`` baselines are evaluated over the consolidated
+results: byte-identity everywhere it was verified, ratio/latency thresholds
+where the baseline's preconditions hold, every outcome stamped with the
+baseline's provenance.
+
+``python -m repro matrix`` is the CLI entry point; see ``docs/testing.md``
+for the taxonomy and how to add a regime.
+
+Examples
+--------
+>>> from repro.runner.matrix import MatrixConfig, plan_matrix
+>>> plan = plan_matrix(MatrixConfig(datasets=("acm",), scales=(0.1,),
+...                                 regimes=("steady", "hub-deletion"),
+...                                 loads=("none",), steps=2))
+>>> len(plan), plan.cells[0].regime
+(2, 'steady')
+>>> plan.cells[0].key() == plan_matrix(MatrixConfig(datasets=("acm",),
+...     scales=(0.1,), regimes=("steady", "hub-deletion"), loads=("none",),
+...     steps=2)).cells[0].key()
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, fields
+from time import perf_counter
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro import registry
+from repro.errors import ConfigurationError
+from repro.runner.cache import ArtifactStore
+from repro.runner.gates import Gate, GateOutcome, evaluate_cell_gates
+from repro.runner.plan import resolve_max_hops
+
+__all__ = [
+    "LOADS",
+    "MatrixConfig",
+    "MatrixCell",
+    "MatrixPlan",
+    "MatrixOutcome",
+    "plan_matrix",
+    "run_matrix_cell",
+    "run_matrix",
+    "consolidate",
+]
+
+#: serving-load levels and the queries issued per step under each
+LOADS = ("none", "light", "heavy")
+_QUERIES_PER_STEP = {"none": 0, "light": 32, "heavy": 256}
+_QUERY_BATCH = 8
+
+
+@dataclass(frozen=True)
+class MatrixConfig:
+    """Declarative description of one scenario matrix."""
+
+    datasets: tuple[str, ...] = ("acm",)
+    scales: tuple[float, ...] = (0.1,)
+    regimes: tuple[str, ...] = (
+        "steady",
+        "dirty-maximizer",
+        "hub-deletion",
+        "burst-arrival",
+        "skewed-types",
+    )
+    loads: tuple[str, ...] = ("none",)
+    steps: int = 4
+    ratio: float = 0.2
+    seed: int = 0
+    max_hops: int | None = None
+    recondense_threshold: float = 0.05
+    #: verify byte-identity every N steps (0 = final step only)
+    verify_every: int = 0
+    hidden_dim: int = 16
+    epochs: int = 15
+    model: str = "heterosgc"
+    #: install a deterministic FaultInjector in serving-load cells
+    inject_faults: bool = False
+
+    def __post_init__(self) -> None:
+        from repro.datasets.adversarial import churn_regimes
+
+        if not self.datasets:
+            raise ConfigurationError("matrix needs at least one dataset")
+        if not self.scales or any(s <= 0 for s in self.scales):
+            raise ConfigurationError(f"scales must be positive, got {self.scales}")
+        if not self.regimes:
+            raise ConfigurationError("matrix needs at least one churn regime")
+        known = set(churn_regimes())
+        unknown = [r for r in self.regimes if r not in known]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown churn regimes {unknown}; known: {sorted(known)}"
+            )
+        bad_loads = [l for l in self.loads if l not in LOADS]
+        if not self.loads or bad_loads:
+            raise ConfigurationError(f"loads must be drawn from {LOADS}, got {self.loads}")
+        if self.steps < 1:
+            raise ConfigurationError(f"steps must be >= 1, got {self.steps}")
+        if not 0.0 < self.ratio <= 1.0:
+            raise ConfigurationError(f"ratio must be in (0, 1], got {self.ratio}")
+        if self.verify_every < 0:
+            raise ConfigurationError("verify_every must be >= 0")
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One self-contained matrix cell; hashes like :class:`repro.runner.plan.Cell`."""
+
+    dataset: str
+    scale: float
+    regime: str
+    load: str
+    steps: int
+    ratio: float
+    seed: int
+    max_hops: int
+    recondense_threshold: float
+    verify_every: int
+    hidden_dim: int
+    epochs: int
+    model: str
+    inject_faults: bool
+    kind: str = "matrix"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe field dict (the canonical form :meth:`key` hashes)."""
+        payload: dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, float):
+                value = float(value)
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "MatrixCell":
+        names = {spec.name for spec in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})
+
+    def key(self) -> str:
+        """Stable 16-hex-digit content hash (same contract as ``Cell.key``)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def label(self) -> str:
+        """Human-oriented progress label."""
+        return (
+            f"{self.dataset}@{self.scale:g} {self.regime} load={self.load}"
+            + (" +faults" if self.inject_faults and self.load != "none" else "")
+        )
+
+
+@dataclass(frozen=True)
+class MatrixPlan:
+    """An ordered tuple of matrix cells plus a description."""
+
+    cells: tuple[MatrixCell, ...]
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[MatrixCell]:
+        return iter(self.cells)
+
+    def keys(self) -> tuple[str, ...]:
+        """The cell hashes, in plan order."""
+        return tuple(cell.key() for cell in self.cells)
+
+
+def plan_matrix(config: MatrixConfig) -> MatrixPlan:
+    """Expand ``config`` into the full dataset × scale × regime × load grid."""
+    cells = []
+    for dataset in config.datasets:
+        max_hops = resolve_max_hops(dataset, config.max_hops)
+        for scale in config.scales:
+            for regime in config.regimes:
+                for load in config.loads:
+                    cells.append(
+                        MatrixCell(
+                            dataset=dataset,
+                            scale=float(scale),
+                            regime=regime,
+                            load=load,
+                            steps=config.steps,
+                            ratio=float(config.ratio),
+                            seed=config.seed,
+                            max_hops=max_hops,
+                            recondense_threshold=float(config.recondense_threshold),
+                            verify_every=config.verify_every,
+                            hidden_dim=config.hidden_dim,
+                            epochs=config.epochs,
+                            model=config.model,
+                            inject_faults=bool(config.inject_faults),
+                        )
+                    )
+    description = (
+        f"{len(config.datasets)} datasets x {len(config.scales)} scales x "
+        f"{len(config.regimes)} regimes x {len(config.loads)} loads"
+    )
+    return MatrixPlan(cells=tuple(cells), description=description)
+
+
+# --------------------------------------------------------------------------- #
+# Cell execution
+# --------------------------------------------------------------------------- #
+def _should_verify(cell: MatrixCell, step: int) -> bool:
+    if cell.verify_every:
+        return step % cell.verify_every == 0
+    return step == cell.steps  # default: final checkpoint only
+
+
+def run_matrix_cell(cell: MatrixCell) -> dict:
+    """Execute one cell; returns a JSON-safe result dict.
+
+    Deterministic given the cell (dataset load, schedule generation,
+    condensation and training are all seeded by ``cell.seed``); wall-clock
+    fields are the only run-dependent values.
+    """
+    from repro.core.condenser import FreeHGC
+    from repro.datasets.generators import generate_delta_schedule
+    from repro.evaluation.timing import summarize_latencies
+    from repro.streaming import DeltaApplier, IncrementalCondenser, graphs_equal
+    from repro.utils import faults
+
+    started = perf_counter()
+    entry = registry.datasets.get(cell.dataset)
+    graph = entry.loader(scale=cell.scale, seed=cell.seed)
+    target_nodes = int(graph.num_nodes[graph.schema.target_type])
+    schedule = generate_delta_schedule(
+        graph,
+        steps=cell.steps,
+        seed=cell.seed,
+        regime=cell.regime,
+        regime_params=(
+            None
+            if cell.regime == "steady"
+            else {"recondense_threshold": cell.recondense_threshold}
+        ),
+    )
+
+    controller = None
+    if cell.load == "none":
+        incremental = IncrementalCondenser(
+            graph,
+            condenser=FreeHGC(max_hops=cell.max_hops),
+            ratio=cell.ratio,
+            recondense_threshold=cell.recondense_threshold,
+            seed=cell.seed,
+        )
+    else:
+        from repro.evaluation.pipeline import make_model_factory
+        from repro.serving.hotswap import ServingController
+
+        factory = make_model_factory(
+            cell.model,
+            hidden_dim=cell.hidden_dim,
+            epochs=cell.epochs,
+            max_hops=cell.max_hops,
+            seed=cell.seed,
+        )
+        controller = ServingController(
+            graph,
+            factory,
+            model_name=cell.model,
+            ratio=cell.ratio,
+            condenser=FreeHGC(max_hops=cell.max_hops),
+            recondense_threshold=cell.recondense_threshold,
+            seed=cell.seed,
+        )
+
+    injector = None
+    if cell.inject_faults and controller is not None:
+        # Deterministic per-cell fault plan: stretch every second hot-swap's
+        # publish window so queries race a slow swap.
+        injector = faults.FaultInjector(seed=cell.seed)
+        injector.plan("hotswap.delay_publish", every=2, seconds=0.001)
+        faults.install(injector)
+
+    replica = graph.copy()
+    replica_applier = DeltaApplier()
+    modes: dict[str, int] = {"full": 0, "incremental": 0}
+    incremental_seconds: list[float] = []
+    full_seconds: list[float] = []
+    latencies: list[float] = []
+    queries = 0
+    prediction_failures = 0
+    verified_checkpoints = 0
+    mismatches = 0
+    max_edge_fraction = 0.0
+    dirty_max = 0
+
+    try:
+        cold_start = perf_counter()
+        if controller is None:
+            incremental.condense()
+        else:
+            controller.start()
+        cold_seconds = perf_counter() - cold_start
+
+        for delta in schedule:
+            live = graph  # both paths mutate the originally loaded graph
+            max_edge_fraction = max(max_edge_fraction, delta.edge_fraction(live))
+            if controller is None:
+                step_report = incremental.step(delta)
+                mode = step_report.mode
+                condense_seconds = step_report.condense_seconds
+                condensed = step_report.condensed
+                dirty = getattr(step_report.apply_report, "dirty_targets", None)
+                if dirty is not None:
+                    dirty_max = max(dirty_max, int(np.asarray(dirty).size))
+            else:
+                swap = controller.apply_delta(delta)
+                mode = swap.mode
+                condense_seconds = swap.condense_seconds
+                condensed = controller.condensed
+                if swap.dirty_count >= 0:
+                    dirty_max = max(dirty_max, int(swap.dirty_count))
+            modes[mode] = modes.get(mode, 0) + 1
+            if mode == "incremental":
+                incremental_seconds.append(condense_seconds)
+
+            replica_applier.apply(replica, delta)
+            if _should_verify(cell, delta.step):
+                full_start = perf_counter()
+                full = FreeHGC(max_hops=cell.max_hops).condense(
+                    replica, cell.ratio, seed=cell.seed
+                )
+                full_seconds.append(perf_counter() - full_start)
+                verified_checkpoints += 1
+                if not graphs_equal(condensed, full):
+                    mismatches += 1
+
+            if controller is not None:
+                session = controller.session
+                per_step = _QUERIES_PER_STEP[cell.load]
+                rng = np.random.default_rng([cell.seed, delta.step])
+                issued = 0
+                while issued < per_step:
+                    size = min(_QUERY_BATCH, per_step - issued)
+                    ids = rng.integers(0, session.num_targets, size=size)
+                    t0 = perf_counter()
+                    predictions = session.predict(ids)
+                    latencies.append(perf_counter() - t0)
+                    expected = np.argmax(session.logits(ids), axis=1)
+                    prediction_failures += int((predictions != expected).sum())
+                    issued += size
+                queries += issued
+    finally:
+        if injector is not None:
+            faults.uninstall()
+
+    median_incremental = (
+        float(np.median(incremental_seconds)) if incremental_seconds else None
+    )
+    median_full = float(np.median(full_seconds)) if full_seconds else None
+    speedup = (
+        median_full / median_incremental
+        if median_incremental and median_full
+        else None
+    )
+    result: dict[str, object] = {
+        "dataset": cell.dataset,
+        "scale": cell.scale,
+        "regime": cell.regime,
+        "load": cell.load,
+        "steps": cell.steps,
+        "target_nodes": target_nodes,
+        "modes": modes,
+        "threshold_fallbacks": int(modes.get("full", 0)),
+        "max_edge_fraction": float(max_edge_fraction),
+        "dirty_targets_max": int(dirty_max),
+        "cold_condense_seconds": float(cold_seconds),
+        "median_incremental_seconds": median_incremental,
+        "median_full_seconds": median_full,
+        "speedup": speedup,
+        "verified_checkpoints": int(verified_checkpoints),
+        "mismatches": int(mismatches),
+        "queries": int(queries),
+        "prediction_failures": int(prediction_failures),
+        "latency_ms": (
+            {
+                key: value * 1e3
+                for key, value in summarize_latencies(latencies).items()
+                if key in ("p50", "p95", "p99", "mean", "max")
+            }
+            if latencies
+            else {}
+        ),
+        "fault_fires": dict(injector.fires) if injector is not None else {},
+        "elapsed_seconds": float(perf_counter() - started),
+    }
+    return result
+
+
+def execute_matrix_payload(payload: dict) -> dict:
+    """Process-pool entry point: rebuild the cell and run it."""
+    return run_matrix_cell(MatrixCell.from_dict(payload))
+
+
+# --------------------------------------------------------------------------- #
+# Suite driver
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MatrixOutcome:
+    """One cell's completion record (compatible with the CLI progress printer)."""
+
+    cell: MatrixCell
+    result: dict
+    cached: bool
+    elapsed_s: float
+
+
+def run_matrix(
+    plan: MatrixPlan,
+    *,
+    store: ArtifactStore | None = None,
+    workers: int = 1,
+    force: bool = False,
+    progress: Callable[[MatrixOutcome, int, int], None] | None = None,
+) -> list[MatrixOutcome]:
+    """Run every cell of ``plan``, resuming from ``store`` when possible.
+
+    Completed cells (present in ``store`` under their content hash) are
+    returned as ``cached`` outcomes without re-executing — the property the
+    CI matrix-smoke job asserts by killing a run mid-suite.  ``workers > 1``
+    fans the *remaining* cells over a process pool; results and store
+    contents are identical either way because each cell is deterministic.
+    """
+    total = len(plan.cells)
+    outcomes: dict[int, MatrixOutcome] = {}
+    pending: list[tuple[int, MatrixCell]] = []
+    for index, cell in enumerate(plan.cells):
+        record = None if (store is None or force) else store.get(cell.key())
+        if record is not None:
+            meta = record.get("meta", {})
+            outcomes[index] = MatrixOutcome(
+                cell=cell,
+                result=dict(record.get("result", {})),
+                cached=True,
+                elapsed_s=float(meta.get("elapsed_s", 0.0)) if isinstance(meta, dict) else 0.0,
+            )
+        else:
+            pending.append((index, cell))
+
+    if progress is not None:
+        # Report skipped (resumed) cells up front, in plan order — the
+        # resume-zero-reexec CI assertion counts these "cached" lines.
+        for index in sorted(outcomes):
+            progress(outcomes[index], index, total)
+
+    def record_outcome(index: int, cell: MatrixCell, result: dict, elapsed: float) -> None:
+        if store is not None:
+            store.put(cell.key(), cell.to_dict(), result, elapsed_s=elapsed)
+        outcomes[index] = MatrixOutcome(
+            cell=cell, result=result, cached=False, elapsed_s=elapsed
+        )
+
+    if workers <= 1 or len(pending) <= 1:
+        for index, cell in pending:
+            t0 = perf_counter()
+            result = run_matrix_cell(cell)
+            record_outcome(index, cell, result, perf_counter() - t0)
+            if progress is not None:
+                progress(outcomes[index], index, total)
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {
+                pool.submit(execute_matrix_payload, cell.to_dict()): (index, cell)
+                for index, cell in pending
+            }
+            for future, (index, cell) in futures.items():
+                t0 = perf_counter()
+                result = future.result()
+                record_outcome(index, cell, result, perf_counter() - t0)
+                if progress is not None:
+                    progress(outcomes[index], index, total)
+
+    return [outcomes[index] for index in range(total)]
+
+
+def consolidate(
+    outcomes: list[MatrixOutcome], gates: tuple[Gate, ...]
+) -> dict:
+    """Assemble the consolidated suite report (JSON-safe).
+
+    Per cell: the cell spec, its result, and every gate outcome.  The
+    summary counts enforced-gate failures and byte-identity mismatches —
+    the two conditions that fail the suite.
+    """
+    cells = []
+    gate_failures = 0
+    mismatches = 0
+    for outcome in outcomes:
+        cell_dict = outcome.cell.to_dict()
+        evaluated = evaluate_cell_gates(cell_dict, outcome.result, gates)
+        failed = [g for g in evaluated if g.enforced and g.passed is False]
+        gate_failures += len(failed)
+        mismatches += int(outcome.result.get("mismatches", 0) or 0)
+        cells.append(
+            {
+                "key": outcome.cell.key(),
+                "cell": cell_dict,
+                "cached": outcome.cached,
+                "elapsed_s": outcome.elapsed_s,
+                "result": outcome.result,
+                "gates": [g.to_dict() for g in evaluated],
+                "failed_gates": [g.name for g in failed],
+            }
+        )
+    return {
+        "version": 1,
+        "cells": cells,
+        "gates": [gate.to_dict() for gate in gates],
+        "summary": {
+            "total": len(outcomes),
+            "cached": sum(1 for o in outcomes if o.cached),
+            "executed": sum(1 for o in outcomes if not o.cached),
+            "verified_checkpoints": sum(
+                int(o.result.get("verified_checkpoints", 0) or 0) for o in outcomes
+            ),
+            "mismatches": mismatches,
+            "gate_failures": gate_failures,
+            "passed": gate_failures == 0 and mismatches == 0,
+        },
+    }

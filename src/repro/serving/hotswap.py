@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from time import perf_counter
+from time import perf_counter, sleep as time_sleep
 from typing import Callable
 
 import numpy as np
@@ -45,6 +45,7 @@ from repro.serving.artifacts import ModelBundle
 from repro.serving.engine import InferenceSession
 from repro.streaming.delta import GraphDelta
 from repro.streaming.incremental import IncrementalCondenser, graphs_equal
+from repro.utils import faults
 
 __all__ = ["SwapReport", "ServingController"]
 
@@ -233,6 +234,11 @@ class ServingController:
             self._condensed = step.condensed
             self._model = model
             self._version = new_version
+            hold = faults.fire("hotswap.delay_publish")
+            if hold is not None:
+                # Fault site: stretch the window between building the new
+                # session and publishing it, so readers race a slow swap.
+                time_sleep(float(hold.get("seconds", 0.0)))
             # The atomic publish: readers switch to the fully-built session.
             self._session = session
             report = SwapReport(

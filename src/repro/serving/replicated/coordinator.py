@@ -57,6 +57,7 @@ from repro.serving.replicated.pool import (
 )
 from repro.serving.replicated.wal import DeltaWAL, plan_replay
 from repro.streaming.delta import GraphDelta
+from repro.utils import faults
 
 __all__ = ["ReplicatedConfig", "ReplicatedServer", "recover_from_wal"]
 
@@ -396,6 +397,12 @@ class ReplicatedServer:
         waited for (the supervisor respawns them onto ``CURRENT``, which
         already points at ``version``).
         """
+        action = faults.fire("coordinator.delay_ack")
+        if action is not None:
+            # Fault site: a slow swap-ack round trip.  The sleep happens
+            # *inside* the commit's ack wait, so it eats into the
+            # ack_timeout_seconds deadline exactly like network delay would.
+            await asyncio.sleep(float(action.get("seconds", 0.05)))
         notified: list[_WorkerLink] = []
         message = json.dumps({"type": "swap", "version": int(version)}).encode("utf-8") + b"\n"
         for link in list(self._links.values()):

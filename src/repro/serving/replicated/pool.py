@@ -57,6 +57,7 @@ import numpy as np
 
 from repro.errors import ServingError
 from repro.serving.artifacts import ModelBundle, save_bundle
+from repro.utils import faults
 from repro.serving.engine import InferenceSession
 from repro.serving.server import (
     DEFAULT_MAX_BODY_BYTES,
@@ -375,9 +376,33 @@ class WorkerPool:
         """Liveness per slot."""
         return {slot: proc.is_alive() for slot, proc in self._processes.items()}
 
+    def _maybe_inject_kill(self) -> int | None:
+        """``pool.worker_kill`` fault site: SIGKILL one live worker.
+
+        The kill is indistinguishable from a real crash — the same
+        supervise tick (or the next) notices the dead process and respawns
+        it onto ``CURRENT``.  The action's ``slot`` key picks the victim;
+        an absent or dead slot falls back to the lowest live one.
+        """
+        action = faults.fire("pool.worker_kill")
+        if action is None:
+            return None
+        live = sorted(
+            slot for slot, proc in self._processes.items() if proc.is_alive()
+        )
+        if not live:
+            return None
+        slot = action.get("slot")
+        if slot not in live:
+            slot = live[0]
+        self._processes[slot].kill()
+        self._processes[slot].join(timeout=5.0)
+        return slot
+
     async def supervise(self, *, interval: float = 0.25) -> None:
         """Respawn dead workers until :meth:`stop` is called."""
         while not self._stopping:
+            self._maybe_inject_kill()
             for slot, process in list(self._processes.items()):
                 if not process.is_alive() and not self._stopping:
                     process.join(timeout=0)

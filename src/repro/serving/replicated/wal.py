@@ -51,6 +51,7 @@ from pathlib import Path
 
 from repro.errors import WALError
 from repro.streaming.delta import GraphDelta
+from repro.utils import faults
 
 __all__ = ["WALRecord", "DeltaWAL", "read_wal", "plan_replay"]
 
@@ -124,7 +125,20 @@ class DeltaWAL:
         if kind not in (KIND_GENESIS, KIND_DELTA, KIND_SNAPSHOT):
             raise WALError(f"refusing to append record of unknown kind {kind!r}")
         offset = self._file.tell()
-        self._file.write(_encode(payload))
+        encoded = _encode(payload)
+        action = faults.fire("wal.torn_tail")
+        if action is not None:
+            # Simulate a crash mid-write: a durable *prefix* of the frame —
+            # the exact torn tail read_wal(repair=True) must truncate away.
+            keep = int(action.get("keep_bytes", len(encoded) // 2))
+            keep = max(1, min(keep, len(encoded) - 1))
+            self._file.write(encoded[:keep])
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            raise faults.InjectedFault(
+                f"wal.torn_tail: wrote {keep}/{len(encoded)} bytes at offset {offset}"
+            )
+        self._file.write(encoded)
         self._file.flush()
         if self.fsync:
             os.fsync(self._file.fileno())

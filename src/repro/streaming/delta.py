@@ -269,7 +269,15 @@ class GraphDelta:
                 name: [src.tolist(), dst.tolist()]
                 for name, (src, dst) in self.remove_edges.items()
             },
-            "add_nodes": {t: feats.tolist() for t, feats in self.add_nodes.items()},
+            "add_nodes": {
+                # A (0, d) matrix serialises as [] — the feature dimension is
+                # unrecoverable, so from_payload drops such entries.  Omit
+                # them here too: absent and zero-row mean the same thing to
+                # the applier, and the payload round-trips exactly.
+                t: feats.tolist()
+                for t, feats in self.add_nodes.items()
+                if feats.shape[0]
+            },
             "add_labels": None if self.add_labels is None else self.add_labels.tolist(),
             "add_split": self.add_split,
             "remove_nodes": {t: ids.tolist() for t, ids in self.remove_nodes.items()},

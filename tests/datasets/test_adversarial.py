@@ -1,0 +1,216 @@
+"""Tests for the adversarial churn-regime library (repro.datasets.adversarial)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_acm
+from repro.datasets.adversarial import (
+    ADVERSARIAL_REGIMES,
+    churn_regimes,
+    generate_adversarial_schedule,
+)
+from repro.datasets.generators import generate_delta_schedule
+from repro.errors import DatasetError
+from repro.streaming.apply import DeltaApplier
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_acm(scale=0.1, seed=0)
+
+
+def _replay(graph, schedule):
+    state = graph.copy()
+    applier = DeltaApplier()
+    for delta in schedule:
+        delta.validate_against(state)
+        applier.apply(state, delta)
+    return state
+
+
+class TestRegistry:
+    def test_churn_regimes_lists_steady_first(self):
+        regimes = churn_regimes()
+        assert regimes[0] == "steady"
+        assert set(regimes[1:]) == set(ADVERSARIAL_REGIMES)
+        assert len(regimes) >= 5  # steady + the four adversarial regimes
+
+    def test_unknown_regime_raises_with_known_list(self, graph):
+        with pytest.raises(DatasetError, match="steady"):
+            generate_adversarial_schedule(graph, regime="nope", steps=1)
+
+    def test_zero_steps_rejected(self, graph):
+        with pytest.raises(DatasetError):
+            generate_adversarial_schedule(graph, regime="hub-deletion", steps=0)
+
+    def test_generate_delta_schedule_dispatches_regimes(self, graph):
+        via_dispatch = generate_delta_schedule(
+            graph, steps=2, seed=5, regime="hub-deletion"
+        )
+        direct = generate_adversarial_schedule(
+            graph, regime="hub-deletion", steps=2, seed=5
+        )
+        assert [d.to_payload() for d in via_dispatch] == [
+            d.to_payload() for d in direct
+        ]
+
+    def test_steady_dispatch_unchanged(self, graph):
+        legacy = generate_delta_schedule(graph, steps=2, seed=3, edge_churn=0.01)
+        routed = generate_delta_schedule(
+            graph, steps=2, seed=3, regime="steady", regime_params={"edge_churn": 0.01}
+        )
+        assert [d.to_payload() for d in legacy] == [d.to_payload() for d in routed]
+
+
+@pytest.mark.parametrize("regime", sorted(ADVERSARIAL_REGIMES))
+class TestEveryRegime:
+    def test_deterministic_under_seed(self, graph, regime):
+        a = generate_adversarial_schedule(graph, regime=regime, steps=3, seed=11)
+        b = generate_adversarial_schedule(graph, regime=regime, steps=3, seed=11)
+        assert [d.to_payload() for d in a] == [d.to_payload() for d in b]
+
+    def test_metadata_stamped_and_valid_replay(self, graph, regime):
+        schedule = generate_adversarial_schedule(graph, regime=regime, steps=3, seed=1)
+        assert [d.step for d in schedule] == [1, 2, 3]
+        assert all(d.metadata == {"regime": regime} for d in schedule)
+        state = _replay(graph, schedule)  # validate_against must not raise
+        assert state.schema.node_types == graph.schema.node_types
+
+    def test_source_graph_not_mutated(self, graph, regime):
+        before = {t: int(n) for t, n in graph.num_nodes.items()}
+        nnz = {name: m.nnz for name, m in graph.adjacency.items()}
+        generate_adversarial_schedule(graph, regime=regime, steps=2, seed=0)
+        assert {t: int(n) for t, n in graph.num_nodes.items()} == before
+        assert {name: m.nnz for name, m in graph.adjacency.items()} == nnz
+
+
+class TestHubDeletion:
+    def test_removes_highest_degree_non_target_nodes(self, graph):
+        schedule = generate_adversarial_schedule(
+            graph, regime="hub-deletion", steps=1, seed=0
+        )
+        delta = schedule[0]
+        target = graph.schema.target_type
+        assert target not in delta.remove_nodes
+        assert delta.remove_nodes  # at least one non-target type hit
+        for node_type, removed in delta.remove_nodes.items():
+            degrees = np.zeros(graph.num_nodes[node_type], dtype=np.int64)
+            for name, matrix in graph.adjacency.items():
+                rel = graph.schema.relation(name)
+                if rel.src == node_type:
+                    degrees += np.diff(matrix.indptr)
+                if rel.dst == node_type:
+                    coo = matrix.tocoo()
+                    degrees += np.bincount(coo.col, minlength=matrix.shape[1])
+            assert degrees[int(removed[0])] == degrees.max()
+
+
+class TestDirtyMaximizer:
+    def test_fallback_steps_exceed_threshold(self, graph):
+        threshold = 0.05
+        schedule = generate_adversarial_schedule(
+            graph,
+            regime="dirty-maximizer",
+            steps=3,
+            seed=0,
+            params={"recondense_threshold": threshold, "fallback_every": 3},
+        )
+        state = graph.copy()
+        applier = DeltaApplier()
+        fractions = []
+        for delta in schedule:
+            fractions.append(delta.edge_fraction(state))
+            applier.apply(state, delta)
+        # Steps 1-2 stay under the threshold, step 3 forces the full path.
+        assert fractions[0] < threshold
+        assert fractions[1] < threshold
+        assert fractions[2] > threshold
+
+    def test_edits_concentrate_on_hubs(self, graph):
+        hub_count = 4
+        schedule = generate_adversarial_schedule(
+            graph,
+            regime="dirty-maximizer",
+            steps=1,
+            seed=0,
+            params={"hubs": hub_count},
+        )
+        delta = schedule[0]
+        for name, (_, dst) in delta.add_edges.items():
+            matrix = graph.adjacency[name]
+            coo = matrix.tocoo()
+            in_degrees = np.bincount(coo.col, minlength=matrix.shape[1])
+            hubs = set(np.argsort(-in_degrees, kind="stable")[:hub_count].tolist())
+            assert set(np.asarray(dst).tolist()) <= hubs
+
+
+class TestBurstArrival:
+    def test_bursts_add_nodes_quiet_steps_do_not(self, graph):
+        schedule = generate_adversarial_schedule(
+            graph,
+            regime="burst-arrival",
+            steps=4,
+            seed=0,
+            params={"burst_every": 2},
+        )
+        burst_steps = [bool(d.add_nodes) for d in schedule]
+        assert burst_steps == [False, True, False, True]
+        burst = schedule[1]
+        target = graph.schema.target_type
+        assert target not in burst.add_nodes
+        for node_type, feats in burst.add_nodes.items():
+            assert feats.shape[0] >= 4
+            assert feats.shape[1] == graph.features[node_type].shape[1]
+
+    def test_node_counts_grow_after_replay(self, graph):
+        schedule = generate_adversarial_schedule(
+            graph, regime="burst-arrival", steps=2, seed=0
+        )
+        state = _replay(graph, schedule)
+        grew = [
+            t
+            for t in graph.schema.node_types
+            if state.num_nodes[t] > graph.num_nodes[t]
+        ]
+        assert grew  # at least one type actually received arrivals
+
+
+class TestSkewedTypes:
+    def test_all_added_edges_hit_the_magnet(self, graph):
+        schedule = generate_adversarial_schedule(
+            graph, regime="skewed-types", steps=1, seed=0
+        )
+        delta = schedule[0]
+        names = sorted(
+            graph.adjacency, key=lambda n: (-graph.adjacency[n].nnz, n)
+        )
+        magnet_rel = names[0]
+        assert set(delta.add_edges) == {magnet_rel}
+        coo = graph.adjacency[magnet_rel].tocoo()
+        in_degrees = np.bincount(coo.col, minlength=graph.adjacency[magnet_rel].shape[1])
+        magnet = int(np.argmax(in_degrees))
+        _, dst = delta.add_edges[magnet_rel]
+        assert np.all(np.asarray(dst) == magnet)
+
+    def test_other_relations_only_drain(self, graph):
+        schedule = generate_adversarial_schedule(
+            graph, regime="skewed-types", steps=1, seed=0
+        )
+        delta = schedule[0]
+        names = sorted(
+            graph.adjacency, key=lambda n: (-graph.adjacency[n].nnz, n)
+        )
+        assert set(delta.remove_edges) <= set(names[1:])
+        assert delta.remove_edges  # the drain actually happens
+
+    def test_unknown_relation_param_raises(self, graph):
+        with pytest.raises(DatasetError, match="unknown relation"):
+            generate_adversarial_schedule(
+                graph,
+                regime="skewed-types",
+                steps=1,
+                seed=0,
+                params={"relation": "no-such-relation"},
+            )

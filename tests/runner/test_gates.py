@@ -1,0 +1,189 @@
+"""Regression gates derived from committed BENCH_*.json baselines."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner.gates import (
+    BASELINE_FILES,
+    UNKNOWN_PROVENANCE,
+    Gate,
+    derive_matrix_gates,
+    evaluate_cell_gates,
+    read_baseline,
+)
+
+
+def write_json(path, payload):
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestReadBaseline:
+    def test_missing_file_is_empty_dict(self, tmp_path):
+        assert read_baseline(tmp_path / "BENCH_nothing.json") == {}
+
+    def test_unparseable_file_is_empty_dict(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json")
+        assert read_baseline(path) == {}
+
+    def test_non_dict_payload_is_empty_dict(self, tmp_path):
+        assert read_baseline(write_json(tmp_path / "b.json", [1, 2])) == {}
+
+    def test_pre_provenance_file_gets_unknown_block(self, tmp_path):
+        # Pre-PR-6 baselines have no provenance key at all; reading one
+        # must not KeyError downstream.
+        path = write_json(tmp_path / "BENCH_streaming.json", {"speedup": 12.0})
+        payload = read_baseline(path)
+        assert payload["speedup"] == 12.0
+        assert payload["provenance"] == UNKNOWN_PROVENANCE
+        assert payload["provenance"]["git_revision"] == "unknown"
+
+    def test_partial_provenance_backfilled(self, tmp_path):
+        path = write_json(
+            tmp_path / "b.json", {"provenance": {"git_revision": "abc123"}}
+        )
+        provenance = read_baseline(path)["provenance"]
+        assert provenance["git_revision"] == "abc123"
+        assert provenance["generated_at"] == "unknown"
+
+    def test_full_provenance_untouched(self, tmp_path):
+        block = {"git_revision": "abc", "generated_at": "2026-08-08T00:00:00+00:00"}
+        path = write_json(tmp_path / "b.json", {"provenance": dict(block)})
+        assert read_baseline(path)["provenance"] == block
+
+
+class TestBenchmarksCommonReader:
+    def test_load_baseline_delegates_tolerantly(self, tmp_path, monkeypatch):
+        import benchmarks.common as common
+
+        monkeypatch.setattr(common, "JSON_DIR", tmp_path)
+        assert common.load_baseline("BENCH_serving.json") == {}
+        write_json(tmp_path / "BENCH_serving.json", {"hotswap": {"x": 1}})
+        payload = common.load_baseline("BENCH_serving.json")
+        assert payload["hotswap"] == {"x": 1}
+        assert payload["provenance"] == UNKNOWN_PROVENANCE
+
+    def test_committed_baselines_all_readable(self):
+        # The real committed files must parse and come back provenance-safe.
+        for name in BASELINE_FILES:
+            payload = read_baseline(name)
+            assert payload, f"{name} missing or unreadable"
+            assert "git_revision" in payload["provenance"]
+
+
+class TestDeriveMatrixGates:
+    def test_empty_dir_yields_no_gates(self, tmp_path):
+        assert derive_matrix_gates(tmp_path) == ()
+
+    def test_committed_baselines_yield_all_gates(self):
+        names = {g.name for g in derive_matrix_gates(".")}
+        assert {
+            "byte-identity",
+            "incremental-speedup",
+            "prediction-consistency",
+            "serving-p95-ms",
+        } <= names
+
+    def test_gates_carry_baseline_provenance(self):
+        for gate in derive_matrix_gates("."):
+            assert gate.baseline_file in BASELINE_FILES
+            assert gate.provenance.get("git_revision")
+            json.dumps(gate.to_dict())
+
+    def test_speedup_threshold_never_below_break_even(self, tmp_path):
+        write_json(
+            tmp_path / "BENCH_streaming.json",
+            {"speedup": 2.0, "byte_identical_checkpoints": 3},
+        )
+        gates = {g.name: g for g in derive_matrix_gates(tmp_path)}
+        assert gates["incremental-speedup"].threshold == 1.0  # max(1, 0.25*2)
+        assert gates["incremental-speedup"].baseline_value == 2.0
+
+
+def make_gate(name, *, kind="max_value", metric="mismatches", threshold=0.0):
+    return Gate(
+        name=name,
+        kind=kind,
+        metric=metric,
+        threshold=threshold,
+        baseline_file="BENCH_streaming.json",
+        baseline_value=None,
+        provenance=dict(UNKNOWN_PROVENANCE),
+    )
+
+
+class TestEvaluateCellGates:
+    def cell(self, **overrides):
+        return {"regime": "steady", "load": "none", **overrides}
+
+    def test_byte_identity_enforced_only_when_verified(self):
+        gate = make_gate("byte-identity")
+        verified = evaluate_cell_gates(
+            self.cell(), {"verified_checkpoints": 2, "mismatches": 0}, (gate,)
+        )[0]
+        assert verified.enforced and verified.passed
+        unverified = evaluate_cell_gates(
+            self.cell(), {"verified_checkpoints": 0, "mismatches": 0}, (gate,)
+        )[0]
+        assert not unverified.enforced
+
+    def test_byte_identity_fails_on_mismatch(self):
+        gate = make_gate("byte-identity")
+        outcome = evaluate_cell_gates(
+            self.cell(), {"verified_checkpoints": 1, "mismatches": 1}, (gate,)
+        )[0]
+        assert outcome.enforced and outcome.passed is False
+        assert outcome.observed == 1.0
+
+    def test_speedup_gate_needs_steady_no_load_and_pool_size(self):
+        gate = make_gate(
+            "incremental-speedup", kind="min_value", metric="speedup", threshold=3.0
+        )
+        good = {"speedup": 5.0, "target_nodes": 2000}
+        assert evaluate_cell_gates(self.cell(), good, (gate,))[0].enforced
+        assert evaluate_cell_gates(self.cell(), good, (gate,))[0].passed
+        for cell in (
+            self.cell(regime="hub-deletion"),
+            self.cell(load="light"),
+        ):
+            assert not evaluate_cell_gates(cell, good, (gate,))[0].enforced
+        small = {"speedup": 5.0, "target_nodes": 100}
+        assert not evaluate_cell_gates(self.cell(), small, (gate,))[0].enforced
+        slow = {"speedup": 2.0, "target_nodes": 2000}
+        outcome = evaluate_cell_gates(self.cell(), slow, (gate,))[0]
+        assert outcome.enforced and outcome.passed is False
+
+    def test_missing_metric_records_none_and_unenforced(self):
+        gate = make_gate(
+            "serving-p95-ms", metric="latency_ms.p95", threshold=250.0
+        )
+        outcome = evaluate_cell_gates(
+            self.cell(load="light"), {"latency_ms": {}}, (gate,)
+        )[0]
+        assert outcome.passed is None
+        assert not outcome.enforced
+        present = evaluate_cell_gates(
+            self.cell(load="light"), {"latency_ms": {"p95": 10.0}}, (gate,)
+        )[0]
+        assert present.enforced and present.passed
+
+    def test_prediction_consistency_only_under_load(self):
+        gate = make_gate("prediction-consistency", metric="prediction_failures")
+        loaded = evaluate_cell_gates(
+            self.cell(load="heavy"), {"prediction_failures": 0}, (gate,)
+        )[0]
+        assert loaded.enforced and loaded.passed
+        idle = evaluate_cell_gates(
+            self.cell(), {"prediction_failures": 0}, (gate,)
+        )[0]
+        assert not idle.enforced
+
+    def test_unknown_gate_name_never_enforced(self):
+        gate = make_gate("mystery-gate")
+        outcome = evaluate_cell_gates(self.cell(), {"mismatches": 0}, (gate,))[0]
+        assert not outcome.enforced
+        assert outcome.baseline_revision == "unknown"

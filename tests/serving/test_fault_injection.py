@@ -1,0 +1,273 @@
+"""One test class per wired fault-injection site (see repro.utils.faults).
+
+Each site simulates a specific production failure — a torn WAL write, a
+SIGKILLed worker, a slow swap ack, a widened hot-swap window — and each
+test asserts two things: the fault actually fires (deterministically, from
+the plan), and the surrounding machinery recovers the way its docstring
+promises.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import FreeHGC
+from repro.datasets import load_acm
+from repro.models import HeteroSGC
+from repro.serving.hotswap import ServingController
+from repro.serving.replicated.coordinator import (
+    ReplicatedConfig,
+    ReplicatedServer,
+    _WorkerLink,
+)
+from repro.serving.replicated.pool import WorkerPool
+from repro.serving.replicated.wal import DeltaWAL, read_wal
+from repro.streaming.delta import GraphDelta
+from repro.utils import faults
+from repro.utils.faults import FaultInjector, InjectedFault
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+def make_delta(step: int = 1) -> GraphDelta:
+    return GraphDelta(
+        add_edges={"paper-author": (np.array([0, 1]), np.array([2, 3]))},
+        step=step,
+    )
+
+
+class TestWALTornTail:
+    def test_torn_append_recovers_via_repair(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with DeltaWAL(path) as wal:
+            wal.append_genesis({"seed": 0})
+            wal.append_delta(make_delta(1))
+            injector = FaultInjector(seed=0)
+            injector.plan("wal.torn_tail", at=(1,))
+            with faults.injected(injector):
+                with pytest.raises(InjectedFault):
+                    wal.append_delta(make_delta(2))
+            assert injector.fires["wal.torn_tail"] == 1
+        # The torn bytes are on disk: a strict read refuses the tail...
+        with pytest.raises(Exception):
+            read_wal(path)
+        # ...repair truncates back to the last good record...
+        records = read_wal(path, repair=True)
+        assert [r.kind for r in records] == ["genesis", "delta"]
+        assert records[1].delta().step == 1
+        # ...and the log accepts appends again, exactly like crash recovery.
+        wal, records = DeltaWAL.open(path)
+        with wal:
+            assert len(records) == 2
+            wal.append_delta(make_delta(3))
+        steps = [r.delta().step for r in read_wal(path) if r.kind == "delta"]
+        assert steps == [1, 3]
+
+    def test_keep_bytes_bounds_the_torn_prefix(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with DeltaWAL(path) as wal:
+            wal.append_genesis({"seed": 0})
+            committed = path.stat().st_size
+            injector = FaultInjector(seed=0)
+            injector.plan("wal.torn_tail", at=(1,), keep_bytes=3)
+            with faults.injected(injector):
+                with pytest.raises(InjectedFault):
+                    wal.append_delta(make_delta(1))
+        assert path.stat().st_size == committed + 3
+        assert len(read_wal(path, repair=True)) == 1
+
+    def test_no_injector_means_no_fault(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with DeltaWAL(path) as wal:
+            wal.append_genesis({"seed": 0})
+            wal.append_delta(make_delta(1))
+        assert len(read_wal(path)) == 2
+
+
+class _FakeProcess:
+    """Stands in for a spawn-context worker in supervise() tests."""
+
+    def __init__(self):
+        self.alive = True
+        self.killed = False
+
+    def is_alive(self):
+        return self.alive
+
+    def kill(self):
+        self.killed = True
+        self.alive = False
+
+    def join(self, timeout=None):
+        return None
+
+
+class TestPoolWorkerKill:
+    def make_pool(self, slots=(1, 2)):
+        pool = WorkerPool.__new__(WorkerPool)
+        pool.workers = len(slots)
+        pool.options = {}
+        pool._processes = {slot: _FakeProcess() for slot in slots}
+        pool._stopping = False
+        pool.respawns = 0
+        return pool
+
+    def test_kill_targets_lowest_live_slot_by_default(self):
+        pool = self.make_pool()
+        injector = FaultInjector(seed=0)
+        injector.plan("pool.worker_kill", at=(1,))
+        first, second = pool._processes[1], pool._processes[2]
+        with faults.injected(injector):
+            assert pool._maybe_inject_kill() == 1
+            assert pool._maybe_inject_kill() is None  # plan was at=(1,) only
+        assert first.killed and not second.killed
+
+    def test_slot_action_key_picks_the_victim(self):
+        pool = self.make_pool()
+        injector = FaultInjector(seed=0)
+        injector.plan("pool.worker_kill", at=(1,), slot=2)
+        with faults.injected(injector):
+            assert pool._maybe_inject_kill() == 2
+        assert pool._processes[2].killed and not pool._processes[1].killed
+
+    def test_dead_slot_falls_back_to_lowest_live(self):
+        pool = self.make_pool()
+        pool._processes[1].alive = False
+        injector = FaultInjector(seed=0)
+        injector.plan("pool.worker_kill", at=(1,), slot=1)  # already dead
+        with faults.injected(injector):
+            assert pool._maybe_inject_kill() == 2
+
+    def test_supervise_respawns_the_killed_worker(self):
+        pool = self.make_pool()
+        spawned = []
+
+        def fake_spawn(slot):
+            spawned.append(slot)
+            pool._processes[slot] = _FakeProcess()
+
+        pool._spawn = fake_spawn
+        injector = FaultInjector(seed=0)
+        injector.plan("pool.worker_kill", at=(1,), limit=1)
+
+        async def drive():
+            with faults.injected(injector):
+                task = asyncio.ensure_future(pool.supervise(interval=0.01))
+                for _ in range(200):
+                    await asyncio.sleep(0.01)
+                    if pool.respawns:
+                        break
+                pool._stopping = True
+                await task
+
+        asyncio.run(drive())
+        assert spawned == [1]
+        assert pool.respawns == 1
+        assert injector.fires["pool.worker_kill"] == 1
+        assert all(p.is_alive() for p in pool._processes.values())
+
+    def test_no_injector_is_a_noop(self):
+        pool = self.make_pool()
+        assert pool._maybe_inject_kill() is None
+        assert not any(p.killed for p in pool._processes.values())
+
+
+class _FakeWriter:
+    """Duck-typed asyncio.StreamWriter for control-channel tests."""
+
+    def __init__(self):
+        self.sent = b""
+
+    def write(self, data):
+        self.sent += data
+
+    async def drain(self):
+        return None
+
+
+class TestCoordinatorDelayAck:
+    def run_fan_out(self, tmp_path, *, delay_seconds, ack_timeout=5.0):
+        config = ReplicatedConfig(root=tmp_path, ack_timeout_seconds=ack_timeout)
+        server = ReplicatedServer(lambda graph: None, config=config)
+
+        async def drive():
+            link = _WorkerLink(slot=1, pid=1234, writer=_FakeWriter())
+            link.acks.put_nowait(7)
+            server._links[1] = link
+            start = asyncio.get_running_loop().time()
+            acked = await server._fan_out(7)
+            return acked, asyncio.get_running_loop().time() - start, link
+
+        injector = FaultInjector(seed=0)
+        injector.plan("coordinator.delay_ack", at=(1,), seconds=delay_seconds)
+        with faults.injected(injector):
+            acked, elapsed, link = asyncio.run(drive())
+        return acked, elapsed, link, injector
+
+    def test_delay_slows_the_swap_but_acks_still_land(self, tmp_path):
+        acked, elapsed, link, injector = self.run_fan_out(
+            tmp_path, delay_seconds=0.2
+        )
+        assert acked == 1
+        assert elapsed >= 0.2
+        assert injector.fires["coordinator.delay_ack"] == 1
+        # the notification still went out, after the delay
+        assert b'"swap"' in link.writer.sent
+
+    def test_delay_eats_into_the_ack_deadline(self, tmp_path):
+        # Ack never arrives: total wait stays bounded by ack_timeout even
+        # though the injected delay consumed part of it.
+        config = ReplicatedConfig(root=tmp_path, ack_timeout_seconds=0.3)
+        server = ReplicatedServer(lambda graph: None, config=config)
+
+        async def drive():
+            link = _WorkerLink(slot=1, pid=1, writer=_FakeWriter())
+            server._links[1] = link
+            start = asyncio.get_running_loop().time()
+            acked = await server._fan_out(1)
+            return acked, asyncio.get_running_loop().time() - start
+
+        injector = FaultInjector(seed=0)
+        injector.plan("coordinator.delay_ack", at=(1,), seconds=0.15)
+        with faults.injected(injector):
+            acked, elapsed = asyncio.run(drive())
+        assert acked == 0
+        assert 0.15 <= elapsed < 1.5
+
+
+class TestHotswapDelayPublish:
+    def test_delay_widens_the_swap_window(self):
+        graph = load_acm(scale=0.1, seed=0)
+        controller = ServingController(
+            graph,
+            lambda: HeteroSGC(hidden_dim=8, epochs=5, max_hops=2, seed=0),
+            model_name="heterosgc",
+            ratio=0.3,
+            condenser=FreeHGC(max_hops=2),
+            recondense_threshold=0.5,
+            seed=0,
+            cache_size=64,
+        )
+        controller.start()
+        before = controller.session
+        delta = make_delta(1)
+        injector = FaultInjector(seed=0)
+        injector.plan("hotswap.delay_publish", at=(1,), seconds=0.1)
+        with faults.injected(injector):
+            start = time.perf_counter()
+            report = controller.apply_delta(delta)
+            elapsed = time.perf_counter() - start
+        assert injector.fires["hotswap.delay_publish"] == 1
+        assert elapsed >= 0.1
+        # The delay holds the *old* session visible, then still publishes.
+        assert controller.session is not before
+        assert report.version == 2

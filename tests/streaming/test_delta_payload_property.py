@@ -1,0 +1,169 @@
+"""Property tests for GraphDelta.to_payload / from_payload under adversarial inputs.
+
+The JSON wire format feeds the serving server's ``POST /delta`` body and the
+replicated tier's write-ahead log, so the round trip must be *exact*: any
+asymmetry becomes replica divergence after a WAL replay.  These tests attack
+the encoder with the shapes real producers emit in the corners — empty
+deltas, non-ASCII metadata, duplicate insert+remove of one edge, zero-row
+node additions — plus randomized round-trip trials.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.streaming.delta import DeltaValidationError, GraphDelta
+
+
+def wire_round_trip(delta: GraphDelta) -> GraphDelta:
+    """to_payload -> actual JSON text -> from_payload, like the WAL does."""
+    return GraphDelta.from_payload(json.loads(json.dumps(delta.to_payload())))
+
+
+def assert_payload_fixpoint(delta: GraphDelta) -> None:
+    """The wire form must be a fixpoint: re-encoding reproduces it exactly."""
+    once = delta.to_payload()
+    again = wire_round_trip(delta).to_payload()
+    assert once == again
+
+
+class TestEmptyDelta:
+    def test_empty_delta_round_trips(self):
+        delta = GraphDelta()
+        back = wire_round_trip(delta)
+        assert back.is_empty
+        assert back.to_payload() == delta.to_payload()
+
+    def test_empty_containers_survive(self):
+        delta = GraphDelta(add_edges={}, remove_edges={}, add_nodes={}, remove_nodes={})
+        back = wire_round_trip(delta)
+        assert back.add_edges == {}
+        assert back.remove_edges == {}
+        assert back.add_nodes == {}
+        assert back.remove_nodes == {}
+        assert back.add_labels is None
+
+    def test_zero_row_add_nodes_equivalent_to_absent(self):
+        # (0, d) feature matrices lose their dimension as JSON [] — the
+        # payload must omit them so encode(decode(x)) == x.
+        delta = GraphDelta(add_nodes={"author": np.zeros((0, 7))})
+        payload = delta.to_payload()
+        assert payload["add_nodes"] == {}
+        back = wire_round_trip(delta)
+        assert back.add_nodes == {}
+        assert_payload_fixpoint(delta)
+
+
+class TestAdversarialMetadata:
+    def test_non_ascii_metadata_keys_and_values(self):
+        metadata = {
+            "producteur-données": "café ☕",
+            "検証": {"キー": [1, 2, 3]},
+            "emoji \U0001f9ea": "ßå",
+        }
+        delta = GraphDelta(step=3, metadata=metadata)
+        back = wire_round_trip(delta)
+        assert back.metadata == metadata
+        assert_payload_fixpoint(delta)
+
+    def test_empty_metadata_omitted_from_payload(self):
+        # Older producers never wrote the key; keep their payload shape.
+        assert "metadata" not in GraphDelta().to_payload()
+        assert "metadata" in GraphDelta(metadata={"k": "v"}).to_payload()
+
+    def test_non_dict_metadata_rejected(self):
+        with pytest.raises(DeltaValidationError):
+            GraphDelta(metadata=["not", "a", "dict"])  # type: ignore[arg-type]
+
+
+class TestDuplicateEdgeOps:
+    def test_same_edge_inserted_and_removed_survives_round_trip(self):
+        delta = GraphDelta(
+            add_edges={"paper-author": ([5, 5], [9, 9])},
+            remove_edges={"paper-author": ([5], [9])},
+        )
+        back = wire_round_trip(delta)
+        np.testing.assert_array_equal(back.add_edges["paper-author"][0], [5, 5])
+        np.testing.assert_array_equal(back.add_edges["paper-author"][1], [9, 9])
+        np.testing.assert_array_equal(back.remove_edges["paper-author"][0], [5])
+        assert_payload_fixpoint(delta)
+
+    def test_duplicate_remove_node_ids_dedupe_consistently(self):
+        # __post_init__ uniques remove_nodes; the payload carries the
+        # deduped ids, so decode(encode(x)) is already normalized.
+        delta = GraphDelta(remove_nodes={"term": [4, 4, 2, 4]})
+        np.testing.assert_array_equal(delta.remove_nodes["term"], [2, 4])
+        back = wire_round_trip(delta)
+        np.testing.assert_array_equal(back.remove_nodes["term"], [2, 4])
+        assert_payload_fixpoint(delta)
+
+
+class TestLabeledArrivals:
+    def test_target_arrivals_with_labels_round_trip(self):
+        delta = GraphDelta(
+            add_nodes={"paper": np.arange(6, dtype=np.float64).reshape(2, 3)},
+            add_labels=np.array([1, -1]),
+            add_split="val",
+            step=9,
+        )
+        back = wire_round_trip(delta)
+        np.testing.assert_array_equal(back.add_nodes["paper"], delta.add_nodes["paper"])
+        np.testing.assert_array_equal(back.add_labels, [1, -1])
+        assert back.add_split == "val"
+        assert back.step == 9
+        assert_payload_fixpoint(delta)
+
+    def test_bad_split_rejected(self):
+        with pytest.raises(DeltaValidationError):
+            GraphDelta(add_split="production")
+
+
+class TestRandomizedRoundTrip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_deltas_are_wire_fixpoints(self, seed):
+        rng = np.random.default_rng(seed)
+        relations = ["paper-author", "paper-subject", "a-b"]
+        types = ["paper", "author", "subject"]
+
+        def edges():
+            out = {}
+            for name in relations:
+                if rng.random() < 0.7:
+                    k = int(rng.integers(0, 5))
+                    out[name] = (
+                        rng.integers(0, 50, size=k),
+                        rng.integers(0, 50, size=k),
+                    )
+            return out
+
+        add_nodes = {}
+        for t in types:
+            if rng.random() < 0.5:
+                add_nodes[t] = rng.standard_normal((int(rng.integers(0, 4)), 5))
+        delta = GraphDelta(
+            add_edges=edges(),
+            remove_edges=edges(),
+            add_nodes=add_nodes,
+            remove_nodes={
+                t: rng.integers(0, 50, size=int(rng.integers(0, 4)))
+                for t in types
+                if rng.random() < 0.5
+            },
+            step=int(rng.integers(0, 1000)),
+            metadata={} if rng.random() < 0.5 else {"seed": seed, "nøte": "✓"},
+        )
+        back = wire_round_trip(delta)
+        assert_payload_fixpoint(delta)
+        # Semantics too, not just payload bytes: every array matches.
+        for name, (src, dst) in delta.add_edges.items():
+            np.testing.assert_array_equal(back.add_edges[name][0], src)
+            np.testing.assert_array_equal(back.add_edges[name][1], dst)
+        for t, feats in delta.add_nodes.items():
+            if feats.shape[0]:
+                np.testing.assert_array_equal(back.add_nodes[t], feats)
+            else:
+                assert t not in back.add_nodes
+        assert back.metadata == delta.metadata

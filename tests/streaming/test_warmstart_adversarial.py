@@ -1,0 +1,94 @@
+"""Warm-start certificate divergence under adversarial churn regimes.
+
+The steady-schedule byte-identity tests (test_incremental.py) exercise warm
+starts where the dirty set is small and certificates mostly replay.  The
+adversarial regimes break exactly those assumptions — hub deletion
+invalidates the most cached coverage state per step, burst arrivals grow the
+id space mid-certificate — so this file pins the hard guarantee where it is
+most likely to crack: a warm-started greedy must stay *byte-identical* to a
+fresh condensation of the same graph, on the incremental path, not via the
+full-recondense escape hatch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FreeHGC
+from repro.datasets import load_acm
+from repro.datasets.adversarial import generate_adversarial_schedule
+from repro.streaming import DeltaApplier, IncrementalCondenser, assert_graphs_equal
+
+
+def run_schedule(regime, *, params=None, scale=0.12, steps=3, seed=0):
+    """Drive IncrementalCondenser through an adversarial schedule.
+
+    A 0.5 recondense threshold keeps even hostile deltas on the
+    incremental/warm-start path — the code under test — instead of the
+    full-recondense fallback.  Returns the per-step modes after asserting
+    byte identity against a fresh condensation at every step.
+    """
+    graph = load_acm(scale=scale, seed=seed)
+    replica = graph.copy()
+    schedule = generate_adversarial_schedule(
+        graph, regime=regime, steps=steps, seed=seed, params=params
+    )
+    incremental = IncrementalCondenser(
+        graph,
+        condenser=FreeHGC(max_hops=2),
+        ratio=0.2,
+        recondense_threshold=0.5,
+        seed=0,
+    )
+    incremental.condense()
+    applier = DeltaApplier()
+    modes = []
+    for delta in schedule:
+        report = incremental.step(delta)
+        modes.append(report.mode)
+        applier.apply(replica, delta)
+        fresh = FreeHGC(max_hops=2).condense(replica, 0.2, seed=0)
+        assert_graphs_equal(report.condensed, fresh)
+    return modes
+
+
+class TestHubDeletion:
+    def test_byte_identical_and_stays_incremental(self):
+        modes = run_schedule("hub-deletion", params={"edge_churn": 0.001})
+        # The whole point: hub deletions must be absorbable without the
+        # full-recondense escape hatch, and still match fresh greedy.
+        assert "incremental" in modes
+
+    def test_byte_identical_with_heavier_churn(self):
+        run_schedule(
+            "hub-deletion",
+            params={"hubs_per_step": 2, "edge_churn": 0.004},
+            seed=3,
+        )
+
+
+class TestBurstArrival:
+    def test_byte_identical_and_stays_incremental(self):
+        modes = run_schedule("burst-arrival")
+        assert "incremental" in modes
+        # At least one step is a burst (nodes arrived) — guaranteed by the
+        # regime's default burst_every=2 over 3 steps.
+
+    def test_byte_identical_with_large_bursts(self):
+        run_schedule(
+            "burst-arrival",
+            params={"burst_every": 1, "burst_fraction": 0.05},
+            steps=2,
+            seed=5,
+        )
+
+
+class TestDirtyMaximizer:
+    def test_byte_identical_when_dirty_set_is_maximal(self):
+        # fallback_every=0 disables the forced-full steps: every delta stays
+        # incremental while dirtying as many targets as the hubs allow.
+        modes = run_schedule(
+            "dirty-maximizer",
+            params={"fallback_every": 0, "edge_churn": 0.003},
+        )
+        assert modes == ["incremental"] * len(modes)

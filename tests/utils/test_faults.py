@@ -1,0 +1,142 @@
+"""Tests for the deterministic fault-injection layer (repro.utils.faults)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.utils import faults
+from repro.utils.faults import FaultInjector, InjectedFault
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    """Never leak a process-global injector between tests."""
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+class TestFaultRuleSelection:
+    def test_at_fires_on_exact_invocations(self):
+        injector = FaultInjector(seed=0)
+        injector.plan("s", at=(2, 4), note="x")
+        hits = [injector.fire("s") for _ in range(5)]
+        assert [h is not None for h in hits] == [False, True, False, True, False]
+        assert hits[1] == {"note": "x"}
+
+    def test_every_fires_periodically(self):
+        injector = FaultInjector(seed=0)
+        injector.plan("s", every=3)
+        hits = [injector.fire("s") is not None for _ in range(7)]
+        assert hits == [False, False, True, False, False, True, False]
+
+    def test_unconditional_fires_every_time(self):
+        injector = FaultInjector(seed=0)
+        injector.plan("s", note="always")
+        assert all(injector.fire("s") == {"note": "always"} for _ in range(4))
+
+    def test_limit_caps_total_fires(self):
+        injector = FaultInjector(seed=0)
+        injector.plan("s", every=1, limit=2)
+        hits = [injector.fire("s") is not None for _ in range(5)]
+        assert hits == [True, True, False, False, False]
+        assert injector.fires["s"] == 2
+        assert injector.invocations["s"] == 5
+
+    def test_probability_is_deterministic_under_seed(self):
+        def run(seed):
+            injector = FaultInjector(seed=seed)
+            injector.plan("s", probability=0.4)
+            return [injector.fire("s") is not None for _ in range(64)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)  # astronomically unlikely to collide
+        assert 5 < sum(run(7)) < 60  # a coin flip, not a constant
+
+    def test_probability_streams_independent_per_site(self):
+        injector = FaultInjector(seed=3)
+        injector.plan("a", probability=0.5)
+        injector.plan("b", probability=0.5)
+        a = [injector.fire("a") is not None for _ in range(64)]
+        b = [injector.fire("b") is not None for _ in range(64)]
+        assert a != b
+
+    def test_plan_rejects_multiple_selectors(self):
+        injector = FaultInjector(seed=0)
+        with pytest.raises(ValueError):
+            injector.plan("s", at=(1,), every=2)
+        with pytest.raises(ValueError):
+            injector.plan("s", every=2, probability=0.5)
+
+    def test_plan_rejects_bad_probability(self):
+        injector = FaultInjector(seed=0)
+        with pytest.raises(ValueError):
+            injector.plan("s", probability=1.5)
+
+
+class TestInstallation:
+    def test_fire_without_injector_is_noop(self):
+        assert faults.fire("anything") is None
+        assert faults.active() is None
+
+    def test_injected_context_installs_and_uninstalls(self):
+        injector = FaultInjector(seed=1)
+        injector.plan("s", at=(1,), hit=True)
+        with faults.injected(injector):
+            assert faults.active() is injector
+            assert faults.fire("s") == {"hit": True}
+        assert faults.active() is None
+        assert faults.fire("s") is None
+
+    def test_injected_uninstalls_on_exception(self):
+        injector = FaultInjector(seed=1)
+        with pytest.raises(RuntimeError):
+            with faults.injected(injector):
+                raise RuntimeError("boom")
+        assert faults.active() is None
+
+    def test_install_replaces_previous(self):
+        first, second = FaultInjector(seed=1), FaultInjector(seed=2)
+        faults.install(first)
+        faults.install(second)
+        assert faults.active() is second
+
+    def test_injected_fault_is_a_repro_error(self):
+        assert issubclass(InjectedFault, ReproError)
+        assert issubclass(InjectedFault, RuntimeError)
+
+
+class TestConcurrency:
+    def test_counters_exact_under_concurrent_fire(self):
+        injector = FaultInjector(seed=0)
+        injector.plan("s", every=5)
+        threads_n, per_thread = 8, 250
+        barrier = threading.Barrier(threads_n)
+
+        def worker():
+            barrier.wait()
+            for _ in range(per_thread):
+                injector.fire("s")
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = threads_n * per_thread
+        assert injector.invocations["s"] == total
+        assert injector.fires["s"] == total // 5
+        stats = injector.stats
+        assert stats["invocations"]["s"] == total
+        assert stats["fires"]["s"] == total // 5
+
+    def test_stats_json_safe(self):
+        import json
+
+        injector = FaultInjector(seed=0)
+        injector.plan("s", at=(1,))
+        injector.fire("s")
+        json.dumps(injector.stats)  # must not raise
