@@ -40,7 +40,10 @@ Run directly (``PYTHONPATH=src python benchmarks/bench_serving.py``); it is
 deliberately not named ``test_*`` so the tier-1 suite stays fast.
 
 Replicated-mode knobs: ``--workers N`` (default 4), ``--phases
-throughput,kill,recovery`` (default all three),
+throughput,kill,recovery`` (default all three; add ``chaos`` with
+``--inject-faults`` for the self-healing drill: canary rollback, poison
+quarantine, publish repair, crash-loop backoff, bit-rot fallback, and a
+converged byte-identical recovery, all gated),
 ``REPRO_BENCH_MIN_AGG_SPEEDUP`` (default 2.5; the throughput gate is
 reported but not enforced on hosts with fewer than 6 CPUs, where a
 multi-process speedup is physically unavailable).
@@ -277,7 +280,7 @@ LOAD_SECONDS = float(os.environ.get("REPRO_BENCH_LOAD_SECONDS", "2.0"))
 GENESIS = {"benchmark": "bench_serving", "shape": "acm-serve", "seed": 7}
 
 
-def _make_bench_controller(graph=None) -> ServingController:
+def _make_bench_controller(graph=None, canary=None) -> ServingController:
     """The deterministic controller recipe shared by every tier process."""
     if graph is None:
         graph = generate_hin(serving_config(), scale=SCALE, seed=7)
@@ -292,6 +295,22 @@ def _make_bench_controller(graph=None) -> ServingController:
         recondense_threshold=0.05,
         seed=0,
         cache_size=4096,
+        canary=canary,
+    )
+
+
+def _chaos_controller(graph=None) -> ServingController:
+    """The chaos drill's controller: the bench recipe plus a canary gate.
+
+    ``min_consistency=0.0`` keeps the gate in blow-up-detection mode (the
+    finite check) — the drill *forces* a rejection through the
+    ``canary.force_reject`` site rather than degrading a real model, and a
+    consistency floor would make legitimate retrains flaky.
+    """
+    from repro.serving import CanaryConfig
+
+    return _make_bench_controller(
+        graph, canary=CanaryConfig(size=32, min_consistency=0.0, seed=7)
     )
 
 
@@ -660,6 +679,336 @@ def replicated_recovery_phase(ctx, root: Path, workers: int) -> dict:
     }
 
 
+async def replicated_chaos_phase(workers: int) -> dict:
+    """Adversarial chaos drill: every self-healing path fires, under load.
+
+    Five failures strike a live tier while concurrent clients hammer
+    ``/predict``: a canary-rejected swap, a poison-delta commit, a publish
+    corrupted between manifest and meta, a crash-looping worker slot, and
+    post-publish bit rot on the ``CURRENT`` version directory.  Gates:
+
+    * **zero dropped** — every logical request is answered within its retry
+      budget;
+    * **zero garbage** — every answer carries a *published* version and
+      labels byte-equal to that version's snapshot (a degraded worker
+      serving last-good is fine; an unknown version or wrong labels is not);
+    * **converged recovery** — a fresh boot from the surviving WAL replays
+      with ``quarantined_now == 0`` (poisoned records skip without work)
+      and restores state byte-identical to a mirror controller that applied
+      only the surviving deltas.
+
+    All fault fires, quarantines and fallbacks must land on the shared
+    metrics board so the coordinator's ``/metrics`` page tells the story.
+    """
+    import signal as _signal
+    import tempfile
+
+    from repro.serving.replicated import (
+        ReplicatedConfig,
+        ReplicatedServer,
+        read_deadletter,
+        recover_from_wal,
+    )
+    from repro.serving.replicated.pool import current_version
+    from repro.utils import faults
+    from repro.utils.faults import FaultInjector
+
+    tmp = Path(tempfile.mkdtemp(prefix="bench-repl-chaos-"))
+    injector = FaultInjector(seed=11)
+    faults.install(injector)
+    server = ReplicatedServer(
+        _chaos_controller,
+        config=ReplicatedConfig(
+            root=tmp, port=0, workers=workers, batch_window_seconds=0.001
+        ),
+        genesis=GENESIS,
+    )
+    host, port = await server.start()
+    deadline = time.monotonic() + 60
+    while len(server._links) < workers:
+        if time.monotonic() > deadline:
+            raise RuntimeError("workers failed to register")
+        await asyncio.sleep(0.05)
+
+    def snapshot() -> np.ndarray:
+        session = server.controller.session
+        ids = np.arange(session.num_targets, dtype=np.int64)
+        return np.argmax(session.logits(ids), axis=-1)
+
+    num_targets = server.controller.session.num_targets
+    expected: dict[int, np.ndarray] = {server.controller.version: snapshot()}
+    schedule = generate_delta_schedule(
+        server.controller.graph, steps=4, seed=53,
+        edge_churn=0.0005, relations=("paper-term",),
+    )
+    answered = 0
+    dropped = 0
+    garbage = 0
+    retries = 0
+    stop = asyncio.Event()
+    rng = np.random.default_rng(59)
+    id_pool = rng.integers(0, num_targets, size=(1024, IDS_PER_REQUEST)).astype(np.int64)
+
+    async def raw_request(method: str, path: str, body: bytes) -> tuple[int, bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(
+            f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n".encode()
+            + body
+        )
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        if not raw:
+            raise ConnectionResetError("empty response")
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        return int(head.split(b" ", 2)[1]), payload
+
+    async def request(method: str, path: str, payload: dict) -> tuple[int, dict]:
+        status, body = await raw_request(method, path, json.dumps(payload).encode())
+        return status, json.loads(body or b"{}")
+
+    async def client(worker: int) -> None:
+        nonlocal answered, dropped, garbage, retries
+        cursor = worker
+        while not stop.is_set():
+            ids = id_pool[cursor % id_pool.shape[0]]
+            cursor += CLIENTS
+            for _ in range(50):
+                try:
+                    status, payload = await request(
+                        "POST", "/predict", {"nodes": ids.tolist()}
+                    )
+                except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                    retries += 1
+                    await asyncio.sleep(0.02)
+                    continue
+                if status != 200:
+                    retries += 1
+                    await asyncio.sleep(0.02)
+                    continue
+                answered += 1
+                # Zero-garbage contract: a degraded (last-good) version is
+                # acceptable, but the labels must byte-match the snapshot of
+                # whichever version the response claims.  A version not yet
+                # in `expected` is a swap racing the /delta ack — resolve it
+                # against the live controller, like the hotswap gate does.
+                version = payload["version"]
+                reference = expected.get(version)
+                if reference is None and version == server.controller.version:
+                    reference = expected[version] = snapshot()
+                if reference is not None and not np.array_equal(
+                    np.asarray(payload["labels"]), reference[ids]
+                ):
+                    garbage += 1
+                break
+            else:
+                dropped += 1
+
+    async def commit(delta) -> dict:
+        status, payload = await request("POST", "/delta", delta.to_payload())
+        if status != 200:
+            raise RuntimeError(f"clean delta failed: {payload}")
+        expected[payload["version"]] = snapshot()
+        return payload
+
+    clients = [asyncio.create_task(client(i)) for i in range(CLIENTS)]
+    try:
+        # -- clean prefix: two deltas the recovered state must preserve ---- #
+        await commit(schedule[0])
+        await commit(schedule[1])
+
+        # -- segment 1: canary-rejected swap rolls back ------------------- #
+        # A standalone delta (not part of the surviving chain): the rebuild
+        # rolls its effects back entirely, so schedule[2] still validates.
+        reject_delta = generate_delta_schedule(
+            server.controller.graph, steps=1, seed=77,
+            edge_churn=0.0005, relations=("paper-term",),
+        )[0]
+        injector.plan("canary.force_reject", every=1, limit=1)
+        status, payload = await request("POST", "/delta", reject_delta.to_payload())
+        if status != 422 or not payload.get("rolled_back"):
+            raise RuntimeError(f"canary rejection not surfaced: {status} {payload}")
+        print(
+            f"rollback: canary rejected the candidate "
+            f"({'; '.join(payload['canary'].get('reasons', []))}); "
+            f"version {payload['version']} kept serving",
+            flush=True,
+        )
+
+        # -- segment 2: poison delta quarantined to the dead letter ------- #
+        poison_delta = generate_delta_schedule(
+            server.controller.graph, steps=1, seed=79,
+            edge_churn=0.0005, relations=("paper-term",),
+        )[0]
+        injector.plan("hotswap.poison_commit", every=1, limit=1)
+        status, payload = await request("POST", "/delta", poison_delta.to_payload())
+        if status != 422 or not payload.get("quarantined"):
+            raise RuntimeError(f"poison delta not quarantined: {status} {payload}")
+        print(
+            f"quarantine: poison delta dead-lettered "
+            f"(fingerprint={payload['fingerprint']}); "
+            f"rolled back to version {payload['version']}",
+            flush=True,
+        )
+
+        # -- segment 3: corrupt publish is caught and repaired in place --- #
+        injector.plan("publish.corrupt_file", every=1, limit=1)
+        await commit(schedule[2])
+        if server.publish_repairs != 1:
+            raise RuntimeError(
+                f"corrupt publish not repaired (repairs={server.publish_repairs})"
+            )
+        print(
+            "repair: publish failed its own manifest check and was "
+            "republished in place",
+            flush=True,
+        )
+
+        # -- segment 4: crash-looping worker slot, bounded respawns ------- #
+        injector.plan("pool.crash_loop", every=1, limit=2)
+        victim = min(
+            slot for slot, proc in server.pool._processes.items() if proc.is_alive()
+        )
+        os.kill(server.pool._processes[victim].pid, _signal.SIGKILL)
+        deadline = time.monotonic() + 60
+        while (
+            injector.fires.get("pool.crash_loop", 0) < 2
+            or len(server._links) < workers
+        ):
+            if time.monotonic() > deadline:
+                raise RuntimeError("crash-looping slot did not recover")
+            await asyncio.sleep(0.05)
+        print(
+            f"crash loop: slot {victim} burned "
+            f"{injector.fires['pool.crash_loop']} instant-crash spawns under "
+            f"backoff, then recovered",
+            flush=True,
+        )
+
+        # -- segment 5: bit rot on CURRENT; respawned worker serves last-good
+        await commit(schedule[3])
+        fallbacks_before = int(
+            server.board.column("integrity_fallbacks_total").sum()
+        )
+        version, vdir = current_version(tmp)
+        with open(vdir / "logits.npy", "r+b") as handle:
+            handle.seek(128)
+            byte = handle.read(1)
+            handle.seek(128)
+            handle.write(bytes([byte[0] ^ 0xFF]) if byte else b"\xff")
+        victim = min(
+            slot for slot, proc in server.pool._processes.items() if proc.is_alive()
+        )
+        os.kill(server.pool._processes[victim].pid, _signal.SIGKILL)
+        deadline = time.monotonic() + 60
+        while (
+            int(server.board.column("integrity_fallbacks_total").sum())
+            <= fallbacks_before
+            or len(server._links) < workers
+        ):
+            if time.monotonic() > deadline:
+                raise RuntimeError("bit-rotted publish did not trigger a fallback")
+            await asyncio.sleep(0.05)
+        worker_fallbacks = (
+            int(server.board.column("integrity_fallbacks_total").sum())
+            - fallbacks_before
+        )
+        print(
+            f"integrity: version {version} bit-rotted on disk; respawned "
+            f"worker verified, fell back to last-good ({worker_fallbacks} "
+            f"fallback(s))",
+            flush=True,
+        )
+        await asyncio.sleep(0.5)  # let clients exercise the degraded worker
+    finally:
+        stop.set()
+        await asyncio.gather(*clients, return_exceptions=True)
+
+    # -- the /metrics page must tell the whole story ----------------------- #
+    status, metrics_body = await raw_request("GET", "/metrics", b"")
+    metrics_page = metrics_body.decode("utf-8", "replace")
+    for needle in (
+        "repro_quarantined_deltas_total 2",
+        "repro_canary_rejections_total 1",
+        'repro_fault_fires_total{site="canary.force_reject"} 1',
+        'repro_fault_fires_total{site="hotswap.poison_commit"} 1',
+        'repro_fault_fires_total{site="publish.corrupt_file"} 1',
+        'repro_fault_fires_total{site="pool.crash_loop"} 2',
+    ):
+        if needle not in metrics_page:
+            raise RuntimeError(f"/metrics is missing {needle!r}")
+    metrics_ok = status == 200
+
+    wal_path = server.config.wal_path
+    deadletter = read_deadletter(wal_path)
+    stats = dict(server.stats)
+    respawns = int(stats["respawns"])
+    await server.close()
+    faults.uninstall()
+
+    # -- converged recovery: boot two is quarantine-free and byte-identical #
+    mirror = _chaos_controller()
+    mirror.start()
+    for delta in schedule:
+        mirror.apply_delta(delta)
+    controller, wal, recovery = recover_from_wal(
+        wal_path, root=tmp, make_controller=_chaos_controller,
+        genesis_config=GENESIS,
+    )
+    try:
+        all_ids = np.arange(mirror.session.num_targets, dtype=np.int64)
+        predictions_identical = bool(
+            np.array_equal(
+                controller.session.predict(all_ids), mirror.session.predict(all_ids)
+            )
+        )
+        recovered = controller.export_bundle()
+        reference = mirror.export_bundle()
+        weights_identical = set(recovered.weights) == set(reference.weights) and all(
+            np.asarray(recovered.weights[name]).tobytes()
+            == np.asarray(reference.weights[name]).tobytes()
+            for name in reference.weights
+        )
+        version_identical = controller.version == mirror.version
+    finally:
+        wal.close()
+    print(
+        f"recovery: mode={recovery['mode']} "
+        f"deltas_replayed={recovery['deltas_replayed']} "
+        f"quarantined={recovery['quarantined']} "
+        f"quarantined_now={recovery['quarantined_now']} "
+        f"weights byte-identical={weights_identical}",
+        flush=True,
+    )
+    return {
+        "workers": workers,
+        "deltas_committed": len(schedule),
+        "answered": answered,
+        "retries": retries,
+        "dropped": dropped,
+        "garbage": garbage,
+        "respawns": respawns,
+        "quarantined": int(stats["quarantined"]),
+        "canary_rejections": int(stats["canary_rejections"]),
+        "publish_repairs": int(stats["publish_repairs"]),
+        "worker_integrity_fallbacks": worker_fallbacks,
+        "deadletter_entries": len(deadletter),
+        "deadletter_reasons": sorted({str(e.get("reason")) for e in deadletter}),
+        "fault_fires": dict(injector.fires),
+        "metrics_page_ok": metrics_ok,
+        "recovery": {
+            "mode": recovery["mode"],
+            "deltas_replayed": recovery["deltas_replayed"],
+            "quarantined": recovery["quarantined"],
+            "quarantined_now": recovery["quarantined_now"],
+            "version_identical": version_identical,
+            "predictions_identical": predictions_identical,
+            "weights_byte_identical": weights_identical,
+        },
+    }
+
+
 def _read_baseline() -> dict:
     """The current BENCH_serving.json, minus provenance (emit_json re-stamps).
 
@@ -674,7 +1023,7 @@ def _read_baseline() -> dict:
     return payload
 
 
-def replicated_main(workers: int, phases: set[str]) -> int:
+def replicated_main(workers: int, phases: set[str], inject_faults: bool = False) -> int:
     import multiprocessing
     import tempfile
 
@@ -731,8 +1080,58 @@ def replicated_main(workers: int, phases: set[str]) -> int:
             if not recovery[key]:
                 failures.append(f"recovery gate: {key} is False")
 
+    if "chaos" in phases:
+        if not inject_faults:
+            raise SystemExit("the chaos phase requires --inject-faults")
+        chaos = asyncio.run(replicated_chaos_phase(min(workers, 2)))
+        result["chaos"] = chaos
+        print(
+            f"chaos: {chaos['answered']} answered, {chaos['retries']} retried, "
+            f"{chaos['dropped']} dropped, {chaos['garbage']} garbage, "
+            f"{chaos['quarantined']} quarantined, "
+            f"{chaos['canary_rejections']} canary rejections, "
+            f"{chaos['publish_repairs']} publish repairs, "
+            f"{chaos['respawns']} respawns"
+        )
+        if chaos["dropped"] or chaos["garbage"]:
+            failures.append(
+                f"chaos gate: dropped={chaos['dropped']} garbage={chaos['garbage']}"
+            )
+        if chaos["answered"] == 0:
+            failures.append("chaos gate: no responses answered")
+        if chaos["quarantined"] != 2 or chaos["deadletter_entries"] != 2:
+            failures.append(
+                f"chaos gate: quarantined={chaos['quarantined']} "
+                f"deadletter={chaos['deadletter_entries']} (expected 2/2)"
+            )
+        if chaos["canary_rejections"] != 1:
+            failures.append(
+                f"chaos gate: canary_rejections={chaos['canary_rejections']} != 1"
+            )
+        recovery = chaos["recovery"]
+        if recovery["quarantined_now"] != 0:
+            failures.append(
+                "chaos gate: recovery re-quarantined "
+                f"{recovery['quarantined_now']} record(s) on the second boot"
+            )
+        for key in (
+            "version_identical", "predictions_identical", "weights_byte_identical",
+        ):
+            if not recovery[key]:
+                failures.append(f"chaos gate: recovery {key} is False")
+
     payload = _read_baseline()
-    payload["replicated"] = result
+    # Merge by phase: a partial run (--phases chaos) refreshes only its own
+    # phase keys and leaves the committed numbers of the others in place.
+    merged = payload.get("replicated")
+    merged = dict(merged) if isinstance(merged, dict) else {}
+    merged.update(result)
+    merged["phases"] = sorted(set(merged.get("phases", ())) | phases)
+    payload["replicated"] = merged
+    if "chaos" in result:
+        # Gate baseline: runner.gates derives the matrix's canary-rejections
+        # threshold from the top-level "chaos" section.
+        payload["chaos"] = dict(result["chaos"])
     emit_json(payload, "BENCH_serving.json")
     if failures:
         for failure in failures:
@@ -843,9 +1242,10 @@ def main() -> int:
                 "batcher": swap_outcome["batcher"],
             },
     }
-    existing = _read_baseline()  # keep any --replicated section already there
-    if "replicated" in existing:
-        single_process["replicated"] = existing["replicated"]
+    existing = _read_baseline()  # keep any --replicated sections already there
+    for key in ("replicated", "chaos"):
+        if key in existing:
+            single_process[key] = existing[key]
     emit_json(single_process, "BENCH_serving.json")
 
     if throughput["speedup"] < SPEEDUP_FACTOR:
@@ -876,12 +1276,18 @@ if __name__ == "__main__":
                         help="worker processes for --replicated (default: 4)")
     parser.add_argument("--phases", default="throughput,kill,recovery",
                         help="comma-separated subset of replicated phases "
-                             "(default: throughput,kill,recovery)")
+                             "(throughput,kill,recovery,chaos; default runs "
+                             "the first three)")
+    parser.add_argument("--inject-faults", action="store_true",
+                        help="allow the chaos phase to install deterministic "
+                             "fault plans (required for --phases chaos)")
     cli_args = parser.parse_args()
     if cli_args.replicated:
         wanted = {p.strip() for p in cli_args.phases.split(",") if p.strip()}
-        unknown = wanted - {"throughput", "kill", "recovery"}
+        unknown = wanted - {"throughput", "kill", "recovery", "chaos"}
         if unknown:
             parser.error(f"unknown phases: {', '.join(sorted(unknown))}")
-        sys.exit(replicated_main(cli_args.workers, wanted))
+        if "chaos" in wanted and not cli_args.inject_faults:
+            parser.error("--phases chaos requires --inject-faults")
+        sys.exit(replicated_main(cli_args.workers, wanted, cli_args.inject_faults))
     sys.exit(main())

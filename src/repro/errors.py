@@ -18,6 +18,9 @@ __all__ = [
     "ModelError",
     "StateDictError",
     "ServingError",
+    "IntegrityError",
+    "CanaryRejectedError",
+    "PoisonDeltaError",
     "WALError",
     "RegistryError",
 ]
@@ -85,6 +88,43 @@ class StateDictError(ModelError, KeyError, ValueError):
 
 class ServingError(ReproError):
     """The online inference-serving layer was misused or fed a bad bundle."""
+
+
+class IntegrityError(ServingError):
+    """A published artifact failed its manifest digest verification.
+
+    Raised when a version directory's ``manifest.json`` is missing,
+    unparseable, or names a file whose SHA-256 digest no longer matches the
+    bytes on disk.  Loaders catch this and fall back to the newest version
+    that *does* verify rather than serving garbage.
+    """
+
+
+class CanaryRejectedError(ServingError):
+    """A candidate model failed its canary evaluation and was rolled back.
+
+    Carries the structured :attr:`report` (``CanaryReport.to_dict()``) so
+    HTTP layers can answer the delta with a 422 that explains exactly which
+    check failed.  The previous version keeps serving.
+    """
+
+    def __init__(self, message: str, report: dict | None = None) -> None:
+        super().__init__(message)
+        self.report = dict(report or {})
+
+
+class PoisonDeltaError(ServingError):
+    """A delta's commit raised and the record was quarantined.
+
+    Carries the dead-letter :attr:`entry` (offset, exception fingerprint,
+    payload summary) written to the WAL's ``.deadletter`` sidecar.  The
+    coordinator rebuilds itself from the WAL — which now skips the poisoned
+    record — so the previous version keeps serving.
+    """
+
+    def __init__(self, message: str, entry: dict | None = None) -> None:
+        super().__init__(message)
+        self.entry = dict(entry or {})
 
 
 class WALError(ServingError):

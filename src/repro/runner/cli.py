@@ -902,7 +902,12 @@ def _serve_replicated(config: ServeConfig, log) -> int:
         recovery = server.recovery
         log(f"recovery: mode={recovery['mode']} "
             f"deltas_replayed={recovery['deltas_replayed']} "
+            f"quarantined={recovery.get('quarantined', 0)} "
+            f"quarantined_now={recovery.get('quarantined_now', 0)} "
             f"version={server.controller.version}")
+        if recovery.get("quarantined_now"):
+            log(f"quarantine: {recovery['quarantined_now']} poison delta(s) "
+                f"dead-lettered during this boot (see {wal_path}.deadletter)")
         log(f"serving {config.dataset} on http://{host}:{port} with "
             f"{config.workers} workers "
             "(endpoints: /healthz /stats /predict /delta /metrics)")

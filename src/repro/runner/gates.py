@@ -247,6 +247,26 @@ def derive_matrix_gates(baseline_dir: str | Path = ".") -> tuple[Gate, ...]:
                     ),
                 )
             )
+        gates.append(
+            Gate(
+                name="canary-rejections",
+                kind="max_value",
+                metric="canary_rejections",
+                threshold=0.0,
+                baseline_file="BENCH_serving.json",
+                baseline_value=float(
+                    serving.get("chaos", {}).get("canary_rejections", 0)
+                    if isinstance(serving.get("chaos"), dict)
+                    else 0
+                ),
+                provenance=dict(serving["provenance"]),
+                description=(
+                    "no swap candidate may fail the canary gate in a matrix "
+                    "cell: a rejection means training degraded (non-finite "
+                    "logits) on a schedule the baseline handled cleanly"
+                ),
+            )
+        )
     return tuple(gates)
 
 
@@ -268,6 +288,9 @@ def _enforced(gate: Gate, cell: dict, result: dict) -> bool:
     if gate.name == "prediction-consistency":
         return load != "none"
     if gate.name == "serving-p95-ms":
+        return load != "none" and _metric(result, gate.metric) is not None
+    if gate.name == "canary-rejections":
+        # Only serving-load cells run a controller (and thus a canary).
         return load != "none" and _metric(result, gate.metric) is not None
     return False
 

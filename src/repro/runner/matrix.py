@@ -47,7 +47,7 @@ from typing import Callable, Iterator
 import numpy as np
 
 from repro import registry
-from repro.errors import ConfigurationError
+from repro.errors import CanaryRejectedError, ConfigurationError
 from repro.runner.cache import ArtifactStore
 from repro.runner.gates import Gate, GateOutcome, evaluate_cell_gates
 from repro.runner.plan import resolve_max_hops
@@ -271,6 +271,7 @@ def run_matrix_cell(cell: MatrixCell) -> dict:
         )
     else:
         from repro.evaluation.pipeline import make_model_factory
+        from repro.serving.canary import CanaryConfig
         from repro.serving.hotswap import ServingController
 
         factory = make_model_factory(
@@ -288,6 +289,12 @@ def run_matrix_cell(cell: MatrixCell) -> dict:
             condenser=FreeHGC(max_hops=cell.max_hops),
             recondense_threshold=cell.recondense_threshold,
             seed=cell.seed,
+            # Canary gate in blow-up-detection mode: adversarial regimes
+            # legitimately move clean predictions after a retrain, so the
+            # consistency floor is off; the finite check still rejects any
+            # candidate whose training produced NaN/Inf logits, and the
+            # canary-rejections matrix gate pins that count at zero.
+            canary=CanaryConfig(size=32, min_consistency=0.0, seed=cell.seed),
         )
 
     injector = None
@@ -331,7 +338,16 @@ def run_matrix_cell(cell: MatrixCell) -> dict:
                 if dirty is not None:
                     dirty_max = max(dirty_max, int(np.asarray(dirty).size))
             else:
-                swap = controller.apply_delta(delta)
+                try:
+                    swap = controller.apply_delta(delta)
+                except CanaryRejectedError:
+                    # The candidate was rejected (non-finite logits) and the
+                    # previous session keeps serving.  Keep the replica in
+                    # sync and move on: the canary-rejections gate fails the
+                    # cell from the recorded count instead of crashing the
+                    # whole suite run.
+                    replica_applier.apply(replica, delta)
+                    continue
                 mode = swap.mode
                 condense_seconds = swap.condense_seconds
                 condensed = controller.condensed
@@ -399,6 +415,12 @@ def run_matrix_cell(cell: MatrixCell) -> dict:
         "mismatches": int(mismatches),
         "queries": int(queries),
         "prediction_failures": int(prediction_failures),
+        "canary_evaluations": (
+            len(controller.canary_history) if controller is not None else 0
+        ),
+        "canary_rejections": (
+            int(controller.canary_rejections) if controller is not None else 0
+        ),
         "latency_ms": (
             {
                 key: value * 1e3

@@ -19,7 +19,13 @@ graph kept fresh by :mod:`repro.streaming` into low-latency predictions:
 * :mod:`repro.serving.server` — a stdlib-only asyncio HTTP endpoint
   (``python -m repro serve``) that coalesces concurrent requests into
   vectorised batches and hot-swaps in the background with zero dropped
-  requests.
+  requests;
+* :mod:`repro.serving.integrity` — per-file SHA-256 manifests for every
+  published artifact directory, verified before load with last-good
+  fallback;
+* :mod:`repro.serving.canary` — the swap gate: candidates are scored on a
+  pinned canary query set and rejected (previous version keeps serving)
+  when they regress.
 
 ``benchmarks/bench_serving.py`` gates the whole stack: batched == serial
 byte-identity, a >=5x batched-over-unbatched throughput floor, and a
@@ -33,12 +39,20 @@ from repro.serving.artifacts import (
     load_bundle,
     save_bundle,
 )
+from repro.serving.canary import CanaryConfig, CanaryReport
 from repro.serving.engine import InferenceSession, LRUCache
 from repro.serving.hotswap import ServingController, SwapReport
+from repro.serving.integrity import (
+    last_good_version,
+    verify_version_dir,
+    write_manifest,
+)
 from repro.serving.server import MicroBatcher, ServingServer
 
 __all__ = [
     "BUNDLE_FORMAT",
+    "CanaryConfig",
+    "CanaryReport",
     "InferenceSession",
     "LRUCache",
     "MicroBatcher",
@@ -47,6 +61,9 @@ __all__ = [
     "ServingController",
     "ServingServer",
     "SwapReport",
+    "last_good_version",
     "load_bundle",
     "save_bundle",
+    "verify_version_dir",
+    "write_manifest",
 ]

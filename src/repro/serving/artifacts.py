@@ -51,6 +51,7 @@ from repro.hetero.graph import HeteroGraph
 from repro.hetero.io import graph_from_arrays, graph_to_arrays, json_default
 from repro.models.base import HGNNClassifier
 from repro.runner.cache import ArtifactStore
+from repro.serving.integrity import sync_dir
 
 __all__ = ["ModelBundle", "ModelStore", "save_bundle", "load_bundle", "BUNDLE_FORMAT"]
 
@@ -172,6 +173,9 @@ def save_bundle(
     try:
         np.savez_compressed(tmp, **arrays)
         os.replace(tmp, path)
+        # The rename is atomic against process death but not power loss
+        # until the directory entry itself is durable.
+        sync_dir(path.parent)
     finally:
         tmp.unlink(missing_ok=True)
     return path
@@ -205,6 +209,7 @@ def _save_bundle_dir(bundle: ModelBundle, path: Path) -> Path:
         if path.exists():
             shutil.rmtree(path)
         os.replace(tmp, path)
+        sync_dir(path.parent)
     finally:
         if tmp.exists():
             shutil.rmtree(tmp, ignore_errors=True)

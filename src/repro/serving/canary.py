@@ -1,0 +1,180 @@
+"""Canary-gated model swaps: score a candidate before anyone can see it.
+
+A retrain that *degrades* the model is worse than no retrain at all — the
+old version was serving correct answers, and an unconditional publish
+replaces them with worse ones on every replica at once.  This module is the
+gate between "the candidate session exists" and "the candidate session is
+the session": a pinned canary query set is scored on every swap, and a
+candidate that fails is thrown away while the previous version keeps
+answering.
+
+Checks (each independently recorded in the :class:`CanaryReport`):
+
+``finite``
+    Every canary logit row is finite.  A NaN/Inf row is a training blow-up
+    that ``argmax`` would happily launder into a confident-looking label.
+``consistency``
+    On canary ids *outside* the delta's dirty set — nodes whose inputs did
+    not change — the candidate must agree with the previous version on at
+    least ``min_consistency`` of predictions.  Dirty ids are excluded
+    because changing their labels is the point of the swap.
+``accuracy``
+    Optional floor on canary-set accuracy against graph labels, evaluated
+    only when the candidate session still holds its graph (coordinator-side
+    sessions do; mmap'd worker sessions do not).
+
+The ``canary.force_reject`` fault site lets tests and the bench chaos phase
+drive a rejection deterministically without degrading a real model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils import faults
+
+__all__ = ["CanaryConfig", "CanaryReport", "pin_canary_ids", "evaluate_candidate"]
+
+
+@dataclass(frozen=True)
+class CanaryConfig:
+    """Tuning knobs for the swap gate.
+
+    ``size`` canary ids are pinned once per controller (seeded, so replicas
+    pin the same set); ``min_consistency`` is the fraction of *clean* canary
+    ids whose predictions must survive the swap; ``accuracy_floor`` is
+    ``None`` to skip the label check.
+    """
+
+    size: int = 64
+    min_consistency: float = 0.98
+    accuracy_floor: float | None = None
+    check_finite: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"canary size must be positive, got {self.size}")
+        if not 0.0 <= self.min_consistency <= 1.0:
+            raise ConfigurationError(
+                f"min_consistency must be in [0, 1], got {self.min_consistency}"
+            )
+        if self.accuracy_floor is not None and not 0.0 <= self.accuracy_floor <= 1.0:
+            raise ConfigurationError(
+                f"accuracy_floor must be in [0, 1], got {self.accuracy_floor}"
+            )
+
+
+@dataclass
+class CanaryReport:
+    """Outcome of one canary evaluation, JSON-safe via :meth:`to_dict`."""
+
+    passed: bool = True
+    canary_ids: int = 0
+    clean_ids: int = 0
+    finite: bool | None = None
+    consistency: float | None = None
+    accuracy: float | None = None
+    reasons: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": bool(self.passed),
+            "canary_ids": int(self.canary_ids),
+            "clean_ids": int(self.clean_ids),
+            "finite": self.finite,
+            "consistency": None if self.consistency is None else round(self.consistency, 6),
+            "accuracy": None if self.accuracy is None else round(self.accuracy, 6),
+            "reasons": list(self.reasons),
+        }
+
+
+def pin_canary_ids(num_targets: int, *, size: int, seed: int = 0) -> np.ndarray:
+    """Deterministic canary id sample for a target pool of ``num_targets``.
+
+    Sorted, without replacement, at most ``num_targets`` ids.  Pinned once
+    at controller start so every evaluation (and every replica with the same
+    seed) probes the same nodes; ids stay valid as the pool grows because
+    target pools only ever extend.
+    """
+    count = min(int(size), int(num_targets))
+    rng = np.random.default_rng(int(seed))
+    return np.sort(rng.choice(num_targets, size=count, replace=False)).astype(np.int64)
+
+
+def _graph_accuracy(session, ids: np.ndarray) -> float | None:
+    """Canary accuracy vs graph labels, or ``None`` when labels are absent."""
+    graph = getattr(session, "graph", None)
+    if graph is None:
+        return None
+    try:
+        labels = np.asarray(graph.labels, dtype=np.int64)
+    except (AttributeError, TypeError, ValueError):
+        return None
+    ids = ids[ids < labels.shape[0]]
+    if ids.size == 0:
+        return None
+    truth = labels[ids]
+    known = truth >= 0  # unlabeled nodes can't vote
+    if not known.any():
+        return None
+    predicted = session.argmax_labels(ids[known])
+    return float(np.mean(predicted == truth[known]))
+
+
+def evaluate_candidate(
+    candidate,
+    previous,
+    canary_ids: np.ndarray,
+    *,
+    dirty: np.ndarray | None = None,
+    config: CanaryConfig,
+) -> CanaryReport:
+    """Score ``candidate`` against ``previous`` on the pinned canary set.
+
+    ``previous`` may be ``None`` (first deploy: only the finite/accuracy
+    checks apply).  ``dirty`` is the delta's dirty-target set; dirty canary
+    ids are excluded from the consistency vote.  Never mutates either
+    session's cache.
+    """
+    ids = np.asarray(canary_ids, dtype=np.int64)
+    ids = ids[ids < candidate.num_targets]
+    report = CanaryReport(canary_ids=int(ids.size))
+
+    if config.check_finite:
+        rows = np.asarray(candidate._logits[ids], dtype=np.float64)
+        report.finite = bool(np.isfinite(rows).all())
+        if not report.finite:
+            report.passed = False
+            report.reasons.append("non-finite logits on canary ids")
+
+    clean = ids
+    if dirty is not None and len(dirty):
+        clean = ids[~np.isin(ids, np.asarray(dirty, dtype=np.int64))]
+    if previous is not None:
+        clean = clean[clean < previous.num_targets]
+    report.clean_ids = int(clean.size)
+    if previous is not None and clean.size:
+        agree = candidate.argmax_labels(clean) == previous.argmax_labels(clean)
+        report.consistency = float(np.mean(agree))
+        if report.consistency < config.min_consistency:
+            report.passed = False
+            report.reasons.append(
+                f"consistency {report.consistency:.4f} < floor {config.min_consistency}"
+            )
+
+    if config.accuracy_floor is not None:
+        report.accuracy = _graph_accuracy(candidate, ids)
+        if report.accuracy is not None and report.accuracy < config.accuracy_floor:
+            report.passed = False
+            report.reasons.append(
+                f"accuracy {report.accuracy:.4f} < floor {config.accuracy_floor}"
+            )
+
+    if faults.fire("canary.force_reject") is not None:
+        report.passed = False
+        report.reasons.append("injected rejection (canary.force_reject)")
+    return report

@@ -261,6 +261,17 @@ class InferenceSession:
         """Single-node convenience wrapper around :meth:`predict`."""
         return int(self.predict(np.asarray([node_id]))[0])
 
+    def argmax_labels(self, node_ids: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Labels straight from the logit rows, bypassing the LRU cache.
+
+        The canary evaluator compares candidate and previous sessions with
+        this: it must not warm (or trust) either session's cache, because a
+        canary probe is a *side-channel* read — the serving stats and cache
+        contents should be indistinguishable from a canary-less deploy.
+        """
+        ids = self._validated(node_ids)
+        return np.argmax(self._logits[ids], axis=-1).astype(np.int64)
+
     @property
     def stats(self) -> dict[str, object]:
         """Counters for the ``/stats`` endpoint and the benchmarks."""

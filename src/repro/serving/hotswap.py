@@ -38,10 +38,11 @@ from typing import Callable
 import numpy as np
 
 from repro.core.condenser import FreeHGC
-from repro.errors import ServingError
+from repro.errors import CanaryRejectedError, ServingError
 from repro.hetero.graph import HeteroGraph
 from repro.models.base import HGNNClassifier
 from repro.serving.artifacts import ModelBundle
+from repro.serving.canary import CanaryConfig, pin_canary_ids, evaluate_candidate
 from repro.serving.engine import InferenceSession
 from repro.streaming.delta import GraphDelta
 from repro.streaming.incremental import IncrementalCondenser, graphs_equal
@@ -103,6 +104,7 @@ class ServingController:
         recondense_threshold: float = 0.05,
         seed: int = 0,
         cache_size: int = 4096,
+        canary: CanaryConfig | None = None,
     ) -> None:
         self.incremental = IncrementalCondenser(
             graph,
@@ -120,6 +122,11 @@ class ServingController:
         self._version = 0
         self._swap_lock = threading.Lock()
         self.swap_history: list[SwapReport] = []
+        #: swap gate: score candidates on a pinned canary set before publish
+        self.canary = canary
+        self._canary_ids: np.ndarray | None = None
+        self.canary_history: list = []
+        self.canary_rejections = 0
         #: whether :meth:`start` adopted a persisted bundle instead of training
         self.warm_started = False
         # The dirty set is computed with the *condenser's* hop limit, so it
@@ -188,6 +195,10 @@ class ServingController:
                 context=self.incremental.context,
             )
             self._session = session
+            if self.canary is not None:
+                self._canary_ids = pin_canary_ids(
+                    session.num_targets, size=self.canary.size, seed=self.canary.seed
+                )
             return session
 
     def apply_delta(self, delta: GraphDelta) -> SwapReport:
@@ -200,6 +211,15 @@ class ServingController:
         if self._session is None:
             raise ServingError("controller not started: call start() first")
         with self._swap_lock:
+            poison = faults.fire("hotswap.poison_commit")
+            if poison is not None:
+                # Fault site: a delta whose commit deterministically crashes.
+                # Raised before any state is touched so the single-process
+                # tier keeps serving; the replicated tier quarantines the WAL
+                # record and rebuilds.
+                raise faults.InjectedFault(
+                    f"hotswap.poison_commit on delta step {delta.step}"
+                )
             swap_start = perf_counter()
             step = self.incremental.step(delta)
             retrain = self._condensed is None or not graphs_equal(
@@ -227,6 +247,29 @@ class ServingController:
                 if step.apply_report is None
                 else step.apply_report.dirty_targets
             )
+            if self.canary is not None and self._canary_ids is not None:
+                canary_report = evaluate_candidate(
+                    session,
+                    self._session,
+                    self._canary_ids,
+                    dirty=dirty,
+                    config=self.canary,
+                )
+                self.canary_history.append(canary_report)
+                if not canary_report.passed:
+                    # Roll back: none of the published state was touched yet,
+                    # so refusing to assign *is* the rollback — the previous
+                    # session keeps answering.  (The live graph retains the
+                    # delta and self._condensed is now stale, which forces a
+                    # retrain on the next delta; the replicated tier instead
+                    # quarantines the WAL record and rebuilds for an exact
+                    # pre-delta state.)
+                    self.canary_rejections += 1
+                    raise CanaryRejectedError(
+                        "canary rejected candidate version "
+                        f"{new_version}: {'; '.join(canary_report.reasons)}",
+                        report=canary_report.to_dict(),
+                    )
             carried = 0
             if not retrain and dirty is not None and self._carry_cache:
                 old_session = self._session
@@ -286,5 +329,7 @@ class ServingController:
             "version": self._version,
             "swaps": len(self.swap_history),
             "retrains": sum(1 for r in self.swap_history if r.retrained),
+            "canary_evaluations": len(self.canary_history),
+            "canary_rejections": self.canary_rejections,
             "coverage_memo": dict(memo),
         }

@@ -39,7 +39,13 @@ from repro.serving.replicated.coordinator import (
 )
 from repro.serving.replicated.metrics import MetricsBoard, render_prometheus
 from repro.serving.replicated.pool import WorkerPool, published_session
-from repro.serving.replicated.wal import DeltaWAL, WALRecord, read_wal
+from repro.serving.replicated.wal import (
+    DeltaWAL,
+    WALRecord,
+    deadletter_path,
+    read_deadletter,
+    read_wal,
+)
 
 __all__ = [
     "AdmissionGate",
@@ -49,7 +55,9 @@ __all__ = [
     "ReplicatedServer",
     "WALRecord",
     "WorkerPool",
+    "deadletter_path",
     "published_session",
+    "read_deadletter",
     "read_wal",
     "recover_from_wal",
     "render_prometheus",

@@ -29,6 +29,22 @@ bundle) and re-apply the logged deltas.  Condensation and training are
 deterministic, so the recovered model state is byte-identical to what the
 crashed process had — the property ``benchmarks/bench_serving.py
 --replicated`` gates on.
+
+Self-healing (this PR's layer over the pipeline):
+
+* a delta whose ``apply_delta`` raises is **quarantined** — dead-lettered
+  with its payload and exception fingerprint, marked ``poison`` in the WAL
+  so replay skips it forever — and the controller is rebuilt from the WAL,
+  so the answered 422 leaves the exact pre-delta state serving;
+* a candidate that fails the canary gate
+  (:class:`~repro.errors.CanaryRejectedError`) takes the same quarantine +
+  rebuild path: rollback is *replay without the record*, which keeps the
+  online state byte-identical to what the next boot would recover;
+* replay itself runs the same quarantine loop, so a poison record already
+  in the log cannot crash-loop recovery — each pass quarantines at most
+  one more delta and the loop converges;
+* every publish is verified against its manifest before ``CURRENT`` can
+  point at it, and repaired (republished once) when the bytes are bad.
 """
 
 from __future__ import annotations
@@ -39,9 +55,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro.errors import ServingError, WALError
+from repro.errors import (
+    CanaryRejectedError,
+    IntegrityError,
+    PoisonDeltaError,
+    ServingError,
+    WALError,
+)
 from repro.hetero.graph import HeteroGraph
 from repro.hetero.io import load_graph, save_graph
+from repro.serving import integrity
 from repro.serving.artifacts import load_bundle, save_bundle
 from repro.serving.hotswap import ServingController, SwapReport
 from repro.serving.server import (
@@ -55,7 +78,14 @@ from repro.serving.replicated.pool import (
     publish_version,
     set_current,
 )
-from repro.serving.replicated.wal import DeltaWAL, plan_replay
+from repro.serving.replicated.wal import (
+    KIND_DELTA,
+    KIND_POISON,
+    DeltaWAL,
+    WALRecord,
+    plan_replay_records,
+    read_wal,
+)
 from repro.streaming.delta import GraphDelta
 from repro.utils import faults
 
@@ -87,6 +117,10 @@ class ReplicatedConfig:
     #: how long the commit waits for each worker's swap ack
     ack_timeout_seconds: float = 15.0
     wal_filename: str = "wal.log"
+    #: JSON-safe fault-plan specs (see ``FaultInjector.from_specs``) shipped
+    #: to every worker — injectors are per-process, so chaos plans targeting
+    #: worker-side sites must be rebuilt inside each spawned worker
+    worker_fault_plans: tuple = ()
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -117,6 +151,83 @@ class ReplicatedConfig:
         return self.root_path / "control.sock"
 
 
+def _replay_plan(
+    wal: DeltaWAL,
+    records: list[WALRecord],
+    *,
+    root: Path,
+    make_controller: Callable[[HeteroGraph | None], ServingController],
+    genesis_config: dict | None = None,
+) -> tuple[ServingController, dict]:
+    """Quarantine-convergent replay of a decoded log.
+
+    Builds the base state (snapshot or genesis) and re-applies the
+    non-poisoned deltas.  A delta that *crashes* its replay is quarantined
+    — dead-lettered and marked ``poison`` — and the whole replay restarts
+    without it.  Each pass removes at least one delta, so the loop
+    terminates; a log full of poison converges to the base state instead of
+    crash-looping the process.  Returns ``(started controller, report)``.
+    """
+    records = list(records)
+    quarantined_now = 0
+    while True:
+        genesis, snapshot, delta_records, poisoned = plan_replay_records(
+            records, root=root
+        )
+        if genesis is None:
+            raise WALError(f"{wal.path}: log has records but no genesis")
+        if genesis_config is not None and dict(genesis_config) != genesis:
+            raise WALError(
+                f"{wal.path}: genesis config mismatch — the log was started "
+                f"with {genesis}, this deployment asks for {dict(genesis_config)}; "
+                "replaying these deltas into a different base state would "
+                "corrupt the model"
+            )
+        if snapshot is not None:
+            graph = load_graph(root / str(snapshot.payload["graph_path"]))
+            bundle = load_bundle(root / str(snapshot.payload["bundle_path"]))
+            controller = make_controller(graph)
+            controller.start(warm_bundle=bundle)
+            controller.adopt_version(int(snapshot.payload["version"]))
+            mode = "snapshot"
+            snapshot_version = int(snapshot.payload["version"])
+        else:
+            controller = make_controller(None)
+            controller.start()
+            mode = "genesis"
+            snapshot_version = None
+        crashed: tuple[WALRecord, Exception] | None = None
+        applied = 0
+        for record in delta_records:
+            try:
+                controller.apply_delta(record.delta())
+            except Exception as exc:
+                crashed = (record, exc)
+                break
+            applied += 1
+        if crashed is None:
+            return controller, {
+                "mode": mode,
+                "deltas_replayed": applied,
+                "snapshot_version": snapshot_version,
+                "deltas_logged": sum(1 for r in records if r.kind == KIND_DELTA),
+                "quarantined": len(poisoned),
+                "quarantined_now": quarantined_now,
+            }
+        record, error = crashed
+        wal.quarantine(record, error, reason="replay")
+        quarantined_now += 1
+        # Reflect the just-appended poison marker without re-reading the
+        # file; the next plan_replay_records pass skips the record.
+        records.append(
+            WALRecord(
+                KIND_POISON,
+                {"kind": KIND_POISON, "target_offset": record.offset},
+                -1,
+            )
+        )
+
+
 def recover_from_wal(
     wal_path: str | Path,
     *,
@@ -136,9 +247,15 @@ def recover_from_wal(
     *different* base state would silently produce garbage, so a mismatch
     raises :class:`~repro.errors.WALError`.
 
+    Replay is the quarantine-convergent loop of :func:`_replay_plan`: a
+    delta that crashes recovery is dead-lettered and poisoned rather than
+    crash-looping the boot, and a record poisoned on a *previous* boot is
+    skipped without any work (``quarantined_now`` is 0 on the second boot).
+
     Returns ``(started controller, open WAL, recovery report)``; the report
-    says which path ran (``cold`` / ``genesis`` / ``snapshot``) and how many
-    deltas were re-applied.
+    says which path ran (``cold`` / ``genesis`` / ``snapshot``), how many
+    deltas were re-applied, and how much quarantine work happened
+    (``quarantined`` total vs ``quarantined_now`` this boot).
     """
     root = Path(root)
     wal, records = DeltaWAL.open(wal_path, fsync=fsync)
@@ -152,38 +269,17 @@ def recover_from_wal(
                 "deltas_replayed": 0,
                 "snapshot_version": None,
                 "deltas_logged": 0,
+                "quarantined": 0,
+                "quarantined_now": 0,
             }
-        genesis, snapshot, deltas = plan_replay(records, root=root)
-        if genesis is None:
-            raise WALError(f"{wal_path}: log has records but no genesis")
-        if genesis_config is not None and dict(genesis_config) != genesis:
-            raise WALError(
-                f"{wal_path}: genesis config mismatch — the log was started "
-                f"with {genesis}, this deployment asks for {dict(genesis_config)}; "
-                "replaying these deltas into a different base state would "
-                "corrupt the model"
-            )
-        if snapshot is not None:
-            graph = load_graph(root / str(snapshot.payload["graph_path"]))
-            bundle = load_bundle(root / str(snapshot.payload["bundle_path"]))
-            controller = make_controller(graph)
-            controller.start(warm_bundle=bundle)
-            controller.adopt_version(int(snapshot.payload["version"]))
-            mode = "snapshot"
-            snapshot_version = int(snapshot.payload["version"])
-        else:
-            controller = make_controller(None)
-            controller.start()
-            mode = "genesis"
-            snapshot_version = None
-        for delta in deltas:
-            controller.apply_delta(delta)
-        return controller, wal, {
-            "mode": mode,
-            "deltas_replayed": len(deltas),
-            "snapshot_version": snapshot_version,
-            "deltas_logged": sum(1 for r in records if r.kind == "delta"),
-        }
+        controller, report = _replay_plan(
+            wal,
+            records,
+            root=root,
+            make_controller=make_controller,
+            genesis_config=genesis_config,
+        )
+        return controller, wal, report
     except BaseException:
         wal.close()
         raise
@@ -198,7 +294,27 @@ class _CoordinatorHTTP(ServingServer):
 
     async def _handle_delta(self, body: bytes) -> tuple[int, dict]:
         delta = GraphDelta.from_payload(_parse_json(body))
-        report, acked = await self.replicated.commit_delta(delta)
+        try:
+            report, acked = await self.replicated.commit_delta(delta)
+        except CanaryRejectedError as exc:
+            # The candidate was rejected and the record quarantined; the
+            # controller was rebuilt, so the previous version is answering.
+            return 422, {
+                "error": str(exc),
+                "rolled_back": True,
+                "quarantined": True,
+                "canary": dict(exc.report),
+                "version": self.replicated.controller.version,
+            }
+        except PoisonDeltaError as exc:
+            entry = dict(exc.entry or {})
+            return 422, {
+                "error": str(exc),
+                "rolled_back": True,
+                "quarantined": True,
+                "fingerprint": entry.get("fingerprint"),
+                "version": self.replicated.controller.version,
+            }
         self.metrics.observe_swap(report.swap_seconds)
         self.metrics.set_version(report.version)
         return 200, {
@@ -265,6 +381,13 @@ class ReplicatedServer:
         self.port = int(config.port)
         self.admin_port = 0
         self.deltas_committed = 0
+        self.quarantined = 0
+        self.canary_rejections = 0
+        #: swap acks answered with an older (last-good) version: degraded
+        #: workers that verified-and-fell-back rather than going silent
+        self.fallback_acks = 0
+        #: publishes whose manifest check failed and were rewritten in place
+        self.publish_repairs = 0
         self._since_snapshot = 0
         self._delta_lock = asyncio.Lock()
         self._links: dict[int, _WorkerLink] = {}
@@ -281,6 +404,12 @@ class ReplicatedServer:
         root = cfg.root_path
         root.mkdir(parents=True, exist_ok=True)
         self.board = MetricsBoard.create(cfg.board_path, slots=cfg.workers + 1)
+        slot0 = self.board.slot(0)
+        # Surface this process's fault fires on the shared board so a chaos
+        # run's /metrics reports fires per site across the whole deployment.
+        injector = faults.active()
+        if injector is not None and injector.sink is None:
+            injector.sink = slot0.observe_fault
 
         controller, wal, recovery = recover_from_wal(
             cfg.wal_path,
@@ -291,6 +420,9 @@ class ReplicatedServer:
         )
         self.controller, self.wal, self.recovery = controller, wal, recovery
         self.deltas_committed = int(recovery["deltas_logged"])
+        self.quarantined = int(recovery.get("quarantined", 0))
+        if recovery.get("quarantined_now"):
+            slot0.observe_quarantine(int(recovery["quarantined_now"]))
         self._publish(controller.version)
         set_current(root, controller.version)
 
@@ -311,7 +443,7 @@ class ReplicatedServer:
             batch_window_seconds=cfg.batch_window_seconds,
             max_body_bytes=cfg.max_body_bytes,
             admission_capacity=cfg.max_pending,
-            metrics=self.board.slot(0),
+            metrics=slot0,
         )
         await self.http.start()
         # Loopback admin listener: where workers forward POST /delta to.
@@ -320,7 +452,9 @@ class ReplicatedServer:
         )
         self.admin_port = int(self._admin_server.sockets[0].getsockname()[1])
 
-        self.pool = WorkerPool(workers=cfg.workers, options=self._worker_options())
+        self.pool = WorkerPool(
+            workers=cfg.workers, options=self._worker_options(), metrics=slot0
+        )
         self.pool.start()
         self._supervisor = asyncio.create_task(self.pool.supervise())
         return self.host, self.port
@@ -339,17 +473,38 @@ class ReplicatedServer:
             "batch_window_seconds": cfg.batch_window_seconds,
             "max_body_bytes": cfg.max_body_bytes,
             "max_pending": cfg.max_pending,
+            "fault_plans": [dict(spec) for spec in cfg.worker_fault_plans],
         }
 
     def _publish(self, version: int) -> None:
+        """Publish ``version`` and verify it before anyone can load it.
+
+        ``publish_version`` writes the manifest itself; re-verifying here
+        catches bytes damaged *during* the publish (torn write, bit flip —
+        or the ``publish.*`` fault sites).  One in-place republish repairs
+        it; a publish that still fails its own manifest raises rather than
+        letting ``CURRENT`` ever point at garbage.
+        """
         assert self.controller is not None
         session = self.controller.session
-        publish_version(
-            self.config.root_path,
-            version=version,
-            bundle=self.controller.export_bundle(),
-            logits=session._logits,
-        )
+
+        def write() -> Path:
+            return publish_version(
+                self.config.root_path,
+                version=version,
+                bundle=self.controller.export_bundle(),
+                logits=session._logits,
+            )
+
+        vdir = write()
+        try:
+            integrity.verify_version_dir(vdir)
+        except IntegrityError:
+            self.publish_repairs += 1
+            if self.http is not None:
+                self.http.metrics.observe_integrity_fallback()
+            vdir = write()
+            integrity.verify_version_dir(vdir)
 
     # ------------------------------------------------------------------ #
     async def _handle_control(
@@ -378,7 +533,10 @@ class ReplicatedServer:
                     break
                 message = json.loads(line)
                 if message.get("type") == "ack":
-                    link.acks.put_nowait(int(message["version"]))
+                    # The full ack dict: workers report both the version they
+                    # loaded and the one requested, so an integrity fallback
+                    # (loaded < requested) is distinguishable from silence.
+                    link.acks.put_nowait(message)
         except (json.JSONDecodeError, ValueError, ConnectionResetError):
             pass
         finally:
@@ -420,15 +578,32 @@ class ReplicatedServer:
                     break  # worker died mid-swap; respawn loads CURRENT
                 remaining = deadline - asyncio.get_running_loop().time()
                 if remaining <= 0:
+                    # Registered but silent past the deadline: the worker is
+                    # wedged, not dead — liveness supervision will never
+                    # replace it, so do it here instead of stalling every
+                    # future commit on the same slot.
+                    if self.pool is not None:
+                        self.pool.respawn_slot(link.slot)
                     break
                 try:
-                    ack_version = await asyncio.wait_for(
+                    ack = await asyncio.wait_for(
                         link.acks.get(), timeout=min(remaining, 0.1)
                     )
                 except asyncio.TimeoutError:
                     continue
+                if isinstance(ack, dict):
+                    ack_version = int(ack.get("version", -1))
+                    requested = int(ack.get("requested", ack_version))
+                else:  # bare-int acks from older workers / tests
+                    ack_version = requested = int(ack)
                 if ack_version >= version:
                     acked += 1
+                    break
+                if requested >= version:
+                    # The worker answered, but with last-good: it verified
+                    # the published dir, found garbage, and fell back.
+                    # Degraded — a respawn would reread the same bad bytes.
+                    self.fallback_acks += 1
                     break
         return acked
 
@@ -445,8 +620,26 @@ class ReplicatedServer:
                 delta.validate_against(self.controller.graph)
                 # Durable first: an acked delta must survive any crash after
                 # this line; a crash before it means the client saw no ack.
-                self.wal.append_delta(delta)
-                report = self.controller.apply_delta(delta)
+                offset = self.wal.append_delta(delta)
+                try:
+                    report = self.controller.apply_delta(delta)
+                except CanaryRejectedError as exc:
+                    # Canary rollback: quarantine the record and rebuild
+                    # from the WAL, so the live state is byte-identical to
+                    # what the next boot would recover (replay skips the
+                    # poisoned record too).
+                    self._quarantine(offset, delta, exc, reason="canary")
+                    self._rebuild_controller()
+                    raise
+                except Exception as exc:
+                    entry = self._quarantine(offset, delta, exc, reason="exception")
+                    self._rebuild_controller()
+                    raise PoisonDeltaError(
+                        f"delta step {delta.step} poisoned its commit "
+                        f"({type(exc).__name__}: {exc}); quarantined to the "
+                        "dead-letter sidecar and rolled back",
+                        entry=entry,
+                    ) from exc
                 self._publish(report.version)
                 return report
 
@@ -465,8 +658,56 @@ class ReplicatedServer:
                 self._since_snapshot = 0
             return report, acked
 
+    def _quarantine(
+        self, offset: int, delta: GraphDelta, error: Exception, *, reason: str
+    ) -> dict:
+        """Dead-letter the delta record at ``offset`` and count it."""
+        assert self.wal is not None
+        record = WALRecord(
+            KIND_DELTA, {"kind": KIND_DELTA, "delta": delta.to_payload()}, offset
+        )
+        entry = self.wal.quarantine(record, error, reason=reason)
+        self.quarantined += 1
+        if reason == "canary":
+            self.canary_rejections += 1
+        if self.http is not None:
+            self.http.metrics.observe_quarantine()
+            if reason == "canary":
+                self.http.metrics.observe_canary_rejection()
+        return entry
+
+    def _rebuild_controller(self) -> None:
+        """Replace the live controller with a fresh WAL replay.
+
+        Runs after a quarantine: the old controller's graph may hold the
+        poisoned delta's partial effects, and replay-without-the-record is
+        the only rollback that provably matches the next boot.  Readers are
+        never interrupted — the HTTP layer resolves ``controller.session``
+        per batch, so in-flight requests finish on the old session and the
+        next batch sees the rebuilt one.
+        """
+        assert self.wal is not None
+        records = read_wal(self.wal.path)
+        controller, report = _replay_plan(
+            self.wal,
+            records,
+            root=self.config.root_path,
+            make_controller=self.make_controller,
+            genesis_config=self.genesis,
+        )
+        self.quarantined += int(report.get("quarantined_now", 0))
+        self.controller = controller
+        if self.http is not None:
+            self.http.controller = controller
+            self.http.metrics.set_version(controller.version)
+
     def _write_snapshot(self, report: SwapReport) -> None:
-        """Checkpoint the live graph + bundle, then log the snapshot record."""
+        """Checkpoint the live graph + bundle, then log the snapshot record.
+
+        The snapshot files are digested (and their directory fsynced)
+        before the WAL record commits, so replay can verify the checkpoint
+        it is about to trust and fall back when the bytes rotted.
+        """
         assert self.controller is not None and self.wal is not None
         root = self.config.root_path
         name = f"snap-{report.version:06d}"
@@ -474,12 +715,15 @@ class ReplicatedServer:
         bundle_rel = f"snapshots/{name}-bundle.npz"
         save_graph(self.controller.graph, root / graph_rel)
         save_bundle(self.controller.export_bundle(), root / bundle_rel)
+        integrity.sync_dir(root / "snapshots")
         self.wal.append_snapshot(
             step=report.step,
             version=report.version,
             graph_path=graph_rel,
             bundle_path=bundle_rel,
             deltas_applied=self.deltas_committed,
+            graph_sha256=integrity.file_digest(root / graph_rel),
+            bundle_sha256=integrity.file_digest(root / bundle_rel),
         )
 
     # ------------------------------------------------------------------ #
@@ -524,6 +768,11 @@ class ReplicatedServer:
             "workers_alive": sum(1 for ok in alive.values() if ok),
             "workers_registered": len(self._links),
             "respawns": self.pool.respawns if self.pool is not None else 0,
+            "crash_looping": self.pool.crash_looping() if self.pool is not None else [],
             "deltas_committed": self.deltas_committed,
+            "quarantined": self.quarantined,
+            "canary_rejections": self.canary_rejections,
+            "fallback_acks": self.fallback_acks,
+            "publish_repairs": self.publish_repairs,
             "recovery": dict(self.recovery or {}),
         }

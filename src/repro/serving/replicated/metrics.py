@@ -27,11 +27,14 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ServingError
+from repro.utils.faults import KNOWN_SITES
 
 __all__ = ["MetricsBoard", "SlotMetrics", "render_prometheus"]
 
 #: bump when the column layout changes incompatibly
-BOARD_LAYOUT_VERSION = 1
+#: (v2: self-healing counters — quarantine, canary, integrity fallbacks,
+#: crash-loop gauge, per-site fault fires)
+BOARD_LAYOUT_VERSION = 2
 
 #: endpoints with dedicated request/response counters
 ENDPOINTS = ("predict", "delta", "healthz", "stats", "metrics", "other")
@@ -61,6 +64,13 @@ def _build_columns() -> dict[str, int]:
     add("latency_count")
     add("swaps_total")
     add("swap_seconds_sum_us")
+    add("quarantined_total")
+    add("canary_rejections_total")
+    add("integrity_fallbacks_total")
+    add("replica_crash_loops")
+    for site in KNOWN_SITES:
+        add(f"fault_fires__{site}")
+    add("fault_fires__other")
     add("version")
     add("up")
     add("pid")
@@ -138,6 +148,32 @@ class SlotMetrics:
         """Count one completed session swap."""
         self._inc("swaps_total")
         self._inc("swap_seconds_sum_us", int(seconds * 1e6))
+
+    def observe_quarantine(self, count: int = 1) -> None:
+        """Count deltas quarantined to the dead-letter sidecar."""
+        self._inc("quarantined_total", int(count))
+
+    def observe_canary_rejection(self) -> None:
+        """Count candidate sessions the canary gate rolled back."""
+        self._inc("canary_rejections_total")
+
+    def observe_integrity_fallback(self) -> None:
+        """Count loads that fell back to last-good after failed verification."""
+        self._inc("integrity_fallbacks_total")
+
+    def set_crash_looping(self, count: int) -> None:
+        """Gauge: worker slots currently held in crash-loop backoff."""
+        self._set("replica_crash_loops", int(count))
+
+    def observe_fault(self, site: str) -> None:
+        """Count one injected-fault fire at ``site``.
+
+        This is the :attr:`repro.utils.faults.FaultInjector.sink` target:
+        injector counters are per-process, so without this hop a fault fired
+        inside a worker is invisible to the coordinator's ``/metrics`` page.
+        """
+        column = f"fault_fires__{site}"
+        self._inc(column if column in _COLUMNS else "fault_fires__other")
 
 
 class MetricsBoard:
@@ -264,6 +300,24 @@ def render_prometheus(board: MetricsBoard) -> str:
     lines.append("# HELP repro_swap_seconds_sum Wall-clock spent swapping sessions.")
     lines.append("# TYPE repro_swap_seconds_sum counter")
     lines.append(f"repro_swap_seconds_sum {total('swap_seconds_sum_us') / 1e6:.6f}")
+    lines.append("# HELP repro_quarantined_deltas_total Deltas quarantined to the dead-letter sidecar.")
+    lines.append("# TYPE repro_quarantined_deltas_total counter")
+    lines.append(f"repro_quarantined_deltas_total {total('quarantined_total')}")
+    lines.append("# HELP repro_canary_rejections_total Candidate sessions rejected by the canary gate.")
+    lines.append("# TYPE repro_canary_rejections_total counter")
+    lines.append(f"repro_canary_rejections_total {total('canary_rejections_total')}")
+    lines.append("# HELP repro_integrity_fallbacks_total Session loads that fell back to last-good after failed manifest verification.")
+    lines.append("# TYPE repro_integrity_fallbacks_total counter")
+    lines.append(f"repro_integrity_fallbacks_total {total('integrity_fallbacks_total')}")
+    lines.append("# HELP repro_replica_crash_loops Worker slots currently held in crash-loop backoff.")
+    lines.append("# TYPE repro_replica_crash_loops gauge")
+    lines.append(f"repro_replica_crash_loops {total('replica_crash_loops')}")
+    lines.append("# HELP repro_fault_fires_total Injected-fault fires observed, by site (all processes).")
+    lines.append("# TYPE repro_fault_fires_total counter")
+    for site in (*KNOWN_SITES, "other"):
+        fired = total(f"fault_fires__{site}")
+        if fired:
+            lines.append(f'repro_fault_fires_total{{site="{site}"}} {fired}')
     lines.append("# HELP repro_replica_up Whether each replica slot is live.")
     lines.append("# TYPE repro_replica_up gauge")
     up = board.column("up", grid)

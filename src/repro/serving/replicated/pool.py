@@ -50,12 +50,16 @@ import asyncio
 import json
 import multiprocessing
 import os
+import random
 import socket
+import sys
+import time
 from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ServingError
+from repro.errors import IntegrityError, ServingError
+from repro.serving import integrity
 from repro.serving.artifacts import ModelBundle, save_bundle
 from repro.utils import faults
 from repro.serving.engine import InferenceSession
@@ -71,6 +75,8 @@ __all__ = [
     "publish_version",
     "current_version",
     "set_current",
+    "forward_delta",
+    "backoff_delays",
 ]
 
 _VERSIONS_DIR = "versions"
@@ -109,35 +115,75 @@ def publish_version(
     bundle: ModelBundle,
     logits: np.ndarray,
 ) -> Path:
-    """Write one version directory (bundle + logits + meta); returns its path.
+    """Write one version directory (bundle + logits + manifest + meta).
 
-    ``meta.json`` is written last, so a directory missing it is an
-    unfinished publish and is never pointed to by ``CURRENT``.
+    Write order is the integrity contract: payload files first, then
+    ``manifest.json`` with their SHA-256 digests, then ``meta.json`` — so a
+    directory missing meta is an unfinished publish (never pointed to by
+    ``CURRENT``) and a directory whose bytes don't match its manifest is a
+    corrupt one (detected by :func:`published_session` before mmap).  The
+    ``publish.corrupt_file`` / ``publish.truncate_manifest`` fault sites
+    strike between manifest and meta, the window real partial writes land
+    in.  The version directory is fsynced so the publish survives power
+    loss, not just process death.
     """
     root = Path(root)
     vdir = root / _VERSIONS_DIR / _version_name(version)
     vdir.mkdir(parents=True, exist_ok=True)
     save_bundle(bundle, vdir / "bundle", layout="dir")
     np.save(vdir / "logits.npy", np.ascontiguousarray(logits))
+    integrity.write_manifest(vdir)
+    corrupt = faults.fire("publish.corrupt_file")
+    if corrupt is not None:
+        # Fault site: damage a published payload file *after* its digest
+        # was recorded — the shape of bit rot or a torn write.
+        needle = str(corrupt.get("filename", "logits.npy"))
+        victims = [p for p in sorted(vdir.rglob("*")) if p.is_file() and needle in p.name]
+        for victim in victims[:1]:
+            with open(victim, "r+b") as handle:
+                handle.seek(int(corrupt.get("flip_at", 0)))
+                byte = handle.read(1)
+                handle.seek(int(corrupt.get("flip_at", 0)))
+                handle.write(bytes([byte[0] ^ 0xFF]) if byte else b"\xff")
+    truncate = faults.fire("publish.truncate_manifest")
+    if truncate is not None:
+        # Fault site: tear the manifest itself mid-write.
+        manifest_path = vdir / integrity.MANIFEST_NAME
+        size = manifest_path.stat().st_size
+        keep = int(truncate.get("keep_bytes", size // 2))
+        with open(manifest_path, "r+b") as handle:
+            handle.truncate(max(0, min(keep, size)))
     meta = {
         "version": int(version),
         "targets": int(logits.shape[0]),
         "classes": int(logits.shape[1]),
     }
     (vdir / "meta.json").write_text(json.dumps(meta, sort_keys=True))
+    integrity.sync_dir(vdir)
+    integrity.sync_dir(vdir.parent)
     return vdir
 
 
 def set_current(root: str | Path, version: int) -> None:
-    """Atomically point ``CURRENT`` at ``version`` (replace, never truncate)."""
+    """Atomically point ``CURRENT`` at ``version`` (replace, never truncate).
+
+    The parent directory is fsynced after the replace: without it the
+    rename is atomic against process death but not power loss, and a
+    rebooted machine could come back pointing at the *previous* version of
+    an already-acknowledged publish.
+    """
     root = Path(root)
     pointer = {
         "version": int(version),
         "dir": f"{_VERSIONS_DIR}/{_version_name(version)}",
     }
     tmp = root / f".{_CURRENT}.tmp{os.getpid()}"
-    tmp.write_text(json.dumps(pointer, sort_keys=True))
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(pointer, sort_keys=True))
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, root / _CURRENT)
+    integrity.sync_dir(root)
 
 
 def current_version(root: str | Path) -> tuple[int, Path]:
@@ -150,31 +196,44 @@ def current_version(root: str | Path) -> tuple[int, Path]:
     return int(pointer["version"]), root / str(pointer["dir"])
 
 
+def _open_session(vdir: Path, *, cache_size: int) -> InferenceSession:
+    meta = json.loads((vdir / "meta.json").read_text())
+    logits = np.load(vdir / "logits.npy", mmap_mode="r", allow_pickle=False)
+    return InferenceSession.from_logits(
+        logits, version=int(meta["version"]), cache_size=cache_size
+    )
+
+
 def published_session(
     root: str | Path,
     *,
     version: int | None = None,
     cache_size: int = 4096,
+    fallback: bool = True,
 ) -> InferenceSession:
     """Open a published version's logits (mmapped) as an
     :class:`~repro.serving.engine.InferenceSession`.
 
     ``version=None`` follows the ``CURRENT`` pointer; an explicit version
-    opens that directory (the swap notice path).
+    opens that directory (the swap notice path).  The directory's manifest
+    is verified before mmap; a corrupt or incomplete publish falls back to
+    the newest version that *does* verify (``fallback=False`` raises the
+    :class:`~repro.errors.IntegrityError` instead).  Callers detect a
+    fallback by comparing ``session.version`` to what they asked for.
     """
     root = Path(root)
     if version is None:
         version, vdir = current_version(root)
     else:
         vdir = root / _VERSIONS_DIR / _version_name(version)
-    meta_path = vdir / "meta.json"
-    if not meta_path.exists():
-        raise ServingError(f"published version at {vdir} is incomplete (no meta.json)")
-    meta = json.loads(meta_path.read_text())
-    logits = np.load(vdir / "logits.npy", mmap_mode="r", allow_pickle=False)
-    return InferenceSession.from_logits(
-        logits, version=int(meta["version"]), cache_size=cache_size
-    )
+    try:
+        integrity.verify_version_dir(vdir)
+    except IntegrityError:
+        if not fallback:
+            raise
+        # Serve the newest verifiable version rather than garbage bytes.
+        _, vdir = integrity.last_good_version(root, exclude=(int(version),))
+    return _open_session(vdir, cache_size=cache_size)
 
 
 # ---------------------------------------------------------------------- #
@@ -226,37 +285,106 @@ class WorkerServer(ServingServer):
         return await forward_delta("127.0.0.1", self.admin_port, body)
 
 
-async def forward_delta(host: str, port: int, body: bytes) -> tuple[int, dict]:
-    """Relay a ``POST /delta`` body to the coordinator; returns (status, json)."""
-    try:
-        reader, writer = await asyncio.open_connection(host, port)
-    except OSError as exc:
-        return 503, {"error": f"coordinator unreachable: {exc}"}
-    try:
-        writer.write(
-            (
-                f"POST /delta HTTP/1.1\r\nHost: {host}\r\n"
-                f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
-            ).encode("latin-1")
-            + body
-        )
-        await writer.drain()
-        raw = await reader.read()
-    except (OSError, asyncio.IncompleteReadError) as exc:
-        return 503, {"error": f"coordinator connection failed: {exc}"}
-    finally:
-        writer.close()
+#: forward_delta retry policy: bounded, exponential, jittered
+FORWARD_ATTEMPTS = 4
+FORWARD_BASE_DELAY = 0.05
+FORWARD_MAX_DELAY = 1.0
+FORWARD_JITTER = 0.25
+
+
+def backoff_delays(
+    attempts: int,
+    *,
+    base: float = FORWARD_BASE_DELAY,
+    cap: float = FORWARD_MAX_DELAY,
+    jitter: float = FORWARD_JITTER,
+    seed: int = 0,
+) -> tuple[float, ...]:
+    """The sleep schedule between ``attempts`` retries: capped exponential
+    with deterministic jitter.
+
+    Delay ``i`` is ``min(cap, base * 2**i) * (1 + jitter * u_i)`` with
+    ``u_i`` drawn from a seeded uniform [0, 1).  With ``jitter <= 1`` the
+    pre-cap schedule stays strictly monotone (the jittered value never
+    reaches the next doubling), so retries always spread out — the property
+    the backoff tests pin — while distinct seeds desynchronise a pool of
+    workers hammering a recovering coordinator.
+    """
+    rng = random.Random(int(seed))
+    delays = []
+    for index in range(max(0, int(attempts))):
+        delays.append(min(float(cap), float(base) * (2.0**index)) * (1.0 + float(jitter) * rng.random()))
+    return tuple(delays)
+
+
+async def forward_delta(
+    host: str,
+    port: int,
+    body: bytes,
+    *,
+    attempts: int = FORWARD_ATTEMPTS,
+    base_delay: float = FORWARD_BASE_DELAY,
+    max_delay: float = FORWARD_MAX_DELAY,
+    jitter: float = FORWARD_JITTER,
+    seed: int | None = None,
+) -> tuple[int, dict]:
+    """Relay a ``POST /delta`` body to the coordinator; returns (status, json).
+
+    Connection failures are retried up to ``attempts`` times with
+    :func:`backoff_delays` sleeps in between — a coordinator mid-respawn
+    looks exactly like a refused connection, and a bounded retry absorbs
+    it.  When every attempt fails the worker answers a structured *degraded*
+    503 (``degraded``/``attempts``/``retry_after_seconds``) and keeps
+    serving reads: losing the writer never takes down the read path.
+    """
+    if seed is None:
+        seed = os.getpid()
+    delays = backoff_delays(
+        max(0, attempts - 1), base=base_delay, cap=max_delay, jitter=jitter, seed=seed
+    )
+    failure: dict = {"error": "coordinator unreachable"}
+    for attempt in range(max(1, attempts)):
+        if attempt:
+            await asyncio.sleep(delays[attempt - 1])
         try:
-            await writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError, OSError):
-            pass
-    head, _, payload = raw.partition(b"\r\n\r\n")
-    try:
-        status = int(head.split(b" ", 2)[1])
-        decoded = json.loads(payload.decode("utf-8") or "{}")
-    except (IndexError, ValueError, json.JSONDecodeError):
-        return 502, {"error": "unparseable coordinator response"}
-    return status, decoded
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as exc:
+            failure = {"error": f"coordinator unreachable: {exc}"}
+            continue
+        try:
+            writer.write(
+                (
+                    f"POST /delta HTTP/1.1\r\nHost: {host}\r\n"
+                    f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+            raw = await reader.read()
+        except (OSError, asyncio.IncompleteReadError) as exc:
+            failure = {"error": f"coordinator connection failed: {exc}"}
+            continue
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        try:
+            status = int(head.split(b" ", 2)[1])
+            decoded = json.loads(payload.decode("utf-8") or "{}")
+        except (IndexError, ValueError, json.JSONDecodeError):
+            return 502, {"error": "unparseable coordinator response"}
+        return status, decoded
+    failure.update(
+        {
+            "degraded": True,
+            "attempts": int(attempts),
+            "retry_after_seconds": max(1, int(round(max_delay))),
+        }
+    )
+    return 503, failure
 
 
 def _control_line(message: dict) -> bytes:
@@ -271,6 +399,17 @@ async def _worker_async(slot: int, options: dict) -> None:
     metrics = board.slot(slot)
     proxy = _SessionProxy()
 
+    # Injectors are per-process: a chaos plan targeting worker-side sites is
+    # shipped as JSON specs and rebuilt here, with fires surfaced through
+    # this worker's row of the shared board (coordinator /metrics sees them).
+    plans = options.get("fault_plans") or ()
+    if plans:
+        injector = faults.FaultInjector.from_specs(
+            plans, seed=int(options.get("fault_seed", slot))
+        )
+        injector.sink = metrics.observe_fault
+        faults.install(injector)
+
     # Register on the control channel BEFORE loading a session or serving:
     # any version committed after this handshake will be fanned out to us,
     # and CURRENT (read next) covers everything committed before it.
@@ -282,7 +421,13 @@ async def _worker_async(slot: int, options: dict) -> None:
         raise ServingError(f"unexpected control greeting: {welcome}")
 
     cache_size = int(options.get("cache_size", 4096))
-    proxy.publish(published_session(root, cache_size=cache_size))
+    wanted, _ = current_version(root)
+    session = published_session(root, cache_size=cache_size)
+    if session.version != wanted:
+        # CURRENT points at a corrupt publish: serve last-good, stale beats
+        # garbage.  The next committed version swaps us back in sync.
+        metrics.observe_integrity_fallback()
+    proxy.publish(session)
     sock = make_listen_socket(options["host"], int(options["port"]))
     server = WorkerServer(
         proxy,
@@ -310,10 +455,24 @@ async def _worker_async(slot: int, options: dict) -> None:
                 session = published_session(
                     root, version=version, cache_size=cache_size
                 )
+                if session.version != version:
+                    # Requested version failed verification; we loaded
+                    # last-good.  Ack with what we actually serve so the
+                    # coordinator can tell "degraded but alive" (don't
+                    # respawn: a fresh process would hit the same bytes)
+                    # from "unresponsive" (respawn).
+                    metrics.observe_integrity_fallback()
                 proxy.publish(session)  # before the ack: never stale after it
-                metrics.set_version(version)
+                metrics.set_version(session.version)
                 writer.write(
-                    _control_line({"type": "ack", "slot": slot, "version": version})
+                    _control_line(
+                        {
+                            "type": "ack",
+                            "slot": slot,
+                            "version": session.version,
+                            "requested": version,
+                        }
+                    )
                 )
                 await writer.drain()
             elif kind == "stop":
@@ -336,6 +495,11 @@ def _worker_main(slot: int, options: dict) -> None:
         pass
 
 
+def _crash_main(slot: int, options: dict) -> None:
+    """``pool.crash_loop`` fault body: a worker that dies the instant it boots."""
+    sys.exit(1)
+
+
 # ---------------------------------------------------------------------- #
 # Supervision (runs inside the coordinator)
 # ---------------------------------------------------------------------- #
@@ -347,15 +511,27 @@ class WorkerPool:
     directories, which is what makes respawn-after-kill safe.
     """
 
-    def __init__(self, *, workers: int, options: dict) -> None:
+    #: supervise backoff: first respawn is immediate, then delays double
+    BACKOFF_BASE = 0.25
+    BACKOFF_CAP = 5.0
+    #: a worker alive this long clears its slot's backoff history
+    BACKOFF_RESET_AFTER = 10.0
+
+    def __init__(self, *, workers: int, options: dict, metrics=None) -> None:
         if workers < 1:
             raise ServingError(f"worker pool needs >= 1 worker, got {workers}")
         self.workers = int(workers)
         self.options = dict(options)
+        self.metrics = metrics
         self._context = multiprocessing.get_context("spawn")
         self._processes: dict[int, multiprocessing.process.BaseProcess] = {}
         self._stopping = False
         self.respawns = 0
+        # per-slot crash-loop state: current backoff delay, earliest next
+        # respawn (monotonic time), and when the live process was spawned
+        self._backoff: dict[int, float] = {}
+        self._not_before: dict[int, float] = {}
+        self._spawned_at: dict[int, float] = {}
 
     def start(self) -> None:
         """Launch every worker (slots ``1..workers``; slot 0 is the coordinator)."""
@@ -363,14 +539,21 @@ class WorkerPool:
             self._spawn(slot)
 
     def _spawn(self, slot: int) -> None:
+        target = _worker_main
+        if faults.fire("pool.crash_loop") is not None:
+            # Fault site: this spawn produces a worker that exits at boot,
+            # turning the slot into a genuine crash loop until the plan's
+            # limit runs out.
+            target = _crash_main
         process = self._context.Process(
-            target=_worker_main,
+            target=target,
             args=(slot, self.options),
             name=f"repro-worker-{slot}",
             daemon=True,
         )
         process.start()
         self._processes[slot] = process
+        self._spawned_at[slot] = time.monotonic()
 
     def alive(self) -> dict[int, bool]:
         """Liveness per slot."""
@@ -399,15 +582,67 @@ class WorkerPool:
         self._processes[slot].join(timeout=5.0)
         return slot
 
+    def respawn_slot(self, slot: int) -> None:
+        """Kill (if needed) and relaunch one slot — the ack-timeout path.
+
+        A worker that registered but stopped answering swap notices is
+        wedged, not dead; ``is_alive`` supervision will never touch it, so
+        the coordinator calls this to replace it outright.
+        """
+        process = self._processes.get(slot)
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
+        self._spawn(slot)
+        self.respawns += 1
+
+    def _observe_dead(self, slot: int, now: float) -> bool:
+        """Backoff bookkeeping for a dead slot; True when it may respawn now.
+
+        First death respawns immediately; each subsequent death within
+        :attr:`BACKOFF_RESET_AFTER` of its spawn doubles the slot's delay up
+        to :attr:`BACKOFF_CAP`, so a worker that dies at boot costs a
+        bounded fork/exec rate instead of a hot loop.
+        """
+        if now < self._not_before.get(slot, 0.0):
+            return False
+        lived = now - self._spawned_at.get(slot, now)
+        if lived >= self.BACKOFF_RESET_AFTER:
+            self._backoff.pop(slot, None)
+        previous = self._backoff.get(slot)
+        delay = (
+            0.0
+            if previous is None
+            else min(self.BACKOFF_CAP, max(self.BACKOFF_BASE, previous * 2.0))
+        )
+        self._backoff[slot] = delay if previous is not None else self.BACKOFF_BASE
+        self._not_before[slot] = now + delay
+        return True
+
+    def crash_looping(self) -> list[int]:
+        """Slots currently held in (non-trivial) crash-loop backoff."""
+        return sorted(
+            slot
+            for slot, delay in self._backoff.items()
+            if delay > self.BACKOFF_BASE
+        )
+
     async def supervise(self, *, interval: float = 0.25) -> None:
-        """Respawn dead workers until :meth:`stop` is called."""
+        """Respawn dead workers (with per-slot backoff) until :meth:`stop`."""
         while not self._stopping:
             self._maybe_inject_kill()
+            now = time.monotonic()
             for slot, process in list(self._processes.items()):
-                if not process.is_alive() and not self._stopping:
+                if process.is_alive():
+                    if now - self._spawned_at.get(slot, now) >= self.BACKOFF_RESET_AFTER:
+                        self._backoff.pop(slot, None)
+                    continue
+                if not self._stopping and self._observe_dead(slot, now):
                     process.join(timeout=0)
                     self._spawn(slot)
                     self.respawns += 1
+            if self.metrics is not None:
+                self.metrics.set_crash_looping(len(self.crash_looping()))
             await asyncio.sleep(interval)
 
     def stop(self, *, timeout: float = 5.0) -> None:

@@ -14,7 +14,7 @@ Each record is a CRC-framed JSON object::
 
     <4-byte LE payload length> <4-byte LE crc32(payload)> <payload UTF-8 JSON>
 
-Three record kinds appear in a log:
+Four record kinds appear in a log:
 
 ``genesis``
     First record of every log: the deterministic recipe for the *base*
@@ -25,8 +25,16 @@ Three record kinds appear in a log:
 ``snapshot``
     A checkpoint: paths (relative to the log) of a saved live-graph archive
     and a :class:`~repro.serving.artifacts.ModelBundle`, written *before*
-    the record is appended.  Replay resumes from the newest snapshot whose
-    files still exist and only re-applies the deltas logged after it.
+    the record is appended.  Records may carry SHA-256 digests of both
+    files; replay resumes from the newest snapshot whose files still exist
+    *and verify*, and only re-applies the deltas logged after it.
+``poison``
+    A quarantine marker: the ``delta`` record at ``target_offset`` crashed
+    its commit and must be skipped on replay.  The full payload and the
+    exception fingerprint live in the dead-letter sidecar
+    (``wal.path + ".deadletter"``, JSONL); the WAL itself only records the
+    skip so that replay-on-boot converges deterministically instead of
+    crash-looping on the same record forever.
 
 Torn-write recovery
 -------------------
@@ -42,6 +50,7 @@ acknowledged history.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import struct
@@ -50,10 +59,19 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import WALError
+from repro.serving.integrity import file_digest
 from repro.streaming.delta import GraphDelta
 from repro.utils import faults
 
-__all__ = ["WALRecord", "DeltaWAL", "read_wal", "plan_replay"]
+__all__ = [
+    "WALRecord",
+    "DeltaWAL",
+    "read_wal",
+    "plan_replay",
+    "plan_replay_records",
+    "deadletter_path",
+    "read_deadletter",
+]
 
 _HEADER = struct.Struct("<II")
 #: sanity bound on one record; a length field beyond this is corruption
@@ -62,6 +80,7 @@ _MAX_RECORD_BYTES = 256 * 1024 * 1024
 KIND_GENESIS = "genesis"
 KIND_DELTA = "delta"
 KIND_SNAPSHOT = "snapshot"
+KIND_POISON = "poison"
 
 
 @dataclass(frozen=True)
@@ -122,7 +141,7 @@ class DeltaWAL:
     def append(self, payload: dict) -> int:
         """Commit one record; returns its byte offset once durable."""
         kind = payload.get("kind")
-        if kind not in (KIND_GENESIS, KIND_DELTA, KIND_SNAPSHOT):
+        if kind not in (KIND_GENESIS, KIND_DELTA, KIND_SNAPSHOT, KIND_POISON):
             raise WALError(f"refusing to append record of unknown kind {kind!r}")
         offset = self._file.tell()
         encoded = _encode(payload)
@@ -161,18 +180,72 @@ class DeltaWAL:
         graph_path: str,
         bundle_path: str,
         deltas_applied: int,
+        graph_sha256: str | None = None,
+        bundle_sha256: str | None = None,
     ) -> int:
-        """Record a checkpoint whose files were already written durably."""
+        """Record a checkpoint whose files were already written durably.
+
+        When digests are given, replay verifies the snapshot files against
+        them and falls back to an older snapshot (or genesis) on mismatch —
+        a half-written checkpoint must not poison recovery.
+        """
+        payload = {
+            "kind": KIND_SNAPSHOT,
+            "step": int(step),
+            "version": int(version),
+            "graph_path": str(graph_path),
+            "bundle_path": str(bundle_path),
+            "deltas_applied": int(deltas_applied),
+        }
+        if graph_sha256 is not None:
+            payload["graph_sha256"] = str(graph_sha256)
+        if bundle_sha256 is not None:
+            payload["bundle_sha256"] = str(bundle_sha256)
+        return self.append(payload)
+
+    def append_poison(
+        self, *, target_offset: int, reason: str, fingerprint: str
+    ) -> int:
+        """Mark the delta record at ``target_offset`` as quarantined."""
         return self.append(
             {
-                "kind": KIND_SNAPSHOT,
-                "step": int(step),
-                "version": int(version),
-                "graph_path": str(graph_path),
-                "bundle_path": str(bundle_path),
-                "deltas_applied": int(deltas_applied),
+                "kind": KIND_POISON,
+                "target_offset": int(target_offset),
+                "reason": str(reason),
+                "fingerprint": str(fingerprint),
             }
         )
+
+    def quarantine(
+        self, record: WALRecord, error: BaseException, *, reason: str = "exception"
+    ) -> dict:
+        """Dead-letter ``record`` and mark it poisoned, in that order.
+
+        The sidecar entry (payload + exception fingerprint) is written and
+        fsynced *before* the ``poison`` record commits: if we crash between
+        the two, the worst case is a duplicate dead-letter line on the next
+        boot, never a silently skipped record with no forensic trail.
+        Returns the JSON-safe sidecar entry.
+        """
+        entry = {
+            "offset": int(record.offset),
+            "reason": str(reason),
+            "error": f"{type(error).__name__}: {error}",
+            "fingerprint": exception_fingerprint(error),
+            "payload": record.payload,
+        }
+        sidecar = deadletter_path(self.path)
+        with open(sidecar, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        self.append_poison(
+            target_offset=record.offset,
+            reason=reason,
+            fingerprint=entry["fingerprint"],
+        )
+        return entry
 
     def close(self) -> None:
         """Flush and close the underlying file."""
@@ -266,15 +339,56 @@ def read_wal(path: str | Path, *, repair: bool = False) -> list[WALRecord]:
     return records
 
 
-def plan_replay(
+def exception_fingerprint(error: BaseException) -> str:
+    """Short stable hash identifying an exception type + message."""
+    digest = hashlib.sha256(
+        f"{type(error).__name__}:{error}".encode("utf-8", "replace")
+    )
+    return digest.hexdigest()[:16]
+
+
+def deadletter_path(wal_path: str | Path) -> Path:
+    """The dead-letter sidecar next to a WAL: ``wal.path + ".deadletter"``."""
+    wal_path = Path(wal_path)
+    return wal_path.with_name(wal_path.name + ".deadletter")
+
+
+def read_deadletter(wal_path: str | Path) -> list[dict]:
+    """Decode the dead-letter sidecar's JSONL entries (``[]`` when absent)."""
+    sidecar = deadletter_path(wal_path)
+    if not sidecar.exists():
+        return []
+    entries: list[dict] = []
+    for line in sidecar.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            entries.append(json.loads(line))
+    return entries
+
+
+def _snapshot_verifies(record: WALRecord, root: Path) -> bool:
+    graph_path = root / str(record.payload["graph_path"])
+    bundle_path = root / str(record.payload["bundle_path"])
+    if not (graph_path.exists() and bundle_path.exists()):
+        return False
+    for path, key in ((graph_path, "graph_sha256"), (bundle_path, "bundle_sha256")):
+        expected = record.payload.get(key)
+        if expected is not None and file_digest(path) != expected:
+            return False
+    return True
+
+
+def plan_replay_records(
     records: list[WALRecord], *, root: str | Path
-) -> tuple[dict | None, WALRecord | None, list[GraphDelta]]:
-    """Split a decoded log into ``(genesis config, snapshot, deltas to apply)``.
+) -> tuple[dict | None, WALRecord | None, list[WALRecord], frozenset]:
+    """Full replay plan: ``(genesis, snapshot, delta records, poisoned offsets)``.
 
     The snapshot is the newest one whose referenced files (paths relative
-    to ``root``, the WAL's directory) still exist; the returned deltas are
-    exactly the ones logged after it (after genesis when no snapshot is
-    usable), in commit order.
+    to ``root``, the WAL's directory) still exist and match their recorded
+    digests.  The delta records are exactly the ones logged after it (after
+    genesis when no snapshot is usable), in commit order, minus every record
+    named by a ``poison`` marker — quarantined deltas are skipped
+    deterministically no matter when their marker was appended.
     """
     root = Path(root)
     genesis: dict | None = None
@@ -282,18 +396,35 @@ def plan_replay(
         if record.kind == KIND_GENESIS:
             genesis = dict(record.payload.get("config", {}))
             break
+    poisoned = frozenset(
+        int(record.payload["target_offset"])
+        for record in records
+        if record.kind == KIND_POISON
+    )
     snapshot: WALRecord | None = None
     for record in reversed(records):
-        if record.kind != KIND_SNAPSHOT:
-            continue
-        graph_path = root / str(record.payload["graph_path"])
-        bundle_path = root / str(record.payload["bundle_path"])
-        if graph_path.exists() and bundle_path.exists():
+        if record.kind == KIND_SNAPSHOT and _snapshot_verifies(record, root):
             snapshot = record
             break
-    deltas: list[GraphDelta] = []
+    deltas: list[WALRecord] = []
     start = snapshot.offset if snapshot is not None else -1
     for record in records:
-        if record.kind == KIND_DELTA and record.offset > start:
-            deltas.append(record.delta())
-    return genesis, snapshot, deltas
+        if (
+            record.kind == KIND_DELTA
+            and record.offset > start
+            and record.offset not in poisoned
+        ):
+            deltas.append(record)
+    return genesis, snapshot, deltas, poisoned
+
+
+def plan_replay(
+    records: list[WALRecord], *, root: str | Path
+) -> tuple[dict | None, WALRecord | None, list[GraphDelta]]:
+    """Split a decoded log into ``(genesis config, snapshot, deltas to apply)``.
+
+    Compatibility wrapper over :func:`plan_replay_records` returning decoded
+    :class:`GraphDelta` s instead of raw records.
+    """
+    genesis, snapshot, delta_records, _ = plan_replay_records(records, root=root)
+    return genesis, snapshot, [record.delta() for record in delta_records]

@@ -51,7 +51,7 @@ from time import perf_counter
 
 import numpy as np
 
-from repro.errors import ReproError, ServingError
+from repro.errors import CanaryRejectedError, ReproError, ServingError
 from repro.evaluation.timing import summarize_latencies
 from repro.serving.hotswap import ServingController
 from repro.streaming.delta import GraphDelta
@@ -71,6 +71,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     413: "Payload Too Large",
+    422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
@@ -142,10 +143,18 @@ async def write_http_response(
     payload: dict | str | bytes,
     keep_alive: bool = True,
 ) -> None:
-    """Send one response; dict payloads are JSON, str/bytes go as plain text."""
+    """Send one response; dict payloads are JSON, str/bytes go as plain text.
+
+    Backpressure statuses (``429``/``503``) whose payload carries
+    ``retry_after_seconds`` also get a ``Retry-After`` header, so plain HTTP
+    clients see the pacing hint without parsing the body.
+    """
+    retry_after = None
     if isinstance(payload, dict):
         body = json.dumps(payload).encode("utf-8")
         content_type = "application/json"
+        if status in (429, 503) and "retry_after_seconds" in payload:
+            retry_after = max(1, int(payload["retry_after_seconds"]))
     else:
         body = payload.encode("utf-8") if isinstance(payload, str) else payload
         content_type = "text/plain; version=0.0.4; charset=utf-8"
@@ -154,7 +163,8 @@ async def write_http_response(
         f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
-        f"Connection: {connection}\r\n\r\n"
+        + (f"Retry-After: {retry_after}\r\n" if retry_after is not None else "")
+        + f"Connection: {connection}\r\n\r\n"
     ).encode("latin-1")
     writer.write(head + body)
     await writer.drain()
@@ -310,7 +320,10 @@ class ServingServer:
         #: per process with SO_REUSEPORT so the kernel load-balances accepts)
         self.sock = sock
         self.batcher = MicroBatcher(
-            lambda: controller.session,
+            # Resolve self.controller dynamically: the replicated tier
+            # *replaces* the controller after a quarantine rebuild, and the
+            # batcher must follow it rather than pin the constructor's one.
+            lambda: self.controller.session,
             max_batch=max_batch,
             window_seconds=batch_window_seconds,
         )
@@ -433,6 +446,17 @@ class ServingServer:
             if method == "POST" and path == "/delta":
                 return await self._handle_delta(body)
             return 404, {"error": f"no route for {method} {path}"}
+        except CanaryRejectedError as exc:
+            # Not a bad request: the delta was valid, the retrained candidate
+            # failed the canary gate and was rolled back.  The previous
+            # version is still answering.
+            self.errors += 1
+            return 422, {
+                "error": str(exc),
+                "rolled_back": True,
+                "canary": dict(exc.report),
+                "version": self.controller.version,
+            }
         except ServingError as exc:
             self.errors += 1
             return 400, {"error": str(exc)}

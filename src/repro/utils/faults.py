@@ -28,6 +28,29 @@ Wired sites
     :meth:`repro.serving.hotswap.ServingController.apply_delta` sleeps
     ``seconds`` just before publishing the new session, widening the
     hot-swap window that concurrent readers race against.
+``publish.corrupt_file``
+    :func:`repro.serving.replicated.pool.publish_version` flips bytes in a
+    freshly published file *after* its manifest digest was recorded — the
+    on-disk shape of a partial write or bit rot.  Action keys: ``filename``
+    (substring selecting the victim file, default ``logits.npy``),
+    ``flip_at`` (byte offset, default 0).
+``publish.truncate_manifest``
+    :func:`repro.serving.replicated.pool.publish_version` truncates the
+    just-written ``manifest.json`` to ``keep_bytes`` (default half), so
+    verification sees an unparseable manifest rather than a clean one.
+``hotswap.poison_commit``
+    :meth:`repro.serving.hotswap.ServingController.apply_delta` raises
+    :class:`InjectedFault` before touching any state — a delta whose commit
+    deterministically crashes.  The replicated tier quarantines the WAL
+    record to the dead-letter sidecar and rebuilds.
+``canary.force_reject``
+    :func:`repro.serving.canary.evaluate_candidate` records a forced-failure
+    check, so canary rejection (and the coordinator's rollback path behind
+    it) is drivable without actually degrading a model.
+``pool.crash_loop``
+    :meth:`repro.serving.replicated.pool.WorkerPool._spawn` launches an
+    instantly-exiting process instead of a real worker — a worker that dies
+    at boot, exercising the supervisor's per-slot crash-loop backoff.
 
 Determinism
 -----------
@@ -79,6 +102,11 @@ KNOWN_SITES = (
     "pool.worker_kill",
     "coordinator.delay_ack",
     "hotswap.delay_publish",
+    "publish.corrupt_file",
+    "publish.truncate_manifest",
+    "hotswap.poison_commit",
+    "canary.force_reject",
+    "pool.crash_loop",
 )
 
 
@@ -128,6 +156,12 @@ class FaultInjector:
         self.invocations: dict[str, int] = {}
         #: per-site counts of invocations that returned an action
         self.fires: dict[str, int] = {}
+        #: optional ``callable(site)`` invoked once per fire.  The in-process
+        #: counters above are invisible outside this process; serving servers
+        #: point the sink at their shared-metrics-board row
+        #: (``SlotMetrics.observe_fault``) so multi-process chaos runs report
+        #: fires per site in ``/metrics``.
+        self.sink = None
 
     def plan(
         self,
@@ -170,6 +204,7 @@ class FaultInjector:
 
     def fire(self, site: str) -> dict | None:
         """Advance ``site``'s counter; return the matching action, if any."""
+        action = None
         with self._lock:
             count = self.invocations.get(site, 0) + 1
             self.invocations[site] = count
@@ -177,8 +212,36 @@ class FaultInjector:
                 if rule.matches(count):
                     rule.fired += 1
                     self.fires[site] = self.fires.get(site, 0) + 1
-                    return dict(rule.action)
-        return None
+                    action = dict(rule.action)
+                    break
+        if action is not None and self.sink is not None:
+            try:  # a broken sink must never turn a planned fault into a crash
+                self.sink(site)
+            except Exception:
+                pass
+        return action
+
+    @classmethod
+    def from_specs(cls, specs, *, seed: int = 0) -> "FaultInjector":
+        """Build an injector from JSON-safe plan specs.
+
+        Each spec is ``{"site": ..., "at"/"every"/"probability"/"limit": ...,
+        "action": {...}}`` — the picklable form the coordinator ships to
+        spawned worker processes (injectors themselves are per-process and do
+        not cross ``spawn``).
+        """
+        injector = cls(seed=seed)
+        for spec in specs:
+            spec = dict(spec)
+            injector.plan(
+                spec["site"],
+                at=tuple(spec.get("at", ())),
+                every=int(spec.get("every", 0)),
+                probability=float(spec.get("probability", 0.0)),
+                limit=int(spec.get("limit", 0)),
+                **dict(spec.get("action", {})),
+            )
+        return injector
 
     @property
     def stats(self) -> dict[str, dict[str, int]]:

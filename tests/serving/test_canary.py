@@ -1,0 +1,249 @@
+"""Canary-gated swaps: pinned ids, the three checks, rollback on rejection.
+
+The cheap tests score hand-built logits sessions directly through
+:func:`evaluate_candidate`; the controller-level tests prove the
+operational contract — a rejected candidate never becomes ``session`` and
+the previous version keeps answering.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.condenser import FreeHGC
+from repro.datasets import load_acm
+from repro.errors import CanaryRejectedError, ConfigurationError
+from repro.models.hetero_sgc import HeteroSGC
+from repro.serving import ServingController
+from repro.serving.canary import (
+    CanaryConfig,
+    evaluate_candidate,
+    pin_canary_ids,
+)
+from repro.serving.engine import InferenceSession
+from repro.streaming import GraphDelta
+from repro.utils import faults
+from repro.utils.faults import FaultInjector
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+def session_from(logits, version=1):
+    return InferenceSession.from_logits(
+        np.asarray(logits, dtype=np.float64), version=version, cache_size=8
+    )
+
+
+def one_hot(labels, classes=4, scale=1.0):
+    logits = np.zeros((len(labels), classes))
+    logits[np.arange(len(labels)), labels] = scale
+    return logits
+
+
+class TestPinCanaryIds:
+    def test_deterministic_sorted_unique(self):
+        first = pin_canary_ids(1000, size=64, seed=3)
+        second = pin_canary_ids(1000, size=64, seed=3)
+        assert np.array_equal(first, second)
+        assert np.array_equal(first, np.sort(first))
+        assert len(np.unique(first)) == 64
+        assert first.dtype == np.int64
+
+    def test_different_seeds_probe_different_nodes(self):
+        assert not np.array_equal(
+            pin_canary_ids(1000, size=64, seed=0), pin_canary_ids(1000, size=64, seed=1)
+        )
+
+    def test_bounded_by_pool_size(self):
+        ids = pin_canary_ids(10, size=64, seed=0)
+        assert len(ids) == 10 and ids.max() < 10
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CanaryConfig(size=0)
+        with pytest.raises(ConfigurationError):
+            CanaryConfig(min_consistency=1.5)
+        with pytest.raises(ConfigurationError):
+            CanaryConfig(accuracy_floor=-0.1)
+
+
+class TestEvaluateCandidate:
+    def test_clean_identical_candidate_passes(self):
+        logits = one_hot([0, 1, 2, 3, 0, 1])
+        report = evaluate_candidate(
+            session_from(logits, 2),
+            session_from(logits, 1),
+            np.arange(6),
+            config=CanaryConfig(size=6),
+        )
+        assert report.passed and report.finite is True
+        assert report.consistency == 1.0
+        assert report.reasons == []
+
+    def test_nan_row_fails_the_finite_check(self):
+        logits = one_hot([0, 1, 2, 3])
+        bad = logits.copy()
+        bad[2] = np.nan  # argmax would launder this into label 0
+        report = evaluate_candidate(
+            session_from(bad, 2),
+            session_from(logits, 1),
+            np.arange(4),
+            config=CanaryConfig(size=4),
+        )
+        assert not report.passed and report.finite is False
+        assert any("non-finite" in reason for reason in report.reasons)
+
+    def test_consistency_floor_rejects_label_churn(self):
+        previous = one_hot([0, 1, 2, 3, 0, 1, 2, 3])
+        candidate = previous.copy()
+        candidate[:4] = one_hot([1, 2, 3, 0])  # half the canary flips
+        report = evaluate_candidate(
+            session_from(candidate, 2),
+            session_from(previous, 1),
+            np.arange(8),
+            config=CanaryConfig(size=8, min_consistency=0.9),
+        )
+        assert not report.passed
+        assert report.consistency == 0.5
+        assert any("consistency" in reason for reason in report.reasons)
+
+    def test_dirty_ids_do_not_vote(self):
+        # Changing dirty nodes' labels is the *point* of the swap: the same
+        # churn passes once the flipped ids are in the delta's dirty set.
+        previous = one_hot([0, 1, 2, 3, 0, 1, 2, 3])
+        candidate = previous.copy()
+        candidate[:4] = one_hot([1, 2, 3, 0])
+        report = evaluate_candidate(
+            session_from(candidate, 2),
+            session_from(previous, 1),
+            np.arange(8),
+            dirty=np.arange(4),
+            config=CanaryConfig(size=8, min_consistency=0.9),
+        )
+        assert report.passed
+        assert report.clean_ids == 4 and report.consistency == 1.0
+
+    def test_first_deploy_has_no_consistency_vote(self):
+        report = evaluate_candidate(
+            session_from(one_hot([0, 1, 2, 3]), 1),
+            None,
+            np.arange(4),
+            config=CanaryConfig(size=4),
+        )
+        assert report.passed and report.consistency is None
+
+    def test_accuracy_floor_uses_graph_labels(self):
+        truth = np.array([0, 1, 2, 3, 0, 1, 2, 3])
+        candidate = session_from(one_hot([0, 1, 2, 3, 1, 2, 3, 0]), 2)  # 4/8 right
+        candidate.graph = SimpleNamespace(labels=truth)
+        config = CanaryConfig(size=8, min_consistency=0.0, accuracy_floor=0.9)
+        report = evaluate_candidate(candidate, None, np.arange(8), config=config)
+        assert not report.passed
+        assert report.accuracy == pytest.approx(0.5)
+        assert any("accuracy" in reason for reason in report.reasons)
+
+    def test_accuracy_skipped_without_a_graph(self):
+        # mmap'd worker sessions hold no graph: the accuracy check must
+        # silently stand down instead of failing every swap.
+        config = CanaryConfig(size=4, accuracy_floor=0.9)
+        report = evaluate_candidate(
+            session_from(one_hot([0, 1, 2, 3]), 2),
+            session_from(one_hot([0, 1, 2, 3]), 1),
+            np.arange(4),
+            config=config,
+        )
+        assert report.passed and report.accuracy is None
+
+    def test_force_reject_fault_site(self):
+        logits = one_hot([0, 1, 2, 3])
+        injector = FaultInjector(seed=0)
+        injector.plan("canary.force_reject", at=(1,))
+        with faults.injected(injector):
+            report = evaluate_candidate(
+                session_from(logits, 2),
+                session_from(logits, 1),
+                np.arange(4),
+                config=CanaryConfig(size=4),
+            )
+        assert injector.fires["canary.force_reject"] == 1
+        assert not report.passed
+        assert any("injected" in reason for reason in report.reasons)
+
+
+class TestControllerGate:
+    def make_controller(self, canary):
+        controller = ServingController(
+            load_acm(scale=0.1, seed=0),
+            lambda: HeteroSGC(hidden_dim=8, epochs=5, max_hops=2, seed=0),
+            model_name="heterosgc",
+            ratio=0.3,
+            condenser=FreeHGC(max_hops=2),
+            recondense_threshold=0.5,
+            seed=0,
+            cache_size=64,
+            canary=canary,
+        )
+        controller.start()
+        return controller
+
+    def churn(self, graph, step):
+        coo = graph.adjacency["paper-term"].tocoo()
+        lo = (step - 1) * 3
+        return GraphDelta(
+            remove_edges={"paper-term": (coo.row[lo : lo + 3], coo.col[lo : lo + 3])},
+            step=step,
+        )
+
+    def test_rejection_rolls_back_and_keeps_serving(self):
+        controller = self.make_controller(
+            CanaryConfig(size=16, min_consistency=0.0, seed=0)
+        )
+        before_session = controller.session
+        before_version = controller.version
+        ids = np.arange(16)
+        before_labels = before_session.predict(ids)
+        injector = FaultInjector(seed=0)
+        injector.plan("canary.force_reject", at=(1,))
+        with faults.injected(injector):
+            with pytest.raises(CanaryRejectedError) as excinfo:
+                controller.apply_delta(self.churn(controller.graph, 1))
+        # Rollback == the candidate was never assigned: same object, same
+        # version, same answers, and the rejection is visible in /stats.
+        assert controller.session is before_session
+        assert controller.version == before_version
+        assert np.array_equal(controller.session.predict(ids), before_labels)
+        assert controller.canary_rejections == 1
+        assert excinfo.value.report["passed"] is False
+        stats = controller.stats
+        assert stats["canary_evaluations"] == 1
+        assert stats["canary_rejections"] == 1
+        assert stats["swaps"] == 0
+
+    def test_passing_candidate_swaps_and_records_the_report(self):
+        controller = self.make_controller(
+            CanaryConfig(size=16, min_consistency=0.0, seed=0)
+        )
+        report = controller.apply_delta(self.churn(controller.graph, 1))
+        assert report.version == 2 and controller.version == 2
+        assert controller.canary_rejections == 0
+        assert len(controller.canary_history) == 1
+        assert controller.canary_history[0].passed
+
+    def test_no_canary_config_means_no_gate(self):
+        controller = self.make_controller(None)
+        injector = FaultInjector(seed=0)
+        injector.plan("canary.force_reject", at=(1,))
+        with faults.injected(injector):
+            report = controller.apply_delta(self.churn(controller.graph, 1))
+        # evaluate_candidate never ran, so the planned fault never fired.
+        assert injector.fires.get("canary.force_reject", 0) == 0
+        assert report.version == 2
+        assert controller.stats["canary_evaluations"] == 0

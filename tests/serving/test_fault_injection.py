@@ -116,9 +116,13 @@ class TestPoolWorkerKill:
         pool = WorkerPool.__new__(WorkerPool)
         pool.workers = len(slots)
         pool.options = {}
+        pool.metrics = None
         pool._processes = {slot: _FakeProcess() for slot in slots}
         pool._stopping = False
         pool.respawns = 0
+        pool._backoff = {}
+        pool._not_before = {}
+        pool._spawned_at = {}
         return pool
 
     def test_kill_targets_lowest_live_slot_by_default(self):
@@ -242,6 +246,129 @@ class TestCoordinatorDelayAck:
             acked, elapsed = asyncio.run(drive())
         assert acked == 0
         assert 0.15 <= elapsed < 1.5
+
+
+class TestPoolCrashLoop:
+    def make_pool(self, slots=(1,)):
+        pool = WorkerPool.__new__(WorkerPool)
+        pool.workers = len(slots)
+        pool.options = {}
+        pool.metrics = None
+        pool._processes = {slot: _FakeProcess() for slot in slots}
+        pool._stopping = False
+        pool.respawns = 0
+        pool._backoff = {}
+        pool._not_before = {}
+        pool._spawned_at = {}
+        return pool
+
+    def test_fault_swaps_the_spawn_target(self, tmp_path):
+        # A planned crash_loop makes the *real* spawn produce a process
+        # that exits at boot — a genuine crash loop, not a simulated one.
+        pool = WorkerPool(workers=1, options={})
+        injector = FaultInjector(seed=0)
+        injector.plan("pool.crash_loop", at=(1,))
+        with faults.injected(injector):
+            pool._spawn(1)
+        process = pool._processes[1]
+        process.join(timeout=30)
+        assert injector.fires["pool.crash_loop"] == 1
+        assert not process.is_alive()
+        assert process.exitcode == 1
+
+    def test_observe_dead_backs_off_exponentially(self):
+        """The deterministic core of satellite (b): repeated instant deaths
+        double the slot's respawn delay up to the cap, and a long-lived
+        worker clears the history."""
+        pool = self.make_pool()
+        # Death 1: immediate respawn, but the slot is now on notice.
+        assert pool._observe_dead(1, 0.0)
+        assert pool._backoff[1] == pool.BACKOFF_BASE
+        assert pool.crash_looping() == []  # base delay is not a loop yet
+        pool._spawned_at[1] = 0.0
+        # Death 2 right after respawn: delay doubles, slot is crash-looping.
+        assert pool._observe_dead(1, 0.01)
+        assert pool._backoff[1] == 2 * pool.BACKOFF_BASE
+        assert pool.crash_looping() == [1]
+        # Inside the hold-down window nothing respawns, however often polled.
+        assert not any(pool._observe_dead(1, 0.01 + t) for t in (0.1, 0.2, 0.4))
+        # Past it, the delay doubles again... and saturates at the cap.
+        deadline = pool._not_before[1]
+        assert pool._observe_dead(1, deadline)
+        assert pool._backoff[1] == 4 * pool.BACKOFF_BASE
+        for _ in range(8):
+            pool._spawned_at[1] = pool._not_before[1]
+            assert pool._observe_dead(1, pool._not_before[1])
+        assert pool._backoff[1] == pool.BACKOFF_CAP
+        # A worker that then *lives* past the reset window starts fresh.
+        survived = pool._not_before[1] + pool.BACKOFF_RESET_AFTER + 1.0
+        pool._spawned_at[1] = pool._not_before[1]
+        assert pool._observe_dead(1, survived)
+        assert pool._backoff[1] == pool.BACKOFF_BASE
+
+    def test_supervise_bounds_the_respawn_rate_and_sets_the_gauge(self):
+        from repro.serving.replicated.metrics import MetricsBoard
+
+        board = MetricsBoard.in_memory(slots=2)
+        pool = self.make_pool()
+        pool.metrics = board.slot(0)
+        pool.BACKOFF_BASE = 0.05
+        pool.BACKOFF_CAP = 0.2
+        spawned = []
+
+        def instant_crasher(slot):
+            # every respawn dies immediately: the worst-case crash loop
+            spawned.append(time.monotonic())
+            pool._processes[slot] = _FakeProcess()
+            pool._processes[slot].alive = False
+            pool._spawned_at[slot] = time.monotonic()
+
+        pool._spawn = instant_crasher
+        pool._processes[1].alive = False
+
+        async def drive():
+            task = asyncio.ensure_future(pool.supervise(interval=0.01))
+            await asyncio.sleep(0.6)
+            pool._stopping = True
+            await task
+
+        asyncio.run(drive())
+        # Without backoff a 0.01 s poll would respawn ~60 times in 0.6 s;
+        # the doubling schedule (0, 0.1, 0.2, 0.2, ...) allows a handful.
+        assert 2 <= pool.respawns <= 10
+        assert pool.crash_looping() == [1]
+        assert int(board.column("replica_crash_loops")[0]) == 1
+
+
+class TestHotswapPoisonCommit:
+    def test_poison_raises_before_any_state_is_touched(self):
+        graph = load_acm(scale=0.1, seed=0)
+        controller = ServingController(
+            graph,
+            lambda: HeteroSGC(hidden_dim=8, epochs=5, max_hops=2, seed=0),
+            model_name="heterosgc",
+            ratio=0.3,
+            condenser=FreeHGC(max_hops=2),
+            recondense_threshold=0.5,
+            seed=0,
+            cache_size=64,
+        )
+        controller.start()
+        before = controller.session
+        injector = FaultInjector(seed=0)
+        injector.plan("hotswap.poison_commit", at=(1,))
+        with faults.injected(injector):
+            with pytest.raises(InjectedFault, match="poison_commit"):
+                controller.apply_delta(make_delta(1))
+        assert injector.fires["hotswap.poison_commit"] == 1
+        # The single-process tier keeps serving the previous session: the
+        # fault fires before the graph, model, or version are touched.
+        assert controller.session is before
+        assert controller.version == 1
+        assert controller.swap_history == []
+        # And the controller is not wedged: the next clean delta swaps.
+        report = controller.apply_delta(make_delta(1))
+        assert report.version == 2
 
 
 class TestHotswapDelayPublish:

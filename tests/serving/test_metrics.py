@@ -8,6 +8,8 @@ import pytest
 from repro.errors import ServingError
 from repro.serving.replicated.admission import AdmissionGate
 from repro.serving.replicated.metrics import (
+    BOARD_LAYOUT_VERSION,
+    KNOWN_SITES,
     LATENCY_BUCKETS,
     MetricsBoard,
     render_prometheus,
@@ -38,7 +40,9 @@ class TestMetricsBoard:
         path = tmp_path / "m.board"
         MetricsBoard.create(path, slots=1)
         sidecar = path.parent / "m.board.json"
-        sidecar.write_text(sidecar.read_text().replace('"layout": 1', '"layout": 99'))
+        current = f'"layout": {BOARD_LAYOUT_VERSION}'
+        assert current in sidecar.read_text()
+        sidecar.write_text(sidecar.read_text().replace(current, '"layout": 99'))
         with pytest.raises(ServingError):
             MetricsBoard.attach(path)
 
@@ -68,6 +72,32 @@ class TestMetricsBoard:
         board.slot(0).observe_response("predict", 429)
         assert int(board.column("shed_total")[0]) == 1
         assert int(board.column("responses_4xx__predict")[0]) == 1
+
+    def test_self_healing_counters(self):
+        board = MetricsBoard.in_memory(slots=2)
+        slot = board.slot(0)
+        slot.observe_quarantine(2)
+        slot.observe_canary_rejection()
+        slot.observe_integrity_fallback()
+        slot.set_crash_looping(3)
+        assert int(board.column("quarantined_total")[0]) == 2
+        assert int(board.column("canary_rejections_total")[0]) == 1
+        assert int(board.column("integrity_fallbacks_total")[0]) == 1
+        assert int(board.column("replica_crash_loops")[0]) == 3
+        slot.set_crash_looping(0)  # it is a gauge, not a counter
+        assert int(board.column("replica_crash_loops")[0]) == 0
+
+    def test_fault_fires_have_a_column_per_known_site(self):
+        board = MetricsBoard.in_memory()
+        slot = board.slot(0)
+        for site in KNOWN_SITES:
+            slot.observe_fault(site)
+        slot.observe_fault("wal.torn_tail")
+        slot.observe_fault("not.a.wired.site")
+        assert int(board.column("fault_fires__wal.torn_tail")[0]) == 2
+        assert int(board.column("fault_fires__other")[0]) == 1
+        for site in KNOWN_SITES:
+            assert int(board.column(f"fault_fires__{site}")[0]) >= 1
 
 
 class TestRenderPrometheus:
@@ -100,6 +130,20 @@ class TestRenderPrometheus:
         assert counts == sorted(counts)
         assert lines[-1].startswith('repro_predict_latency_seconds_bucket{le="+Inf"}')
         assert counts[-1] == 2
+
+    def test_self_healing_lines(self):
+        board = MetricsBoard.in_memory(slots=2)
+        board.slot(0).observe_quarantine()
+        board.slot(0).observe_canary_rejection()
+        board.slot(1).observe_fault("hotswap.poison_commit")
+        page = render_prometheus(board)
+        assert "repro_quarantined_deltas_total 1" in page
+        assert "repro_canary_rejections_total 1" in page
+        assert "repro_integrity_fallbacks_total 0" in page
+        assert "repro_replica_crash_loops 0" in page
+        assert 'repro_fault_fires_total{site="hotswap.poison_commit"} 1' in page
+        # sites with zero fires are omitted to keep the page small
+        assert 'site="wal.torn_tail"' not in page
 
     def test_page_parses_as_prometheus_text(self):
         board = MetricsBoard.in_memory()
