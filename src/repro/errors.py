@@ -23,6 +23,7 @@ __all__ = [
     "PoisonDeltaError",
     "WALError",
     "RegistryError",
+    "LintError",
 ]
 
 
@@ -134,6 +135,15 @@ class WALError(ServingError):
     recovery truncates it silently; :class:`WALError` means the log body
     itself is corrupt or was misused (foreign file, record after corruption,
     appending to an unrepaired log).
+    """
+
+
+class LintError(ReproError):
+    """The ``reprolint`` static-analysis pass was misconfigured.
+
+    Covers unknown rule ids on the command line, unreadable lint targets,
+    and malformed baseline files — *not* findings, which are reported, not
+    raised.
     """
 
 

@@ -8,6 +8,8 @@ time.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.errors import GraphConstructionError
@@ -121,7 +123,10 @@ class HeteroGraphBuilder:
         features = dict(self._features)
         for node_type in self.schema.node_types:
             if node_type not in features:
-                rng = np.random.default_rng(abs(hash(node_type)) % (2**32))
+                # hash() varies with PYTHONHASHSEED across processes; a
+                # sha256 of the type name gives the same features everywhere.
+                digest = hashlib.sha256(node_type.encode("utf-8")).digest()
+                rng = np.random.default_rng(int.from_bytes(digest[:4], "big"))
                 features[node_type] = rng.standard_normal(
                     (num_nodes[node_type], default_feature_dim)
                 )

@@ -1,0 +1,133 @@
+"""Baseline file: grandfathered findings that do not fail the lint.
+
+The baseline is a committed JSON file (``tools/reprolint_baseline.json``)
+listing findings that are *known and intentional* — each entry carries a
+mandatory human reason, exactly like inline suppressions.  The engine
+matches findings against it by :func:`repro.lint.findings.fingerprint`, so
+entries survive unrelated line drift but expire the moment the offending
+line is edited (at which point ``--update-baseline`` prunes them).
+
+Format (``"version": 1``)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"fingerprint": "…16 hex…", "rule": "REP-…",
+         "path": "repro/…", "reason": "why this is intentional"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import LintError
+
+__all__ = ["BaselineEntry", "Baseline"]
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    fingerprint: str
+    rule: str
+    path: str
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "reason": self.reason,
+        }
+
+
+class Baseline:
+    """A set of grandfathered findings keyed by fingerprint."""
+
+    def __init__(self, entries: list[BaselineEntry] = ()) -> None:
+        self._entries: dict[str, BaselineEntry] = {}
+        for entry in entries:
+            self._entries[entry.fingerprint] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def get(self, fingerprint: str) -> BaselineEntry | None:
+        return self._entries.get(fingerprint)
+
+    def entries(self) -> list[BaselineEntry]:
+        return sorted(
+            self._entries.values(), key=lambda e: (e.path, e.rule, e.fingerprint)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Parse a baseline file, validating every entry.
+
+        Raises
+        ------
+        LintError
+            If the file is unreadable, has the wrong version, or any entry
+            is missing a field — including the mandatory ``reason``.
+        """
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+            raise LintError(
+                f"baseline {path} must be a JSON object with 'version': {_VERSION}"
+            )
+        raw_entries = payload.get("entries")
+        if not isinstance(raw_entries, list):
+            raise LintError(f"baseline {path} must carry an 'entries' list")
+        entries: list[BaselineEntry] = []
+        for index, raw in enumerate(raw_entries):
+            if not isinstance(raw, dict):
+                raise LintError(f"baseline {path} entry {index} is not an object")
+            missing = [
+                key
+                for key in ("fingerprint", "rule", "path", "reason")
+                if not isinstance(raw.get(key), str) or not raw[key].strip()
+            ]
+            if missing:
+                raise LintError(
+                    f"baseline {path} entry {index} is missing {missing}; every "
+                    "grandfathered finding needs a fingerprint, rule, path and "
+                    "a non-empty reason"
+                )
+            entries.append(
+                BaselineEntry(
+                    fingerprint=raw["fingerprint"],
+                    rule=raw["rule"],
+                    path=raw["path"],
+                    reason=raw["reason"],
+                )
+            )
+        return cls(entries)
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "entries": [entry.to_dict() for entry in self.entries()],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )

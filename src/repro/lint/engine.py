@@ -1,0 +1,306 @@
+"""The ``reprolint`` engine: walk files, run rules, apply suppressions + baseline.
+
+:func:`run_lint` is the single entry point the CLI, the tests and the CI
+gate all share.  It produces a :class:`LintReport` — the engine never
+raises on *findings* (those are data), only on misconfiguration
+(:class:`repro.errors.LintError`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import LintError
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding, fingerprint
+from repro.lint.rules import LintRule, resolve_rules
+from repro.lint.suppress import Suppression
+
+__all__ = ["LintReport", "run_lint", "lint_source", "selftest"]
+
+#: Pseudo-rule id for files the engine cannot parse.
+PARSE_RULE = "REP-E000"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, already triaged.
+
+    ``findings`` are the actionable ones (they set the exit code);
+    ``baselined`` matched a grandfathered entry; ``suppressed`` were muted
+    by a valid inline directive.  ``expired`` are baseline entries no
+    current finding matches — dead weight to prune.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[tuple[Finding, Suppression]] = field(default_factory=list)
+    expired: list[BaselineEntry] = field(default_factory=list)
+    files: int = 0
+    rules: list[LintRule] = field(default_factory=list)
+    baseline: Baseline | None = None
+    baseline_path: str | None = None
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def per_rule_stats(self) -> dict[str, dict[str, int]]:
+        """``{rule_id: {findings, baselined, suppressed}}`` over every rule run."""
+        stats: dict[str, dict[str, int]] = {
+            rule.id: {"findings": 0, "baselined": 0, "suppressed": 0}
+            for rule in self.rules
+        }
+        for finding in self.findings:
+            stats.setdefault(
+                finding.rule, {"findings": 0, "baselined": 0, "suppressed": 0}
+            )["findings"] += 1
+        for finding in self.baselined:
+            stats.setdefault(
+                finding.rule, {"findings": 0, "baselined": 0, "suppressed": 0}
+            )["baselined"] += 1
+        for finding, _ in self.suppressed:
+            stats.setdefault(
+                finding.rule, {"findings": 0, "baselined": 0, "suppressed": 0}
+            )["suppressed"] += 1
+        return dict(sorted(stats.items()))
+
+    def updated_baseline(self) -> Baseline:
+        """A baseline covering every *current* finding (for ``--update-baseline``).
+
+        Still-matched entries keep their reasons; new findings get an
+        explicit TODO placeholder that the suppression policy requires a
+        human to replace before committing; expired entries are dropped.
+        """
+        entries: list[BaselineEntry] = []
+        for finding in self.baselined:
+            existing = self.baseline.get(finding.fingerprint) if self.baseline else None
+            if existing is not None:
+                entries.append(existing)
+        for finding in self.findings:
+            entries.append(
+                BaselineEntry(
+                    fingerprint=finding.fingerprint,
+                    rule=finding.rule,
+                    path=finding.path,
+                    reason="TODO(reprolint): justify this finding or fix it",
+                )
+            )
+        return Baseline(entries)
+
+
+def _collect_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        else:
+            raise LintError(f"lint target does not exist: {raw}")
+    unique: dict[str, Path] = {}
+    for path in files:
+        unique.setdefault(str(path), path)
+    return list(unique.values())
+
+
+def _display_path(path: Path, root: Path) -> str:
+    try:
+        return Path(os.path.relpath(path, root)).as_posix()
+    except ValueError:  # different drive (windows)
+        return path.as_posix()
+
+
+def _lint_context(
+    ctx: ModuleContext, rules: list[LintRule]
+) -> tuple[list[Finding], list[tuple[Finding, Suppression]]]:
+    """Run every in-scope rule over one parsed module.
+
+    Returns ``(kept findings, suppressed findings)`` — kept ones carry
+    their baseline fingerprints, disambiguated by per-line-text occurrence
+    indices.
+    """
+    kept: list[Finding] = []
+    suppressed: list[tuple[Finding, Suppression]] = []
+    for rule in rules:
+        if not rule.applies_to(ctx.path):
+            continue
+        for line, col, message in rule.check(ctx):
+            finding = Finding(
+                rule=rule.id,
+                severity=rule.severity,
+                path=ctx.path,
+                line=line,
+                col=col,
+                message=message,
+                symbol=ctx.enclosing_symbol(line),
+            )
+            muting = ctx.suppressions.lookup(line, rule.id)
+            if muting is not None:
+                suppressed.append((finding, muting))
+                continue
+            if ctx.suppressions.invalid_at(line, rule.id) is not None:
+                finding = Finding(
+                    rule=finding.rule,
+                    severity=finding.severity,
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    message=finding.message + " [suppression missing reason]",
+                    symbol=finding.symbol,
+                )
+            kept.append(finding)
+    kept.sort(key=Finding.sort_key)
+    # Attach fingerprints with per-(rule, line text) occurrence indices so
+    # identical offending lines in one file stay distinguishable.
+    occurrences: dict[tuple[str, str], int] = {}
+    stamped: list[Finding] = []
+    for finding in kept:
+        text = ctx.line_text(finding.line)
+        key = (finding.rule, text.strip())
+        index = occurrences.get(key, 0)
+        occurrences[key] = index + 1
+        stamped.append(
+            Finding(
+                rule=finding.rule,
+                severity=finding.severity,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                symbol=finding.symbol,
+                fingerprint=fingerprint(finding.rule, finding.path, text, index),
+            )
+        )
+    return stamped, suppressed
+
+
+def lint_source(
+    source: str, *, path: str = "example.py", rules: list[str] | None = None
+) -> list[Finding]:
+    """Lint a source string (fixture tests, ``--selftest``).
+
+    Returns the kept (non-suppressed) findings; parse failures surface as a
+    single ``REP-E000`` finding, mirroring :func:`run_lint`.
+    """
+    resolved = resolve_rules(rules)
+    try:
+        ctx = ModuleContext(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_RULE,
+                severity="error",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    kept, _ = _lint_context(ctx, resolved)
+    return kept
+
+
+def run_lint(
+    paths: list[str],
+    *,
+    rules: list[str] | None = None,
+    baseline: str | Path | None = None,
+    root: str | Path | None = None,
+) -> LintReport:
+    """Lint ``paths`` (files and/or directories) and triage the findings.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to lint; directories are walked recursively
+        for ``*.py``.
+    rules:
+        Rule ids/aliases to run (default: every registered rule).
+    baseline:
+        Baseline file of grandfathered findings; missing files mean an
+        empty baseline only when the path was not explicitly provided.
+    root:
+        Directory finding paths are displayed relative to (default: the
+        current working directory) — fingerprints depend on it.
+    """
+    resolved_rules = resolve_rules(rules)
+    root_path = Path(root) if root is not None else Path.cwd()
+    report = LintReport(rules=resolved_rules)
+    loaded: Baseline | None = None
+    if baseline is not None:
+        report.baseline_path = str(baseline)
+        loaded = Baseline.load(baseline)
+        report.baseline = loaded
+
+    matched: set[str] = set()
+    for file_path in _collect_files(list(paths)):
+        report.files += 1
+        display = _display_path(file_path, root_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise LintError(f"cannot read {file_path}: {exc}") from exc
+        try:
+            ctx = ModuleContext(display, source)
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    rule=PARSE_RULE,
+                    severity="error",
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        kept, suppressed = _lint_context(ctx, resolved_rules)
+        report.suppressed.extend(suppressed)
+        for finding in kept:
+            if loaded is not None and finding.fingerprint in loaded:
+                matched.add(finding.fingerprint)
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+
+    if loaded is not None:
+        report.expired = [
+            entry for entry in loaded.entries() if entry.fingerprint not in matched
+        ]
+    report.findings.sort(key=Finding.sort_key)
+    report.baselined.sort(key=Finding.sort_key)
+    report.suppressed.sort(key=lambda pair: pair[0].sort_key())
+    return report
+
+
+def selftest(rules: list[str] | None = None) -> list[str]:
+    """Prove every rule fires on its bad fixture and not on its good one.
+
+    Returns a list of human-readable failures (empty means the rule set is
+    healthy).  Run by the ``lint-smoke`` CI job and the test suite, so a
+    rule whose detection silently rots is caught the same day.
+    """
+    failures: list[str] = []
+    for rule in resolve_rules(rules):
+        if not rule.bad_example or not rule.good_example:
+            failures.append(f"{rule.id}: missing bad/good example snippets")
+            continue
+        bad = lint_source(rule.bad_example, path=rule.example_path, rules=[rule.id])
+        if not any(f.rule == rule.id for f in bad):
+            failures.append(f"{rule.id}: did not fire on its bad example")
+        good = lint_source(rule.good_example, path=rule.example_path, rules=[rule.id])
+        hits = [f for f in good if f.rule == rule.id]
+        if hits:
+            failures.append(
+                f"{rule.id}: fired on its good example at line {hits[0].line}"
+            )
+    return failures

@@ -1,0 +1,115 @@
+"""Finding and severity model shared by every ``reprolint`` rule.
+
+A :class:`Finding` is one violation of one repo invariant at one source
+location.  Findings are **value objects**: the engine materialises them from
+the raw ``(line, col, message)`` triples a rule yields, attaches the stable
+:func:`fingerprint` used by the baseline file, and sorts them into a
+deterministic report order.
+
+The fingerprint deliberately hashes the *text of the offending line* rather
+than its line number, so a finding keeps matching its baseline entry when
+unrelated edits shift the file — the same contract `pylint`/`ruff` baselines
+rely on.  Identical lines in one file are disambiguated by an occurrence
+index.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Finding", "fingerprint"]
+
+
+class Severity:
+    """Rule severities: ``error`` invariants gate CI, ``warning`` ones advise.
+
+    Both count toward the non-baselined total (the lint exit code); the
+    split exists so reports can rank what to fix first.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    ALL = (ERROR, WARNING)
+
+    @classmethod
+    def validate(cls, value: str) -> str:
+        if value not in cls.ALL:
+            raise ValueError(f"severity must be one of {cls.ALL}, got {value!r}")
+        return value
+
+
+def fingerprint(rule_id: str, path: str, line_text: str, occurrence: int) -> str:
+    """Stable identity of a finding for baseline matching.
+
+    Hashes ``(rule, posix path, stripped line text, occurrence index)`` so
+    the identity survives line-number drift but not edits to the offending
+    line itself.
+
+    Examples
+    --------
+    >>> a = fingerprint("REP-D101", "pkg/mod.py", "rng = default_rng()", 0)
+    >>> b = fingerprint("REP-D101", "pkg/mod.py", "rng = default_rng()", 0)
+    >>> a == b and len(a) == 16
+    True
+    >>> a != fingerprint("REP-D101", "pkg/mod.py", "rng = default_rng()", 1)
+    True
+    """
+    payload = f"{rule_id}|{path}|{line_text.strip()}|{occurrence}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier (``"REP-D101"``).
+    severity:
+        ``"error"`` or ``"warning"``.
+    path:
+        Posix-style path of the offending file, relative to the lint root.
+    line, col:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human explanation of what violated the invariant.
+    symbol:
+        Enclosing function/class qualname, or ``"<module>"``.
+    fingerprint:
+        Stable baseline identity (see :func:`fingerprint`).
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = "<module>"
+    fingerprint: str = field(default="", compare=False)
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (the ``--json`` reporter's schema)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """One-line human rendering: ``path:line:col: RULE message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule} "
+            f"[{self.severity}] {self.message} ({self.symbol})"
+        )

@@ -1,0 +1,101 @@
+"""Reporters for :class:`repro.lint.engine.LintReport`.
+
+Three renderings share one report object:
+
+* :func:`render_human` — compiler-style ``path:line:col`` lines plus a
+  summary, for terminals and CI logs;
+* :func:`render_json` — the stable machine schema (``"version": 1``) the
+  ``lint-smoke`` CI job and future matrix gates parse;
+* :func:`render_stats` — per-rule finding/suppression counts, so a PR can
+  be gated on "no new suppressions".
+
+The JSON schema is covered by a stability test; bump ``SCHEMA_VERSION``
+when changing it incompatibly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport
+
+__all__ = ["SCHEMA_VERSION", "render_human", "render_json", "render_stats", "to_payload"]
+
+SCHEMA_VERSION = 1
+
+
+def to_payload(report: LintReport) -> dict:
+    """The ``--json`` document as a plain dict."""
+    return {
+        "version": SCHEMA_VERSION,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "stats": {
+            "files": report.files,
+            "findings": len(report.findings),
+            "baselined": len(report.baselined),
+            "suppressed": len(report.suppressed),
+            "per_rule": report.per_rule_stats(),
+        },
+        "baseline": {
+            "path": report.baseline_path,
+            "entries": len(report.baseline) if report.baseline is not None else 0,
+            "matched": len(report.baselined),
+            "expired": [entry.to_dict() for entry in report.expired],
+        },
+        "exit_code": report.exit_code,
+    }
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(to_payload(report), indent=2, sort_keys=True)
+
+
+def render_human(report: LintReport) -> str:
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(finding.render())
+    if report.expired:
+        lines.append("")
+        lines.append(
+            f"{len(report.expired)} expired baseline entr"
+            f"{'y' if len(report.expired) == 1 else 'ies'} "
+            "(finding no longer present — prune with --update-baseline):"
+        )
+        for entry in report.expired:
+            lines.append(f"  {entry.rule} {entry.path} ({entry.fingerprint})")
+    if lines:
+        lines.append("")
+    summary = (
+        f"{report.files} file{'s' if report.files != 1 else ''} checked: "
+        f"{len(report.findings)} finding{'s' if len(report.findings) != 1 else ''}"
+    )
+    extras = []
+    if report.baselined:
+        extras.append(f"{len(report.baselined)} baselined")
+    if report.suppressed:
+        extras.append(f"{len(report.suppressed)} suppressed")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_stats(report: LintReport) -> str:
+    """Per-rule table: ``RULE findings baselined suppressed``."""
+    stats = report.per_rule_stats()
+    lines = [f"{'rule':<10} {'findings':>8} {'baselined':>9} {'suppressed':>10}"]
+    for rule_id, counts in stats.items():
+        lines.append(
+            f"{rule_id:<10} {counts['findings']:>8} "
+            f"{counts['baselined']:>9} {counts['suppressed']:>10}"
+        )
+    totals = {
+        "findings": len(report.findings),
+        "baselined": len(report.baselined),
+        "suppressed": len(report.suppressed),
+    }
+    lines.append(
+        f"{'total':<10} {totals['findings']:>8} "
+        f"{totals['baselined']:>9} {totals['suppressed']:>10}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""``reprolint`` rule registry and base class.
+
+Rules are pluggable through the same :class:`repro.registry.Registry`
+mechanism as condensers, stages, models and datasets: each rule class
+registers under its id (``rep-d101``) plus a readable alias
+(``unseeded-rng``), so ``python -m repro lint --rules unseeded-rng`` and
+programmatic lookups both work, and third-party rule packs can
+``rules.register(...)`` their own classes.
+
+Every rule declares:
+
+``id`` / ``name`` / ``severity`` / ``category``
+    Identity and report metadata.
+``invariant``
+    One sentence naming the repo contract the rule protects — rendered in
+    ``docs/linting.md`` and ``repro lint --list-rules``.
+``scope``
+    Path fragments the rule is restricted to (empty = everywhere); a file
+    is in scope when any fragment appears in its posix path.
+``exempt``
+    Path suffixes the rule never fires on (e.g. the determinism rule
+    exempts ``utils/rng.py`` — that module *is* the sanctioned RNG funnel).
+``bad_example`` / ``good_example`` / ``example_path``
+    A minimal snippet the rule must fire on, a paired snippet it must stay
+    silent on, and a synthetic path satisfying ``scope``.  These power
+    ``repro lint --selftest`` (a CI gate) and the parametrized fixture
+    tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.context import ModuleContext
+from repro.registry import Registry
+
+__all__ = ["LintRule", "rules", "all_rules", "RawFinding"]
+
+#: rule registry — the sixth Registry of the library (see repro.registry)
+rules = Registry("lint rule")
+
+#: (line, col, message) triple as yielded by a rule; the engine attaches
+#: severity, path, symbol and fingerprint.
+RawFinding = tuple[int, int, str]
+
+
+class LintRule:
+    """Base class for all reprolint rules."""
+
+    id: str = "REP-0000"
+    name: str = "abstract-rule"
+    severity: str = "error"
+    category: str = "general"
+    invariant: str = ""
+    scope: tuple[str, ...] = ()
+    exempt: tuple[str, ...] = ()
+    bad_example: str = ""
+    good_example: str = ""
+    example_path: str = "repro/example.py"
+
+    def applies_to(self, path: str) -> bool:
+        """Whether ``path`` (posix) is inside this rule's scope."""
+        if any(path.endswith(suffix) for suffix in self.exempt):
+            return False
+        if not self.scope:
+            return True
+        return any(fragment in path for fragment in self.scope)
+
+    def check(self, ctx: ModuleContext) -> Iterable[RawFinding]:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def at(node: ast.AST, message: str) -> RawFinding:
+        return (getattr(node, "lineno", 1), getattr(node, "col_offset", 0), message)
+
+    def describe(self) -> dict:
+        """JSON-safe rule metadata (``repro list --json`` / ``--list-rules``)."""
+        return {
+            "id": self.id,
+            "name": self.name,
+            "severity": self.severity,
+            "category": self.category,
+            "invariant": self.invariant,
+            "scope": list(self.scope),
+        }
+
+
+def _ensure_builtin_rules() -> None:
+    """Import every built-in rule module (their decorators register)."""
+    from repro.lint.rules import (  # noqa: F401
+        asyncio_hygiene,
+        cache_guard,
+        determinism,
+        durability,
+        error_handling,
+        process_safety,
+    )
+
+
+def all_rules() -> list[LintRule]:
+    """One instance of every registered rule, sorted by id.
+
+    Aliases resolve to the same class, so each rule appears exactly once.
+    """
+    _ensure_builtin_rules()
+    instances: dict[str, LintRule] = {}
+    for name in rules.names():
+        cls = rules.get(name)
+        instance = cls() if isinstance(cls, type) else cls
+        instances.setdefault(instance.id, instance)  # type: ignore[union-attr]
+    return sorted(instances.values(), key=lambda r: r.id)
+
+
+def resolve_rules(wanted: Iterable[str] | None) -> list[LintRule]:
+    """Rule instances for ``wanted`` ids/aliases (all rules when ``None``)."""
+    if wanted is None:
+        return all_rules()
+    _ensure_builtin_rules()
+    by_id: dict[str, LintRule] = {}
+    for name in wanted:
+        cls = rules.get(name)
+        instance = cls() if isinstance(cls, type) else cls
+        by_id.setdefault(instance.id, instance)  # type: ignore[union-attr]
+    return sorted(by_id.values(), key=lambda r: r.id)

@@ -1,0 +1,92 @@
+"""Cache-guard rule: the fingerprint-guarded ``_repro_*`` cache contract.
+
+PR 4 introduced attribute caches (``matrix._repro_cache_token``,
+``_repro_packed`` …) on scipy sparse matrices.  A cache written without
+first validating the matrix fingerprint (``hetero.sparse.
+validate_attribute_caches`` / ``matrix_fingerprint``) keeps serving stale
+derived data after the underlying matrix mutates — the exact bug class the
+guard machinery exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.context import ModuleContext
+from repro.lint.rules import LintRule, RawFinding, rules
+
+__all__ = ["UnguardedAttributeCacheRule"]
+
+_CACHE_PREFIX = "_repro_"
+_GUARD_SUFFIXES = ("validate_attribute_caches", "matrix_fingerprint")
+
+
+@rules.register("rep-c301", aliases=("unguarded-attribute-cache",))
+class UnguardedAttributeCacheRule(LintRule):
+    id = "REP-C301"
+    name = "unguarded-attribute-cache"
+    severity = "error"
+    category = "cache-guard"
+    invariant = (
+        "Every _repro_* attribute-cache write happens in a function that "
+        "first validates the owner's fingerprint, so mutated matrices "
+        "cannot serve stale derived data."
+    )
+    exempt = ("hetero/sparse.py",)  # defines the guard machinery itself
+    example_path = "repro/core/example.py"
+    bad_example = (
+        "def cached_degree(matrix):\n"
+        "    if not hasattr(matrix, '_repro_degree'):\n"
+        "        matrix._repro_degree = matrix.sum(axis=1)\n"
+        "    return matrix._repro_degree\n"
+    )
+    good_example = (
+        "from repro.hetero.sparse import validate_attribute_caches\n"
+        "\n"
+        "def cached_degree(matrix):\n"
+        "    validate_attribute_caches(matrix)\n"
+        "    if not hasattr(matrix, '_repro_degree'):\n"
+        "        matrix._repro_degree = matrix.sum(axis=1)\n"
+        "    return matrix._repro_degree\n"
+    )
+
+    def _cache_writes(self, ctx: ModuleContext, unit) -> list[ast.AST]:
+        writes: list[ast.AST] = []
+        for node in unit.nodes:
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and target.attr.startswith(
+                        _CACHE_PREFIX
+                    ):
+                        writes.append(node)
+                        break
+            elif isinstance(node, ast.Call):
+                if ctx.qualified(node.func) == "setattr" and len(node.args) >= 2:
+                    name = ctx.string_value(node.args[1])
+                    if name is not None and name.startswith(_CACHE_PREFIX):
+                        writes.append(node)
+        return writes
+
+    def _guarded(self, ctx: ModuleContext, unit) -> bool:
+        for call in unit.calls():
+            dotted = ctx.dotted(call.func)
+            if dotted and dotted.split(".")[-1] in _GUARD_SUFFIXES:
+                return True
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterable[RawFinding]:
+        for unit in ctx.function_units():
+            writes = self._cache_writes(ctx, unit)
+            if not writes or self._guarded(ctx, unit):
+                continue
+            for node in writes:
+                yield self.at(
+                    node,
+                    "_repro_* cache written without a fingerprint guard in "
+                    "this function; call hetero.sparse."
+                    "validate_attribute_caches(owner) first",
+                )

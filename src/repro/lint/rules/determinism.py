@@ -1,0 +1,230 @@
+"""Determinism rules: the byte-identical-selection contract.
+
+The whole pipeline promises byte-identical condensed graphs for a given
+``(dataset, config, seed)`` triple.  Three things break that silently:
+
+* RNG state that does not flow through ``repro.utils.rng.ensure_rng``
+  (unseeded generators, the global ``numpy.random``/``random`` state);
+* iteration over an unordered ``set`` in ranking/selection code, where
+  Python's hash randomisation turns tie-breaks into coin flips;
+* seeds derived from unstable sources — ``hash()`` (PYTHONHASHSEED),
+  wall-clock time, ``uuid4``, ``id()`` — which differ across processes
+  even when the user-facing seed is fixed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.context import ModuleContext
+from repro.lint.rules import LintRule, RawFinding, rules
+
+__all__ = ["UnseededRngRule", "SetIterationRule", "UnstableSeedRule"]
+
+#: RNG constructors that are deterministic only when given a seed.
+_SEEDABLE_CTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "random.Random",
+}
+
+#: Functions that mutate/consume the *global* RNG state — never acceptable
+#: outside utils/rng.py, seeded or not.
+_GLOBAL_STATE_FNS = {
+    "numpy.random.seed",
+    "numpy.random.rand",
+    "numpy.random.randn",
+    "numpy.random.random",
+    "numpy.random.randint",
+    "numpy.random.choice",
+    "numpy.random.permutation",
+    "numpy.random.shuffle",
+    "numpy.random.normal",
+    "numpy.random.uniform",
+    "random.seed",
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.uniform",
+    "random.choice",
+    "random.choices",
+    "random.sample",
+    "random.shuffle",
+}
+
+#: Call targets that accept a seed (positionally or as ``seed=``).
+_SEED_SINKS = _SEEDABLE_CTORS | {"numpy.random.seed", "random.seed"}
+_SEED_SINK_SUFFIXES = ("ensure_rng", "spawn_rngs", "spawn_seed_ints")
+
+#: Sources whose value differs across processes/runs for a fixed user seed.
+_UNSTABLE_SOURCES = {
+    "hash": "hash() depends on PYTHONHASHSEED",
+    "id": "id() is an address, unique per process",
+    "time.time": "wall-clock time differs per run",
+    "time.time_ns": "wall-clock time differs per run",
+    "time.monotonic": "monotonic clock differs per run",
+    "time.perf_counter": "perf counter differs per run",
+    "os.urandom": "os.urandom is entropy, not a seed",
+    "uuid.uuid4": "uuid4 is random per call",
+}
+_UNSTABLE_DATETIME = (".now", ".utcnow", ".today")
+
+
+@rules.register("rep-d101", aliases=("unseeded-rng",))
+class UnseededRngRule(LintRule):
+    id = "REP-D101"
+    name = "unseeded-rng"
+    severity = "error"
+    category = "determinism"
+    invariant = (
+        "All randomness flows through repro.utils.rng.ensure_rng with an "
+        "explicit seed; no unseeded generators or global RNG state."
+    )
+    exempt = ("utils/rng.py",)
+    example_path = "repro/core/example.py"
+    bad_example = (
+        "import numpy as np\n"
+        "\n"
+        "def jitter(values):\n"
+        "    rng = np.random.default_rng()\n"
+        "    return values + rng.normal(size=len(values))\n"
+    )
+    good_example = (
+        "from repro.utils.rng import ensure_rng\n"
+        "\n"
+        "def jitter(values, seed):\n"
+        "    rng = ensure_rng(seed)\n"
+        "    return values + rng.normal(size=len(values))\n"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.qualified(node.func)
+            if target is None:
+                continue
+            if target in _SEEDABLE_CTORS and not node.args and not node.keywords:
+                yield self.at(
+                    node,
+                    f"{target}() without a seed breaks byte-identical runs; "
+                    "route through repro.utils.rng.ensure_rng(seed)",
+                )
+            elif target in _GLOBAL_STATE_FNS:
+                yield self.at(
+                    node,
+                    f"{target} uses global RNG state; use an explicit "
+                    "ensure_rng(seed) generator instead",
+                )
+
+
+@rules.register("rep-d102", aliases=("set-iteration",))
+class SetIterationRule(LintRule):
+    id = "REP-D102"
+    name = "set-iteration"
+    severity = "warning"
+    category = "determinism"
+    invariant = (
+        "Selection/condensation code never iterates an unordered set: "
+        "hash randomisation turns tie-breaks into per-run coin flips."
+    )
+    scope = ("core/", "streaming/", "baselines/", "hetero/")
+    example_path = "repro/core/example.py"
+    bad_example = (
+        "def dedupe(items):\n"
+        "    out = []\n"
+        "    for item in set(items):\n"
+        "        out.append(item)\n"
+        "    return out\n"
+    )
+    good_example = (
+        "def dedupe(items):\n"
+        "    out = []\n"
+        "    for item in sorted(set(items)):\n"
+        "        out.append(item)\n"
+        "    return out\n"
+    )
+
+    def _is_set_expr(self, ctx: ModuleContext, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return ctx.qualified(node.func) in {"set", "frozenset"}
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterable[RawFinding]:
+        message = (
+            "iterating an unordered set is order-unstable under hash "
+            "randomisation; wrap in sorted(...) before iterating"
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_set_expr(ctx, node.iter):
+                    yield self.at(node.iter, message)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    if self._is_set_expr(ctx, gen.iter):
+                        yield self.at(gen.iter, message)
+
+
+@rules.register("rep-d103", aliases=("unstable-seed",))
+class UnstableSeedRule(LintRule):
+    id = "REP-D103"
+    name = "unstable-seed"
+    severity = "error"
+    category = "determinism"
+    invariant = (
+        "Seeds are pure functions of user inputs: never derived from "
+        "hash(), id(), wall-clock time, urandom, or uuid4."
+    )
+    example_path = "repro/core/example.py"
+    bad_example = (
+        "import numpy as np\n"
+        "\n"
+        "def node_rng(name):\n"
+        "    return np.random.default_rng(abs(hash(name)) % (2 ** 32))\n"
+    )
+    good_example = (
+        "import hashlib\n"
+        "\n"
+        "import numpy as np\n"
+        "\n"
+        "def node_rng(name):\n"
+        "    digest = hashlib.sha256(name.encode('utf-8')).digest()\n"
+        "    return np.random.default_rng(int.from_bytes(digest[:4], 'big'))\n"
+    )
+
+    def _unstable_reason(self, ctx: ModuleContext, node: ast.AST) -> str | None:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            target = ctx.qualified(sub.func)
+            if target is None:
+                continue
+            if target in _UNSTABLE_SOURCES:
+                return f"{target}: {_UNSTABLE_SOURCES[target]}"
+            if target.startswith("datetime.") and target.endswith(_UNSTABLE_DATETIME):
+                return f"{target}: wall-clock time differs per run"
+        return None
+
+    def check(self, ctx: ModuleContext) -> Iterable[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.qualified(node.func)
+            if target is None:
+                continue
+            if target not in _SEED_SINKS and not target.endswith(_SEED_SINK_SUFFIXES):
+                continue
+            seed_exprs: list[ast.AST] = list(node.args)
+            seed_exprs.extend(kw.value for kw in node.keywords if kw.arg == "seed")
+            for expr in seed_exprs:
+                reason = self._unstable_reason(ctx, expr)
+                if reason is not None:
+                    yield self.at(
+                        node,
+                        f"seed for {target} derived from an unstable source "
+                        f"({reason}); hash the input with hashlib instead",
+                    )
+                    break

@@ -1,0 +1,87 @@
+"""Error-handling rule: broad excepts must not swallow failures silently.
+
+``ReproError`` subclasses carry the diagnostics the CLI, the serving
+dead-letter path and the chaos drills all rely on.  A ``except
+Exception: pass`` (or bare ``except:``) eats them along with everything
+else — the failure surfaces later as corrupt state instead of at the
+fault.  Handlers that log, re-raise, dead-letter, or return a sentinel
+are fine; only *empty* broad handlers are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.context import ModuleContext
+from repro.lint.rules import LintRule, RawFinding, rules
+
+__all__ = ["SilentBroadExceptRule"]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+@rules.register("rep-e601", aliases=("silent-broad-except",))
+class SilentBroadExceptRule(LintRule):
+    id = "REP-E601"
+    name = "silent-broad-except"
+    severity = "warning"
+    category = "error-handling"
+    invariant = (
+        "No broad except handler swallows errors (including ReproError) "
+        "without handling, logging, re-raising, or dead-lettering them."
+    )
+    example_path = "repro/runner/example.py"
+    bad_example = (
+        "def read_config(path):\n"
+        "    try:\n"
+        "        with open(path, encoding='utf-8') as fh:\n"
+        "            return fh.read()\n"
+        "    except Exception:\n"
+        "        pass\n"
+        "    return ''\n"
+    )
+    good_example = (
+        "def read_config(path):\n"
+        "    try:\n"
+        "        with open(path, encoding='utf-8') as fh:\n"
+        "            return fh.read()\n"
+        "    except OSError:\n"
+        "        return ''\n"
+    )
+
+    def _is_broad(self, ctx: ModuleContext, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        types = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for node in types:
+            dotted = ctx.dotted(node)
+            if dotted and dotted.split(".")[-1] in _BROAD:
+                return True
+        return False
+
+    @staticmethod
+    def _is_silent(handler: ast.ExceptHandler) -> bool:
+        for stmt in handler.body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring / ellipsis
+            return False
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterable[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if self._is_broad(ctx, node) and self._is_silent(node):
+                caught = "bare except" if node.type is None else "broad except"
+                yield self.at(
+                    node,
+                    f"{caught} silently swallows errors (including "
+                    "ReproError); handle, log, re-raise, or dead-letter",
+                )

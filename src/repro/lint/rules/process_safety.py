@@ -1,0 +1,114 @@
+"""Cross-process-safety rule: only picklable work crosses a process pool.
+
+Work submitted to a ``ProcessPoolExecutor`` is pickled.  Lambdas and
+functions defined inside the submitting function are not picklable — the
+submission raises at runtime (or, with a fork context, silently drags
+locks/file handles/live sessions into the child).  The repo's pattern
+(``runner.executor``) submits module-level functions with plain-data
+arguments; this rule enforces that shape.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.context import FunctionUnit, ModuleContext
+from repro.lint.rules import LintRule, RawFinding, rules
+
+__all__ = ["UnpicklableSubmissionRule"]
+
+_POOL_CTOR_SUFFIXES = ("ProcessPoolExecutor", "WorkerPool")
+
+
+@rules.register("rep-p501", aliases=("unpicklable-process-submission",))
+class UnpicklableSubmissionRule(LintRule):
+    id = "REP-P501"
+    name = "unpicklable-process-submission"
+    severity = "error"
+    category = "process-safety"
+    invariant = (
+        "Work submitted to a process pool is a module-level function — "
+        "lambdas and closures cannot be pickled across the process "
+        "boundary."
+    )
+    example_path = "repro/runner/example.py"
+    bad_example = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "def run(items):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        futures = [pool.submit(lambda x: x + 1, i) for i in items]\n"
+        "    return [f.result() for f in futures]\n"
+    )
+    good_example = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "def _increment(x):\n"
+        "    return x + 1\n"
+        "\n"
+        "def run(items):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        futures = [pool.submit(_increment, i) for i in items]\n"
+        "    return [f.result() for f in futures]\n"
+    )
+
+    def _pool_names(self, ctx: ModuleContext, unit: FunctionUnit) -> set[str]:
+        """Local variable names bound to a process-pool instance."""
+        names: set[str] = set()
+
+        def ctor(value: ast.AST) -> bool:
+            if not isinstance(value, ast.Call):
+                return False
+            qualified = ctx.qualified(value.func)
+            return bool(qualified) and qualified.endswith(_POOL_CTOR_SUFFIXES)
+
+        for node in unit.nodes:
+            if isinstance(node, ast.Assign) and ctor(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if ctor(item.context_expr) and isinstance(
+                        item.optional_vars, ast.Name
+                    ):
+                        names.add(item.optional_vars.id)
+        return names
+
+    def _local_defs(self, unit: FunctionUnit) -> set[str]:
+        return {
+            node.name
+            for node in unit.nodes
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+    def check(self, ctx: ModuleContext) -> Iterable[RawFinding]:
+        for unit in ctx.function_units():
+            if unit.qualname == "<module>":
+                continue
+            pools = self._pool_names(ctx, unit)
+            if not pools:
+                continue
+            local_defs = self._local_defs(unit)
+            for call in unit.calls():
+                dotted = ctx.dotted(call.func)
+                if dotted is None or "." not in dotted:
+                    continue
+                owner, _, method = dotted.rpartition(".")
+                if method != "submit" or owner not in pools or not call.args:
+                    continue
+                work = call.args[0]
+                if isinstance(work, ast.Lambda):
+                    yield self.at(
+                        call,
+                        "lambda submitted to a process pool cannot be "
+                        "pickled; move the work to a module-level function",
+                    )
+                elif isinstance(work, ast.Name) and work.id in local_defs:
+                    yield self.at(
+                        call,
+                        f"locally-defined function {work.id!r} submitted to a "
+                        "process pool cannot be pickled (and would capture "
+                        "enclosing state); move it to module level",
+                    )

@@ -1,0 +1,117 @@
+"""Inline suppression comments: ``# reprolint: disable=RULE-ID reason``.
+
+Two forms are recognised, both requiring a human reason:
+
+``# reprolint: disable=REP-D101 boot path, loop not serving yet``
+    Suppresses the listed rule(s) on the **same physical line**.
+``# reprolint: disable-next=REP-A401,REP-U201 replayed under the WAL lock``
+    Suppresses on the **following** line — for statements too long to share
+    a line with their justification.
+
+Multiple rule ids are comma-separated.  A suppression **without a reason is
+invalid**: the finding is still reported, annotated with
+``suppression missing reason`` — an unexplained mute is itself a smell the
+lint refuses to honour.  Unknown rule ids in a suppression are tolerated
+(they may belong to a newer rule set) but suppress nothing by themselves.
+
+Examples
+--------
+>>> table = SuppressionTable.from_source(
+...     "x = 1  # reprolint: disable=REP-X001 known-hot constant\\n"
+...     "# reprolint: disable-next=REP-X002 tested elsewhere\\n"
+...     "y = 2\\n"
+... )
+>>> table.lookup(1, "REP-X001") is not None
+True
+>>> table.lookup(3, "REP-X002").reason
+'tested elsewhere'
+>>> table.lookup(2, "REP-X002") is None
+True
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass
+from io import StringIO
+
+__all__ = ["Suppression", "SuppressionTable"]
+
+_PATTERN = re.compile(
+    r"#\s*reprolint:\s*(?P<directive>disable(?:-next)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9,\-\s]*?)(?:\s+(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression directive."""
+
+    line: int  #: the line the suppression *applies to*
+    rules: tuple[str, ...]
+    reason: str
+    valid: bool  #: False when the mandatory reason is missing
+
+    def covers(self, rule_id: str) -> bool:
+        return rule_id.upper() in self.rules
+
+
+class SuppressionTable:
+    """Per-file map of line → applicable suppressions."""
+
+    def __init__(self, suppressions: list[Suppression]) -> None:
+        self._by_line: dict[int, list[Suppression]] = {}
+        for item in suppressions:
+            self._by_line.setdefault(item.line, []).append(item)
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionTable":
+        """Tokenize ``source`` and collect every reprolint directive.
+
+        Tokenization (rather than a per-line regex) keeps directives inside
+        string literals from being honoured.
+        """
+        found: list[Suppression] = []
+        try:
+            tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return cls(found)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PATTERN.search(token.string)
+            if match is None:
+                continue
+            rules = tuple(
+                part.strip().upper()
+                for part in match.group("rules").split(",")
+                if part.strip()
+            )
+            if not rules:
+                continue
+            reason = (match.group("reason") or "").strip()
+            line = token.start[0]
+            if match.group("directive") == "disable-next":
+                line += 1
+            found.append(
+                Suppression(line=line, rules=rules, reason=reason, valid=bool(reason))
+            )
+        return cls(found)
+
+    def lookup(self, line: int, rule_id: str) -> Suppression | None:
+        """The *valid* suppression covering ``rule_id`` at ``line``, if any."""
+        for item in self._by_line.get(line, ()):
+            if item.valid and item.covers(rule_id):
+                return item
+        return None
+
+    def invalid_at(self, line: int, rule_id: str) -> Suppression | None:
+        """A reason-less (invalid) suppression covering ``rule_id`` at ``line``."""
+        for item in self._by_line.get(line, ()):
+            if not item.valid and item.covers(rule_id):
+                return item
+        return None
+
+    def all(self) -> list[Suppression]:
+        return [s for items in self._by_line.values() for s in items]

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Seven subcommands drive the planner/executor/store/serving stack end to end:
+Eight subcommands drive the planner/executor/store/serving stack end to end:
 
 ``sweep``
     Table III-style ratio sweep: every (method, ratio) cell plus the
@@ -21,6 +21,10 @@ Seven subcommands drive the planner/executor/store/serving stack end to end:
     committed ``BENCH_*.json`` baselines (``docs/testing.md``).
 ``report``
     Render rows from a store's artifacts without running anything.
+``lint``
+    The ``reprolint`` static-analysis pass: AST rules encoding the repo's
+    determinism, durability, cache-guard and async/process-safety
+    invariants (``docs/linting.md``).
 ``list``
     Show every registered dataset, condenser, model and stage strategy,
     plus the serving components (``--json`` for machine-readable output).
@@ -311,6 +315,36 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", metavar="PATH", help="also write the table to PATH")
     report.set_defaults(func=_cmd_report)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo-invariant static-analysis pass (reprolint)",
+        description=(
+            "reprolint: AST rules encoding the repo's determinism, durability, "
+            "cache-guard and async/process-safety invariants (docs/linting.md). "
+            "Exit 0 when clean, 1 on non-baselined findings."
+        ),
+    )
+    lint.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
+                      help="files/directories to lint (default: src)")
+    lint.add_argument("--rules", default=None, metavar="IDS",
+                      help="comma-separated rule ids/aliases (default: all rules)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="baseline of grandfathered findings "
+                           "(default: tools/reprolint_baseline.json when present)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the machine-readable report (stable schema)")
+    lint.add_argument("--stats", action="store_true",
+                      help="per-rule finding/baselined/suppression counts")
+    lint.add_argument("--selftest", action="store_true",
+                      help="prove every rule fires on its bad fixture and stays "
+                           "silent on the good one")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="show the rule catalogue with invariants")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline to cover current findings "
+                           "(new entries get TODO reasons to fill in)")
+    lint.set_defaults(func=_cmd_lint)
+
     list_cmd = sub.add_parser("list", help="list registered components")
     list_cmd.add_argument(
         "what",
@@ -318,7 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         choices=(
             "all", "datasets", "condensers", "models",
-            "target-stages", "other-stages", "serving",
+            "target-stages", "other-stages", "serving", "lint",
         ),
         help="which registry to list (default: all)",
     )
@@ -1062,6 +1096,74 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.lint import run_lint, selftest
+    from repro.lint.report import render_human, render_json, render_stats
+    from repro.lint.rules import resolve_rules
+
+    rule_names = None
+    if args.rules:
+        rule_names = [part.strip() for part in args.rules.split(",") if part.strip()]
+
+    if args.list_rules:
+        catalogue = resolve_rules(rule_names)
+        if args.json:
+            payload = {"version": 1, "rules": [rule.describe() for rule in catalogue]}
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for rule in catalogue:
+                print(f"{rule.id}  {rule.name}  [{rule.severity}, {rule.category}]")
+                print(f"    {rule.invariant}")
+        return 0
+
+    if args.selftest:
+        failures = selftest(rule_names)
+        if args.json:
+            print(_json.dumps(
+                {"version": 1, "failures": failures}, indent=2, sort_keys=True
+            ))
+        else:
+            for failure in failures:
+                print(f"selftest: FAIL {failure}")
+            if not failures:
+                count = len(resolve_rules(rule_names))
+                print(f"selftest: all {count} rules fire on bad / stay silent on good")
+        return 1 if failures else 0
+
+    # Baseline resolution: an explicit --baseline must exist (Baseline.load
+    # errors otherwise); the default one is picked up only when present, so
+    # fresh checkouts and temp dirs lint without ceremony.
+    baseline = args.baseline
+    if baseline is None:
+        default = Path("tools") / "reprolint_baseline.json"
+        if default.exists():
+            baseline = str(default)
+
+    if args.update_baseline:
+        target = args.baseline or str(Path("tools") / "reprolint_baseline.json")
+        existing = baseline if baseline is not None and Path(baseline).exists() else None
+        report = run_lint(args.paths, rules=rule_names, baseline=existing)
+        updated = report.updated_baseline()
+        updated.save(target)
+        print(
+            f"wrote {len(updated)} baseline entr"
+            f"{'y' if len(updated) == 1 else 'ies'} to {target}"
+        )
+        return 0
+
+    report = run_lint(args.paths, rules=rule_names, baseline=baseline)
+    if args.json:
+        print(render_json(report))
+    elif args.stats:
+        print(render_stats(report))
+    else:
+        print(render_human(report))
+    return report.exit_code
+
+
 #: serving is not a registry — its components are the fixed serving stack,
 #: listed alongside the registries so deployment tooling can discover them
 _SERVING_COMPONENTS = {
@@ -1087,6 +1189,15 @@ def _registry_listing(reg: registry.Registry) -> dict[str, dict]:
     return {name: {"aliases": list(reg.aliases_of(name))} for name in reg.names()}
 
 
+def _lint_listing() -> dict:
+    from repro.lint import all_rules
+
+    return {
+        "rules": {rule.id: rule.describe() for rule in all_rules()},
+        "subcommand": "python -m repro lint",
+    }
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     if getattr(args, "json", False):
         import json as _json
@@ -1110,6 +1221,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 "endpoints": list(_SERVING_ENDPOINTS),
                 "subcommand": "python -m repro serve",
             },
+            "lint": _lint_listing,
         }
         wanted = sections if args.what == "all" else {args.what: sections[args.what]}
         for name, build in wanted.items():
@@ -1133,6 +1245,14 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"  endpoints: {', '.join(_SERVING_ENDPOINTS)}")
         print()
 
+    def show_lint() -> None:
+        from repro.lint import all_rules
+
+        print("lint rules (python -m repro lint):")
+        for rule in all_rules():
+            print(f"  {rule.id}  {rule.name}  [{rule.severity}]")
+        print()
+
     sections = {
         "datasets": lambda: show(
             "datasets",
@@ -1147,6 +1267,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "target-stages": lambda: show("target stages", registry.target_stages),
         "other-stages": lambda: show("father/leaf stages", registry.other_stages),
         "serving": show_serving,
+        "lint": show_lint,
     }
     if args.what == "all":
         for section in sections.values():

@@ -142,6 +142,15 @@ def _bundle_from_parts(
     )
 
 
+def _fsync_file(path: Path) -> None:
+    """Force ``path``'s already-written bytes to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def save_bundle(
     bundle: ModelBundle, path: str | Path, *, layout: str = "npz"
 ) -> Path:
@@ -172,6 +181,7 @@ def save_bundle(
     tmp = path.with_name(f".{path.stem}.tmp{os.getpid()}.npz")
     try:
         np.savez_compressed(tmp, **arrays)
+        _fsync_file(tmp)
         os.replace(tmp, path)
         # The rename is atomic against process death but not power loss
         # until the directory entry itself is durable.
@@ -206,6 +216,12 @@ def _save_bundle_dir(bundle: ModelBundle, path: Path) -> Path:
         (tmp / "header.json").write_text(
             json.dumps(header, sort_keys=True, indent=1, default=json_default)
         )
+        # Flush file contents (and the staged directory's entries) to disk
+        # before the rename, or a crash can atomically publish truncated
+        # arrays — the same idiom as integrity.write_manifest.
+        for staged in sorted(tmp.iterdir()):
+            _fsync_file(staged)
+        sync_dir(tmp)
         if path.exists():
             shutil.rmtree(path)
         os.replace(tmp, path)

@@ -411,6 +411,7 @@ class ReplicatedServer:
         if injector is not None and injector.sink is None:
             injector.sink = slot0.observe_fault
 
+        # reprolint: disable-next=REP-A401 boot path: the loop serves no requests until start() returns
         controller, wal, recovery = recover_from_wal(
             cfg.wal_path,
             root=root,
@@ -424,7 +425,7 @@ class ReplicatedServer:
         if recovery.get("quarantined_now"):
             slot0.observe_quarantine(int(recovery["quarantined_now"]))
         self._publish(controller.version)
-        set_current(root, controller.version)
+        set_current(root, controller.version)  # reprolint: disable=REP-A401 boot path: the loop serves no requests until start() returns
 
         cfg.control_path.unlink(missing_ok=True)
         self._control_server = await asyncio.start_unix_server(
@@ -644,7 +645,12 @@ class ReplicatedServer:
                 return report
 
             report = await loop.run_in_executor(self.http._swap_pool, commit)
-            set_current(self.config.root_path, report.version)
+            # The CURRENT pointer publish fsyncs twice; off the loop so
+            # in-flight predictions don't stall behind a slow disk.
+            await loop.run_in_executor(
+                self.http._swap_pool,
+                lambda: set_current(self.config.root_path, report.version),
+            )
             self.deltas_committed += 1
             self._since_snapshot += 1
             acked = await self._fan_out(report.version)

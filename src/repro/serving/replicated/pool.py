@@ -422,6 +422,7 @@ async def _worker_async(slot: int, options: dict) -> None:
 
     cache_size = int(options.get("cache_size", 4096))
     wanted, _ = current_version(root)
+    # reprolint: disable-next=REP-A401 boot path: the worker server is not listening yet
     session = published_session(root, cache_size=cache_size)
     if session.version != wanted:
         # CURRENT points at a corrupt publish: serve last-good, stale beats
@@ -452,8 +453,15 @@ async def _worker_async(slot: int, options: dict) -> None:
             kind = message.get("type")
             if kind == "swap":
                 version = int(message["version"])
-                session = published_session(
-                    root, version=version, cache_size=cache_size
+                # Digest verification + np.load off the loop: in-flight
+                # /predict requests keep draining against the old session
+                # while the new one loads.
+                loop = asyncio.get_running_loop()
+                session = await loop.run_in_executor(
+                    None,
+                    lambda: published_session(
+                        root, version=version, cache_size=cache_size
+                    ),
                 )
                 if session.version != version:
                     # Requested version failed verification; we loaded

@@ -366,7 +366,11 @@ class ServingServer:
             await self._server.wait_closed()
             self._server = None
         await self.batcher.stop()
-        self._swap_pool.shutdown(wait=True)
+        # shutdown(wait=True) joins any in-flight swap; do the join in a
+        # thread so a slow commit can't freeze other tasks on this loop.
+        await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self._swap_pool.shutdown(wait=True)
+        )
         self.metrics.mark_down()
 
     # ------------------------------------------------------------------ #

@@ -217,7 +217,7 @@ class FaultInjector:
         if action is not None and self.sink is not None:
             try:  # a broken sink must never turn a planned fault into a crash
                 self.sink(site)
-            except Exception:
+            except Exception:  # reprolint: disable=REP-E601 metrics sink is best-effort; the fault action must still fire
                 pass
         return action
 

@@ -1,0 +1,75 @@
+"""Featureless node types get the same features in every process.
+
+Regression test for a real bug reprolint's REP-D103 rule surfaced: the
+builder seeded featureless-type features with ``hash(node_type)``, which
+varies with ``PYTHONHASHSEED`` — two workers of the same deployment could
+disagree on the feature bytes of the same graph.  The fix hashes the type
+name with sha256 instead.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.hetero import HeteroGraphBuilder, HeteroSchema, Relation
+
+_SNIPPET = """
+import hashlib, json
+import numpy as np
+from repro.hetero import HeteroGraphBuilder, HeteroSchema, Relation
+
+schema = HeteroSchema(
+    node_types=("paper", "venue"),
+    relations=(Relation("published", "paper", "venue"),),
+    target_type="paper", num_classes=2,
+)
+builder = HeteroGraphBuilder(schema)
+builder.add_nodes("paper", 4, np.eye(4))
+builder.add_nodes("venue", 3)  # featureless: builder derives features
+builder.add_edges("published", [0, 1, 2, 3], [0, 1, 2, 0])
+graph = builder.build(default_feature_dim=6)
+digest = hashlib.sha256(np.ascontiguousarray(graph.features["venue"]).tobytes())
+print(json.dumps({"venue_features": digest.hexdigest()}))
+"""
+
+
+def _run_with_hashseed(seed: str) -> str:
+    src = Path(__file__).resolve().parents[2] / "src"
+    result = subprocess.run(
+        [sys.executable, "-c", _SNIPPET],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(src), "PYTHONHASHSEED": seed},
+        check=True,
+    )
+    return json.loads(result.stdout)["venue_features"]
+
+
+def test_featureless_features_stable_across_hash_seeds():
+    digests = {_run_with_hashseed(seed) for seed in ("0", "1", "31337")}
+    assert len(digests) == 1, "featureless features depend on PYTHONHASHSEED"
+
+
+def test_featureless_features_deterministic_in_process():
+    schema = HeteroSchema(
+        node_types=("paper", "venue"),
+        relations=(Relation("published", "paper", "venue"),),
+        target_type="paper",
+        num_classes=2,
+    )
+
+    def build():
+        builder = HeteroGraphBuilder(schema)
+        builder.add_nodes("paper", 4, np.eye(4))
+        builder.add_nodes("venue", 3)
+        builder.add_edges("published", [0, 1, 2, 3], [0, 1, 2, 0])
+        return builder.build(default_feature_dim=6)
+
+    first, second = build(), build()
+    np.testing.assert_array_equal(first.features["venue"], second.features["venue"])
+    assert first.features["venue"].shape == (3, 6)

@@ -1,0 +1,136 @@
+"""Baseline add/expire round-trip and validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import Baseline, BaselineEntry, run_lint
+
+BAD_RNG = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+def write_module(tmp_path, name="mod.py", source=BAD_RNG):
+    target = tmp_path / name
+    target.write_text(source, encoding="utf-8")
+    return target
+
+
+def test_baseline_round_trip_add_then_clean(tmp_path):
+    """finding → --update-baseline → the same lint run exits clean."""
+    write_module(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+
+    first = run_lint([str(tmp_path)], rules=["REP-D101"], root=tmp_path)
+    assert first.exit_code == 1 and len(first.findings) == 1
+
+    first.updated_baseline().save(baseline_path)
+    payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert payload["version"] == 1 and len(payload["entries"]) == 1
+    assert payload["entries"][0]["reason"]  # placeholder reason is non-empty
+
+    second = run_lint(
+        [str(tmp_path)], rules=["REP-D101"], baseline=baseline_path, root=tmp_path
+    )
+    assert second.exit_code == 0
+    assert second.findings == []
+    assert len(second.baselined) == 1
+    assert second.expired == []
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    """Unrelated edits above the finding keep the baseline entry matching."""
+    module = write_module(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    run_lint([str(tmp_path)], rules=["REP-D101"], root=tmp_path).updated_baseline().save(
+        baseline_path
+    )
+
+    module.write_text(
+        "import numpy as np\n\n\nUNRELATED = 1\nrng = np.random.default_rng()\n",
+        encoding="utf-8",
+    )
+    report = run_lint(
+        [str(tmp_path)], rules=["REP-D101"], baseline=baseline_path, root=tmp_path
+    )
+    assert report.exit_code == 0 and len(report.baselined) == 1
+
+
+def test_baseline_expires_when_finding_is_fixed(tmp_path):
+    module = write_module(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    run_lint([str(tmp_path)], rules=["REP-D101"], root=tmp_path).updated_baseline().save(
+        baseline_path
+    )
+
+    module.write_text(
+        "from repro.utils.rng import ensure_rng\nrng = ensure_rng(0)\n",
+        encoding="utf-8",
+    )
+    report = run_lint(
+        [str(tmp_path)], rules=["REP-D101"], baseline=baseline_path, root=tmp_path
+    )
+    assert report.exit_code == 0
+    assert len(report.expired) == 1
+
+    # --update-baseline prunes the expired entry
+    report.updated_baseline().save(baseline_path)
+    payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert payload["entries"] == []
+
+
+def test_identical_lines_get_distinct_fingerprints(tmp_path):
+    source = (
+        "import numpy as np\n"
+        "a = np.random.default_rng()\n"
+        "b = 1\n"
+        "a = np.random.default_rng()\n"
+    )
+    write_module(tmp_path, source=source)
+    report = run_lint([str(tmp_path)], rules=["REP-D101"], root=tmp_path)
+    prints = [f.fingerprint for f in report.findings]
+    assert len(prints) == 2 and prints[0] != prints[1]
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not json",
+        json.dumps({"version": 2, "entries": []}),
+        json.dumps({"version": 1}),
+        json.dumps({"version": 1, "entries": [{"fingerprint": "x"}]}),
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {"fingerprint": "x", "rule": "REP-D101", "path": "a.py", "reason": ""}
+                ],
+            }
+        ),
+    ],
+    ids=["bad-json", "bad-version", "no-entries", "missing-fields", "empty-reason"],
+)
+def test_malformed_baseline_raises_lint_error(tmp_path, payload):
+    path = tmp_path / "baseline.json"
+    path.write_text(payload, encoding="utf-8")
+    with pytest.raises(LintError):
+        Baseline.load(path)
+
+
+def test_missing_baseline_file_raises_lint_error(tmp_path):
+    with pytest.raises(LintError):
+        Baseline.load(tmp_path / "absent.json")
+
+
+def test_baseline_entries_sorted_and_stable(tmp_path):
+    entries = [
+        BaselineEntry("ff", "REP-U201", "z.py", "why"),
+        BaselineEntry("aa", "REP-D101", "a.py", "why"),
+    ]
+    path = tmp_path / "baseline.json"
+    Baseline(entries).save(path)
+    loaded = Baseline.load(path)
+    assert [e.fingerprint for e in loaded.entries()] == ["aa", "ff"]
+    assert "aa" in loaded and loaded.get("aa").rule == "REP-D101"

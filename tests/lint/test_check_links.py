@@ -1,0 +1,111 @@
+"""Anchor-fragment validation in tools/check_links.py."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_check_links():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO_ROOT / "tools" / "check_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_links = _load_check_links()
+
+
+class TestSlugify:
+    def test_basic_github_slug(self):
+        assert check_links.slugify("Adding a rule") == "adding-a-rule"
+
+    def test_punctuation_dropped_and_case_folded(self):
+        assert check_links.slugify("What's new? (v2)") == "whats-new-v2"
+
+    def test_markdown_decoration_stripped(self):
+        assert check_links.slugify("The `--json` reporter") == "the---json-reporter"
+        assert check_links.slugify("See [docs](docs/x.md) here") == "see-docs-here"
+
+
+class TestHeadingAnchors:
+    def test_collects_all_levels(self):
+        text = "# Top\n\n## Section One\n\n### Deep dive\n"
+        assert check_links.heading_anchors(text) == {"top", "section-one", "deep-dive"}
+
+    def test_duplicates_get_numbered_suffixes(self):
+        text = "## Same\n\n## Same\n\n## Same\n"
+        assert check_links.heading_anchors(text) == {"same", "same-1", "same-2"}
+
+    def test_headings_inside_code_fences_ignored(self):
+        text = "# Real\n\n```\n# not a heading\n```\n"
+        assert check_links.heading_anchors(text) == {"real"}
+
+
+class TestCheckFile:
+    def write(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def run(self, tmp_path):
+        errors = []
+        cache = {}
+        for path in check_links.markdown_files(tmp_path):
+            errors.extend(check_links.check_file(path, tmp_path, cache))
+        return errors
+
+    def test_valid_same_file_anchor(self, tmp_path):
+        self.write(tmp_path, "a.md", "# Guide\n\nSee [below](#details).\n\n## Details\n")
+        assert self.run(tmp_path) == []
+
+    def test_broken_same_file_anchor(self, tmp_path):
+        self.write(tmp_path, "a.md", "# Guide\n\nSee [below](#missing).\n")
+        errors = self.run(tmp_path)
+        assert len(errors) == 1 and "#missing" in errors[0]
+
+    def test_valid_cross_file_anchor(self, tmp_path):
+        self.write(tmp_path, "a.md", "[rules](b.md#rule-catalogue)\n")
+        self.write(tmp_path, "b.md", "# Doc\n\n## Rule catalogue\n")
+        assert self.run(tmp_path) == []
+
+    def test_broken_cross_file_anchor(self, tmp_path):
+        self.write(tmp_path, "a.md", "[rules](b.md#nope)\n")
+        self.write(tmp_path, "b.md", "# Doc\n")
+        errors = self.run(tmp_path)
+        assert len(errors) == 1 and "broken anchor" in errors[0]
+
+    def test_missing_file_still_reported(self, tmp_path):
+        self.write(tmp_path, "a.md", "[gone](missing.md)\n")
+        errors = self.run(tmp_path)
+        assert len(errors) == 1 and "broken link" in errors[0]
+
+    def test_external_links_skipped(self, tmp_path):
+        self.write(tmp_path, "a.md", "[x](https://example.com#frag) [y](mailto:a@b)\n")
+        assert self.run(tmp_path) == []
+
+    def test_links_inside_fences_skipped(self, tmp_path):
+        self.write(tmp_path, "a.md", "```\n[x](#nope)\n```\n")
+        assert self.run(tmp_path) == []
+
+    def test_anchor_on_non_markdown_target_not_checked(self, tmp_path):
+        (tmp_path / "mod.py").write_text("x = 1\n", encoding="utf-8")
+        self.write(tmp_path, "a.md", "[src](mod.py#L1)\n")
+        assert self.run(tmp_path) == []
+
+
+def test_repo_docs_pass(capsys):
+    """The repo's own markdown — including docs/linting.md — stays anchor-clean."""
+    assert check_links.main([str(REPO_ROOT), str(REPO_ROOT)]) == 0
+
+
+def test_main_reports_failures(tmp_path, capsys):
+    (tmp_path / "a.md").write_text("[x](#missing)\n", encoding="utf-8")
+    assert check_links.main(["check_links", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "broken anchor" in out

@@ -1,0 +1,43 @@
+"""The gate: the repo's own ``src/`` tree lints clean.
+
+This is the in-suite twin of the ``lint-smoke`` CI job — if a PR
+introduces a non-baselined finding, this test names it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+BASELINE = REPO_ROOT / "tools" / "reprolint_baseline.json"
+
+
+@pytest.fixture(scope="module")
+def report():
+    baseline = BASELINE if BASELINE.exists() else None
+    return run_lint([str(SRC)], baseline=baseline, root=REPO_ROOT)
+
+
+def test_src_has_no_nonbaselined_findings(report):
+    assert report.findings == [], "\n".join(f.render() for f in report.findings)
+
+
+def test_src_baseline_has_no_expired_entries(report):
+    assert report.expired == [], [e.to_dict() for e in report.expired]
+
+
+def test_src_coverage_is_real(report):
+    """The clean result comes from actually walking the tree."""
+    assert report.files > 100
+    assert len(report.rules) >= 9
+
+
+def test_every_suppression_in_src_carries_a_reason(report):
+    """Reason-less suppressions surface as findings, so clean == reasoned."""
+    for finding, suppression in report.suppressed:
+        assert suppression.reason, finding.render()

@@ -1,0 +1,82 @@
+"""``--json`` schema stability: the contract the lint-smoke CI job parses."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import run_lint
+from repro.lint.report import SCHEMA_VERSION, render_human, render_json, render_stats, to_payload
+
+BAD_RNG = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+def make_report(tmp_path, source=BAD_RNG):
+    (tmp_path / "mod.py").write_text(source, encoding="utf-8")
+    return run_lint([str(tmp_path)], root=tmp_path)
+
+
+def test_payload_top_level_keys_are_stable(tmp_path):
+    payload = to_payload(make_report(tmp_path))
+    assert sorted(payload) == ["baseline", "exit_code", "findings", "stats", "version"]
+    assert payload["version"] == SCHEMA_VERSION == 1
+
+
+def test_finding_keys_are_stable(tmp_path):
+    payload = to_payload(make_report(tmp_path))
+    assert len(payload["findings"]) == 1
+    finding = payload["findings"][0]
+    assert sorted(finding) == [
+        "col", "fingerprint", "line", "message", "path", "rule", "severity", "symbol",
+    ]
+    assert finding["rule"] == "REP-D101"
+    assert finding["path"] == "mod.py"
+    assert finding["line"] == 2
+    assert len(finding["fingerprint"]) == 16
+
+
+def test_stats_and_baseline_sections(tmp_path):
+    payload = to_payload(make_report(tmp_path))
+    stats = payload["stats"]
+    assert sorted(stats) == ["baselined", "files", "findings", "per_rule", "suppressed"]
+    assert stats["files"] == 1 and stats["findings"] == 1
+    assert sorted(stats["per_rule"]["REP-D101"]) == [
+        "baselined", "findings", "suppressed",
+    ]
+    assert sorted(payload["baseline"]) == ["entries", "expired", "matched", "path"]
+    assert payload["baseline"]["path"] is None
+    assert payload["exit_code"] == 1
+
+
+def test_render_json_is_deterministic(tmp_path):
+    report = make_report(tmp_path)
+    assert render_json(report) == render_json(report)
+    parsed = json.loads(render_json(report))
+    assert parsed == to_payload(report)
+
+
+def test_human_rendering_mentions_location_and_rule(tmp_path):
+    text = render_human(make_report(tmp_path))
+    assert "mod.py:2:" in text
+    assert "REP-D101" in text
+    assert "1 file checked: 1 finding" in text
+
+
+def test_stats_rendering_has_per_rule_rows(tmp_path):
+    text = render_stats(make_report(tmp_path))
+    assert text.splitlines()[0].split() == ["rule", "findings", "baselined", "suppressed"]
+    assert any(line.startswith("REP-D101") for line in text.splitlines())
+    assert text.splitlines()[-1].startswith("total")
+
+
+def test_clean_run_exit_code_zero(tmp_path):
+    report = make_report(tmp_path, source="x = 1\n")
+    payload = to_payload(report)
+    assert payload["exit_code"] == 0 and report.exit_code == 0
+    assert "0 findings" in render_human(report)
+
+
+def test_parse_failure_surfaces_as_engine_finding(tmp_path):
+    report = make_report(tmp_path, source="def broken(:\n")
+    assert report.exit_code == 1
+    assert [f.rule for f in report.findings] == ["REP-E000"]
+    assert "does not parse" in report.findings[0].message

@@ -1,0 +1,99 @@
+"""Suppression-comment semantics: same-line, disable-next, mandatory reasons."""
+
+from __future__ import annotations
+
+from repro.lint import lint_source
+from repro.lint.suppress import SuppressionTable
+
+BAD_RNG = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+def test_same_line_suppression_mutes_finding():
+    source = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # reprolint: disable=REP-D101 exploratory notebook port\n"
+    )
+    assert lint_source(source, rules=["REP-D101"]) == []
+
+
+def test_disable_next_targets_following_line():
+    source = (
+        "import numpy as np\n"
+        "# reprolint: disable-next=REP-D101 exploratory notebook port\n"
+        "rng = np.random.default_rng()\n"
+    )
+    assert lint_source(source, rules=["REP-D101"]) == []
+
+
+def test_disable_next_does_not_leak_past_one_line():
+    source = (
+        "import numpy as np\n"
+        "# reprolint: disable-next=REP-D101 only the next line\n"
+        "x = 1\n"
+        "rng = np.random.default_rng()\n"
+    )
+    hits = lint_source(source, rules=["REP-D101"])
+    assert [f.line for f in hits] == [4]
+
+
+def test_reasonless_suppression_is_invalid_and_annotated():
+    source = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # reprolint: disable=REP-D101\n"
+    )
+    hits = lint_source(source, rules=["REP-D101"])
+    assert len(hits) == 1
+    assert "suppression missing reason" in hits[0].message
+
+
+def test_suppression_only_covers_listed_rules():
+    source = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # reprolint: disable=REP-U201 wrong rule listed\n"
+    )
+    assert len(lint_source(source, rules=["REP-D101"])) == 1
+
+
+def test_multiple_rules_comma_separated():
+    table = SuppressionTable.from_source(
+        "x = 1  # reprolint: disable=REP-A401,REP-U201 replayed under the WAL lock\n"
+    )
+    assert table.lookup(1, "REP-A401") is not None
+    assert table.lookup(1, "REP-U201") is not None
+    assert table.lookup(1, "REP-D101") is None
+
+
+def test_directive_inside_string_literal_is_ignored():
+    table = SuppressionTable.from_source(
+        "x = '# reprolint: disable=REP-D101 not a comment'\n"
+    )
+    assert table.all() == []
+
+
+def test_case_insensitive_rule_ids():
+    table = SuppressionTable.from_source(
+        "x = 1  # reprolint: disable=rep-d101 lowercase id\n"
+    )
+    assert table.lookup(1, "REP-D101") is not None
+
+
+def test_unparseable_source_yields_empty_table():
+    assert SuppressionTable.from_source("def broken(:\n").all() == []
+
+
+def test_suppressions_counted_in_report(tmp_path):
+    from repro.lint import run_lint
+
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # reprolint: disable=REP-D101 fixture\n",
+        encoding="utf-8",
+    )
+    report = run_lint([str(target)], rules=["REP-D101"], root=tmp_path)
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+    finding, suppression = report.suppressed[0]
+    assert finding.rule == "REP-D101"
+    assert suppression.reason == "fixture"
+    assert report.per_rule_stats()["REP-D101"]["suppressed"] == 1

@@ -1,0 +1,74 @@
+"""Bundle saves fsync file contents before the atomic rename.
+
+Regression tests for real bugs reprolint's REP-U202 rule surfaced: both
+bundle layouts renamed freshly-written files into place without forcing
+their bytes to disk first, so a power loss right after the (durable,
+``sync_dir``-ed) rename could atomically publish a truncated bundle.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.serving.artifacts import ModelBundle, load_bundle, save_bundle
+
+
+@pytest.fixture()
+def bundle(toy_graph):
+    graph, _ = toy_graph if isinstance(toy_graph, tuple) else (toy_graph, None)
+    rng = np.random.default_rng(0)
+    return ModelBundle(
+        model_name="heterosgc",
+        state={"hidden_dim": 8},
+        weights={"w0": rng.standard_normal((4, 4)), "b0": rng.standard_normal(4)},
+        condensed=graph,
+        metadata={"dataset": "toy"},
+    )
+
+
+@pytest.fixture()
+def fsync_log(monkeypatch):
+    """Record the paths backing every os.fsync fd during a save."""
+    real_fsync = os.fsync
+    synced: list[str] = []
+
+    def spy(fd: int) -> None:
+        try:
+            synced.append(os.readlink(f"/proc/self/fd/{fd}"))
+        except OSError:
+            synced.append("<unknown>")
+        real_fsync(fd)
+
+    monkeypatch.setattr(os, "fsync", spy)
+    return synced
+
+
+@pytest.mark.parametrize("layout", ["npz", "dir"])
+def test_save_bundle_fsyncs_payload_before_rename(bundle, tmp_path, fsync_log, layout):
+    target = tmp_path / ("bundle.npz" if layout == "npz" else "bundle.d")
+    save_bundle(bundle, target, layout=layout)
+    assert fsync_log, "save_bundle must fsync the written payload"
+    if layout == "npz":
+        # the staged temp archive is synced before os.replace publishes it
+        assert any(".tmp" in path for path in fsync_log)
+    else:
+        # every staged array file plus header.json is synced
+        assert any(path.endswith(".npy") for path in fsync_log)
+        assert any(path.endswith("header.json") for path in fsync_log)
+
+
+@pytest.mark.parametrize("layout", ["npz", "dir"])
+def test_save_bundle_round_trips_after_fsync_change(bundle, tmp_path, layout):
+    target = tmp_path / ("bundle.npz" if layout == "npz" else "bundle.d")
+    save_bundle(bundle, target, layout=layout)
+    loaded = load_bundle(target)
+    assert loaded.model_name == bundle.model_name
+    assert loaded.metadata == bundle.metadata
+    for key, value in bundle.weights.items():
+        np.testing.assert_array_equal(loaded.weights[key], value)
+    # no stray temp staging left behind
+    stray = [p for p in tmp_path.iterdir() if p.name.startswith(".")]
+    assert stray == []

@@ -1,12 +1,17 @@
 #!/usr/bin/env python
-"""Check that intra-repo markdown links resolve.
+"""Check that intra-repo markdown links — including #anchors — resolve.
 
 Scans every tracked ``*.md`` file for inline links/images
-(``[text](target)``) and verifies that relative targets exist on disk
-(anchors and external ``http(s)``/``mailto`` targets are skipped; anchor
-fragments on existing files are accepted without heading verification).
+(``[text](target)``) and verifies that
 
-Exit code 0 when every link resolves, 1 otherwise — suitable for CI.
+* relative file targets exist on disk, and
+* anchor fragments — both same-file ``#section`` links and cross-file
+  ``other.md#section`` links — match a heading in the target document,
+  using GitHub's slugification (lowercase, punctuation stripped, spaces
+  to ``-``, duplicate slugs suffixed ``-1``, ``-2``, …).
+
+External ``http(s)``/``mailto`` targets are skipped.  Exit code 0 when
+every link resolves, 1 otherwise — suitable for CI.
 
 Usage::
 
@@ -21,7 +26,11 @@ from pathlib import Path
 
 # [text](target) — excluding images is pointless, broken images are bugs too.
 LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
-SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+# GitHub slugs keep word chars, spaces and hyphens; everything else drops.
+_SLUG_STRIP = re.compile(r"[^\w\- ]", re.UNICODE)
+_MD_DECORATION = re.compile(r"[`*_]|\[([^\]]*)\]\([^)]*\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
 SKIP_DIRS = {".git", ".hypothesis", ".pytest_cache", "__pycache__", "node_modules", "runs"}
 
 
@@ -33,9 +42,42 @@ def markdown_files(root: Path) -> list[Path]:
     return sorted(files)
 
 
-def check_file(path: Path, root: Path) -> list[str]:
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for one heading's text."""
+    text = _MD_DECORATION.sub(lambda m: m.group(1) or "", heading)
+    text = _SLUG_STRIP.sub("", text.strip().lower())
+    return text.replace(" ", "-")
+
+
+def heading_anchors(text: str) -> set[str]:
+    """Every anchor a markdown document exposes, GitHub-style.
+
+    Duplicate headings get ``-1``/``-2`` suffixes, matching how GitHub
+    disambiguates them.
+    """
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if match is None:
+            continue
+        slug = slugify(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def check_file(path: Path, root: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
     errors = []
     text = path.read_text(encoding="utf-8")
+    anchor_cache.setdefault(path.resolve(), heading_anchors(text))
     in_fence = False
     for line_number, line in enumerate(text.splitlines(), start=1):
         if line.lstrip().startswith("```"):
@@ -47,13 +89,23 @@ def check_file(path: Path, root: Path) -> list[str]:
             target = match.group(1)
             if target.startswith(SKIP_PREFIXES):
                 continue
-            target = target.split("#", 1)[0]
-            if not target:
-                continue
-            resolved = (path.parent / target).resolve()
+            file_part, _, fragment = target.partition("#")
+            resolved = (path.parent / file_part).resolve() if file_part else path.resolve()
             if not resolved.exists():
                 errors.append(
-                    f"{path.relative_to(root)}:{line_number}: broken link -> {target}"
+                    f"{path.relative_to(root)}:{line_number}: broken link -> {file_part}"
+                )
+                continue
+            if not fragment or resolved.suffix.lower() != ".md" and file_part:
+                continue
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = heading_anchors(
+                    resolved.read_text(encoding="utf-8")
+                )
+            if fragment.lower() not in anchor_cache[resolved]:
+                errors.append(
+                    f"{path.relative_to(root)}:{line_number}: "
+                    f"broken anchor -> {target} (no heading slugs to #{fragment.lower()})"
                 )
     return errors
 
@@ -62,13 +114,14 @@ def main(argv: list[str]) -> int:
     root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
     errors: list[str] = []
     files = markdown_files(root)
+    anchor_cache: dict[Path, set[str]] = {}
     for path in files:
-        errors.extend(check_file(path, root))
+        errors.extend(check_file(path, root, anchor_cache))
     if errors:
         print("\n".join(errors))
         print(f"\n{len(errors)} broken link(s) across {len(files)} markdown file(s)")
         return 1
-    print(f"all intra-repo links resolve across {len(files)} markdown file(s)")
+    print(f"all intra-repo links and anchors resolve across {len(files)} markdown file(s)")
     return 0
 
 
