@@ -23,6 +23,7 @@ it is deliberately not named ``test_*`` so the tier-1 suite stays fast.
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 from pathlib import Path
@@ -38,7 +39,10 @@ for _entry in (str(_ROOT), str(_ROOT / "src")):
 import numpy as np
 
 from benchmarks.common import SCALE, emit, emit_json
+from repro import obs
 from repro.core import CondensationContext
+from repro.core.condenser import FreeHGC
+from repro.streaming import assert_graphs_equal
 from repro.core.coverage_kernels import (
     PackedAdjacency,
     greedy_max_coverage_packed,
@@ -58,6 +62,9 @@ SPEEDUP_POOL_THRESHOLD = 2000
 SPEEDUP_FACTOR = 5.0
 #: timing repetitions (best-of)
 REPEATS = 3
+#: maximum tolerated end-to-end condense slowdown with tracing enabled;
+#: gated at full scale only (small scales are all timing noise)
+TRACE_OVERHEAD_PCT = 5.0
 
 
 def hotpath_config() -> SyntheticHINConfig:
@@ -243,8 +250,76 @@ def bench_pagerank(context: CondensationContext, errors: list[str]) -> list[dict
     ]
 
 
+def bench_tracing_overhead(
+    graph, errors: list[str], trace_path: str | None
+) -> dict:
+    """End-to-end condense, untraced vs traced: byte-identity + overhead.
+
+    Tracing must never change what the pipeline computes — the traced run's
+    condensed graph is asserted byte-identical to the untraced one — and
+    must stay cheap: at full scale the slowdown is gated at
+    ``TRACE_OVERHEAD_PCT``.
+    """
+    condenser = FreeHGC(max_hops=2, max_paths=8)
+    condense = lambda: condenser.condense(graph, ratio=0.05, seed=0)
+    plain = condense()  # warm-up: page in the graph, settle the allocator
+    # Interleave untraced/traced rounds so cache warmth and CPU frequency
+    # drift hit both sides equally — measuring one side first biases the
+    # comparison far more than the spans themselves cost.
+    untraced_s = traced_s = float("inf")
+    spans = 0
+    traced = plain
+    with obs.tracing("bench-hotpaths", path=trace_path) as tracer:
+        obs.uninstall()
+        try:
+            for _ in range(REPEATS + 2):
+                start = time.perf_counter()
+                plain = condense()
+                untraced_s = min(untraced_s, time.perf_counter() - start)
+                obs.install(tracer)
+                try:
+                    start = time.perf_counter()
+                    traced = condense()
+                    traced_s = min(traced_s, time.perf_counter() - start)
+                finally:
+                    obs.uninstall()
+        finally:
+            obs.install(tracer)  # let obs.tracing() tear down normally
+        spans = tracer.collector.stats["added"]  # counts spans even after drains
+    try:
+        assert_graphs_equal(plain, traced)
+        identical = True
+    except AssertionError as exc:
+        identical = False
+        errors.append(f"traced condense diverges from untraced: {exc}")
+    overhead_pct = 100.0 * (traced_s - untraced_s) / max(untraced_s, 1e-9)
+    if SCALE >= 1.0 and overhead_pct > TRACE_OVERHEAD_PCT:
+        errors.append(
+            f"tracing overhead gate: condense is {overhead_pct:.1f}% slower "
+            f"with tracing enabled (budget {TRACE_OVERHEAD_PCT}%)"
+        )
+    return {
+        "untraced_s": round(untraced_s, 5),
+        "traced_s": round(traced_s, 5),
+        "overhead_pct": round(overhead_pct, 2),
+        "budget_pct": TRACE_OVERHEAD_PCT,
+        "gated": SCALE >= 1.0,
+        "spans": int(spans),
+        "identical": identical,
+    }
+
+
 # --------------------------------------------------------------------------- #
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="hot-path micro-benchmarks")
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="also write the traced condense run's span tree to PATH (JSONL)",
+    )
+    args = parser.parse_args(argv)
+
     graph = generate_hin(hotpath_config(), scale=SCALE, seed=0)
     context = CondensationContext(graph, max_hops=2, max_paths=8)
     errors: list[str] = []
@@ -253,6 +328,21 @@ def main() -> int:
         + bench_similarity(context, errors)
         + bench_pagerank(context, errors)
     )
+    overhead = bench_tracing_overhead(graph, errors, args.trace)
+    rows.append(
+        {
+            "kernel": "condense_end_to_end",
+            "case": "tracing on vs off",
+            "pool": int(graph.splits.train.size),
+            "budget": "",
+            "reference_s": overhead["untraced_s"],
+            "vectorized_s": overhead["traced_s"],
+            "speedup": f"+{overhead['overhead_pct']}%",
+            "identical": overhead["identical"],
+        }
+    )
+    if args.trace:
+        print(f"trace written to {args.trace}")
     emit(
         f"Hot-path kernels vs reference (scale={SCALE})",
         rows,
@@ -271,6 +361,7 @@ def main() -> int:
                 "pool_threshold": SPEEDUP_POOL_THRESHOLD,
                 "min_speedup": SPEEDUP_FACTOR,
             },
+            "tracing_overhead": overhead,
             "rows": rows,
         },
         "BENCH_perf_hotpaths.json",

@@ -16,10 +16,10 @@ from __future__ import annotations
 import datetime
 import json
 import os
-import subprocess
 from pathlib import Path
 
 from repro.evaluation import format_table, write_report
+from repro.utils.provenance import git_revision
 
 #: node-count multiplier applied to every synthetic dataset
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -43,17 +43,7 @@ JSON_DIR = Path(
 
 def _git_revision() -> str:
     """Current commit hash, or ``"unknown"`` outside a git checkout."""
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            cwd=Path(__file__).resolve().parent,
-            capture_output=True,
-            text=True,
-            timeout=10,
-        )
-    except (OSError, subprocess.TimeoutExpired):
-        return "unknown"
-    return out.stdout.strip() if out.returncode == 0 else "unknown"
+    return git_revision(str(Path(__file__).resolve().parent))
 
 
 def emit_json(payload: dict, filename: str) -> Path:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.baselines.base import GraphCondenser, per_type_budgets
 from repro.core.context import CondensationContext
 from repro.core.criterion import TargetSelectionResult
@@ -191,6 +192,7 @@ class FreeHGC(GraphCondenser):
         return condensed
 
 
+@obs.traced("condense.pipeline")
 def run_condensation_pipeline(
     context: CondensationContext,
     budgets: dict[str, int],
@@ -225,10 +227,11 @@ def run_condensation_pipeline(
     # ------------------------------------------------------------------
     # Stage 1: target-type nodes.
     # ------------------------------------------------------------------
-    if stage_memo is None:
-        outcome = target_stage.select_target(context, budgets[target])
-    else:
-        outcome = stage_memo.select_target(target_stage, context, budgets[target])
+    with obs.span("condense.target_selection", stage=target_stage.name, budget=int(budgets[target])):
+        if stage_memo is None:
+            outcome = target_stage.select_target(context, budgets[target])
+        else:
+            outcome = stage_memo.select_target(target_stage, context, budgets[target])
     if isinstance(outcome, TargetSelectionResult):
         selected[target] = outcome.selected
     else:
@@ -238,23 +241,24 @@ def run_condensation_pipeline(
     anchor = selected[target] if anchor_on_selected else None
 
     def condense_type(stage, role: str, node_type: str, providers: Providers):
-        if stage_memo is None:
-            return stage.condense_type(
+        with obs.span(f"condense.{role}", stage=stage.name, node_type=node_type):
+            if stage_memo is None:
+                return stage.condense_type(
+                    context,
+                    node_type,
+                    budgets[node_type],
+                    anchor=anchor,
+                    providers=providers,
+                )
+            return stage_memo.condense_type(
+                stage,
                 context,
+                role,
                 node_type,
                 budgets[node_type],
                 anchor=anchor,
                 providers=providers,
             )
-        return stage_memo.condense_type(
-            stage,
-            context,
-            role,
-            node_type,
-            budgets[node_type],
-            anchor=anchor,
-            providers=providers,
-        )
 
     # ------------------------------------------------------------------
     # Stage 2: father-type nodes.
@@ -289,12 +293,13 @@ def run_condensation_pipeline(
         else:
             selected[leaf] = result.selected
 
-    condensed = assemble_condensed_graph(
-        graph,
-        selected,
-        synthetic,
-        metadata=metadata,
-    )
+    with obs.span("condense.assemble"):
+        condensed = assemble_condensed_graph(
+            graph,
+            selected,
+            synthetic,
+            metadata=metadata,
+        )
     return condensed, outcome
 
 

@@ -33,7 +33,7 @@ from typing import Mapping, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro import registry
+from repro import obs, registry
 from repro.core.context import CondensationContext
 from repro.core.criterion import TargetNodeSelector, TargetSelectionResult
 from repro.core.neighbor_influence import NeighborInfluenceMaximizer
@@ -143,6 +143,7 @@ class CriterionTargetStage(ConfigurableStage):
         self.use_receptive_field = use_receptive_field
         self.use_similarity = use_similarity
 
+    @obs.traced("stage.criterion.select_target")
     def select_target(
         self, context: CondensationContext, budget: int
     ) -> TargetSelectionResult:
@@ -161,6 +162,7 @@ class HerdingTargetStage(ConfigurableStage):
 
     name = "herding"
 
+    @obs.traced("stage.herding.select_target")
     def select_target(self, context: CondensationContext, budget: int) -> np.ndarray:
         from repro.baselines.base import per_class_budgets
         from repro.baselines.herding import herding_select
@@ -198,6 +200,7 @@ class NeighborInfluenceStage(ConfigurableStage):
         self.importance = importance
         self.iterations = iterations
 
+    @obs.traced("stage.nim.condense_type")
     def condense_type(
         self,
         context: CondensationContext,
@@ -231,6 +234,7 @@ class SynthesisStage(ConfigurableStage):
         self.aggregator = aggregator
         self.add_reverse_edges = add_reverse_edges
 
+    @obs.traced("stage.ilm.condense_type")
     def condense_type(
         self,
         context: CondensationContext,
@@ -258,6 +262,7 @@ class HerdingOtherStage(ConfigurableStage):
 
     name = "herding"
 
+    @obs.traced("stage.herding.condense_type")
     def condense_type(
         self,
         context: CondensationContext,

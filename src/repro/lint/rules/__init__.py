@@ -97,6 +97,7 @@ def _ensure_builtin_rules() -> None:
         determinism,
         durability,
         error_handling,
+        measurement,
         process_safety,
     )
 

@@ -1,0 +1,101 @@
+"""Measurement rules: durations come from the monotonic clock.
+
+Every latency the repo reports — bench JSON, ``repro_span_seconds``
+histograms, trace span durations — must survive NTP slews and daylight
+jumps.  ``time.time()`` is a wall clock: it can step backwards mid-run, so
+``t1 - t0`` computed from it is occasionally negative or wildly wrong.
+``time.perf_counter()`` is the sanctioned duration clock (it is what
+:mod:`repro.obs` uses); ``time.time()`` remains fine as a *timestamp*
+(e.g. a ``created_unix`` field) as long as two readings are never
+subtracted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.context import ModuleContext
+from repro.lint.rules import LintRule, RawFinding, rules
+
+__all__ = ["WallClockDurationRule"]
+
+#: Wall-clock sources that must never feed a duration subtraction.
+_WALL_CLOCK_FNS = {"time.time", "time.time_ns"}
+
+
+@rules.register("rep-d104", aliases=("wall-clock-duration",))
+class WallClockDurationRule(LintRule):
+    id = "REP-D104"
+    name = "wall-clock-duration"
+    severity = "error"
+    category = "measurement"
+    invariant = (
+        "Durations are measured with time.perf_counter(), never by "
+        "subtracting wall-clock time.time() readings (NTP steps corrupt "
+        "them); time.time() is for timestamps only."
+    )
+    example_path = "repro/core/example.py"
+    bad_example = (
+        "import time\n"
+        "\n"
+        "def timed(fn):\n"
+        "    start = time.time()\n"
+        "    fn()\n"
+        "    return time.time() - start\n"
+    )
+    good_example = (
+        "import time\n"
+        "\n"
+        "def timed(fn):\n"
+        "    start = time.perf_counter()\n"
+        "    fn()\n"
+        "    return time.perf_counter() - start\n"
+    )
+
+    def _is_wall_clock_call(self, ctx: ModuleContext, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and ctx.qualified(node.func) in _WALL_CLOCK_FNS
+        )
+
+    def _clock_names(self, ctx: ModuleContext, nodes: list[ast.AST]) -> set[str]:
+        """Dotted names assigned from a wall-clock reading in this unit."""
+        names: set[str] = set()
+        for node in nodes:
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets, value = list(node.targets), node.value
+            elif isinstance(node, (ast.AnnAssign, ast.NamedExpr)):
+                targets, value = [node.target], node.value
+            else:
+                continue
+            if value is None or not self._is_wall_clock_call(ctx, value):
+                continue
+            for target in targets:
+                dotted = ctx.dotted(target)
+                if dotted is not None:
+                    names.add(dotted)
+        return names
+
+    def check(self, ctx: ModuleContext) -> Iterable[RawFinding]:
+        for unit in ctx.function_units():
+            names = self._clock_names(ctx, unit.nodes)
+            for node in unit.nodes:
+                if not isinstance(node, ast.BinOp) or not isinstance(
+                    node.op, ast.Sub
+                ):
+                    continue
+                operands = (node.left, node.right)
+                if not any(
+                    self._is_wall_clock_call(ctx, op)
+                    or (ctx.dotted(op) or "") in names
+                    for op in operands
+                ):
+                    continue
+                yield self.at(
+                    node,
+                    "duration computed from wall-clock time.time(), which "
+                    "steps under NTP adjustment; use time.perf_counter() "
+                    "for elapsed-time measurement",
+                )

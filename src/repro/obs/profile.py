@@ -1,0 +1,80 @@
+"""Opt-in per-span memory profiling (RSS + Python allocations).
+
+Disabled tracers never touch this module; a :class:`SpanProfiler` is only
+consulted when explicitly attached to a :class:`~repro.obs.tracer.Tracer`
+(``repro trace record --profile`` / ``Tracer(profiler=...)``).  Each span
+then gains two attributes:
+
+``rss_kb``
+    Resident set size at span exit (kilobytes).
+``rss_delta_kb``
+    RSS growth across the span — the signal for "which stage allocated".
+``alloc_delta_kb`` (only while :mod:`tracemalloc` is tracing)
+    Net Python-level allocation across the span.
+
+RSS is read from ``/proc/self/statm`` when available (Linux, one small
+read) with a :mod:`resource` fallback, so profiling needs no third-party
+dependency.
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+
+__all__ = ["SpanProfiler", "sample_rss_kb"]
+
+_PAGE_KB = os.sysconf("SC_PAGE_SIZE") // 1024 if hasattr(os, "sysconf") else 4
+_STATM = "/proc/self/statm"
+
+
+def sample_rss_kb() -> int:
+    """Current resident set size in kilobytes (0 when unreadable)."""
+    try:
+        with open(_STATM, "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _PAGE_KB
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS
+        return int(usage if usage < 1 << 40 else usage // 1024)
+    except Exception:  # reprolint: disable=REP-E601 profiling is best-effort; a missing resource module must not crash the traced code
+        return 0
+
+
+class SpanProfiler:
+    """Samples memory on span enter/exit and stamps deltas into attrs."""
+
+    def __init__(self, *, allocations: bool = False) -> None:
+        #: also record tracemalloc deltas (requires tracemalloc started;
+        #: :meth:`start_allocation_tracing` does so on demand)
+        self.allocations = bool(allocations)
+        self._started_tracemalloc = False
+        if self.allocations and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+
+    def on_enter(self, handle) -> None:
+        handle.attrs["_rss_enter_kb"] = sample_rss_kb()
+        if self.allocations and tracemalloc.is_tracing():
+            handle.attrs["_alloc_enter"] = tracemalloc.get_traced_memory()[0]
+
+    def on_exit(self, handle) -> None:
+        rss = sample_rss_kb()
+        enter = handle.attrs.pop("_rss_enter_kb", rss)
+        handle.attrs["rss_kb"] = rss
+        handle.attrs["rss_delta_kb"] = rss - enter
+        alloc_enter = handle.attrs.pop("_alloc_enter", None)
+        if alloc_enter is not None and tracemalloc.is_tracing():
+            current = tracemalloc.get_traced_memory()[0]
+            handle.attrs["alloc_delta_kb"] = (current - alloc_enter) // 1024
+
+    def close(self) -> None:
+        """Stop tracemalloc if this profiler started it."""
+        if self._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+            self._started_tracemalloc = False

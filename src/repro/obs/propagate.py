@@ -1,0 +1,178 @@
+"""Trace-context propagation across process boundaries.
+
+A :class:`TraceContext` is the minimal baton one process hands another:
+``(trace_id, parent_id)``.  The receiving process continues the trace by
+creating spans whose root parent is ``parent_id`` — the reassembled span
+forest then renders as one tree in ``repro trace report``.
+
+Four carriers are supported, one per boundary in the system:
+
+HTTP headers (``x-repro-trace``)
+    Injected by clients (worker ``/delta`` forwarding, benchmarks) and
+    extracted by :func:`repro.serving.server.read_http_request`.
+:class:`~repro.streaming.delta.GraphDelta` metadata (``trace`` key)
+    Stamped by the serving commit path; survives
+    ``to_payload``/``from_payload`` byte-exactly, which means it also
+    rides inside every WAL ``delta`` record for free — replay can
+    correlate its recovery spans with the original commit.
+WAL records
+    Via the delta payload above; :func:`extract_delta` on a replayed
+    delta returns the original commit's context.
+Process-pool submissions
+    :func:`inject_payload` / :func:`extract_payload` on the picklable
+    dict :func:`repro.runner.executor._worker` receives.
+
+Every carrier round-trips exactly: ``extract(inject(ctx)) == ctx``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.obs import tracer as _tracer
+
+__all__ = [
+    "TRACE_HEADER",
+    "METADATA_KEY",
+    "PAYLOAD_KEY",
+    "TraceContext",
+    "current_context",
+    "continue_trace",
+    "inject_headers",
+    "extract_headers",
+    "stamp_delta",
+    "extract_delta",
+    "inject_payload",
+    "extract_payload",
+]
+
+#: HTTP header carrying the serialized context (lowercase: the repo's
+#: header parsing normalises to lowercase)
+TRACE_HEADER = "x-repro-trace"
+#: key under :attr:`repro.streaming.delta.GraphDelta.metadata`
+METADATA_KEY = "trace"
+#: key in process-pool submission payload dicts
+PAYLOAD_KEY = "trace"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The cross-process baton: which trace, and which span to parent to."""
+
+    trace_id: str
+    parent_id: str | None = None
+
+    # -- wire codecs ---------------------------------------------------- #
+    def to_header(self) -> str:
+        """``trace_id;parent_id`` (semicolon is illegal in both fields)."""
+        return f"{self.trace_id};{self.parent_id or ''}"
+
+    @classmethod
+    def from_header(cls, value: str) -> "TraceContext | None":
+        if not value or ";" not in value:
+            return None
+        trace_id, _, parent = value.partition(";")
+        if not trace_id:
+            return None
+        return cls(trace_id=trace_id, parent_id=parent or None)
+
+    def to_obj(self) -> dict:
+        obj: dict = {"trace_id": self.trace_id}
+        if self.parent_id is not None:
+            obj["parent_id"] = self.parent_id
+        return obj
+
+    @classmethod
+    def from_obj(cls, obj) -> "TraceContext | None":
+        if not isinstance(obj, dict) or "trace_id" not in obj:
+            return None
+        parent = obj.get("parent_id")
+        return cls(
+            trace_id=str(obj["trace_id"]),
+            parent_id=str(parent) if parent is not None else None,
+        )
+
+
+def current_context() -> TraceContext | None:
+    """The active tracer's context at the innermost open span, or ``None``."""
+    tracer = _tracer.active()
+    if tracer is None:
+        return None
+    handle = _tracer._CURRENT.get()
+    parent = handle.span_id if handle is not None else tracer.root_parent
+    return TraceContext(trace_id=tracer.trace_id, parent_id=parent)
+
+
+def continue_trace(
+    ctx: TraceContext,
+    *,
+    scope: str,
+    collector=None,
+    sink=None,
+) -> "_tracer.Tracer":
+    """A tracer whose root spans parent to ``ctx`` (for worker processes)."""
+    tracer = _tracer.Tracer(ctx.trace_id, scope=scope, collector=collector, sink=sink)
+    tracer.root_parent = ctx.parent_id
+    return tracer
+
+
+# --------------------------------------------------------------------------- #
+# Carrier: HTTP headers
+# --------------------------------------------------------------------------- #
+def inject_headers(headers: dict | None = None) -> dict:
+    """Add the current context to ``headers`` (a new dict when ``None``).
+
+    No-op (returns ``headers`` unchanged, or ``{}``) while tracing is
+    disabled, so callers can invoke it unconditionally.
+    """
+    headers = {} if headers is None else headers
+    ctx = current_context()
+    if ctx is not None:
+        headers[TRACE_HEADER] = ctx.to_header()
+    return headers
+
+
+def extract_headers(headers: dict | None) -> TraceContext | None:
+    """The context carried by a (lowercase-keyed) header dict, if any."""
+    if not headers:
+        return None
+    return TraceContext.from_header(headers.get(TRACE_HEADER, ""))
+
+
+# --------------------------------------------------------------------------- #
+# Carrier: GraphDelta metadata (and, through it, WAL delta records)
+# --------------------------------------------------------------------------- #
+def stamp_delta(delta, ctx: TraceContext | None = None):
+    """A copy of ``delta`` whose metadata carries ``ctx`` (default: current).
+
+    Returns ``delta`` unchanged when there is no context to stamp — the
+    untraced payload stays byte-identical to pre-tracing builds.
+    """
+    if ctx is None:
+        ctx = current_context()
+    if ctx is None:
+        return delta
+    metadata = dict(delta.metadata)
+    metadata[METADATA_KEY] = ctx.to_obj()
+    return replace(delta, metadata=metadata)
+
+
+def extract_delta(delta) -> TraceContext | None:
+    """The context stamped on ``delta``'s metadata, if any."""
+    return TraceContext.from_obj(delta.metadata.get(METADATA_KEY))
+
+
+# --------------------------------------------------------------------------- #
+# Carrier: process-pool submission payloads
+# --------------------------------------------------------------------------- #
+def inject_payload(payload: dict) -> dict:
+    """Stamp the current context into a picklable submission dict."""
+    ctx = current_context()
+    if ctx is not None:
+        payload[PAYLOAD_KEY] = ctx.to_obj()
+    return payload
+
+
+def extract_payload(payload: dict) -> TraceContext | None:
+    """The context a submission dict carries, if any."""
+    return TraceContext.from_obj(payload.get(PAYLOAD_KEY))

@@ -45,6 +45,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro import registry
@@ -104,6 +106,14 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     out.add_argument("--output", metavar="PATH", help="also write the table to PATH")
 
 
+def _add_trace_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a span-tree trace of this run to PATH (JSONL; inspect "
+             "with `python -m repro trace report PATH`)",
+    )
+
+
 def _add_experiment_options(parser: argparse.ArgumentParser, *, default_seeds: int) -> None:
     exp = parser.add_argument_group("experiment")
     exp.add_argument("--dataset", required=True, help="registered dataset name (see `list`)")
@@ -143,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-whole", action="store_true",
                        help="skip the whole-graph reference row")
     _add_run_options(sweep)
+    _add_trace_option(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     generalize = sub.add_parser(
@@ -204,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="omit wall-clock columns (byte-stable across runs)")
     out.add_argument("--output", metavar="PATH", help="also write the table to PATH")
     out.add_argument("--quiet", action="store_true", help="suppress per-step progress lines")
+    _add_trace_option(stream)
     stream.set_defaults(func=_cmd_stream)
 
     serve = sub.add_parser(
@@ -264,6 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "in-process server under concurrent load, verify "
                           "every response, then exit (0 = disabled)")
     srv.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    _add_trace_option(serve)
     serve.set_defaults(func=_cmd_serve)
 
     matrix = sub.add_parser(
@@ -303,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
     gating.add_argument("--no-gates", action="store_true",
                         help="skip baseline-derived regression gates")
     _add_run_options(matrix)
+    _add_trace_option(matrix)
     matrix.set_defaults(func=_cmd_matrix)
 
     report = sub.add_parser("report", help="render stored artifacts as a table, running nothing")
@@ -345,6 +359,50 @@ def build_parser() -> argparse.ArgumentParser:
                            "(new entries get TODO reasons to fill in)")
     lint.set_defaults(func=_cmd_lint)
 
+    trace = sub.add_parser(
+        "trace",
+        help="record and inspect span-tree traces (docs/observability.md)",
+        description=(
+            "End-to-end tracing: `trace record -- <command>` runs any repro "
+            "subcommand with the tracer installed (spawned workers write "
+            "per-process sidecar files next to the main trace), `trace "
+            "report` aggregates the span forest, `trace flame` emits "
+            "collapsed stacks for flamegraph.pl / speedscope."
+        ),
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    record = trace_sub.add_parser(
+        "record", help="run another repro command with tracing enabled"
+    )
+    record.add_argument("--out", default="trace.jsonl", metavar="PATH",
+                        help="trace JSONL output file (default: trace.jsonl)")
+    record.add_argument("--trace-id", default=None,
+                        help="trace id (default: derived from the recorded command)")
+    record.add_argument("--profile", action="store_true",
+                        help="also sample RSS (and stamp deltas) per span")
+    record.add_argument("--json", action="store_true",
+                        help="print the aggregate report as JSON after the run")
+    record.add_argument("argv", nargs=argparse.REMAINDER, metavar="-- COMMAND ...",
+                        help="the repro command to record, after `--`")
+    record.set_defaults(func=_cmd_trace_record)
+    trace_report = trace_sub.add_parser(
+        "report", help="aggregate + span-tree view of a recorded trace"
+    )
+    trace_report.add_argument("path",
+                              help="trace JSONL file (worker sidecars `<path>.*` are merged)")
+    trace_report.add_argument("--json", action="store_true",
+                              help="emit the machine-readable report "
+                                   "(schema repro.trace.report.v1)")
+    trace_report.set_defaults(func=_cmd_trace_report)
+    flame = trace_sub.add_parser(
+        "flame", help="collapsed-stack output for flamegraph.pl / speedscope"
+    )
+    flame.add_argument("path",
+                       help="trace JSONL file (worker sidecars `<path>.*` are merged)")
+    flame.add_argument("--output", metavar="PATH",
+                       help="write collapsed stacks to PATH instead of stdout")
+    flame.set_defaults(func=_cmd_trace_flame)
+
     list_cmd = sub.add_parser("list", help="list registered components")
     list_cmd.add_argument(
         "what",
@@ -380,6 +438,114 @@ def _progress_printer(quiet: bool) -> Callable[[CellOutcome, int, int], None] | 
         print(f"[{done[0]}/{total}] {outcome.cell.label()}  {status}", flush=True)
 
     return progress
+
+
+@contextmanager
+def _maybe_trace(args: argparse.Namespace):
+    """Install a tracer around a subcommand when it was given ``--trace``.
+
+    The trace id is derived from the command's own parameters (never the
+    clock), and the file/id are exported into the environment so spawned
+    worker processes join the session via
+    :func:`repro.obs.bootstrap_from_env`.
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        yield
+        return
+    from repro import obs
+
+    dataset = getattr(args, "dataset", None) or ",".join(
+        str(d) for d in (getattr(args, "datasets", None) or ())
+    ) or "run"
+    seed = getattr(args, "seed", None)
+    if seed is None:
+        seed = getattr(args, "base_seed", 0)
+    trace_id = f"{args.command}-{dataset}-s{seed}"
+    with obs.tracing(trace_id, path=path, export_env=True):
+        yield
+    if not getattr(args, "quiet", False):
+        print(f"trace written to {path}", flush=True)
+
+
+def _trace_paths(base: str | Path) -> list[Path]:
+    """The main trace file plus every sidecar next to it.
+
+    Sidecars are ``<base>.<scope>`` (per-process) and ``<base>.<n>``
+    (rotation) files; all carry the same trace and merge into one forest.
+    """
+    base = Path(base)
+    if not base.exists():
+        raise ReproError(f"no trace file at {base}")
+    return [base, *sorted(p for p in base.parent.glob(f"{base.name}.*") if p.is_file())]
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.obs.spans import read_trace_tree
+
+    argv = list(args.argv)
+    if argv[:1] == ["--"]:
+        argv = argv[1:]
+    if not argv:
+        raise ReproError(
+            "trace record needs a command to record, e.g. "
+            "`trace record --out run.jsonl -- stream --dataset acm --ratio 0.2`"
+        )
+    if argv[0] == "trace":
+        raise ReproError("trace record cannot record the trace command itself")
+    try:
+        inner = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        return exc.code if isinstance(exc.code, int) else 2
+    profiler = None
+    if args.profile:
+        from repro.obs.profile import SpanProfiler
+
+        profiler = SpanProfiler()
+    trace_id = args.trace_id or f"repro-{argv[0]}"
+    with obs.tracing(trace_id, path=args.out, profiler=profiler, export_env=True):
+        code = inner.func(inner)
+    header, spans = read_trace_tree(_trace_paths(args.out))
+    if args.json:
+        import json
+
+        from repro.obs.report import report_obj
+
+        print(json.dumps(report_obj(header, spans), indent=2, sort_keys=True))
+    else:
+        print(f"recorded {len(spans)} spans (trace {header['trace_id']!r}) to {args.out}")
+    return code
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs.spans import read_trace_tree
+
+    header, spans = read_trace_tree(_trace_paths(args.path))
+    if args.json:
+        import json
+
+        from repro.obs.report import report_obj
+
+        print(json.dumps(report_obj(header, spans), indent=2, sort_keys=True))
+    else:
+        from repro.obs.report import render_report
+
+        print(render_report(header, spans))
+    return 0
+
+
+def _cmd_trace_flame(args: argparse.Namespace) -> int:
+    from repro.obs.report import collapsed_stacks
+    from repro.obs.spans import read_trace_tree
+
+    _, spans = read_trace_tree(_trace_paths(args.path))
+    text = "\n".join(collapsed_stacks(spans)) + "\n"
+    if args.output:
+        write_report(text, args.output)
+    else:
+        print(text, end="")
+    return 0
 
 
 def _resolve_store(args: argparse.Namespace) -> ArtifactStore | None:
@@ -1300,7 +1466,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         # programmatic callers never see a SystemExit traceback.
         return exc.code if isinstance(exc.code, int) else 2
     try:
-        return args.func(args)
+        with _maybe_trace(args):
+            return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

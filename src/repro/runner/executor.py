@@ -29,6 +29,7 @@ from copy import deepcopy
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.errors import ReproError
 from repro.evaluation.protocol import (
     MethodEvaluation,
@@ -37,6 +38,8 @@ from repro.evaluation.protocol import (
 )
 from repro.evaluation.timing import timed
 from repro.hetero.graph import HeteroGraph
+from repro.obs.propagate import continue_trace, extract_payload, inject_payload
+from repro.obs.spans import Span
 from repro.runner.cache import ArtifactStore
 from repro.runner.plan import KIND_WHOLE, Cell, ExperimentPlan
 from repro.utils.rng import spawn_seed_ints
@@ -188,12 +191,47 @@ def _execute_cell(
     )
 
 
+def _cell_span(cell: Cell, index: int):
+    """The per-cell span — one spelling shared by the serial and pool paths,
+    so a parallel run's reassembled span tree matches the serial run's."""
+    return obs.span(
+        "runner.cell",
+        index=int(index),
+        dataset=cell.dataset,
+        method=cell.method or cell.kind,
+    )
+
+
 def _worker(payload: dict[str, object]) -> dict[str, object]:
     """Pool entry point: dicts in, dicts out (cheap and version-stable to pickle)."""
     cell = Cell.from_dict(payload["cell"])  # type: ignore[arg-type]
-    with timed() as clock:
-        evaluation = _execute_cell(cell, use_memo=bool(payload.get("use_memo", True)))
-    return {"result": evaluation.to_dict(), "elapsed_s": clock[0]}
+    index = int(payload.get("index", 0))  # type: ignore[arg-type]
+    # Continue the submitter's trace: the payload carries its TraceContext,
+    # and this worker's spans parent to the submitting span.  Buffer-only
+    # tracer — spans travel back in the result dict, not through a file.
+    ctx = extract_payload(payload)
+    tracer = obs.install(continue_trace(ctx, scope=f"cell-{index}")) if ctx else None
+    try:
+        with _cell_span(cell, index):
+            with timed() as clock:
+                evaluation = _execute_cell(
+                    cell, use_memo=bool(payload.get("use_memo", True))
+                )
+    finally:
+        if tracer is not None:
+            obs.uninstall()
+    out: dict[str, object] = {"result": evaluation.to_dict(), "elapsed_s": clock[0]}
+    if tracer is not None:
+        out["spans"] = [span.to_obj() for span in tracer.drain_spans()]
+    return out
+
+
+def _absorb_spans(objs) -> None:
+    """Merge a worker's returned spans into the caller's active tracer."""
+    tracer = obs.active()
+    if tracer is None or not objs:
+        return
+    tracer.collector.extend(Span.from_obj(obj) for obj in objs)
 
 
 def _coerce_store(store: "ArtifactStore | str | None") -> ArtifactStore | None:
@@ -290,12 +328,20 @@ def execute_plan(
         with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
             futures = {
                 pool.submit(
-                    _worker, {"cell": plan.cells[index].to_dict(), "use_memo": not force}
+                    _worker,
+                    inject_payload(
+                        {
+                            "cell": plan.cells[index].to_dict(),
+                            "use_memo": not force,
+                            "index": index,
+                        }
+                    ),
                 ): index
                 for index in pending
             }
             for future in as_completed(futures):
                 payload = future.result()
+                _absorb_spans(payload.get("spans"))
                 finish(
                     futures[future],
                     MethodEvaluation.from_dict(payload["result"]),  # type: ignore[arg-type]
@@ -303,8 +349,11 @@ def execute_plan(
                 )
     else:
         for index in pending:
-            with timed() as clock:
-                evaluation = _execute_cell(plan.cells[index], graph=graph, use_memo=not force)
+            with _cell_span(plan.cells[index], index):
+                with timed() as clock:
+                    evaluation = _execute_cell(
+                        plan.cells[index], graph=graph, use_memo=not force
+                    )
             finish(index, evaluation, clock[0])
 
     return [outcome for outcome in outcomes if outcome is not None]

@@ -37,6 +37,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.core.condenser import FreeHGC
 from repro.errors import CanaryRejectedError, ServingError
 from repro.hetero.graph import HeteroGraph
@@ -210,7 +211,7 @@ class ServingController:
         """
         if self._session is None:
             raise ServingError("controller not started: call start() first")
-        with self._swap_lock:
+        with self._swap_lock, obs.span("swap.apply", step=int(delta.step)):
             poison = faults.fire("hotswap.poison_commit")
             if poison is not None:
                 # Fault site: a delta whose commit deterministically crashes.
@@ -227,34 +228,40 @@ class ServingController:
             )
             train_seconds = 0.0
             if retrain:
-                train_start = perf_counter()
-                model = self.model_factory()
-                model.fit(step.condensed)
-                train_seconds = perf_counter() - train_start
+                with obs.span("swap.train"):
+                    train_start = perf_counter()
+                    model = self.model_factory()
+                    model.fit(step.condensed)
+                    train_seconds = perf_counter() - train_start
             else:
                 model = self._model
+                obs.event("swap.train_skipped", reason="condensed graph unchanged")
             assert model is not None
             new_version = self._version + 1
-            session = InferenceSession(
-                model,
-                self.graph,
-                version=new_version,
-                cache_size=self.cache_size,
-                context=self.incremental.context,
-            )
+            with obs.span("swap.build_session", version=new_version):
+                session = InferenceSession(
+                    model,
+                    self.graph,
+                    version=new_version,
+                    cache_size=self.cache_size,
+                    context=self.incremental.context,
+                )
             dirty = (
                 None
                 if step.apply_report is None
                 else step.apply_report.dirty_targets
             )
             if self.canary is not None and self._canary_ids is not None:
-                canary_report = evaluate_candidate(
-                    session,
-                    self._session,
-                    self._canary_ids,
-                    dirty=dirty,
-                    config=self.canary,
-                )
+                with obs.span("swap.canary", candidate=new_version) as canary_span:
+                    canary_report = evaluate_candidate(
+                        session,
+                        self._session,
+                        self._canary_ids,
+                        dirty=dirty,
+                        config=self.canary,
+                    )
+                    if canary_span is not None:
+                        canary_span.attrs["passed"] = bool(canary_report.passed)
                 self.canary_history.append(canary_report)
                 if not canary_report.passed:
                     # Roll back: none of the published state was touched yet,

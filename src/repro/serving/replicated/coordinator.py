@@ -50,11 +50,13 @@ Self-healing (this PR's layer over the pipeline):
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro import obs
 from repro.errors import (
     CanaryRejectedError,
     IntegrityError,
@@ -64,6 +66,7 @@ from repro.errors import (
 )
 from repro.hetero.graph import HeteroGraph
 from repro.hetero.io import load_graph, save_graph
+from repro.obs.propagate import extract_delta, stamp_delta
 from repro.serving import integrity
 from repro.serving.artifacts import load_bundle, save_bundle
 from repro.serving.hotswap import ServingController, SwapReport
@@ -199,8 +202,18 @@ def _replay_plan(
         crashed: tuple[WALRecord, Exception] | None = None
         applied = 0
         for record in delta_records:
+            rec_delta = record.delta()
+            # The WAL record carries the original commit's trace context in
+            # the delta metadata: parent the replay span to it, so a traced
+            # recovery renders under the commit that logged the record.
+            ctx = extract_delta(rec_delta)
             try:
-                controller.apply_delta(record.delta())
+                with obs.span(
+                    "replay.apply_delta",
+                    _parent=ctx.parent_id if ctx is not None else None,
+                    step=int(rec_delta.step),
+                ):
+                    controller.apply_delta(rec_delta)
             except Exception as exc:
                 crashed = (record, exc)
                 break
@@ -614,55 +627,73 @@ class ReplicatedServer:
         assert self.http is not None
         loop = asyncio.get_running_loop()
         async with self._delta_lock:
-            def commit() -> SwapReport:
-                # Reject before logging: only deltas that can apply to the
-                # live graph may enter the WAL, so replay never trips over a
-                # record whose client was already refused.
-                delta.validate_against(self.controller.graph)
-                # Durable first: an acked delta must survive any crash after
-                # this line; a crash before it means the client saw no ack.
-                offset = self.wal.append_delta(delta)
-                try:
-                    report = self.controller.apply_delta(delta)
-                except CanaryRejectedError as exc:
-                    # Canary rollback: quarantine the record and rebuild
-                    # from the WAL, so the live state is byte-identical to
-                    # what the next boot would recover (replay skips the
-                    # poisoned record too).
-                    self._quarantine(offset, delta, exc, reason="canary")
-                    self._rebuild_controller()
-                    raise
-                except Exception as exc:
-                    entry = self._quarantine(offset, delta, exc, reason="exception")
-                    self._rebuild_controller()
-                    raise PoisonDeltaError(
-                        f"delta step {delta.step} poisoned its commit "
-                        f"({type(exc).__name__}: {exc}); quarantined to the "
-                        "dead-letter sidecar and rolled back",
-                        entry=entry,
-                    ) from exc
-                self._publish(report.version)
-                return report
+            with obs.span("commit.delta", step=int(delta.step)):
+                # Stamp the commit span's context onto the delta so the WAL
+                # record carries it — replay parents its spans to this commit.
+                # No-op (and byte-identical records) while tracing is disabled.
+                delta = stamp_delta(delta)
 
-            report = await loop.run_in_executor(self.http._swap_pool, commit)
-            # The CURRENT pointer publish fsyncs twice; off the loop so
-            # in-flight predictions don't stall behind a slow disk.
-            await loop.run_in_executor(
-                self.http._swap_pool,
-                lambda: set_current(self.config.root_path, report.version),
-            )
-            self.deltas_committed += 1
-            self._since_snapshot += 1
-            acked = await self._fan_out(report.version)
-            if (
-                self.config.snapshot_every
-                and self._since_snapshot >= self.config.snapshot_every
-            ):
+                def commit() -> SwapReport:
+                    # Reject before logging: only deltas that can apply to the
+                    # live graph may enter the WAL, so replay never trips over a
+                    # record whose client was already refused.
+                    delta.validate_against(self.controller.graph)
+                    # Durable first: an acked delta must survive any crash after
+                    # this line; a crash before it means the client saw no ack.
+                    with obs.span("commit.wal_append"):
+                        offset = self.wal.append_delta(delta)
+                    try:
+                        report = self.controller.apply_delta(delta)
+                    except CanaryRejectedError as exc:
+                        # Canary rollback: quarantine the record and rebuild
+                        # from the WAL, so the live state is byte-identical to
+                        # what the next boot would recover (replay skips the
+                        # poisoned record too).
+                        self._quarantine(offset, delta, exc, reason="canary")
+                        self._rebuild_controller()
+                        raise
+                    except Exception as exc:
+                        entry = self._quarantine(offset, delta, exc, reason="exception")
+                        self._rebuild_controller()
+                        raise PoisonDeltaError(
+                            f"delta step {delta.step} poisoned its commit "
+                            f"({type(exc).__name__}: {exc}); quarantined to the "
+                            "dead-letter sidecar and rolled back",
+                            entry=entry,
+                        ) from exc
+                    with obs.span("commit.publish", version=int(report.version)):
+                        self._publish(report.version)
+                    return report
+
+                # copy_context: run_in_executor does not carry contextvars into
+                # the swap thread, and the commit spans must stay children of
+                # commit.delta.
+                call = contextvars.copy_context().run
+                report = await loop.run_in_executor(self.http._swap_pool, call, commit)
+                # The CURRENT pointer publish fsyncs twice; off the loop so
+                # in-flight predictions don't stall behind a slow disk.
                 await loop.run_in_executor(
-                    self.http._swap_pool, lambda: self._write_snapshot(report)
+                    self.http._swap_pool,
+                    lambda: set_current(self.config.root_path, report.version),
                 )
-                self._since_snapshot = 0
-            return report, acked
+                self.deltas_committed += 1
+                self._since_snapshot += 1
+                with obs.span("commit.fan_out", version=int(report.version)) as fan_span:
+                    acked = await self._fan_out(report.version)
+                    if fan_span is not None:
+                        fan_span.attrs["acked"] = int(acked)
+                if (
+                    self.config.snapshot_every
+                    and self._since_snapshot >= self.config.snapshot_every
+                ):
+                    with obs.span("commit.snapshot", version=int(report.version)):
+                        await loop.run_in_executor(
+                            self.http._swap_pool,
+                            contextvars.copy_context().run,
+                            lambda: self._write_snapshot(report),
+                        )
+                    self._since_snapshot = 0
+                return report, acked
 
     def _quarantine(
         self, offset: int, delta: GraphDelta, error: Exception, *, reason: str

@@ -27,14 +27,15 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ServingError
+from repro.obs.spans import SERVING_SPAN_SITES
 from repro.utils.faults import KNOWN_SITES
+from repro.utils.provenance import git_revision
 
 __all__ = ["MetricsBoard", "SlotMetrics", "render_prometheus"]
 
 #: bump when the column layout changes incompatibly
-#: (v2: self-healing counters — quarantine, canary, integrity fallbacks,
-#: crash-loop gauge, per-site fault fires)
-BOARD_LAYOUT_VERSION = 2
+#: (v3: per-site span-duration histograms — repro_span_seconds)
+BOARD_LAYOUT_VERSION = 3
 
 #: endpoints with dedicated request/response counters
 ENDPOINTS = ("predict", "delta", "healthz", "stats", "metrics", "other")
@@ -42,6 +43,12 @@ ENDPOINTS = ("predict", "delta", "healthz", "stats", "metrics", "other")
 #: upper bucket bounds (seconds) of the predict-latency histogram
 LATENCY_BUCKETS = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0,
+)
+
+#: upper bucket bounds (seconds) of the per-span-site histograms — wider
+#: than LATENCY_BUCKETS because swaps/commits include condensation+training
+SPAN_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 10.0,
 )
 
 
@@ -71,6 +78,11 @@ def _build_columns() -> dict[str, int]:
     for site in KNOWN_SITES:
         add(f"fault_fires__{site}")
     add("fault_fires__other")
+    for site in SERVING_SPAN_SITES:
+        for index in range(len(SPAN_BUCKETS) + 1):  # +1: the +Inf bucket
+            add(f"span_bucket__{site}__{index}")
+        add(f"span_sum_us__{site}")
+        add(f"span_count__{site}")
     add("version")
     add("up")
     add("pid")
@@ -164,6 +176,21 @@ class SlotMetrics:
     def set_crash_looping(self, count: int) -> None:
         """Gauge: worker slots currently held in crash-loop backoff."""
         self._set("replica_crash_loops", int(count))
+
+    def observe_span(self, name: str, seconds: float) -> None:
+        """Feed one finished span into its per-site duration histogram.
+
+        Only the fixed :data:`repro.obs.spans.SERVING_SPAN_SITES` have
+        columns (the board layout is baked at create time); spans with any
+        other name are ignored, so this is safe as a blanket
+        ``Tracer.on_finish`` hook.
+        """
+        if name not in SERVING_SPAN_SITES:
+            return
+        bucket = int(np.searchsorted(SPAN_BUCKETS, seconds, side="left"))
+        self._inc(f"span_bucket__{name}__{bucket}")
+        self._inc(f"span_sum_us__{name}", int(seconds * 1e6))
+        self._inc(f"span_count__{name}")
 
     def observe_fault(self, site: str) -> None:
         """Count one injected-fault fire at ``site``.
@@ -318,6 +345,36 @@ def render_prometheus(board: MetricsBoard) -> str:
         fired = total(f"fault_fires__{site}")
         if fired:
             lines.append(f'repro_fault_fires_total{{site="{site}"}} {fired}')
+    span_header_emitted = False
+    for site in SERVING_SPAN_SITES:
+        if not total(f"span_count__{site}"):
+            continue  # keep untraced scrapes terse (and byte-stable)
+        if not span_header_emitted:
+            lines.append(
+                "# HELP repro_span_seconds Duration of traced serving spans, by span name (all processes)."
+            )
+            lines.append("# TYPE repro_span_seconds histogram")
+            span_header_emitted = True
+        cumulative = 0
+        for index, bound in enumerate(SPAN_BUCKETS):
+            cumulative += total(f"span_bucket__{site}__{index}")
+            lines.append(
+                f'repro_span_seconds_bucket{{span="{site}",le="{bound:g}"}} {cumulative}'
+            )
+        cumulative += total(f"span_bucket__{site}__{len(SPAN_BUCKETS)}")
+        lines.append(f'repro_span_seconds_bucket{{span="{site}",le="+Inf"}} {cumulative}')
+        lines.append(
+            f'repro_span_seconds_sum{{span="{site}"}} '
+            f"{total(f'span_sum_us__{site}') / 1e6:.6f}"
+        )
+        lines.append(
+            f'repro_span_seconds_count{{span="{site}"}} {total(f"span_count__{site}")}'
+        )
+    lines.append(
+        "# HELP repro_build_info Build provenance of the serving binary (value is always 1)."
+    )
+    lines.append("# TYPE repro_build_info gauge")
+    lines.append(f'repro_build_info{{revision="{git_revision()}"}} 1')
     lines.append("# HELP repro_replica_up Whether each replica slot is live.")
     lines.append("# TYPE repro_replica_up gauge")
     up = board.column("up", grid)

@@ -58,7 +58,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.errors import IntegrityError, ServingError
+from repro.obs.propagate import inject_headers
 from repro.serving import integrity
 from repro.serving.artifacts import ModelBundle, save_bundle
 from repro.utils import faults
@@ -343,6 +345,11 @@ async def forward_delta(
         max(0, attempts - 1), base=base_delay, cap=max_delay, jitter=jitter, seed=seed
     )
     failure: dict = {"error": "coordinator unreachable"}
+    # Carry the worker's serve.delta span across the hop: the coordinator's
+    # read_http_request decodes this header and parents commit.delta to it.
+    trace_headers = "".join(
+        f"{name}: {value}\r\n" for name, value in inject_headers().items()
+    )
     for attempt in range(max(1, attempts)):
         if attempt:
             await asyncio.sleep(delays[attempt - 1])
@@ -355,7 +362,8 @@ async def forward_delta(
             writer.write(
                 (
                     f"POST /delta HTTP/1.1\r\nHost: {host}\r\n"
-                    f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+                    f"Content-Length: {len(body)}\r\n{trace_headers}"
+                    "Connection: close\r\n\r\n"
                 ).encode("latin-1")
                 + body
             )
@@ -457,12 +465,13 @@ async def _worker_async(slot: int, options: dict) -> None:
                 # /predict requests keep draining against the old session
                 # while the new one loads.
                 loop = asyncio.get_running_loop()
-                session = await loop.run_in_executor(
-                    None,
-                    lambda: published_session(
-                        root, version=version, cache_size=cache_size
-                    ),
-                )
+                with obs.span("swap.build_session", version=version):
+                    session = await loop.run_in_executor(
+                        None,
+                        lambda: published_session(
+                            root, version=version, cache_size=cache_size
+                        ),
+                    )
                 if session.version != version:
                     # Requested version failed verification; we loaded
                     # last-good.  Ack with what we actually serve so the
@@ -492,6 +501,9 @@ async def _worker_async(slot: int, options: dict) -> None:
 
 def _worker_main(slot: int, options: dict) -> None:
     """Spawn entry point of one predictor worker process."""
+    # Pick up a trace session exported by the parent (``repro trace record``
+    # / ``--trace``): spans land in the ``<file>.worker-<slot>`` sidecar.
+    tracer = obs.bootstrap_from_env(f"worker-{slot}")
     try:
         asyncio.run(_worker_async(slot, options))
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
@@ -501,6 +513,10 @@ def _worker_main(slot: int, options: dict) -> None:
         # control socket is gone).  There is nothing to serve and nobody to
         # report to — exit quietly; a live coordinator respawns workers.
         pass
+    finally:
+        if tracer is not None:
+            obs.uninstall()
+            tracer.close()
 
 
 def _crash_main(slot: int, options: dict) -> None:

@@ -45,14 +45,17 @@ from its own processes.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 
 import numpy as np
 
+from repro import obs
 from repro.errors import CanaryRejectedError, ReproError, ServingError
 from repro.evaluation.timing import summarize_latencies
+from repro.obs.propagate import TRACE_HEADER, TraceContext, stamp_delta
 from repro.serving.hotswap import ServingController
 from repro.streaming.delta import GraphDelta
 
@@ -93,7 +96,11 @@ class HttpRequestError(Exception):
 async def read_http_request(
     reader: asyncio.StreamReader, *, max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
 ):
-    """Parse one HTTP/1.1 request: ``(method, path, body, keep_alive)``.
+    """Parse one HTTP/1.1 request: ``(method, path, body, keep_alive, trace)``.
+
+    ``trace`` is the raw ``x-repro-trace`` header value (or ``None``) — the
+    cross-process trace-context carrier decoded by
+    :func:`repro.obs.propagate.TraceContext.from_header`.
 
     Returns ``None`` on a cleanly closed or garbled connection, raises
     :class:`HttpRequestError` for requests that deserve an error response:
@@ -110,6 +117,7 @@ async def read_http_request(
         return None
     content_length = 0
     keep_alive = True
+    trace = None
     while True:
         header = await reader.readline()
         if header in (b"\r\n", b"\n", b""):
@@ -127,6 +135,8 @@ async def read_http_request(
                 raise HttpRequestError(400, "negative Content-Length")
         elif name == "connection" and value.strip().lower() == "close":
             keep_alive = False
+        elif name == TRACE_HEADER:
+            trace = value.strip() or None
     if content_length > max_body_bytes:
         raise HttpRequestError(
             413,
@@ -134,7 +144,7 @@ async def read_http_request(
             f"{max_body_bytes}-byte limit",
         )
     body = await reader.readexactly(content_length) if content_length else b""
-    return method.upper(), path, body, keep_alive
+    return method.upper(), path, body, keep_alive, trace
 
 
 async def write_http_response(
@@ -240,9 +250,12 @@ class MicroBatcher:
                 pending += int(item[0].size)
             ids = np.concatenate([item[0] for item in batch])
             try:
-                session = self.get_session()
-                labels = session.predict(ids)
-                version = session.version
+                with obs.span(
+                    "serve.batch_predict", requests=len(batch), ids=int(ids.size)
+                ):
+                    session = self.get_session()
+                    labels = session.predict(ids)
+                    version = session.version
             except Exception:
                 # Isolate the offender: retry each request on its own so a
                 # single bad batch member cannot fail its window-mates.
@@ -351,6 +364,11 @@ class ServingServer:
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], int(sockname[1])
         self.metrics.mark_up(pid=os.getpid(), version=self.controller.version)
+        # Bridge finished spans into the metrics board (repro_span_seconds);
+        # hooked per-server so the /metrics page reflects this process.
+        tracer = obs.active()
+        if tracer is not None and self._observe_span not in tracer.on_finish:
+            tracer.on_finish.append(self._observe_span)
         return self.host, self.port
 
     async def serve_forever(self) -> None:
@@ -371,7 +389,14 @@ class ServingServer:
         await asyncio.get_running_loop().run_in_executor(
             None, lambda: self._swap_pool.shutdown(wait=True)
         )
+        tracer = obs.active()
+        if tracer is not None and self._observe_span in tracer.on_finish:
+            tracer.on_finish.remove(self._observe_span)
         self.metrics.mark_down()
+
+    def _observe_span(self, span) -> None:
+        """on_finish hook: feed span durations into the metrics board."""
+        self.metrics.observe_span(span.name, span.duration_s)
 
     # ------------------------------------------------------------------ #
     async def _handle_connection(
@@ -395,8 +420,8 @@ class ServingServer:
                     break
                 if request is None:
                     break
-                method, path, body, keep_alive = request
-                status, payload = await self._route(method, path, body)
+                method, path, body, keep_alive, trace = request
+                status, payload = await self._route(method, path, body, trace)
                 await write_http_response(writer, status, payload, keep_alive)
                 if status >= 500 or not keep_alive:
                     break
@@ -415,12 +440,28 @@ class ServingServer:
         name = path.lstrip("/") or "other"
         return name if name in ("predict", "delta", "healthz", "stats", "metrics") else "other"
 
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict | str]:
+    async def _route(
+        self, method: str, path: str, body: bytes, trace: str | None = None
+    ) -> tuple[int, dict | str]:
         start = perf_counter()
         endpoint = self._endpoint_of(path)
         self.metrics.observe_request(endpoint)
         self.metrics.heartbeat()
-        status, payload = await self._dispatch(method, path, body, start)
+        if endpoint in ("predict", "delta") and obs.active() is not None:
+            # Attach the request span under the remote caller's span when the
+            # client sent an x-repro-trace header (worker delta forwarding,
+            # traced benchmarks); otherwise under this process's root.
+            remote = TraceContext.from_header(trace) if trace else None
+            with obs.span(
+                f"serve.{endpoint}",
+                _parent=remote.parent_id if remote is not None else None,
+                bytes=len(body),
+            ) as handle:
+                status, payload = await self._dispatch(method, path, body, start)
+                if handle is not None:
+                    handle.attrs["status"] = int(status)
+        else:
+            status, payload = await self._dispatch(method, path, body, start)
         self.metrics.observe_response(
             endpoint,
             status,
@@ -487,6 +528,7 @@ class ServingServer:
         if ids.size and (ids.min() < 0 or ids.max() >= bound):
             raise ServingError(f"node id out of range: valid ids are 0..{bound - 1}")
         if not self.admission.try_enter():
+            obs.event("serve.shed", depth=self.admission.depth)
             return 429, {
                 "error": "admission queue full: retry with backoff",
                 "depth": self.admission.depth,
@@ -507,7 +549,10 @@ class ServingServer:
 
     async def _handle_delta(self, body: bytes) -> tuple[int, dict]:
         payload = _parse_json(body)
-        delta = GraphDelta.from_payload(payload)
+        # Stamp the serve.delta span's context onto the delta metadata: it
+        # rides to_payload() into the WAL, so replay spans correlate with
+        # the commit that produced them.  No-op while tracing is disabled.
+        delta = stamp_delta(GraphDelta.from_payload(payload))
         loop = asyncio.get_running_loop()
 
         def swap():
@@ -516,7 +561,10 @@ class ServingServer:
                 self.on_swap(report)
             return report
 
-        report = await loop.run_in_executor(self._swap_pool, swap)
+        # run_in_executor does not carry contextvars into the worker thread;
+        # copy the context so swap spans stay children of serve.delta.
+        call = contextvars.copy_context().run
+        report = await loop.run_in_executor(self._swap_pool, call, swap)
         self.metrics.observe_swap(report.swap_seconds)
         self.metrics.set_version(report.version)
         return 200, {

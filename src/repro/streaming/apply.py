@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.core.context import CondensationContext
 from repro.core.metapaths import MetaPath
 from repro.hetero.graph import HeteroGraph, NodeSplits, combine_typed_adjacency
@@ -119,6 +120,17 @@ class DeltaApplier:
         caller that already computed ``delta.edge_fraction(graph)`` (the
         incremental condenser's threshold check) avoid paying for it twice.
         """
+        with obs.span("stream.apply_delta", step=int(delta.step)):
+            return self._apply(graph, delta, context=context, edge_fraction=edge_fraction)
+
+    def _apply(
+        self,
+        graph: HeteroGraph,
+        delta: GraphDelta,
+        *,
+        context: CondensationContext | None,
+        edge_fraction: float | None,
+    ) -> ApplyReport:
         delta.validate_against(graph)
         report = ApplyReport(
             step=delta.step,

@@ -31,6 +31,7 @@ from time import perf_counter
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.base import per_class_budgets  # noqa: F401  (re-export convenience)
 from repro.core.condenser import FreeHGC
 from repro.core.context import CondensationContext
@@ -86,6 +87,11 @@ class StageMemo:
         self._target: _StageSlot | None = None
         self._others: dict[tuple[str, str], _StageSlot] = {}
 
+    def _note(self, key: str, **attrs) -> None:
+        """Count a hit/miss and mirror it as a trace event when recording."""
+        self.stats[key] += 1
+        obs.event(f"memo.{key}", **attrs)
+
     def clear(self) -> None:
         """Drop every cached stage result."""
         self._target = None
@@ -95,15 +101,15 @@ class StageMemo:
     def select_target(self, stage, context: CondensationContext, budget: int):
         fingerprint_pins = self._target_fingerprint(stage, context, budget)
         if fingerprint_pins is None:
-            self.stats["target_misses"] += 1
+            self._note("target_misses")
             return stage.select_target(context, budget)
         fingerprint, pins = fingerprint_pins
         if self._target is not None and self._target.fingerprint == fingerprint:
-            self.stats["target_hits"] += 1
+            self._note("target_hits")
             return self._target.result
         outcome = stage.select_target(context, budget)
         self._target = _StageSlot(fingerprint, pins, outcome)
-        self.stats["target_misses"] += 1
+        self._note("target_misses")
         return outcome
 
     def _target_fingerprint(self, stage, context: CondensationContext, budget: int):
@@ -139,7 +145,7 @@ class StageMemo:
             stage, context, node_type, budget, anchor, providers
         )
         if fingerprint_pins is None:
-            self.stats["stage_misses"] += 1
+            self._note("stage_misses", node_type=node_type)
             return stage.condense_type(
                 context, node_type, budget, anchor=anchor, providers=providers
             )
@@ -147,13 +153,13 @@ class StageMemo:
         key = (str(getattr(stage, "name", "?")), node_type)
         slot = self._others.get(key)
         if slot is not None and slot.fingerprint == fingerprint:
-            self.stats["stage_hits"] += 1
+            self._note("stage_hits", node_type=node_type)
             return slot.result
         result = stage.condense_type(
             context, node_type, budget, anchor=anchor, providers=providers
         )
         self._others[key] = _StageSlot(fingerprint, pins, result)
-        self.stats["stage_misses"] += 1
+        self._note("stage_misses", node_type=node_type)
         return result
 
     @staticmethod
@@ -395,6 +401,10 @@ class IncrementalCondenser:
 
     def step(self, delta: GraphDelta) -> StepReport:
         """Apply ``delta``, re-condense, and report what happened."""
+        with obs.span("stream.step", step=int(delta.step)):
+            return self._step(delta)
+
+    def _step(self, delta: GraphDelta) -> StepReport:
         fraction = delta.edge_fraction(self.graph)
         incremental = (
             self._context is not None and fraction <= self.recondense_threshold
@@ -411,6 +421,7 @@ class IncrementalCondenser:
             self.invalidate()
             mode = "full"
 
+        obs.event("stream.mode", mode=mode, edge_fraction=round(fraction, 6))
         previous = self._previous_selection
         start = perf_counter()
         condensed = self.condense()

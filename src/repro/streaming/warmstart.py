@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.core.coverage_kernels import (
     DEFAULT_BATCH_SIZE,
     CoverageResult,
@@ -70,6 +71,7 @@ def changed_rows(old: sp.csr_matrix, new: sp.csr_matrix) -> np.ndarray:
     return np.unique(np.concatenate(dirty_parts))
 
 
+@obs.traced("stream.warm_start_coverage")
 def warm_start_coverage(
     adjacency: sp.csr_matrix,
     pool: np.ndarray,

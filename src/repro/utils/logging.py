@@ -4,13 +4,19 @@ The library never configures the root logger; callers opt in through
 :func:`enable_verbose_logging` (used by the example scripts and the benchmark
 harness) while library modules simply request a child of the ``repro``
 logger.
+
+``enable_verbose_logging(json=True)`` switches the handler to one-JSON-object-
+per-line output; when a tracer is installed (:mod:`repro.obs`) every record is
+stamped with the active ``trace_id`` and innermost ``span_id``, so log lines
+and trace spans of one run join on the same ids.
 """
 
 from __future__ import annotations
 
+import json as _json
 import logging
 
-__all__ = ["get_logger", "enable_verbose_logging"]
+__all__ = ["get_logger", "enable_verbose_logging", "JsonFormatter"]
 
 _ROOT_NAME = "repro"
 
@@ -24,12 +30,50 @@ def get_logger(name: str | None = None) -> logging.Logger:
     return logging.getLogger(f"{_ROOT_NAME}.{name}")
 
 
-def enable_verbose_logging(level: int = logging.INFO) -> logging.Logger:
-    """Attach a stream handler to the ``repro`` logger (idempotent)."""
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line, stamped with the active trace context.
+
+    Keys are sorted and the payload is ASCII-safe, so downstream ``jq`` /
+    log-shipping pipelines get a stable shape.  ``trace_id``/``span_id``
+    appear only while a tracer is installed — plain runs stay noise-free.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        obj: dict = {
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            obj["exc_info"] = self.formatException(record.exc_info)
+        from repro.obs.propagate import current_context
+
+        ctx = current_context()
+        if ctx is not None:
+            obj["trace_id"] = ctx.trace_id
+            if ctx.parent_id is not None:
+                obj["span_id"] = ctx.parent_id
+        return _json.dumps(obj, sort_keys=True)
+
+
+def enable_verbose_logging(
+    level: int = logging.INFO, *, json: bool = False
+) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger (idempotent).
+
+    ``json=True`` uses :class:`JsonFormatter`; calling again with a
+    different ``json`` flag re-formats the existing handler in place.
+    """
     logger = logging.getLogger(_ROOT_NAME)
     logger.setLevel(level)
-    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+    handler = next(
+        (h for h in logger.handlers if isinstance(h, logging.StreamHandler)), None
+    )
+    if handler is None:
         handler = logging.StreamHandler()
-        handler.setFormatter(logging.Formatter("[%(levelname)s] %(name)s: %(message)s"))
         logger.addHandler(handler)
+    if json:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter("[%(levelname)s] %(name)s: %(message)s"))
     return logger

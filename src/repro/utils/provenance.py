@@ -1,0 +1,37 @@
+"""Build provenance: which commit produced this process's artifacts.
+
+One helper, shared by the benchmark harness (``BENCH_*.json`` provenance
+blocks) and the serving ``/metrics`` page (the ``repro_build_info`` gauge),
+so every artifact a run leaves behind names the same revision string.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from functools import lru_cache
+from pathlib import Path
+
+__all__ = ["git_revision"]
+
+
+@lru_cache(maxsize=8)
+def git_revision(root: str | None = None) -> str:
+    """Current commit hash at ``root`` (default: this package's checkout).
+
+    Returns ``"unknown"`` outside a git checkout or when git is missing —
+    provenance is best-effort and must never fail the caller.  Cached: the
+    revision cannot change within a process, and ``/metrics`` renders call
+    this on every scrape.
+    """
+    cwd = Path(root) if root is not None else Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"

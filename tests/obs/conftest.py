@@ -1,0 +1,22 @@
+"""Shared hygiene for the observability tests.
+
+Tracing is process-global state (one installed tracer, two env carriers);
+every test leaves with a clean slate so ordering never matters.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import ENV_TRACE_FILE, ENV_TRACE_ID
+
+
+@pytest.fixture(autouse=True)
+def clean_tracing_state():
+    yield
+    obs.uninstall()
+    os.environ.pop(ENV_TRACE_FILE, None)
+    os.environ.pop(ENV_TRACE_ID, None)

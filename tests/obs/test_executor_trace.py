@@ -1,0 +1,64 @@
+"""Process-pool trace propagation: parallel span trees match serial ones.
+
+The runner ships the trace context into every ProcessPoolExecutor
+submission and merges the workers' spans back into the parent collector —
+so the *name-path structure* of a traced parallel sweep must be identical
+to the same sweep run serially (only scopes and timings differ).
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.evaluation.pipeline import ExperimentConfig
+from repro.obs.report import TreeNode, build_tree
+from repro.runner import execute_plan, plan_ratio_sweep
+
+TINY = dict(
+    dataset="acm",
+    ratios=(0.2,),
+    methods=("random-hg", "freehgc"),
+    model="heterosgc",
+    scale=0.1,
+    seeds=1,
+    epochs=5,
+    hidden_dim=8,
+    max_hops=2,
+)
+
+
+def name_tree(node: TreeNode):
+    """Recursive (name, count, children) shape, order-insensitive."""
+    return (
+        node.name,
+        node.count,
+        tuple(sorted(name_tree(c) for c in node.children.values())),
+    )
+
+
+def traced_run(trace_id, **kwargs):
+    plan = plan_ratio_sweep(ExperimentConfig(**TINY))
+    with obs.tracing(trace_id) as tracer:
+        with obs.span("plan"):
+            outcomes = execute_plan(plan, **kwargs)
+        spans = tracer.drain_spans()
+    return outcomes, spans
+
+
+def test_parallel_span_tree_matches_serial():
+    # force=True bypasses the per-process condensed-artifact memo: forked
+    # workers inherit the parent's memo, which would hide their condense
+    # spans and make the trees trivially different.
+    serial_outcomes, serial_spans = traced_run("t-serial", force=True)
+    parallel_outcomes, parallel_spans = traced_run("t-parallel", workers=2, force=True)
+
+    for a, b in zip(serial_outcomes, parallel_outcomes):
+        assert a.evaluation.accuracies == b.evaluation.accuracies
+
+    # Every worker span must have merged back into the parent collector and
+    # parent into the same name-paths the serial run produces.
+    assert name_tree(build_tree(serial_spans)) == name_tree(build_tree(parallel_spans))
+    assert any(s.scope.startswith("cell-") for s in parallel_spans)
+    assert all(s.scope == "main" for s in serial_spans)
+    # one runner.cell span per plan cell (methods + the whole-graph baseline)
+    cells = [s for s in parallel_spans if s.name == "runner.cell"]
+    assert len(cells) == len(serial_outcomes) == 3

@@ -1,0 +1,147 @@
+"""Trace-context carriers round-trip across every process boundary.
+
+Each carrier has two contracts: ``extract(inject(ctx)) == ctx``, and the
+*untraced* path leaves its payload byte-identical to a build without any
+tracing code — the serialized GraphDelta, the WAL frame, and the HTTP
+request bytes must not change unless a tracer is installed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro import obs
+from repro.obs.propagate import (
+    METADATA_KEY,
+    TRACE_HEADER,
+    TraceContext,
+    continue_trace,
+    current_context,
+    extract_delta,
+    extract_headers,
+    extract_payload,
+    inject_headers,
+    inject_payload,
+    stamp_delta,
+)
+from repro.serving.replicated.wal import DeltaWAL, read_wal
+from repro.streaming import GraphDelta
+
+
+def make_delta(step=1):
+    return GraphDelta(
+        add_edges={"paper-author": (np.array([0, 1]), np.array([2, 3]))},
+        step=step,
+    )
+
+
+class TestHeaderCarrier:
+    def test_round_trip(self):
+        ctx = TraceContext(trace_id="t-1", parent_id="main:4")
+        assert TraceContext.from_header(ctx.to_header()) == ctx
+
+    def test_round_trip_without_parent(self):
+        ctx = TraceContext(trace_id="t-1")
+        assert TraceContext.from_header(ctx.to_header()) == ctx
+
+    def test_malformed_headers_decode_to_none(self):
+        assert TraceContext.from_header("") is None
+        assert TraceContext.from_header("no-semicolon") is None
+        assert TraceContext.from_header(";orphan-parent") is None
+
+    def test_inject_extract_through_header_dict(self):
+        obs.install(obs.Tracer("t-http"))
+        with obs.span("client.call"):
+            headers = inject_headers({"content-type": "application/json"})
+            assert TRACE_HEADER in headers
+            ctx = extract_headers(headers)
+        assert ctx.trace_id == "t-http"
+        assert ctx.parent_id == "main:1"
+
+    def test_inject_is_identity_when_untraced(self):
+        assert inject_headers() == {}
+        headers = {"host": "x"}
+        assert inject_headers(headers) is headers
+        assert headers == {"host": "x"}
+        assert extract_headers({"host": "x"}) is None
+
+
+class TestDeltaCarrier:
+    def test_stamp_and_extract(self):
+        obs.install(obs.Tracer("t-delta"))
+        with obs.span("commit"):
+            stamped = stamp_delta(make_delta())
+        ctx = extract_delta(stamped)
+        assert ctx == TraceContext(trace_id="t-delta", parent_id="main:1")
+
+    def test_survives_payload_round_trip(self):
+        stamped = stamp_delta(make_delta(), TraceContext("t-x", "main:9"))
+        revived = GraphDelta.from_payload(
+            json.loads(json.dumps(stamped.to_payload()))
+        )
+        assert extract_delta(revived) == TraceContext("t-x", "main:9")
+
+    def test_untraced_stamp_is_identity(self):
+        delta = make_delta()
+        assert stamp_delta(delta) is delta
+        assert METADATA_KEY not in delta.metadata
+
+    def test_untraced_payload_bytes_unchanged(self):
+        payload = make_delta().to_payload()
+        assert "metadata" not in payload  # empty metadata is not serialized
+        encoded = json.dumps(payload, sort_keys=True)
+        assert "trace" not in encoded
+
+
+class TestWALCarrier:
+    def test_replayed_delta_carries_the_commit_context(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        stamped = stamp_delta(make_delta(step=3), TraceContext("t-wal", "main:2"))
+        with DeltaWAL(path) as wal:
+            wal.append_delta(stamped)
+        record = next(r for r in read_wal(path) if r.kind == "delta")
+        assert extract_delta(record.delta()) == TraceContext("t-wal", "main:2")
+
+    def test_untraced_wal_bytes_identical(self, tmp_path):
+        first, second = tmp_path / "a.wal", tmp_path / "b.wal"
+        with DeltaWAL(first) as wal:
+            wal.append_delta(make_delta(step=3))
+        with DeltaWAL(second) as wal:
+            wal.append_delta(stamp_delta(make_delta(step=3)))  # no tracer
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestPayloadCarrier:
+    def test_round_trip_and_untraced_identity(self):
+        payload = {"cell": "x"}
+        assert extract_payload(inject_payload(dict(payload))) is None  # untraced
+        obs.install(obs.Tracer("t-pool"))
+        with obs.span("submit"):
+            stamped = inject_payload(dict(payload))
+        ctx = extract_payload(stamped)
+        assert ctx == TraceContext(trace_id="t-pool", parent_id="main:1")
+        assert stamped["cell"] == "x"
+
+
+class TestContinueTrace:
+    def test_worker_spans_parent_to_the_remote_span(self):
+        ctx = TraceContext(trace_id="t-cont", parent_id="main:5")
+        tracer = obs.install(continue_trace(ctx, scope="cell-2"))
+        with obs.span("runner.cell"):
+            pass
+        span = tracer.drain_spans()[0]
+        assert span.trace_id == "t-cont"
+        assert span.parent_id == "main:5"
+        assert span.span_id == "cell-2:1"
+        assert span.scope == "cell-2"
+
+    def test_current_context_tracks_innermost_span(self):
+        assert current_context() is None
+        tracer = obs.install(obs.Tracer("t-cur"))
+        assert current_context() == TraceContext("t-cur", None)
+        with obs.span("outer"):
+            with obs.span("inner"):
+                assert current_context().parent_id == "main:2"
+        tracer.drain_spans()

@@ -6,11 +6,13 @@ import numpy as np
 import pytest
 
 from repro.errors import ServingError
+from repro.obs.spans import SERVING_SPAN_SITES
 from repro.serving.replicated.admission import AdmissionGate
 from repro.serving.replicated.metrics import (
     BOARD_LAYOUT_VERSION,
     KNOWN_SITES,
     LATENCY_BUCKETS,
+    SPAN_BUCKETS,
     MetricsBoard,
     render_prometheus,
 )
@@ -151,6 +153,53 @@ class TestRenderPrometheus:
         for line in page.splitlines():
             assert line.startswith("#") or " " in line
         assert page.endswith("\n")
+
+
+class TestSpanHistograms:
+    def test_known_sites_accumulate(self):
+        board = MetricsBoard.in_memory()
+        slot = board.slot(0)
+        slot.observe_span("serve.predict", 0.002)
+        slot.observe_span("serve.predict", 0.2)
+        assert int(board.column("span_count__serve.predict")[0]) == 2
+        assert int(board.column("span_sum_us__serve.predict")[0]) == 202000
+
+    def test_unknown_span_names_are_ignored(self):
+        board = MetricsBoard.in_memory()
+        board.slot(0).observe_span("stream.step", 0.5)  # JSONL-only span
+        board.slot(0).observe_span("no.such.site", 0.5)
+        page = render_prometheus(board)
+        assert "stream.step" not in page
+
+    def test_rendered_histogram_is_cumulative(self):
+        board = MetricsBoard.in_memory()
+        for seconds in (0.0005, 0.02, 3.0):
+            board.slot(0).observe_span("swap.apply", seconds)
+        page = render_prometheus(board)
+        lines = [
+            l
+            for l in page.splitlines()
+            if l.startswith('repro_span_seconds_bucket{span="swap.apply"')
+        ]
+        assert len(lines) == len(SPAN_BUCKETS) + 1
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+        assert 'repro_span_seconds_count{span="swap.apply"} 3' in page
+
+    def test_untraced_page_has_no_span_series(self):
+        page = render_prometheus(MetricsBoard.in_memory())
+        assert "repro_span_seconds" not in page
+
+    def test_every_serving_site_has_columns(self):
+        board = MetricsBoard.in_memory()
+        for site in SERVING_SPAN_SITES:
+            board.slot(0).observe_span(site, 0.01)
+            assert int(board.column(f"span_count__{site}")[0]) == 1
+
+    def test_build_info_gauge_present(self):
+        page = render_prometheus(MetricsBoard.in_memory())
+        assert 'repro_build_info{revision="' in page
 
 
 class TestAdmissionGate:

@@ -1,0 +1,79 @@
+"""Logger namespace helpers and the trace-stamped JSON formatter."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro import obs
+from repro.utils.logging import JsonFormatter, enable_verbose_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def reset_logging_state():
+    yield
+    obs.uninstall()
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+
+
+def make_record(message="hello"):
+    return logging.LogRecord(
+        name="repro.test", level=logging.INFO, pathname=__file__, lineno=1,
+        msg=message, args=(), exc_info=None,
+    )
+
+
+class TestGetLogger:
+    def test_names_are_namespaced(self):
+        assert get_logger().name == "repro"
+        assert get_logger("core").name == "repro.core"
+        assert get_logger("repro.core").name == "repro.core"
+
+
+class TestJsonFormatter:
+    def test_plain_record_has_no_trace_fields(self):
+        obj = json.loads(JsonFormatter().format(make_record()))
+        assert obj == {"level": "INFO", "logger": "repro.test", "message": "hello"}
+
+    def test_record_inside_a_span_is_stamped(self):
+        obs.install(obs.Tracer("t-log"))
+        try:
+            with obs.span("op"):
+                obj = json.loads(JsonFormatter().format(make_record()))
+        finally:
+            obs.uninstall()
+        assert obj["trace_id"] == "t-log"
+        assert obj["span_id"] == "main:1"
+
+    def test_exception_info_included(self):
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            import sys
+
+            record = logging.LogRecord(
+                name="repro.test", level=logging.ERROR, pathname=__file__,
+                lineno=1, msg="failed", args=(), exc_info=sys.exc_info(),
+            )
+        obj = json.loads(JsonFormatter().format(record))
+        assert "RuntimeError: boom" in obj["exc_info"]
+
+
+class TestEnableVerboseLogging:
+    def test_idempotent_single_handler(self):
+        logger = enable_verbose_logging()
+        enable_verbose_logging()
+        assert len(logger.handlers) == 1
+
+    def test_json_flag_swaps_formatter_in_place(self):
+        logger = enable_verbose_logging()
+        assert not isinstance(logger.handlers[0].formatter, JsonFormatter)
+        enable_verbose_logging(json=True)
+        assert len(logger.handlers) == 1
+        assert isinstance(logger.handlers[0].formatter, JsonFormatter)
+        enable_verbose_logging(json=False)
+        assert not isinstance(logger.handlers[0].formatter, JsonFormatter)
